@@ -1,0 +1,45 @@
+// Shared helpers for the experiment binaries. Every bench prints one or
+// more labelled ASCII tables (the "paper tables" of EXPERIMENTS.md) and
+// exits non-zero if any run violated a correctness property, so the bench
+// suite doubles as a large randomized soak test.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "util/stats.hpp"
+
+namespace ooc::bench {
+
+inline void banner(const std::string& experiment, const std::string& claim) {
+  std::printf("=== %s ===\n%s\n\n", experiment.c_str(), claim.c_str());
+}
+
+inline void section(const std::string& title) {
+  std::printf("--- %s ---\n", title.c_str());
+}
+
+inline void emit(const Table& table) {
+  std::printf("%s\n", table.render().c_str());
+}
+
+/// Tracks whether any correctness property failed anywhere in the bench.
+class Verdict {
+ public:
+  void require(bool ok, const std::string& what) {
+    if (!ok) {
+      ++failures_;
+      std::printf("!! property violation: %s\n", what.c_str());
+    }
+  }
+  int exitCode() const {
+    if (failures_ > 0)
+      std::printf("\n%d correctness violations — INVESTIGATE\n", failures_);
+    return failures_ > 0 ? 1 : 0;
+  }
+
+ private:
+  int failures_ = 0;
+};
+
+}  // namespace ooc::bench

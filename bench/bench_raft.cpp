@@ -1,0 +1,135 @@
+// E6 — Raft consensus: election dynamics and the timing property.
+//
+// Claims (paper §4.3): Raft achieves consensus via the two-step
+// leader-then-replicate mechanism; termination rests on the timing property
+// (broadcast time << election timeout). We sweep (a) the election-timeout
+// spread against the fixed broadcast time and (b) message loss, reporting
+// time-to-decision and election churn. Expected shape: tight timeouts cause
+// split votes (more elections, slower decisions); loss slows everything;
+// safety never breaks.
+#include "bench/bench_common.hpp"
+#include "harness/scenarios.hpp"
+
+using namespace ooc;
+using namespace ooc::bench;
+using harness::RaftScenarioConfig;
+
+int main() {
+  Verdict verdict;
+  constexpr int kRuns = 30;
+
+  banner("E6a: election timeout vs broadcast time (n = 5, delay 1-5 ticks)",
+         "Timing property ablation: the timeout/broadcast ratio drives "
+         "election churn and decision latency. Safety holds throughout.");
+  {
+    Table table({"timeout range", "ratio vs bcast", "decided %",
+                 "mean ticks to decide", "p95 ticks", "mean elections",
+                 "mean msgs"});
+    struct Case {
+      Tick lo, hi;
+      // Below roughly 2x the round-trip time, elections fire before votes
+      // return: the timing property FAILS and liveness is expected to fail
+      // with it — that is the ablation's point, not a bug.
+      bool timingPropertyHolds;
+    };
+    for (const Case c :
+         {Case{8, 12, false}, Case{15, 25, false}, Case{30, 60, true},
+          Case{75, 150, true}, Case{150, 300, true}, Case{400, 800, true}}) {
+      Summary ticks, elections, messages;
+      int decided = 0;
+      for (int run = 0; run < kRuns; ++run) {
+        RaftScenarioConfig config;
+        config.n = 5;
+        config.seed = 70'000 + static_cast<std::uint64_t>(run);
+        config.raft.electionTimeoutMin = c.lo;
+        config.raft.electionTimeoutMax = c.hi;
+        config.raft.heartbeatInterval = std::max<Tick>(2, c.lo / 3);
+        config.maxTicks = 400'000;
+        const auto result = runRaft(config);
+        if (c.timingPropertyHolds) {
+          verdict.require(result.allDecided,
+                          "raft liveness (timing property holds)");
+        }
+        verdict.require(!result.agreementViolated && !result.validityViolated,
+                        "raft safety");
+        verdict.require(result.commitValuesAgree, "commit values agree");
+        if (result.allDecided) {
+          ++decided;
+          ticks.add(static_cast<double>(result.lastDecisionTick));
+        }
+        elections.add(static_cast<double>(result.electionsStarted));
+        messages.add(static_cast<double>(result.messages));
+      }
+      const double mid = (static_cast<double>(c.lo) + c.hi) / 2.0;
+      table.addRow({Table::cell(std::uint64_t{c.lo}) + "-" +
+                        Table::cell(std::uint64_t{c.hi}),
+                    Table::cell(mid / 3.0, 1),
+                    Table::cell(100.0 * decided / kRuns, 1),
+                    ticks.empty() ? "-" : Table::cell(ticks.mean(), 0),
+                    ticks.empty() ? "-" : Table::cell(ticks.p95(), 0),
+                    Table::cell(elections.mean(), 1),
+                    Table::cell(messages.mean(), 0)});
+    }
+    emit(table);
+  }
+
+  banner("E6b: message loss sweep (n = 5, timeouts 150-300)",
+         "Loss delays elections and commits but never violates agreement.");
+  {
+    Table table({"drop prob", "decided %", "mean ticks to decide",
+                 "mean elections", "mean msgs"});
+    for (const double drop : {0.0, 0.05, 0.1, 0.2, 0.3, 0.4}) {
+      Summary ticks, elections, messages;
+      int decided = 0;
+      for (int run = 0; run < kRuns; ++run) {
+        RaftScenarioConfig config;
+        config.n = 5;
+        config.seed = 80'000 + static_cast<std::uint64_t>(run);
+        config.dropProbability = drop;
+        config.maxTicks = 2'000'000;
+        const auto result = runRaft(config);
+        verdict.require(!result.agreementViolated, "raft safety under loss");
+        if (result.allDecided) {
+          ++decided;
+          ticks.add(static_cast<double>(result.lastDecisionTick));
+        }
+        elections.add(static_cast<double>(result.electionsStarted));
+        messages.add(static_cast<double>(result.messages));
+      }
+      table.addRow({Table::cell(drop, 2),
+                    Table::cell(100.0 * decided / kRuns, 1),
+                    ticks.empty() ? "-" : Table::cell(ticks.mean(), 0),
+                    Table::cell(elections.mean(), 1),
+                    Table::cell(messages.mean(), 0)});
+    }
+    emit(table);
+  }
+
+  banner("E6c: cluster size sweep (quiet network)",
+         "Message cost grows ~n per appended entry + n^2 in vote traffic; "
+         "decision latency stays near one election + one replication round "
+         "trip.");
+  {
+    Table table({"n", "mean ticks to decide", "mean elections", "mean msgs"});
+    for (std::size_t n : {3, 5, 7, 9, 13}) {
+      Summary ticks, elections, messages;
+      for (int run = 0; run < kRuns; ++run) {
+        RaftScenarioConfig config;
+        config.n = n;
+        config.seed = 90'000 + static_cast<std::uint64_t>(run);
+        const auto result = runRaft(config);
+        verdict.require(result.allDecided && !result.agreementViolated,
+                        "raft size sweep");
+        ticks.add(static_cast<double>(result.lastDecisionTick));
+        elections.add(static_cast<double>(result.electionsStarted));
+        messages.add(static_cast<double>(result.messages));
+      }
+      table.addRow({Table::cell(std::uint64_t{n}),
+                    Table::cell(ticks.mean(), 0),
+                    Table::cell(elections.mean(), 1),
+                    Table::cell(messages.mean(), 0)});
+    }
+    emit(table);
+  }
+  return verdict.exitCode();
+}

@@ -1,0 +1,115 @@
+// E7 — Raft through the VAC/reconciliator lens (paper Algorithms 10-11).
+//
+// The paper maps Raft's per-term knowledge states onto VAC confidences:
+//   vacillate — no evidence of a leader (term start / election timeout),
+//   adopt     — tentative AppendEntries accepted, or leadership won,
+//   commit    — commit index advanced over the decided entry.
+// This bench instruments real Raft runs and reports (a) the confidence
+// transition mix, (b) validation of the coherence-style invariants the
+// mapping implies, and (c) the reconciliator (election-timeout) count as a
+// function of contention — the paper's claim that the timer IS the
+// reconciliator predicts churn rises exactly when decisions stall.
+#include <cmath>
+
+#include "bench/bench_common.hpp"
+#include "harness/scenarios.hpp"
+
+using namespace ooc;
+using namespace ooc::bench;
+using harness::RaftScenarioConfig;
+
+int main() {
+  Verdict verdict;
+  constexpr int kRuns = 40;
+
+  banner("E7a: VAC confidence-transition census (n = 5)",
+         "Every process history must respect the VAC ordering (no commit "
+         "before adopt-level evidence) and all commit values must agree — "
+         "the instrumented form of coherence over adopt & commit.");
+  {
+    Table table({"scenario", "runs", "transitions/run", "reconciliator "
+                 "invocations/run", "order ok", "commits agree"});
+    struct Scenario {
+      const char* name;
+      double drop;
+      Tick timeoutLo, timeoutHi;
+    };
+    for (const Scenario s :
+         {Scenario{"quiet", 0.0, 150, 300},
+          Scenario{"lossy (10%)", 0.1, 150, 300},
+          Scenario{"contended (tight timers)", 0.0, 12, 20},
+          Scenario{"hostile (loss + tight)", 0.15, 12, 20}}) {
+      Summary transitions, reconciliations;
+      bool orderOk = true, commitsAgree = true;
+      for (int run = 0; run < kRuns; ++run) {
+        RaftScenarioConfig config;
+        config.n = 5;
+        config.seed = 100'000 + static_cast<std::uint64_t>(run);
+        config.dropProbability = s.drop;
+        config.raft.electionTimeoutMin = s.timeoutLo;
+        config.raft.electionTimeoutMax = s.timeoutHi;
+        config.raft.heartbeatInterval = std::max<Tick>(2, s.timeoutLo / 3);
+        config.maxTicks = 3'000'000;
+        const auto result = runRaft(config);
+        verdict.require(result.allDecided && !result.agreementViolated,
+                        std::string("raft consensus: ") + s.name);
+        orderOk = orderOk && result.confidenceOrderOk;
+        commitsAgree = commitsAgree && result.commitValuesAgree;
+        transitions.add(static_cast<double>(result.confidenceTransitions));
+        reconciliations.add(
+            static_cast<double>(result.reconciliatorInvocations));
+      }
+      verdict.require(orderOk, "VAC confidence ordering");
+      verdict.require(commitsAgree, "commit coherence");
+      table.addRow({s.name, Table::cell(kRuns),
+                    Table::cell(transitions.mean(), 1),
+                    Table::cell(reconciliations.mean(), 1),
+                    orderOk ? "yes" : "NO", commitsAgree ? "yes" : "NO"});
+    }
+    emit(table);
+  }
+
+  banner("E7b: reconciliator churn vs decision latency",
+         "Algorithm 11 says the election timeout IS Raft's reconciliator: "
+         "runs that reconcile more must be the runs that decide later "
+         "(positive correlation across seeds).");
+  {
+    Summary lat, rec;
+    double sumXY = 0, sumX = 0, sumY = 0, sumX2 = 0, sumY2 = 0;
+    constexpr int kCorrRuns = 120;
+    for (int run = 0; run < kCorrRuns; ++run) {
+      RaftScenarioConfig config;
+      config.n = 5;
+      config.seed = 110'000 + static_cast<std::uint64_t>(run);
+      config.raft.electionTimeoutMin = 20;
+      config.raft.electionTimeoutMax = 40;
+      config.raft.heartbeatInterval = 7;
+      config.dropProbability = 0.1;
+      config.maxTicks = 3'000'000;
+      const auto result = runRaft(config);
+      verdict.require(result.allDecided, "raft correlation run");
+      const double x = static_cast<double>(result.reconciliatorInvocations);
+      const double y = static_cast<double>(result.lastDecisionTick);
+      lat.add(y);
+      rec.add(x);
+      sumXY += x * y;
+      sumX += x;
+      sumY += y;
+      sumX2 += x * x;
+      sumY2 += y * y;
+    }
+    const double n = kCorrRuns;
+    const double denom = std::sqrt((n * sumX2 - sumX * sumX) *
+                                   (n * sumY2 - sumY * sumY));
+    const double r = denom == 0 ? 0 : (n * sumXY - sumX * sumY) / denom;
+    Table table({"metric", "value"});
+    table.addRow({"runs", Table::cell(kCorrRuns)});
+    table.addRow({"mean reconciliations", Table::cell(rec.mean(), 1)});
+    table.addRow({"mean decision tick", Table::cell(lat.mean(), 0)});
+    table.addRow({"Pearson r (reconciliations, latency)",
+                  Table::cell(r, 3)});
+    emit(table);
+    verdict.require(r > 0.3, "positive churn/latency correlation");
+  }
+  return verdict.exitCode();
+}

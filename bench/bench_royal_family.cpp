@@ -1,0 +1,104 @@
+// E15 — Phase-Queen vs Phase-King (extension): two synchronous Byzantine
+// algorithms, one template. The queen trades resilience (4t < n vs 3t < n)
+// for round length (2 ticks vs 3) and per-round traffic (n^2 + n vs
+// 2n^2 + n messages).
+#include "bench/bench_common.hpp"
+#include "harness/scenarios.hpp"
+
+using namespace ooc;
+using namespace ooc::bench;
+using harness::PhaseKingConfig;
+using phaseking::ByzantineStrategy;
+
+int main() {
+  Verdict verdict;
+  constexpr int kRuns = 40;
+
+  banner("E15a: queen vs king at the same (n, f) within both bounds",
+         "Classic t+1-round rule for both. The queen finishes in fewer "
+         "ticks and messages; both stay clean.");
+  {
+    Table table({"n", "f=t", "royal", "success %", "ticks to decide",
+                 "mean msgs/correct"});
+    struct Case {
+      std::size_t n, t;
+    };
+    for (const Case c : {Case{9, 2}, Case{13, 3}, Case{21, 5}, Case{29, 7}}) {
+      for (const bool queenRun : {false, true}) {
+        Summary ticks, messages;
+        int clean = 0;
+        for (int run = 0; run < kRuns; ++run) {
+          PhaseKingConfig config;
+          config.algorithm = queenRun ? PhaseKingConfig::Algorithm::kQueen
+                                      : PhaseKingConfig::Algorithm::kKing;
+          config.n = c.n;
+          config.t = c.t;
+          config.byzantineCount = c.t;
+          config.strategy = ByzantineStrategy::kEquivocate;
+          config.placement = PhaseKingConfig::Placement::kFront;
+          config.seed = 230'000 + static_cast<std::uint64_t>(run);
+          const auto result = runPhaseKing(config);
+          const bool ok = result.allDecided && !result.agreementViolated &&
+                          !result.validityViolated && result.allAuditsOk;
+          clean += ok ? 1 : 0;
+          verdict.require(ok, queenRun ? "queen run" : "king run");
+          ticks.add(static_cast<double>(result.lastDecisionTick));
+          messages.add(static_cast<double>(result.messagesByCorrect) /
+                       static_cast<double>(c.n - c.t));
+        }
+        table.addRow({Table::cell(std::uint64_t{c.n}),
+                      Table::cell(std::uint64_t{c.t}),
+                      queenRun ? "queen" : "king",
+                      Table::cell(100.0 * clean / kRuns, 1),
+                      Table::cell(ticks.mean(), 1),
+                      Table::cell(messages.mean(), 0)});
+      }
+    }
+    emit(table);
+  }
+
+  banner("E15b: the resilience price (n = 13)",
+         "The king survives f = 4 (3t < n allows t = 4); the queen's bound "
+         "is t = 3 — at f = 4 her guarantees are void and the equivocating "
+         "adversary can break her runs.");
+  {
+    Table table({"f", "king clean %", "queen clean %"});
+    for (std::size_t f = 2; f <= 4; ++f) {
+      int kingClean = 0, queenClean = 0;
+      for (int run = 0; run < kRuns; ++run) {
+        PhaseKingConfig config;
+        config.n = 13;
+        config.byzantineCount = f;
+        config.strategy = ByzantineStrategy::kAntiKing;
+        config.placement = PhaseKingConfig::Placement::kFront;
+        config.seed = 240'000 + static_cast<std::uint64_t>(run);
+        config.maxRounds = 40;
+
+        config.algorithm = PhaseKingConfig::Algorithm::kKing;
+        const auto king = runPhaseKing(config);
+        kingClean += king.allDecided && !king.agreementViolated &&
+                             !king.validityViolated
+                         ? 1
+                         : 0;
+        verdict.require(!king.agreementViolated || f > 4,
+                        "king agreement inside bound");
+
+        config.algorithm = PhaseKingConfig::Algorithm::kQueen;
+        const auto queen = runPhaseKing(config);
+        queenClean += queen.allDecided && !queen.agreementViolated &&
+                              !queen.validityViolated
+                          ? 1
+                          : 0;
+        if (f <= 3) {
+          verdict.require(!queen.agreementViolated,
+                          "queen agreement inside bound");
+        }
+      }
+      table.addRow({Table::cell(std::uint64_t{f}),
+                    Table::cell(100.0 * kingClean / kRuns, 1),
+                    Table::cell(100.0 * queenClean / kRuns, 1)});
+    }
+    emit(table);
+  }
+  return verdict.exitCode();
+}

@@ -1,0 +1,89 @@
+// E13 — engineering cost of the decomposition (google-benchmark).
+//
+// The paper's framework trades a monolithic loop for objects, factories,
+// envelopes and routing. This microbenchmark quantifies the wall-clock
+// price on identical workloads: full simulated consensus runs, decomposed
+// vs monolithic, for Ben-Or and Phase-King, plus the synthesized VAC.
+// Expected shape: the template costs a modest constant factor (envelope
+// allocation + virtual dispatch), not an asymptotic change.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "harness/scenarios.hpp"
+
+namespace {
+
+using ooc::harness::BenOrConfig;
+using ooc::harness::PhaseKingConfig;
+using ooc::harness::runBenOr;
+using ooc::harness::runPhaseKing;
+
+void benchBenOr(benchmark::State& state, BenOrConfig::Mode mode) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  std::uint64_t rounds = 0, runs = 0;
+  for (auto _ : state) {
+    BenOrConfig config;
+    config.n = n;
+    config.inputs.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+      config.inputs[i] = static_cast<ooc::Value>(i % 2);
+    config.seed = seed++;
+    config.t = std::max<std::size_t>(1, n / 8);
+    config.mode = mode;
+    const auto result = runBenOr(config);
+    if (!result.allDecided || result.agreementViolated)
+      state.SkipWithError("consensus failure");
+    rounds += result.maxDecisionRound;
+    ++runs;
+    benchmark::DoNotOptimize(result.decidedValue);
+  }
+  state.counters["rounds/run"] =
+      benchmark::Counter(static_cast<double>(rounds) /
+                         static_cast<double>(runs ? runs : 1));
+}
+
+void BM_BenOrDecomposed(benchmark::State& state) {
+  benchBenOr(state, BenOrConfig::Mode::kDecomposed);
+}
+void BM_BenOrMonolithic(benchmark::State& state) {
+  benchBenOr(state, BenOrConfig::Mode::kMonolithic);
+}
+void BM_BenOrVacFromTwoAc(benchmark::State& state) {
+  benchBenOr(state, BenOrConfig::Mode::kVacFromTwoAc);
+}
+
+void benchPhaseKing(benchmark::State& state, bool monolithic) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    PhaseKingConfig config;
+    config.n = n;
+    config.byzantineCount = (n - 1) / 3;
+    config.strategy = ooc::phaseking::ByzantineStrategy::kEquivocate;
+    config.monolithic = monolithic;
+    config.seed = seed++;
+    const auto result = runPhaseKing(config);
+    if (!result.allDecided || result.agreementViolated)
+      state.SkipWithError("consensus failure");
+    benchmark::DoNotOptimize(result.decidedValue);
+  }
+}
+
+void BM_PhaseKingDecomposed(benchmark::State& state) {
+  benchPhaseKing(state, false);
+}
+void BM_PhaseKingMonolithic(benchmark::State& state) {
+  benchPhaseKing(state, true);
+}
+
+}  // namespace
+
+BENCHMARK(BM_BenOrDecomposed)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_BenOrMonolithic)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_BenOrVacFromTwoAc)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PhaseKingDecomposed)->Arg(7)->Arg(13)->Arg(25)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PhaseKingMonolithic)->Arg(7)->Arg(13)->Arg(25)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

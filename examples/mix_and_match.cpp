@@ -1,0 +1,74 @@
+// The object-oriented payoff: swap detectors and reconciliators inside the
+// SAME template and compare behaviour — no algorithm rewrites, just
+// different objects (paper §3, §6).
+//
+// Detectors:      Ben-Or VAC | VAC-from-2xAC (§5) | decentralized-Raft VAC
+// Reconciliators: local coin | common coin | biased coin
+//
+//   $ ./mix_and_match [runs-per-cell]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/scenarios.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ooc;
+  using harness::BenOrConfig;
+
+  const int runs = argc > 1 ? std::atoi(argv[1]) : 40;
+
+  struct DetectorChoice {
+    const char* name;
+    BenOrConfig::Mode mode;
+  };
+  struct ReconChoice {
+    const char* name;
+    BenOrConfig::Reconciliator reconciliator;
+  };
+  const std::vector<DetectorChoice> detectors = {
+      {"benor-vac", BenOrConfig::Mode::kDecomposed},
+      {"vac-from-2ac", BenOrConfig::Mode::kVacFromTwoAc},
+      {"decentralized-raft", BenOrConfig::Mode::kDecentralizedVac},
+  };
+  const std::vector<ReconChoice> recons = {
+      {"local-coin", BenOrConfig::Reconciliator::kLocalCoin},
+      {"common-coin", BenOrConfig::Reconciliator::kCommonCoin},
+      {"biased-coin(0.8)", BenOrConfig::Reconciliator::kBiasedCoin},
+  };
+
+  std::printf("n=8 split inputs, %d seeded runs per combination\n\n", runs);
+  Table table({"detector", "reconciliator", "mean rounds", "p95 rounds",
+               "mean msgs", "all ok"});
+
+  for (const auto& detector : detectors) {
+    for (const auto& recon : recons) {
+      Summary rounds, messages;
+      bool allOk = true;
+      for (int run = 0; run < runs; ++run) {
+        BenOrConfig config;
+        config.n = 8;
+        config.inputs = {0, 1, 0, 1, 0, 1, 0, 1};
+        config.seed = 1000 + static_cast<std::uint64_t>(run);
+        config.mode = detector.mode;
+        config.reconciliator = recon.reconciliator;
+        config.bias = 0.8;
+        const auto result = runBenOr(config);
+        allOk = allOk && result.allDecided && !result.agreementViolated &&
+                !result.validityViolated && result.allAuditsOk;
+        rounds.add(result.meanDecisionRound);
+        messages.add(static_cast<double>(result.messagesByCorrect));
+      }
+      table.addRow({detector.name, recon.name, Table::cell(rounds.mean()),
+                    Table::cell(rounds.p95()), Table::cell(messages.mean(), 0),
+                    allOk ? "yes" : "NO"});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Every cell is the same template code — only the plugged-in\n"
+              "objects differ. That interchangeability is the paper's "
+              "thesis.\n");
+  return 0;
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Rebuilds everything, runs the full test suite and regenerates every
+# experiment table (EXPERIMENTS.md E1-E17). All runs are seeded and
+# deterministic: outputs are identical across invocations on one platform.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    [ -x "$b" ] && [ -f "$b" ] || continue
+    echo "=============================================================="
+    echo "### $(basename "$b")"
+    echo "=============================================================="
+    "$b"
+    echo "exit: $?"
+    echo
+  done
+} 2>&1 | tee bench_output.txt

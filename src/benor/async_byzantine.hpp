@@ -1,0 +1,50 @@
+// Asynchronous Byzantine adversary for Ben-Or-family runs.
+//
+// Unlike the lockstep Phase-King attackers, an async adversary has no tick
+// calendar; it is *reactive*: whenever it first observes template traffic
+// for a round, it injects hostile phase-1 and phase-2 messages for that
+// round — equivocating per destination, forging ratifies, or staying
+// silent. Correct processes only ever count distinct senders and validate
+// value domains, so the strategies probe exactly the surface the
+// ByzantineBenOrVac thresholds are built for.
+#pragma once
+
+#include <unordered_set>
+
+#include "sim/process.hpp"
+#include "util/types.hpp"
+
+namespace ooc::benor {
+
+enum class AsyncByzantineStrategy {
+  /// Sends nothing (crash-equivalent).
+  kSilent,
+  /// Proposal 0 to the lower half of ids, 1 to the upper half; forged
+  /// ratify(0)/ratify(1) split the same way.
+  kEquivocate,
+  /// Independently random proposals and (possibly forged) ratifies per
+  /// destination, including out-of-domain garbage values.
+  kRandom,
+  /// Always ratifies the minority bit to everyone — the strongest simple
+  /// push against convergence.
+  kContrarian,
+};
+
+const char* toString(AsyncByzantineStrategy strategy) noexcept;
+
+class AsyncByzantine final : public Process {
+ public:
+  explicit AsyncByzantine(AsyncByzantineStrategy strategy)
+      : strategy_(strategy) {}
+
+  void onStart() override {}
+  void onMessage(ProcessId from, const Message& message) override;
+
+ private:
+  void attackRound(Round round);
+
+  AsyncByzantineStrategy strategy_;
+  std::unordered_set<Round> attacked_;
+};
+
+}  // namespace ooc::benor

@@ -1,0 +1,92 @@
+#include "benor/byzantine_vac.hpp"
+
+#include <stdexcept>
+
+#include "benor/messages.hpp"
+
+namespace ooc::benor {
+namespace {
+
+bool binary(Value v) noexcept { return v == 0 || v == 1; }
+
+}  // namespace
+
+ByzantineBenOrVac::ByzantineBenOrVac(std::size_t faultTolerance)
+    : t_(faultTolerance) {}
+
+void ByzantineBenOrVac::invoke(ObjectContext& ctx, Value v) {
+  if (5 * t_ >= ctx.processCount())
+    throw std::invalid_argument("Byzantine Ben-Or requires n > 5t");
+  if (!binary(v))
+    throw std::invalid_argument("Byzantine Ben-Or is a binary object");
+  input_ = v;
+  proposalSeen_.assign(ctx.processCount(), false);
+  reportSeen_.assign(ctx.processCount(), false);
+  ctx.broadcast(ProposalMessage(v));
+}
+
+void ByzantineBenOrVac::onMessage(ObjectContext& ctx, ProcessId from,
+                                  const Message& inner) {
+  if (outcome_ || proposalSeen_.empty()) return;
+
+  if (const auto* proposal = inner.as<ProposalMessage>()) {
+    if (from >= proposalSeen_.size() || proposalSeen_[from]) return;
+    proposalSeen_[from] = true;
+    ++proposalCount_;  // the wait counts every sender, junk ballots or not
+    if (binary(proposal->value))
+      ++proposalTally_[static_cast<std::size_t>(proposal->value)];
+    maybeFinishPhaseOne(ctx);
+    return;
+  }
+
+  if (const auto* report = inner.as<ReportMessage>()) {
+    if (from >= reportSeen_.size() || reportSeen_[from]) return;
+    reportSeen_[from] = true;
+    ++reportCount_;
+    if (report->ratify && binary(report->value))
+      ++ratifyTally_[static_cast<std::size_t>(report->value)];
+    maybeFinish();
+  }
+}
+
+void ByzantineBenOrVac::maybeFinishPhaseOne(ObjectContext& ctx) {
+  const std::size_t n = ctx.processCount();
+  if (reportSent_ || proposalCount_ < n - t_) return;
+  reportSent_ = true;
+
+  std::optional<Value> super;
+  for (Value k = 0; k <= 1; ++k) {
+    // strictly more than (n+t)/2, robust to odd n+t: 2*count > n+t
+    if (2 * proposalTally_[static_cast<std::size_t>(k)] > n + t_) super = k;
+  }
+  ctx.broadcast(super ? ReportMessage(true, *super)
+                      : ReportMessage(false, kNoValue));
+  maybeFinish();
+}
+
+void ByzantineBenOrVac::maybeFinish() {
+  if (outcome_ || !reportSent_ || reportCount_ < proposalSeen_.size() - t_)
+    return;
+
+  for (Value k = 0; k <= 1; ++k) {
+    if (ratifyTally_[static_cast<std::size_t>(k)] > 3 * t_) {
+      outcome_ = Outcome{Confidence::kCommit, k};
+      return;
+    }
+  }
+  for (Value k = 0; k <= 1; ++k) {
+    if (ratifyTally_[static_cast<std::size_t>(k)] > t_) {
+      outcome_ = Outcome{Confidence::kAdopt, k};
+      return;
+    }
+  }
+  outcome_ = Outcome{Confidence::kVacillate, input_};
+}
+
+DetectorFactory ByzantineBenOrVac::factory(std::size_t faultTolerance) {
+  return [faultTolerance](Round) {
+    return std::make_unique<ByzantineBenOrVac>(faultTolerance);
+  };
+}
+
+}  // namespace ooc::benor

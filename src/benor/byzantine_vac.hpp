@@ -1,0 +1,79 @@
+// Byzantine Ben-Or: the VAC of Ben-Or's asynchronous *Byzantine* variant
+// (Ben-Or 1983, §B; presentation follows Aspnes' survey [1]).
+//
+// Model: asynchronous message passing, t Byzantine processors, n > 5t.
+// Same two message waves as the crash version with hardened thresholds:
+//
+//   VAC_byz(v, m):
+//     send <1, v> to all; wait for n-t <1, *>
+//     if more than (n+t)/2 carry the same w: send <2, w, ratify>
+//     else: send <2, ?>
+//     wait for n-t <2, *>
+//     more than 3t ratify(w):  return (commit, w)
+//     more than  t ratify(w):  return (adopt, w)
+//     otherwise:               return (vacillate, v)
+//
+// Why the thresholds work (all counts are distinct-sender):
+//  * Two correct processors cannot ratify different values: each needs
+//    > (n+t)/2 of its n-t received to carry its value, and of those at
+//    least (n+t)/2 - t = (n-t)/2 come from correct senders — two disjoint
+//    correct majorities of size > (n-t)/2 cannot coexist.
+//  * adopt level is trustworthy: > t ratifies contain >= 1 correct
+//    ratifier, and correct ratify values agree (first bullet), so all
+//    adopt values coincide — coherence over vacillate & adopt.
+//  * commit coherence: > 3t ratify(w) contain > 2t correct ratifiers, and
+//    a correct processor's (n-t)-receipt misses at most t senders, so
+//    every correct processor still counts > t ratify(w) — it reaches at
+//    least adopt level with the same w.
+//  * convergence/validity: with unanimous correct inputs v, every correct
+//    processor reports ratify(v) (n-t received minus t hostile still
+//    leaves > (n+t)/2 when n > 3t), and any (n-t)-receipt contains
+//    >= n-2t > 3t correct ratifiers when n > 5t — everyone commits v.
+//
+// Domain hardening: this object is used for *binary* consensus under
+// Byzantine faults, so values outside {0,1} are discarded on receipt — a
+// Byzantine sender must choose a legal ballot or lose its vote (without
+// this, validity could be violated by forged > t ratify(u) for garbage u
+// when t > 0 colluders vote together; with domain validation a forged
+// value is still a *possible input*, preserving validity-as-specified).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "core/objects.hpp"
+
+namespace ooc::benor {
+
+class ByzantineBenOrVac final : public AgreementDetector {
+ public:
+  /// `faultTolerance` is t, the number of tolerated Byzantine processors;
+  /// requires n > 5t (checked at invoke).
+  explicit ByzantineBenOrVac(std::size_t faultTolerance);
+
+  void invoke(ObjectContext& ctx, Value v) override;
+  void onMessage(ObjectContext& ctx, ProcessId from,
+                 const Message& inner) override;
+  std::optional<Outcome> result() const override { return outcome_; }
+
+  static DetectorFactory factory(std::size_t faultTolerance);
+
+ private:
+  void maybeFinishPhaseOne(ObjectContext& ctx);
+  void maybeFinish();
+
+  std::size_t t_;
+  Value input_ = kNoValue;
+  bool reportSent_ = false;
+  std::optional<Outcome> outcome_;
+
+  std::vector<bool> proposalSeen_;
+  std::vector<bool> reportSeen_;
+  std::size_t proposalCount_ = 0;
+  std::size_t reportCount_ = 0;
+  std::array<std::size_t, 2> proposalTally_{};
+  std::array<std::size_t, 2> ratifyTally_{};
+};
+
+}  // namespace ooc::benor

@@ -1,0 +1,45 @@
+// Wire messages of Ben-Or's algorithm (paper Algorithm 5): the first-phase
+// proposal <1, v> and the second-phase <2, v, ratify> / <2, ?> report.
+#pragma once
+
+#include <string>
+
+#include "sim/message.hpp"
+#include "util/types.hpp"
+
+namespace ooc::benor {
+
+/// <1, v> — phase-one proposal.
+struct ProposalMessage final : MessageBase<ProposalMessage> {
+  explicit ProposalMessage(Value value) : value(value) {}
+  Value value;
+
+  std::string describe() const override {
+    return "benor<1," + std::to_string(value) + ">";
+  }
+};
+
+/// <2, v, ratify> when ratify is true, otherwise <2, ?>.
+struct ReportMessage final : MessageBase<ReportMessage> {
+  ReportMessage(bool ratify, Value value) : ratify(ratify), value(value) {}
+  bool ratify;
+  Value value;  // meaningful only when ratify
+
+  std::string describe() const override {
+    return ratify ? "benor<2," + std::to_string(value) + ",ratify>"
+                  : "benor<2,?>";
+  }
+};
+
+/// Lottery reconciliator ticket: the sender's current value; the winning
+/// sender is decided by a shared per-round pseudo-random draw.
+struct LotteryTicketMessage final : MessageBase<LotteryTicketMessage> {
+  explicit LotteryTicketMessage(Value value) : value(value) {}
+  Value value;
+
+  std::string describe() const override {
+    return "lottery<" + std::to_string(value) + ">";
+  }
+};
+
+}  // namespace ooc::benor

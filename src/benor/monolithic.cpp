@@ -1,0 +1,105 @@
+#include "benor/monolithic.hpp"
+
+#include <stdexcept>
+
+namespace ooc::benor {
+
+MonolithicBenOr::MonolithicBenOr(Value input, std::size_t faultTolerance,
+                                 Round maxRounds)
+    : preference_(input), t_(faultTolerance), maxRounds_(maxRounds) {}
+
+MonolithicBenOr::RoundTally& MonolithicBenOr::tally(Round r) {
+  RoundTally& entry = tallies_[r];
+  if (entry.proposalSeen.empty()) {
+    entry.proposalSeen.assign(ctx().processCount(), false);
+    entry.reportSeen.assign(ctx().processCount(), false);
+  }
+  return entry;
+}
+
+void MonolithicBenOr::onStart() {
+  if (2 * t_ >= ctx().processCount())
+    throw std::invalid_argument("Ben-Or requires t < n/2");
+  enterRound(1);
+}
+
+void MonolithicBenOr::enterRound(Round r) {
+  round_ = r;
+  tallies_.erase(tallies_.begin(), tallies_.lower_bound(r));
+  ctx().broadcast(ClassicMessage(r, /*phase=*/1, false, preference_));
+  tryAdvance();
+}
+
+void MonolithicBenOr::onMessage(ProcessId from, const Message& message) {
+  const auto* msg = message.as<ClassicMessage>();
+  if (msg == nullptr) return;
+  if (msg->round < round_) return;  // stale round
+
+  RoundTally& entry = tally(msg->round);
+  if (msg->phase == 1) {
+    if (from >= entry.proposalSeen.size() || entry.proposalSeen[from]) return;
+    entry.proposalSeen[from] = true;
+    ++entry.proposals;
+    ++entry.proposalTally[msg->value];
+  } else {
+    if (from >= entry.reportSeen.size() || entry.reportSeen[from]) return;
+    entry.reportSeen[from] = true;
+    ++entry.reports;
+    if (msg->ratify) {
+      ++entry.ratifyTally[msg->value];
+      if (!entry.anyRatified) entry.anyRatified = msg->value;
+    }
+  }
+  tryAdvance();
+}
+
+void MonolithicBenOr::tryAdvance() {
+  const std::size_t n = ctx().processCount();
+  for (;;) {
+    if (round_ > maxRounds_) return;
+    RoundTally& entry = tally(round_);
+
+    if (!entry.reportSent) {
+      if (entry.proposals < n - t_) return;
+      entry.reportSent = true;
+      std::optional<Value> majority;
+      for (const auto& [value, count] : entry.proposalTally) {
+        if (2 * count > n) {
+          majority = value;
+          break;
+        }
+      }
+      ctx().broadcast(majority ? ClassicMessage(round_, 2, true, *majority)
+                               : ClassicMessage(round_, 2, false, kNoValue));
+    }
+
+    if (entry.reports < n - t_) return;
+
+    std::optional<Value> committed;
+    for (const auto& [value, count] : entry.ratifyTally) {
+      if (count > t_) {
+        committed = value;
+        break;
+      }
+    }
+    if (committed) {
+      preference_ = *committed;
+      if (!decided_) {
+        decided_ = true;
+        decisionValue_ = *committed;
+        decisionRound_ = round_;
+        ctx().decide(*committed);
+      }
+    } else if (entry.anyRatified) {
+      preference_ = *entry.anyRatified;
+    } else {
+      preference_ = ctx().rng().coin();
+    }
+    // Advance; enterRound re-runs this loop via its own tryAdvance, so
+    // return here to avoid double-advancing.
+    enterRound(round_ + 1);
+    return;
+  }
+}
+
+}  // namespace ooc::benor

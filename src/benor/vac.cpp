@@ -1,0 +1,89 @@
+#include "benor/vac.hpp"
+
+#include <stdexcept>
+
+#include "benor/messages.hpp"
+
+namespace ooc::benor {
+
+BenOrVac::BenOrVac(std::size_t faultTolerance) : t_(faultTolerance) {}
+
+void BenOrVac::invoke(ObjectContext& ctx, Value v) {
+  if (2 * t_ >= ctx.processCount())
+    throw std::invalid_argument("Ben-Or requires t < n/2");
+  input_ = v;
+  invoked_ = true;
+  proposalSeen_.assign(ctx.processCount(), false);
+  reportSeen_.assign(ctx.processCount(), false);
+  ctx.broadcast(ProposalMessage(v));
+}
+
+void BenOrVac::onMessage(ObjectContext& ctx, ProcessId from,
+                         const Message& inner) {
+  if (!invoked_ || outcome_) return;
+
+  if (const auto* proposal = inner.as<ProposalMessage>()) {
+    if (from >= proposalSeen_.size() || proposalSeen_[from]) return;
+    proposalSeen_[from] = true;
+    ++proposalCount_;
+    ++proposalTally_[proposal->value];
+    maybeFinishPhaseOne(ctx);
+    return;
+  }
+
+  if (const auto* report = inner.as<ReportMessage>()) {
+    if (from >= reportSeen_.size() || reportSeen_[from]) return;
+    reportSeen_[from] = true;
+    ++reportCount_;
+    if (report->ratify) {
+      ++ratifyTally_[report->value];
+      if (!anyRatified_) anyRatified_ = report->value;
+    }
+    maybeFinish();
+  }
+}
+
+void BenOrVac::maybeFinishPhaseOne(ObjectContext& ctx) {
+  const std::size_t n = ctx.processCount();
+  if (reportSent_ || proposalCount_ < n - t_) return;
+  reportSent_ = true;
+
+  std::optional<Value> majority;
+  for (const auto& [value, count] : proposalTally_) {
+    if (2 * count > n) {
+      majority = value;
+      break;  // at most one value can exceed n/2
+    }
+  }
+  if (majority) {
+    ctx.broadcast(ReportMessage(/*ratify=*/true, *majority));
+  } else {
+    ctx.broadcast(ReportMessage(/*ratify=*/false, kNoValue));
+  }
+  maybeFinish();
+}
+
+void BenOrVac::maybeFinish() {
+  if (outcome_ || !reportSent_ || reportCount_ < proposalSeen_.size() - t_)
+    return;
+
+  for (const auto& [value, count] : ratifyTally_) {
+    if (count > t_) {
+      outcome_ = Outcome{Confidence::kCommit, value};
+      return;
+    }
+  }
+  if (anyRatified_) {
+    outcome_ = Outcome{Confidence::kAdopt, *anyRatified_};
+    return;
+  }
+  outcome_ = Outcome{Confidence::kVacillate, input_};
+}
+
+DetectorFactory BenOrVac::factory(std::size_t faultTolerance) {
+  return [faultTolerance](Round) {
+    return std::make_unique<BenOrVac>(faultTolerance);
+  };
+}
+
+}  // namespace ooc::benor

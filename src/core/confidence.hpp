@@ -1,0 +1,39 @@
+// Confidence levels and outcomes of agreement-detector objects (paper §2).
+#pragma once
+
+#include <string>
+
+#include "util/types.hpp"
+
+namespace ooc {
+
+/// Confidence attached to a detector's returned value.
+///
+/// Adopt-commit objects use {adopt, commit}; vacillate-adopt-commit objects
+/// add the third, weakest level: `vacillate` tells the receiver only that no
+/// process committed in this round.
+enum class Confidence : unsigned char { kVacillate, kAdopt, kCommit };
+
+inline const char* toString(Confidence c) noexcept {
+  switch (c) {
+    case Confidence::kVacillate: return "vacillate";
+    case Confidence::kAdopt: return "adopt";
+    case Confidence::kCommit: return "commit";
+  }
+  return "?";
+}
+
+/// The (confidence, value) pair returned by AC and VAC objects.
+struct Outcome {
+  Confidence confidence = Confidence::kVacillate;
+  Value value = kNoValue;
+
+  friend bool operator==(const Outcome&, const Outcome&) = default;
+};
+
+inline std::string toString(const Outcome& o) {
+  return std::string("(") + toString(o.confidence) + ", " +
+         std::to_string(o.value) + ")";
+}
+
+}  // namespace ooc

@@ -1,0 +1,236 @@
+#include "core/consensus_process.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace ooc {
+
+// Object-facing context: wraps the host process context, tagging every
+// outbound message with the host's current (round, stage) so it reaches the
+// peer instance of the same object.
+class ConsensusProcess::ObjectContextImpl final : public ObjectContext {
+ public:
+  explicit ObjectContextImpl(ConsensusProcess& host) noexcept : host_(host) {}
+
+  ProcessId self() const noexcept override { return host_.ctx().self(); }
+  std::size_t processCount() const noexcept override {
+    return host_.ctx().processCount();
+  }
+  Tick now() const noexcept override { return host_.ctx().now(); }
+  Rng& rng() noexcept override { return host_.ctx().rng(); }
+
+  void send(ProcessId to, std::unique_ptr<Message> inner) override {
+    host_.ctx().send(to, std::make_unique<TaggedMessage>(
+                             host_.round_, host_.stage_, std::move(inner)));
+  }
+
+  void broadcast(const Message& inner) override {
+    const TaggedMessage tagged(host_.round_, host_.stage_, inner.clone());
+    host_.ctx().broadcast(tagged);
+  }
+
+  TimerId setTimer(Tick delay) override { return host_.ctx().setTimer(delay); }
+  void cancelTimer(TimerId id) noexcept override {
+    host_.ctx().cancelTimer(id);
+  }
+
+ private:
+  ConsensusProcess& host_;
+};
+
+ConsensusProcess::ConsensusProcess(Value input,
+                                   DetectorFactory detectorFactory,
+                                   DriverFactory driverFactory,
+                                   Options options)
+    : value_(input),
+      detectorFactory_(std::move(detectorFactory)),
+      driverFactory_(std::move(driverFactory)),
+      options_(options) {
+  if (!detectorFactory_)
+    throw std::invalid_argument("detector factory is required");
+  if (!driverFactory_)
+    throw std::invalid_argument("driver factory is required");
+  objectContext_ = std::make_unique<ObjectContextImpl>(*this);
+}
+
+ConsensusProcess::~ConsensusProcess() = default;
+
+void ConsensusProcess::onStart() {
+  beginRound();
+  pump();
+}
+
+void ConsensusProcess::beginRound() {
+  if (options_.decideAfterRound > 0 && round_ >= options_.decideAfterRound &&
+      !decided_) {
+    // Fixed-round decision rule (classic Phase-King): the value held after
+    // the configured number of completed rounds is final.
+    decided_ = true;
+    decisionValue_ = value_;
+    decisionRound_ = round_;
+    ctx().decide(value_);
+  }
+  const bool retired =
+      decided_ && options_.participateRoundsAfterDecide > 0 &&
+      round_ >= decisionRound_ + options_.participateRoundsAfterDecide;
+  if (round_ >= options_.maxRounds || retired) {
+    exhausted_ = true;
+    detector_.reset();
+    driver_.reset();
+    return;
+  }
+  ++round_;
+  stage_ = Stage::kDetect;
+  driver_.reset();
+  useDriverValue_ = false;
+  rounds_.emplace_back();
+  rounds_.back().detectorInput = value_;
+  detector_ = detectorFactory_(round_);
+  detectorInvokedAt_ = ctx().now();
+  OOC_TRACE("p", ctx().self(), " round ", round_, " detect(", value_, ")");
+  detector_->invoke(*objectContext_, value_);
+  replayBuffered();
+}
+
+void ConsensusProcess::pump() {
+  while (!exhausted_) {
+    if (stage_ == Stage::kDetect) {
+      if (!detector_) return;
+      const auto outcome = detector_->result();
+      if (!outcome) return;
+      rounds_.back().detectorOutcome = *outcome;
+      OOC_TRACE("p", ctx().self(), " round ", round_, " detector -> ",
+                toString(*outcome));
+
+      bool runDriver = options_.alwaysRunDriver;
+      useDriverValue_ = false;
+      switch (outcome->confidence) {
+        case Confidence::kCommit:
+          value_ = outcome->value;
+          if (options_.decideOnCommit && !decided_) {
+            decided_ = true;
+            decisionValue_ = outcome->value;
+            decisionRound_ = round_;
+            ctx().decide(outcome->value);
+          }
+          break;
+        case Confidence::kAdopt:
+          if (options_.kind == TemplateKind::kAcConciliator) {
+            runDriver = true;
+            useDriverValue_ = true;
+          } else {
+            value_ = outcome->value;
+          }
+          break;
+        case Confidence::kVacillate:
+          assert(options_.kind == TemplateKind::kVacReconciliator &&
+                 "AC detectors must not return vacillate");
+          runDriver = true;
+          useDriverValue_ = true;
+          break;
+      }
+
+      detector_.reset();
+      if (runDriver) {
+        stage_ = Stage::kDrive;
+        driver_ = driverFactory_(round_);
+        driverInvokedAt_ = ctx().now();
+        driver_->invoke(*objectContext_, *outcome);
+        replayBuffered();
+        continue;
+      }
+      beginRound();
+      continue;
+    }
+
+    // Stage::kDrive
+    if (!driver_) return;
+    const auto driven = driver_->result();
+    if (!driven) return;
+    rounds_.back().driverValue = *driven;
+    OOC_TRACE("p", ctx().self(), " round ", round_, " driver -> ", *driven);
+    if (useDriverValue_) value_ = *driven;
+    beginRound();
+  }
+}
+
+void ConsensusProcess::onMessage(ProcessId from, const Message& message) {
+  const auto* tagged = message.as<TaggedMessage>();
+  if (tagged == nullptr) return;  // not a template message; ignore
+  dispatch(from, *tagged);
+  pump();
+}
+
+void ConsensusProcess::dispatch(ProcessId from, const TaggedMessage& tagged) {
+  if (exhausted_) return;
+  if (tagged.round() < round_) return;  // stale: round already finished
+  const bool current =
+      tagged.round() == round_ && tagged.stage() == stage_;
+  if (current) {
+    if (stage_ == Stage::kDetect && detector_) {
+      detector_->onMessage(*objectContext_, from, tagged.inner());
+    } else if (stage_ == Stage::kDrive && driver_) {
+      driver_->onMessage(*objectContext_, from, tagged.inner());
+    }
+    return;
+  }
+  // Same round but a stage we already passed: stale, drop.
+  if (tagged.round() == round_ && tagged.stage() == Stage::kDetect &&
+      stage_ == Stage::kDrive) {
+    return;
+  }
+  // Future round/stage: buffer until this process gets there.
+  buffered_.push_back(BufferedMessage{tagged.round(), tagged.stage(), from,
+                                      tagged.inner().clone()});
+}
+
+void ConsensusProcess::replayBuffered() {
+  // Deliver buffered messages now addressed to the current object, in
+  // arrival order. New messages are never added during replay (objects only
+  // consume here), so a single compaction pass suffices.
+  std::vector<BufferedMessage> keep;
+  keep.reserve(buffered_.size());
+  for (auto& entry : buffered_) {
+    if (entry.round == round_ && entry.stage == stage_) {
+      if (stage_ == Stage::kDetect && detector_) {
+        detector_->onMessage(*objectContext_, entry.from, *entry.inner);
+      } else if (stage_ == Stage::kDrive && driver_) {
+        driver_->onMessage(*objectContext_, entry.from, *entry.inner);
+      }
+    } else if (entry.round > round_ ||
+               (entry.round == round_ && stage_ == Stage::kDetect &&
+                entry.stage == Stage::kDrive)) {
+      keep.push_back(std::move(entry));
+    }
+    // else: stale, drop
+  }
+  buffered_ = std::move(keep);
+}
+
+void ConsensusProcess::onTimer(TimerId id) {
+  if (stage_ == Stage::kDetect && detector_) {
+    detector_->onTimer(*objectContext_, id);
+  } else if (stage_ == Stage::kDrive && driver_) {
+    driver_->onTimer(*objectContext_, id);
+  }
+  pump();
+}
+
+void ConsensusProcess::onTick(Tick tick) {
+  // An object invoked earlier in this same tick (e.g. a round begun while
+  // processing this tick's messages) must not see this barrier: its first
+  // exchange closes at the NEXT barrier, keeping all lockstep processes on
+  // the same calendar regardless of whether they advanced via a message or
+  // via the barrier itself.
+  if (stage_ == Stage::kDetect && detector_ && tick > detectorInvokedAt_) {
+    detector_->onTick(*objectContext_, tick);
+  } else if (stage_ == Stage::kDrive && driver_ && tick > driverInvokedAt_) {
+    driver_->onTick(*objectContext_, tick);
+  }
+  pump();
+}
+
+}  // namespace ooc

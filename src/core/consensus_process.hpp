@@ -1,0 +1,148 @@
+// The generic consensus template (paper §3, Algorithms 1 and 2).
+//
+// One ConsensusProcess instance is one processor executing:
+//
+//   Consensus(v):
+//     m <- 0
+//     while true:
+//       m <- m + 1
+//       (X, sigma) <- Detector(v, m)          // VAC or AC
+//       switch X:
+//         vacillate: v <- Driver(X, sigma, m)  // VAC template only
+//         adopt:     v <- sigma                // (AC template: v <- Driver)
+//         commit:    v <- sigma; decide sigma
+//
+// Differences from the raw pseudocode, both called out in DESIGN.md:
+//  * decide records the decision with the simulator monitor and the process
+//    keeps participating (the paper's §4.1 note; Lemma 1's agreement step
+//    needs deciders in the next round's detector).
+//  * With Options::alwaysRunDriver the drive step runs every round for every
+//    process and its value is used only when the template says so. This is
+//    required by lockstep algorithms (Phase-King's king broadcasts every
+//    round, and all processes must stay tick-aligned), and matches the
+//    original Phase-King where a committing processor observes the king but
+//    keeps its own value.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/objects.hpp"
+#include "core/tagged_message.hpp"
+#include "sim/process.hpp"
+
+namespace ooc {
+
+/// Which template is executed.
+enum class TemplateKind {
+  /// Algorithm 1: VAC detector; driver (reconciliator) value is used on
+  /// vacillate; adopt/commit take the detector's value.
+  kVacReconciliator,
+  /// Algorithm 2: AC detector; driver (conciliator) value is used on adopt;
+  /// commit takes the detector's value. Detectors must never return
+  /// vacillate under this template (asserted).
+  kAcConciliator,
+};
+
+/// Per-round record kept for property auditing and experiments.
+struct RoundRecord {
+  Value detectorInput = kNoValue;
+  std::optional<Outcome> detectorOutcome;
+  std::optional<Value> driverValue;
+};
+
+class ConsensusProcess final : public Process {
+ public:
+  struct Options {
+    TemplateKind kind = TemplateKind::kVacReconciliator;
+    /// Run the drive step every round regardless of the detector outcome
+    /// (lockstep algorithms); the template still only *uses* the driver's
+    /// value when the outcome calls for it.
+    bool alwaysRunDriver = false;
+    /// Decide when the detector commits (the paper's rule). Disable for
+    /// algorithms whose drivers lack validity under faults — with a
+    /// Byzantine king, Phase-King's conciliator can hand adopters a value
+    /// different from a just-committed one, breaking agreement (see
+    /// EXPERIMENTS.md, "the early-decision gap"); the classic algorithm is
+    /// recovered by disabling this and setting decideAfterRound.
+    bool decideOnCommit = true;
+    /// If non-zero, decide the currently held value once this many rounds
+    /// have completed (classic Phase-King: t+1 phases).
+    Round decideAfterRound = 0;
+    /// Safety cap: after this many rounds the process stops participating
+    /// (reported as non-termination by the harness).
+    Round maxRounds = 100000;
+    /// After deciding, keep participating for this many further rounds,
+    /// then retire (stop sending and consuming). 0 = participate forever
+    /// (the default; single-shot runs are stopped by the simulator once
+    /// everyone decided). For Ben-Or-style detectors 1 extra round is
+    /// enough: a commit in round m makes every correct process decide by
+    /// round m+1 (used by the multi-slot replicated log, where instances
+    /// must quiesce on their own).
+    Round participateRoundsAfterDecide = 0;
+  };
+
+  ConsensusProcess(Value input, DetectorFactory detectorFactory,
+                   DriverFactory driverFactory, Options options);
+  ~ConsensusProcess() override;
+
+  void onStart() override;
+  void onMessage(ProcessId from, const Message& message) override;
+  void onTimer(TimerId id) override;
+  void onTick(Tick tick) override;
+
+  // --- observations --------------------------------------------------------
+  bool decided() const noexcept { return decided_; }
+  Value decisionValue() const noexcept { return decisionValue_; }
+  /// Round in which this process decided (valid when decided()).
+  Round decisionRound() const noexcept { return decisionRound_; }
+  /// Round currently being executed (1-based; 0 before start).
+  Round currentRound() const noexcept { return round_; }
+  bool exhaustedRounds() const noexcept { return exhausted_; }
+  /// One record per completed or in-progress round, index m-1.
+  const std::vector<RoundRecord>& rounds() const noexcept { return rounds_; }
+
+ private:
+  class ObjectContextImpl;
+  struct BufferedMessage {
+    Round round;
+    Stage stage;
+    ProcessId from;
+    std::unique_ptr<Message> inner;
+  };
+
+  void beginRound();
+  /// Advances through completed objects until blocked on communication.
+  void pump();
+  void dispatch(ProcessId from, const TaggedMessage& tagged);
+  void replayBuffered();
+
+  Value value_;
+  DetectorFactory detectorFactory_;
+  DriverFactory driverFactory_;
+  Options options_;
+
+  std::unique_ptr<ObjectContextImpl> objectContext_;
+  std::unique_ptr<AgreementDetector> detector_;
+  std::unique_ptr<Driver> driver_;
+
+  Round round_ = 0;
+  Stage stage_ = Stage::kDetect;
+  /// Ticks at which the current objects were invoked: a lockstep barrier for
+  /// tick T must not reach an object invoked at T (its exchange calendar
+  /// starts at the next barrier).
+  Tick detectorInvokedAt_ = 0;
+  Tick driverInvokedAt_ = 0;
+  /// Whether the current driver's value will be adopted when it completes.
+  bool useDriverValue_ = false;
+  bool decided_ = false;
+  Value decisionValue_ = kNoValue;
+  Round decisionRound_ = 0;
+  bool exhausted_ = false;
+
+  std::vector<RoundRecord> rounds_;
+  std::vector<BufferedMessage> buffered_;
+};
+
+}  // namespace ooc

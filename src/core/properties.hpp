@@ -1,0 +1,80 @@
+// Auditors for the object contracts of paper §2 — the instruments behind the
+// property-based tests and the faithfulness experiments (E1, E4, E7, E9).
+//
+// An audit examines one round: the detector inputs of the participating
+// correct processes and the outcomes they received. Processes that never
+// finished the round (run stopped, crashed mid-round) contribute no outcome
+// and are skipped by the checks, which mirrors the contracts: they constrain
+// only values actually returned.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/confidence.hpp"
+#include "core/consensus_process.hpp"
+#include "util/types.hpp"
+
+namespace ooc {
+
+struct RoundAudit {
+  /// Every returned value was some participant's input this round.
+  bool validity = true;
+  /// Unanimous input v implies every outcome is (commit, v).
+  bool convergence = true;
+  /// Someone committed u implies everyone holds u with adopt or commit.
+  bool coherenceAdoptCommit = true;
+  /// Nobody committed and someone adopted u implies all adopters hold u.
+  bool coherenceVacillateAdopt = true;
+
+  bool anyCommit = false;
+  bool anyAdopt = false;
+  bool anyVacillate = false;
+
+  bool ok() const noexcept {
+    return validity && convergence && coherenceAdoptCommit &&
+           coherenceVacillateAdopt;
+  }
+};
+
+struct AuditOptions {
+  /// Check that adopt-level values are inputs. Off for Phase-King: its AC
+  /// can return (adopt, 2) with the sentinel (the paper's Lemma 2 proves
+  /// validity only for unanimous inputs; see EXPERIMENTS.md).
+  bool requireAdoptValidity = true;
+  /// Check that vacillate-level values are inputs.
+  bool requireVacillateValidity = true;
+  /// Check coherence over vacillate & adopt. This is a VAC-only property:
+  /// a plain adopt-commit object (e.g. Phase-King's, audited under the AC
+  /// template) may legally return differing adopt values in a commit-free
+  /// round — the conciliator exists to repair exactly that.
+  bool checkVacillateAdoptCoherence = true;
+};
+
+/// Audits one round given parallel vectors over the participating correct
+/// processes. `outcomes[i]` is empty if process i never completed the round.
+RoundAudit auditRound(const std::vector<Value>& inputs,
+                      const std::vector<std::optional<Outcome>>& outcomes,
+                      const AuditOptions& options = {});
+
+/// View over a set of template processes, e.g. the correct subset of a run.
+struct RoundView {
+  std::vector<Value> inputs;
+  std::vector<std::optional<Outcome>> outcomes;
+};
+
+/// Extracts round m (1-based) across `processes`. Processes that never
+/// started round m are omitted entirely; processes that started it but got
+/// no outcome contribute an empty outcome.
+RoundView collectRound(const std::vector<const ConsensusProcess*>& processes,
+                       Round m);
+
+/// Highest round started by any of `processes`.
+Round maxRoundStarted(const std::vector<const ConsensusProcess*>& processes);
+
+/// Audits every started round; returns one audit per round (index m-1).
+std::vector<RoundAudit> auditAllRounds(
+    const std::vector<const ConsensusProcess*>& processes,
+    const AuditOptions& options = {});
+
+}  // namespace ooc

@@ -1,0 +1,49 @@
+// Envelope that routes object-protocol messages to the right per-round
+// object instance inside a ConsensusProcess.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "sim/message.hpp"
+#include "util/types.hpp"
+
+namespace ooc {
+
+/// Which of the round's two steps a message belongs to.
+enum class Stage : unsigned char { kDetect = 0, kDrive = 1 };
+
+inline const char* toString(Stage s) noexcept {
+  return s == Stage::kDetect ? "detect" : "drive";
+}
+
+/// (round, stage)-tagged envelope around an object's inner message.
+class TaggedMessage final : public Message {
+ public:
+  TaggedMessage(Round round, Stage stage, std::unique_ptr<Message> inner)
+      : round_(round), stage_(stage), inner_(std::move(inner)) {
+    if (!inner_) throw std::invalid_argument("inner message is required");
+  }
+
+  Round round() const noexcept { return round_; }
+  Stage stage() const noexcept { return stage_; }
+  const Message& inner() const noexcept { return *inner_; }
+
+  std::unique_ptr<Message> clone() const override {
+    return std::make_unique<TaggedMessage>(round_, stage_, inner_->clone());
+  }
+
+  std::string describe() const override {
+    return "[r" + std::to_string(round_) + "/" + toString(stage_) + "] " +
+           inner_->describe();
+  }
+
+ private:
+  Round round_;
+  Stage stage_;
+  std::unique_ptr<Message> inner_;
+};
+
+}  // namespace ooc

@@ -1,0 +1,102 @@
+// VAC built from two adopt-commit objects (paper §5: "we have shown that VAC
+// may be implemented using two AC objects").
+//
+// Construction: run AC1 with the caller's input v, obtaining (c1, u1); run
+// AC2 with u1, obtaining (c2, u2); return
+//
+//     (commit,    u2)  if c1 = commit and c2 = commit
+//     (adopt,     u2)  if c2 = commit (but c1 = adopt)
+//     (vacillate, u2)  otherwise (c2 = adopt)
+//
+// Why this satisfies the VAC contract:
+//  * Convergence — unanimous v: AC1 converges to (commit, v) everywhere, so
+//    AC2 inputs are unanimous and converge too => (commit, v).
+//  * Coherence over adopt & commit — if P got VAC-commit then P's c2 is a
+//    commit with value u, so by AC2 coherence every process's u2 = u; labels
+//    are adopt or commit depending on their c1 — never vacillate, because
+//    P's c1 = commit(u1=u) forces, by AC1 coherence, every u1 = u, making
+//    AC2's inputs unanimous, so every c2 = commit.
+//  * Coherence over vacillate & adopt — if nobody VAC-committed and Q got
+//    VAC-adopt u, Q's c2 = commit(u), so by AC2 coherence all u2 = u; every
+//    other adopter therefore carries u, and vacillators may carry anything.
+//  * Validity/termination — values only flow through the two ACs.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/objects.hpp"
+
+namespace ooc {
+
+class VacFromTwoAc final : public AgreementDetector {
+ public:
+  /// Takes ownership of the two single-use AC instances. Both must be
+  /// genuine adopt-commit objects (never return vacillate).
+  VacFromTwoAc(std::unique_ptr<AgreementDetector> first,
+               std::unique_ptr<AgreementDetector> second);
+  ~VacFromTwoAc() override;
+
+  void invoke(ObjectContext& ctx, Value v) override;
+  void onMessage(ObjectContext& ctx, ProcessId from,
+                 const Message& inner) override;
+  void onTick(ObjectContext& ctx, Tick tick) override;
+  void onTimer(ObjectContext& ctx, TimerId id) override;
+  std::optional<Outcome> result() const override;
+
+  /// Factory adapter: lifts a DetectorFactory producing ACs into one
+  /// producing VACs.
+  static DetectorFactory liftFactory(DetectorFactory acFactory);
+
+ private:
+  class SubContext;
+  struct Buffered {
+    ProcessId from;
+    std::unique_ptr<Message> inner;
+  };
+
+  void advance(ObjectContext& ctx);
+  AgreementDetector& active() noexcept {
+    return phase_ == 0 ? *first_ : *second_;
+  }
+
+  std::unique_ptr<AgreementDetector> first_;
+  std::unique_ptr<AgreementDetector> second_;
+  std::unique_ptr<SubContext> subContext0_;
+  std::unique_ptr<SubContext> subContext1_;
+  int phase_ = 0;  // which AC is running
+  std::optional<Outcome> firstOutcome_;
+  std::optional<Outcome> final_;
+  std::vector<Buffered> bufferedForSecond_;
+};
+
+/// The trivial downgrade: any VAC is an AC once vacillate is relabelled
+/// adopt. Legal because a VAC guarantees that when anyone commits, nobody
+/// vacillates and all values agree (paper §3), which is exactly AC
+/// coherence. Used to demonstrate that the reverse direction — recovering
+/// the third knowledge state from AC outputs — is what fails (§5).
+class AcFromVac final : public AgreementDetector {
+ public:
+  explicit AcFromVac(std::unique_ptr<AgreementDetector> vac);
+
+  void invoke(ObjectContext& ctx, Value v) override { vac_->invoke(ctx, v); }
+  void onMessage(ObjectContext& ctx, ProcessId from,
+                 const Message& inner) override {
+    vac_->onMessage(ctx, from, inner);
+  }
+  void onTick(ObjectContext& ctx, Tick tick) override {
+    vac_->onTick(ctx, tick);
+  }
+  void onTimer(ObjectContext& ctx, TimerId id) override {
+    vac_->onTimer(ctx, id);
+  }
+  std::optional<Outcome> result() const override;
+
+  static DetectorFactory liftFactory(DetectorFactory vacFactory);
+
+ private:
+  std::unique_ptr<AgreementDetector> vac_;
+};
+
+}  // namespace ooc

@@ -1,0 +1,466 @@
+#include "harness/scenarios.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "benor/async_byzantine.hpp"
+#include "benor/byzantine_vac.hpp"
+#include "benor/monolithic.hpp"
+#include "benor/reconciliators.hpp"
+#include "benor/vac.hpp"
+#include "core/consensus_process.hpp"
+#include "core/vac_from_ac.hpp"
+#include "phaseking/adopt_commit.hpp"
+#include "phaseking/conciliator.hpp"
+#include "phaseking/monolithic.hpp"
+#include "phaseking/queen.hpp"
+#include "raft/consensus.hpp"
+#include "raft/decentralized.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace ooc::harness {
+namespace {
+
+DriverFactory makeReconciliator(const BenOrConfig& config) {
+  switch (config.reconciliator) {
+    case BenOrConfig::Reconciliator::kLocalCoin:
+      return benor::CoinReconciliator::factory();
+    case BenOrConfig::Reconciliator::kCommonCoin:
+      // The shared coin is derived from the run seed: common to all
+      // processes, independent across rounds and across runs.
+      return benor::CommonCoinReconciliator::factory(config.seed ^
+                                                     0x5EEDC01Dull);
+    case BenOrConfig::Reconciliator::kBiasedCoin:
+      return benor::BiasedCoinReconciliator::factory(config.bias);
+    case BenOrConfig::Reconciliator::kKeepValue:
+      return benor::KeepValueReconciliator::factory();
+    case BenOrConfig::Reconciliator::kLottery: {
+      const std::size_t t =
+          config.t.value_or(config.n == 0 ? 0 : (config.n - 1) / 2);
+      return benor::LotteryReconciliator::factory(t,
+                                                  config.seed ^ 0x107734ull);
+    }
+  }
+  throw std::logic_error("unknown reconciliator");
+}
+
+DetectorFactory makeBenOrDetector(const BenOrConfig& config, std::size_t t) {
+  switch (config.mode) {
+    case BenOrConfig::Mode::kDecomposed:
+      return benor::BenOrVac::factory(t);
+    case BenOrConfig::Mode::kVacFromTwoAc:
+      // AC obtained by downgrading Ben-Or's VAC (vacillate -> adopt), then
+      // VAC re-synthesized from two such ACs: the §5 constructions stacked.
+      return VacFromTwoAc::liftFactory(
+          AcFromVac::liftFactory(benor::BenOrVac::factory(t)));
+    case BenOrConfig::Mode::kDecentralizedVac:
+      return raft::DecentralizedRaftVac::factory(t);
+    case BenOrConfig::Mode::kMonolithic:
+      throw std::logic_error("monolithic mode has no detector");
+  }
+  throw std::logic_error("unknown mode");
+}
+
+}  // namespace
+
+BenOrResult runBenOr(const BenOrConfig& config) {
+  if (config.inputs.size() != config.n)
+    throw std::invalid_argument("inputs must have size n");
+  const std::size_t t =
+      config.t.value_or(config.n == 0 ? 0 : (config.n - 1) / 2);
+
+  SimConfig simConfig;
+  simConfig.seed = config.seed;
+  simConfig.maxTicks = config.maxTicks;
+  UniformDelayNetwork::Options net;
+  net.minDelay = config.minDelay;
+  net.maxDelay = config.maxDelay;
+  Simulator sim(simConfig, std::make_unique<UniformDelayNetwork>(net));
+
+  std::vector<ConsensusProcess*> templated;
+  std::vector<benor::MonolithicBenOr*> classic;
+
+  for (ProcessId id = 0; id < config.n; ++id) {
+    if (config.mode == BenOrConfig::Mode::kMonolithic) {
+      auto process = std::make_unique<benor::MonolithicBenOr>(
+          config.inputs[id], t, config.maxRounds);
+      classic.push_back(process.get());
+      sim.addProcess(std::move(process));
+    } else {
+      ConsensusProcess::Options options;
+      options.kind = TemplateKind::kVacReconciliator;
+      options.maxRounds = config.maxRounds;
+      // The lottery is a quorum-waiting driver: everyone must join the
+      // drive wave each round (see LotteryReconciliator).
+      options.alwaysRunDriver =
+          config.reconciliator == BenOrConfig::Reconciliator::kLottery;
+      auto process = std::make_unique<ConsensusProcess>(
+          config.inputs[id], makeBenOrDetector(config, t),
+          makeReconciliator(config), options);
+      templated.push_back(process.get());
+      sim.addProcess(std::move(process));
+    }
+  }
+
+  sim.setValidValues(config.inputs);
+  for (const auto& [id, tick] : config.crashes) sim.crashAt(id, tick);
+  sim.stopWhenAllCorrectDecided();
+  sim.run();
+
+  BenOrResult result;
+  result.allDecided = sim.allCorrectDecided();
+  result.agreementViolated = sim.agreementViolated();
+  result.validityViolated = sim.validityViolated();
+  result.messagesByCorrect = sim.messagesSentByCorrect();
+
+  Summary decisionRounds;
+  for (ProcessId id = 0; id < config.n; ++id) {
+    const auto& decision = sim.decision(id);
+    if (!decision.decided) continue;
+    result.decidedValue = decision.value;
+    result.lastDecisionTick = std::max(result.lastDecisionTick, decision.at);
+    const Round round =
+        config.mode == BenOrConfig::Mode::kMonolithic
+            ? classic[id]->decisionRound()
+            : templated[id]->decisionRound();
+    result.maxDecisionRound = std::max(result.maxDecisionRound, round);
+    decisionRounds.add(static_cast<double>(round));
+  }
+  if (!decisionRounds.empty())
+    result.meanDecisionRound = decisionRounds.mean();
+
+  if (config.mode != BenOrConfig::Mode::kMonolithic) {
+    // Crashed processes participated in the rounds they started (they
+    // invoked the objects with their inputs), so they belong in the audit;
+    // their unfinished rounds contribute inputs but no outcome.
+    std::vector<const ConsensusProcess*> correct(templated.begin(),
+                                                 templated.end());
+    result.audits = auditAllRounds(correct);
+    result.allAuditsOk =
+        std::all_of(result.audits.begin(), result.audits.end(),
+                    [](const RoundAudit& a) { return a.ok(); });
+
+    // §5 witnesses (E9): adopt-level outcomes whose value disagrees with
+    // the final decision.
+    if (result.allDecided) {
+      for (const ConsensusProcess* process : correct) {
+        for (const RoundRecord& record : process->rounds()) {
+          if (!record.detectorOutcome ||
+              record.detectorOutcome->confidence != Confidence::kAdopt) {
+            continue;
+          }
+          ++result.adoptOutcomesTotal;
+          if (record.detectorOutcome->value != result.decidedValue)
+            ++result.adoptMismatchWitnesses;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+BenOrResult runByzantineBenOr(const ByzantineBenOrConfig& config) {
+  const std::size_t n = config.n;
+  const std::size_t f = config.byzantineCount;
+  if (f > n) throw std::invalid_argument("more Byzantine than processes");
+  const std::size_t t = config.t.value_or(n == 0 ? 0 : (n - 1) / 5);
+
+  SimConfig simConfig;
+  simConfig.seed = config.seed;
+  simConfig.maxTicks = config.maxTicks;
+  UniformDelayNetwork::Options net;
+  net.minDelay = config.minDelay;
+  net.maxDelay = config.maxDelay;
+  Simulator sim(simConfig, std::make_unique<UniformDelayNetwork>(net));
+
+  std::vector<ConsensusProcess*> templated;
+  std::vector<Value> validInputs;
+  std::size_t correctSeen = 0;
+  for (ProcessId id = 0; id < n; ++id) {
+    if (id >= n - f) {  // attackers at the back
+      sim.addProcess(
+          std::make_unique<benor::AsyncByzantine>(
+              static_cast<benor::AsyncByzantineStrategy>(config.strategy)),
+          /*faulty=*/true);
+      continue;
+    }
+    const Value input =
+        config.inputs[correctSeen++ % config.inputs.size()];
+    validInputs.push_back(input);
+    ConsensusProcess::Options options;
+    options.kind = TemplateKind::kVacReconciliator;
+    options.maxRounds = config.maxRounds;
+    auto process = std::make_unique<ConsensusProcess>(
+        input, benor::ByzantineBenOrVac::factory(t),
+        benor::CoinReconciliator::factory(), options);
+    templated.push_back(process.get());
+    sim.addProcess(std::move(process));
+  }
+
+  sim.setValidValues(validInputs);
+  sim.stopWhenAllCorrectDecided();
+  sim.run();
+
+  BenOrResult result;
+  result.allDecided = sim.allCorrectDecided();
+  result.agreementViolated = sim.agreementViolated();
+  result.validityViolated = sim.validityViolated();
+  result.messagesByCorrect = sim.messagesSentByCorrect();
+  Summary decisionRounds;
+  for (std::size_t i = 0; i < templated.size(); ++i) {
+    if (!templated[i]->decided()) continue;
+    result.decidedValue = templated[i]->decisionValue();
+    result.maxDecisionRound =
+        std::max(result.maxDecisionRound, templated[i]->decisionRound());
+    decisionRounds.add(static_cast<double>(templated[i]->decisionRound()));
+  }
+  if (!decisionRounds.empty())
+    result.meanDecisionRound = decisionRounds.mean();
+
+  std::vector<const ConsensusProcess*> correct(templated.begin(),
+                                               templated.end());
+  result.audits = auditAllRounds(correct);
+  result.allAuditsOk =
+      std::all_of(result.audits.begin(), result.audits.end(),
+                  [](const RoundAudit& a) { return a.ok(); });
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+
+PhaseKingResult runPhaseKing(const PhaseKingConfig& config) {
+  const bool queen = config.algorithm == PhaseKingConfig::Algorithm::kQueen;
+  const std::size_t n = config.n;
+  const std::size_t f = config.byzantineCount;
+  const std::size_t t =
+      config.t.value_or(n == 0 ? 0 : (n - 1) / (queen ? 4 : 3));
+  if (f > n) throw std::invalid_argument("more Byzantine than processes");
+  if (queen && config.monolithic)
+    throw std::invalid_argument("Phase-Queen has no monolithic baseline");
+
+  // Choose Byzantine ids per placement.
+  std::vector<bool> isByz(n, false);
+  switch (config.placement) {
+    case PhaseKingConfig::Placement::kFront:
+      for (std::size_t i = 0; i < f; ++i) isByz[i] = true;
+      break;
+    case PhaseKingConfig::Placement::kBack:
+      for (std::size_t i = 0; i < f; ++i) isByz[n - 1 - i] = true;
+      break;
+    case PhaseKingConfig::Placement::kSpread:
+      for (std::size_t i = 0; i < f; ++i) isByz[(i * n) / f] = true;
+      break;
+  }
+
+  SimConfig simConfig;
+  simConfig.seed = config.seed;
+  simConfig.lockstep = true;
+  simConfig.maxTicks = config.maxTicks;
+  Simulator sim(simConfig, std::make_unique<SynchronousNetwork>());
+
+  std::vector<ConsensusProcess*> templated(n, nullptr);
+  std::vector<Value> validInputs;
+  std::size_t correctSeen = 0;
+
+  for (ProcessId id = 0; id < n; ++id) {
+    if (isByz[id]) {
+      if (queen) {
+        sim.addProcess(
+            std::make_unique<phaseking::PhaseQueenByzantine>(config.strategy),
+            /*faulty=*/true);
+      } else {
+        const auto wire =
+            config.monolithic ? phaseking::PhaseKingByzantine::Wire::kClassic
+                              : phaseking::PhaseKingByzantine::Wire::kTemplate;
+        sim.addProcess(std::make_unique<phaseking::PhaseKingByzantine>(
+                           config.strategy, wire),
+                       /*faulty=*/true);
+      }
+      continue;
+    }
+    const Value input =
+        config.inputs.empty()
+            ? static_cast<Value>(correctSeen % 2)
+            : config.inputs[correctSeen % config.inputs.size()];
+    ++correctSeen;
+    validInputs.push_back(input);
+
+    if (config.monolithic) {
+      sim.addProcess(
+          std::make_unique<phaseking::MonolithicPhaseKing>(input, t));
+    } else {
+      ConsensusProcess::Options options;
+      options.kind = TemplateKind::kAcConciliator;
+      options.alwaysRunDriver = true;  // lockstep: king phase every round
+      options.maxRounds = config.maxRounds;
+      if (config.earlyCommitDecision) {
+        options.decideOnCommit = true;  // paper-faithful, unsound corner
+      } else {
+        options.decideOnCommit = false;  // classic: fixed t+1 phases
+        options.decideAfterRound = static_cast<Round>(t + 1);
+      }
+      auto process = std::make_unique<ConsensusProcess>(
+          input,
+          queen ? phaseking::PhaseQueenAc::factory(t)
+                : phaseking::PhaseKingAc::factory(t),
+          queen ? phaseking::QueenConciliator::factory()
+                : phaseking::KingConciliator::factory(),
+          options);
+      templated[id] = process.get();
+      sim.addProcess(std::move(process));
+    }
+  }
+
+  sim.setValidValues(validInputs);
+  sim.stopWhenAllCorrectDecided();
+  sim.run();
+
+  PhaseKingResult result;
+  result.allDecided = sim.allCorrectDecided();
+  result.agreementViolated = sim.agreementViolated();
+  result.validityViolated = sim.validityViolated();
+  result.messagesByCorrect = sim.messagesSentByCorrect();
+
+  for (ProcessId id = 0; id < n; ++id) {
+    if (isByz[id]) continue;
+    const auto& decision = sim.decision(id);
+    if (!decision.decided) continue;
+    result.decidedValue = decision.value;
+    result.lastDecisionTick = std::max(result.lastDecisionTick, decision.at);
+    if (!config.monolithic) {
+      result.maxDecisionRound =
+          std::max(result.maxDecisionRound, templated[id]->decisionRound());
+    }
+  }
+
+  if (!config.monolithic) {
+    std::vector<const ConsensusProcess*> correct;
+    for (ProcessId id = 0; id < n; ++id)
+      if (!isByz[id]) correct.push_back(templated[id]);
+    AuditOptions auditOptions;
+    auditOptions.requireAdoptValidity = false;  // the documented sentinel gap
+    // Phase-King's detector is an adopt-commit object: adopt values may
+    // disagree in commit-free rounds (VAC-only property does not apply).
+    auditOptions.checkVacillateAdoptCoherence = false;
+    result.audits = auditAllRounds(correct, auditOptions);
+    result.allAuditsOk =
+        std::all_of(result.audits.begin(), result.audits.end(),
+                    [](const RoundAudit& a) { return a.ok(); });
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+
+RaftScenarioResult runRaft(const RaftScenarioConfig& config) {
+  SimConfig simConfig;
+  simConfig.seed = config.seed;
+  simConfig.maxTicks = config.maxTicks;
+
+  UniformDelayNetwork::Options net;
+  net.minDelay = config.minDelay;
+  net.maxDelay = config.maxDelay;
+  net.dropProbability = config.dropProbability;
+  net.duplicateProbability = config.duplicateProbability;
+  auto partitioned = std::make_unique<PartitionedNetwork>(
+      std::make_unique<UniformDelayNetwork>(net));
+  PartitionedNetwork* networkHandle = partitioned.get();
+  Simulator sim(simConfig, std::move(partitioned));
+
+  std::vector<Value> inputs = config.inputs;
+  if (inputs.empty()) {
+    inputs.resize(config.n);
+    for (ProcessId id = 0; id < config.n; ++id)
+      inputs[id] = static_cast<Value>(id % 2);
+  }
+
+  std::vector<raft::RaftConsensus*> nodes;
+  for (ProcessId id = 0; id < config.n; ++id) {
+    auto node =
+        std::make_unique<raft::RaftConsensus>(inputs[id], config.raft);
+    nodes.push_back(node.get());
+    sim.addProcess(std::move(node));
+  }
+
+  sim.setValidValues(inputs);
+  for (const auto& [id, tick] : config.crashes) sim.crashAt(id, tick);
+  for (const auto& event : config.partitions) {
+    sim.schedule(event.at, [networkHandle, groups = event.groups] {
+      if (groups.empty()) {
+        networkHandle->clearPartition();
+      } else {
+        networkHandle->setPartition(groups);
+      }
+    });
+  }
+  sim.stopWhenAllCorrectDecided();
+  sim.run();
+
+  RaftScenarioResult result;
+  result.allDecided = sim.allCorrectDecided();
+  result.agreementViolated = sim.agreementViolated();
+  result.validityViolated = sim.validityViolated();
+  result.messages = sim.messagesSent();
+
+  result.firstDecisionTick = 0;
+  bool first = true;
+  for (ProcessId id = 0; id < config.n; ++id) {
+    const auto& decision = sim.decision(id);
+    if (decision.decided) {
+      result.decidedValue = decision.value;
+      result.lastDecisionTick =
+          std::max(result.lastDecisionTick, decision.at);
+      if (first || decision.at < result.firstDecisionTick)
+        result.firstDecisionTick = decision.at;
+      first = false;
+    }
+    result.electionsStarted += nodes[id]->electionsStarted();
+    result.leaderships += nodes[id]->timesElectedLeader();
+    result.reconciliatorInvocations += nodes[id]->reconciliatorInvocations();
+
+    // VAC instrumentation checks (Algorithms 10-11): within each term the
+    // order must be vacillate <= adopt <= commit, and commit values agree.
+    const auto& log = nodes[id]->confidenceLog();
+    result.confidenceTransitions += log.size();
+    bool sawAdoptThisTerm = false;
+    raft::Term term = 0;
+    for (const auto& change : log) {
+      if (change.term != term) {
+        term = change.term;
+        sawAdoptThisTerm = false;
+      }
+      if (change.confidence == Confidence::kAdopt) sawAdoptThisTerm = true;
+      if (change.confidence == Confidence::kCommit && !sawAdoptThisTerm) {
+        // A follower may learn of a commit without having accepted the
+        // entry in the same term — that is adopt-level knowledge arriving
+        // fused with commit-level knowledge. It still must never happen
+        // before ANY adopt-level evidence exists at this process.
+        bool sawAdoptEver = false;
+        for (const auto& earlier : log) {
+          if (&earlier == &change) break;
+          if (earlier.confidence != Confidence::kVacillate)
+            sawAdoptEver = true;
+        }
+        if (!sawAdoptEver) result.confidenceOrderOk = false;
+      }
+    }
+  }
+
+  // Commit-level values must agree across processes.
+  Value committed = kNoValue;
+  for (const raft::RaftConsensus* node : nodes) {
+    for (const auto& change : node->confidenceLog()) {
+      if (change.confidence != Confidence::kCommit) continue;
+      if (committed == kNoValue) {
+        committed = change.value;
+      } else if (change.value != committed) {
+        result.commitValuesAgree = false;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ooc::harness

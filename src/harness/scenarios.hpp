@@ -1,0 +1,208 @@
+// Scenario runners shared by the test suite, the bench binaries and the
+// examples: each configures a simulation, runs it to the stop condition and
+// distills the observations every consumer wants (decisions, rounds,
+// messages, audits).
+//
+// Everything is deterministic in (config, seed).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/properties.hpp"
+#include "phaseking/byzantine.hpp"
+#include "raft/types.hpp"
+#include "util/types.hpp"
+
+namespace ooc::harness {
+
+// ---------------------------------------------------------------------------
+// Ben-Or family (asynchronous, crash faults, t < n/2)
+
+struct BenOrConfig {
+  std::size_t n = 5;
+  /// Protocol parameter t (quorums of n - t). Defaults to floor((n-1)/2).
+  std::optional<std::size_t> t;
+  /// Inputs per process id; must have size n.
+  std::vector<Value> inputs;
+  std::uint64_t seed = 1;
+
+  enum class Mode {
+    /// BenOrVac + reconciliator under the consensus template (Alg. 1).
+    kDecomposed,
+    /// Classic monolithic Ben-Or (baseline).
+    kMonolithic,
+    /// VAC synthesized from two ACs (paper §5 construction) + reconciliator.
+    kVacFromTwoAc,
+    /// Decentralized-Raft VAC (paper §4.3 remark) + reconciliator.
+    kDecentralizedVac,
+  };
+  Mode mode = Mode::kDecomposed;
+
+  enum class Reconciliator {
+    kLocalCoin,
+    kCommonCoin,
+    kBiasedCoin,
+    kKeepValue,
+    /// Multivalued: shared per-round lottery over the invokers' values.
+    kLottery,
+  };
+  Reconciliator reconciliator = Reconciliator::kLocalCoin;
+  double bias = 0.5;  // for kBiasedCoin
+
+  /// (process, tick) crash schedule.
+  std::vector<std::pair<ProcessId, Tick>> crashes;
+
+  Tick minDelay = 1;
+  Tick maxDelay = 10;
+  Round maxRounds = 5000;
+  Tick maxTicks = 5'000'000;
+};
+
+struct BenOrResult {
+  bool allDecided = false;
+  bool agreementViolated = false;
+  bool validityViolated = false;
+  Value decidedValue = kNoValue;
+  /// Highest decision round among deciders; 0 if nobody decided.
+  Round maxDecisionRound = 0;
+  double meanDecisionRound = 0.0;
+  Tick lastDecisionTick = 0;
+  std::uint64_t messagesByCorrect = 0;
+
+  /// Per-round object audits (template modes only; empty for monolithic).
+  std::vector<RoundAudit> audits;
+  bool allAuditsOk = true;
+
+  /// §5 witnesses: completed adopt outcomes whose value differs from the
+  /// run's decided value (decide-on-adopt would have broken agreement).
+  std::size_t adoptOutcomesTotal = 0;
+  std::size_t adoptMismatchWitnesses = 0;
+};
+
+BenOrResult runBenOr(const BenOrConfig& config);
+
+/// Byzantine Ben-Or (extension): asynchronous binary consensus with f
+/// planted Byzantine processes, n > 5t detector thresholds.
+struct ByzantineBenOrConfig {
+  std::size_t n = 11;
+  /// Planted attackers (ids at the back).
+  std::size_t byzantineCount = 2;
+  /// Protocol parameter t; defaults to floor((n-1)/5).
+  std::optional<std::size_t> t;
+  int strategy = 1;  // benor::AsyncByzantineStrategy as int (header cycle)
+  /// Inputs for correct processes (pattern repeats).
+  std::vector<Value> inputs = {0, 1};
+  std::uint64_t seed = 1;
+  Tick minDelay = 1;
+  Tick maxDelay = 10;
+  Round maxRounds = 4000;
+  Tick maxTicks = 5'000'000;
+};
+
+BenOrResult runByzantineBenOr(const ByzantineBenOrConfig& config);
+
+// ---------------------------------------------------------------------------
+// Phase-King (synchronous lockstep, Byzantine faults, 3t < n)
+
+struct PhaseKingConfig {
+  /// Which royal algorithm: Phase-King (3t < n, 3 ticks/round) or the
+  /// Phase-Queen extension (4t < n, 2 ticks/round). Queen runs have no
+  /// monolithic baseline.
+  enum class Algorithm { kKing, kQueen };
+  Algorithm algorithm = Algorithm::kKing;
+
+  std::size_t n = 7;
+  /// Actual number of Byzantine processes planted.
+  std::size_t byzantineCount = 2;
+  /// Protocol parameter t. Defaults to floor((n-1)/3) for the king,
+  /// floor((n-1)/4) for the queen.
+  std::optional<std::size_t> t;
+  phaseking::ByzantineStrategy strategy =
+      phaseking::ByzantineStrategy::kEquivocate;
+
+  /// Where the Byzantine ids sit. Kings rotate from id 0, so front
+  /// placement gives the adversary the first reigns (the hard case).
+  enum class Placement { kFront, kBack, kSpread };
+  Placement placement = Placement::kFront;
+
+  /// Inputs for correct processes, by their order among correct ids; if
+  /// smaller than the correct count, the pattern repeats.
+  std::vector<Value> inputs = {0, 1};
+  bool monolithic = false;
+  /// Decision rule for the decomposed variant. The paper's template decides
+  /// on commit (Algorithm 2); that rule is UNSOUND for Phase-King when a
+  /// Byzantine king reigns right after an early commit (the conciliator
+  /// lacks validity under a hostile king — see EXPERIMENTS.md). The sound
+  /// default decides after t+1 completed rounds, like classic Phase-King.
+  bool earlyCommitDecision = false;
+  std::uint64_t seed = 1;
+  Round maxRounds = 300;
+  Tick maxTicks = 100000;
+};
+
+struct PhaseKingResult {
+  bool allDecided = false;
+  bool agreementViolated = false;
+  bool validityViolated = false;
+  Value decidedValue = kNoValue;
+  Round maxDecisionRound = 0;
+  Tick lastDecisionTick = 0;
+  std::uint64_t messagesByCorrect = 0;
+  std::vector<RoundAudit> audits;  // decomposed runs only
+  bool allAuditsOk = true;
+};
+
+PhaseKingResult runPhaseKing(const PhaseKingConfig& config);
+
+// ---------------------------------------------------------------------------
+// Raft (asynchronous with timeouts; crashes, loss, partitions)
+
+struct RaftScenarioConfig {
+  std::size_t n = 5;
+  std::vector<Value> inputs;  // size n; defaults to id % 2 when empty
+  raft::RaftConfig raft;
+  std::uint64_t seed = 1;
+
+  Tick minDelay = 1;
+  Tick maxDelay = 5;
+  double dropProbability = 0.0;
+  double duplicateProbability = 0.0;
+  std::vector<std::pair<ProcessId, Tick>> crashes;
+
+  /// Partition timeline: at `at`, impose `groups` (one id per process);
+  /// an empty vector heals the network.
+  struct PartitionEvent {
+    Tick at;
+    std::vector<int> groups;
+  };
+  std::vector<PartitionEvent> partitions;
+
+  Tick maxTicks = 300000;
+};
+
+struct RaftScenarioResult {
+  bool allDecided = false;
+  bool agreementViolated = false;
+  bool validityViolated = false;
+  Value decidedValue = kNoValue;
+  Tick firstDecisionTick = 0;
+  Tick lastDecisionTick = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t electionsStarted = 0;
+  std::uint64_t leaderships = 0;
+  std::uint64_t reconciliatorInvocations = 0;
+
+  /// VAC instrumentation (paper Algorithms 10-11): every process's
+  /// confidence history must be consistent — commit never precedes adopt,
+  /// and all commit-level values agree.
+  bool confidenceOrderOk = true;
+  bool commitValuesAgree = true;
+  std::size_t confidenceTransitions = 0;
+};
+
+RaftScenarioResult runRaft(const RaftScenarioConfig& config);
+
+}  // namespace ooc::harness

@@ -1,0 +1,163 @@
+#include "log/replicated_log.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace ooc::log {
+
+/// Per-slot view of the node's Context: wraps template traffic in a
+/// SlotMessage envelope and redirects decide() to the slot bookkeeping.
+class ReplicatedLogNode::SlotContextImpl final : public Context {
+ public:
+  SlotContextImpl(ReplicatedLogNode& host, std::uint64_t slot) noexcept
+      : host_(host), slot_(slot) {}
+
+  ProcessId self() const noexcept override { return host_.ctx().self(); }
+  std::size_t processCount() const noexcept override {
+    return host_.ctx().processCount();
+  }
+  Tick now() const noexcept override { return host_.ctx().now(); }
+  Rng& rng() noexcept override { return host_.ctx().rng(); }
+
+  void send(ProcessId to, std::unique_ptr<Message> msg) override {
+    host_.ctx().send(to,
+                     std::make_unique<SlotMessage>(slot_, std::move(msg)));
+  }
+  void broadcast(const Message& msg) override {
+    const SlotMessage wrapped(slot_, msg.clone());
+    host_.ctx().broadcast(wrapped);
+  }
+  TimerId setTimer(Tick delay) override {
+    const TimerId id = host_.ctx().setTimer(delay);
+    host_.timerSlot_[id] = slot_;
+    return id;
+  }
+  void cancelTimer(TimerId id) noexcept override {
+    host_.timerSlot_.erase(id);
+    host_.ctx().cancelTimer(id);
+  }
+  void decide(Value v) override { host_.onSlotDecided(slot_, v); }
+
+ private:
+  ReplicatedLogNode& host_;
+  std::uint64_t slot_;
+};
+
+ReplicatedLogNode::ReplicatedLogNode(std::vector<Value> commands,
+                                     SlotDetectorFactory detectorFactory,
+                                     SlotDriverFactory driverFactory,
+                                     Options options)
+    : detectorFactory_(std::move(detectorFactory)),
+      driverFactory_(std::move(driverFactory)),
+      options_(options),
+      pending_(commands.begin(), commands.end()) {
+  for (Value command : commands) {
+    if (command <= kNoopCommand)
+      throw std::invalid_argument("client commands must be positive");
+  }
+  if (options_.slot.participateRoundsAfterDecide == 0) {
+    // Instances must quiesce on their own; one extra round is the Ben-Or
+    // family's bound (see ConsensusProcess::Options).
+    options_.slot.participateRoundsAfterDecide = 1;
+  }
+  // Multivalued slots use quorum-waiting drivers (e.g. the lottery), which
+  // need every process in the drive wave of every round.
+  options_.slot.alwaysRunDriver = true;
+}
+
+ReplicatedLogNode::~ReplicatedLogNode() = default;
+
+void ReplicatedLogNode::onStart() { openCurrentSlot(); }
+
+void ReplicatedLogNode::openCurrentSlot() {
+  if (slot_ >= options_.maxSlots) return;
+  const Value proposal = pending_.empty() ? kNoopCommand : pending_.front();
+  ActiveSlot active;
+  active.context = std::make_unique<SlotContextImpl>(*this, slot_);
+  active.engine = std::make_unique<ConsensusProcess>(
+      proposal, detectorFactory_(slot_), driverFactory_(slot_),
+      options_.slot);
+  active.engine->bind(*active.context);
+  ConsensusProcess* engine = active.engine.get();
+  SlotContextImpl* context = active.context.get();
+  active_.emplace(slot_, std::move(active));
+  OOC_TRACE("log p", ctx().self(), " opens slot ", slot_, " proposing ",
+            proposal);
+  engine->onStart();
+
+  // Replay traffic that arrived before we reached this slot.
+  const auto held = buffered_.find(slot_);
+  if (held != buffered_.end()) {
+    auto messages = std::move(held->second);
+    buffered_.erase(held);
+    // The engine may decide mid-replay and open the NEXT slot reentrantly;
+    // `engine`/`context` stay valid because active_ owns them.
+    (void)context;
+    for (auto& [from, message] : messages)
+      engine->onMessage(from, *message);
+  }
+}
+
+void ReplicatedLogNode::onSlotDecided(std::uint64_t slot, Value winner) {
+  if (slot != slot_) return;  // stale/duplicate decide; slots are ordered
+  log_.push_back(winner);
+  if (!pending_.empty() && pending_.front() == winner) pending_.pop_front();
+  OOC_TRACE("log p", ctx().self(), " slot ", slot, " -> ", winner);
+  ++slot_;
+  pruneOldSlots();
+  openCurrentSlot();
+}
+
+void ReplicatedLogNode::pruneOldSlots() {
+  // Retired engines quiesce by themselves; drop them once they are far
+  // enough behind that no correct straggler can still need our traffic
+  // (every node ships each slot's rounds before advancing past it).
+  while (!active_.empty() && active_.begin()->first + 4 <= slot_)
+    active_.erase(active_.begin());
+}
+
+void ReplicatedLogNode::onMessage(ProcessId from, const Message& message) {
+  const auto* slotted = message.as<SlotMessage>();
+  if (slotted == nullptr) return;
+  const auto slot = slotted->slot();
+  const auto engine = active_.find(slot);
+  if (engine != active_.end()) {
+    engine->second.engine->onMessage(from, slotted->inner());
+    return;
+  }
+  if (slot > slot_) {
+    buffered_[slot].emplace_back(from, slotted->inner().clone());
+  }
+  // slot < slot_ with no engine: pruned, drop.
+}
+
+void ReplicatedLogNode::onTimer(TimerId id) {
+  const auto owner = timerSlot_.find(id);
+  if (owner == timerSlot_.end()) return;
+  const auto slot = owner->second;
+  timerSlot_.erase(owner);
+  const auto engine = active_.find(slot);
+  if (engine != active_.end()) engine->second.engine->onTimer(id);
+}
+
+void ReplicatedLogNode::onTick(Tick tick) {
+  // Iterate over a snapshot of keys: handlers may open/prune slots.
+  std::vector<std::uint64_t> slots;
+  slots.reserve(active_.size());
+  for (const auto& [slot, unused] : active_) slots.push_back(slot);
+  for (const auto slot : slots) {
+    const auto engine = active_.find(slot);
+    if (engine != active_.end()) engine->second.engine->onTick(tick);
+  }
+}
+
+std::vector<Value> ReplicatedLogNode::committedCommands() const {
+  std::vector<Value> commands;
+  for (Value v : log_)
+    if (v != kNoopCommand) commands.push_back(v);
+  return commands;
+}
+
+}  // namespace ooc::log

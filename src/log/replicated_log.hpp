@@ -1,0 +1,139 @@
+// State-machine replication built from the paper's objects — the payoff the
+// introduction motivates ("database transaction handling, ensuring storage
+// replicas are mutually consistent"): a totally ordered replicated command
+// log where EVERY slot is one instance of the generic consensus template
+// (Algorithm 1), with whatever detector/driver pair the caller plugs in.
+//
+// Protocol. Each node owns a queue of client commands (globally unique).
+// Slots are decided sequentially: a node proposes the head of its pending
+// queue (or a no-op when drained) for the current slot, runs the consensus
+// template for that slot, appends the winner to its log, pops its queue if
+// its own command won, and moves to the next slot. Messages are enveloped
+// with the slot number; traffic for slots a node has not reached yet is
+// buffered. Agreement per slot gives identical logs (prefix property);
+// validity per slot plus a fair multivalued reconciliator (e.g. the
+// lottery) gives liveness: every pending command is eventually committed
+// exactly once, with probability 1.
+//
+// Implementation note: each slot hosts an unmodified ConsensusProcess; the
+// node hands it a per-slot Context adapter that wraps sends in a
+// SlotMessage envelope and captures decide() locally instead of reporting
+// a (single-shot) consensus decision to the simulator monitor.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/consensus_process.hpp"
+#include "sim/process.hpp"
+
+namespace ooc::log {
+
+/// Slot-number envelope around consensus-template traffic.
+class SlotMessage final : public Message {
+ public:
+  SlotMessage(std::uint64_t slot, std::unique_ptr<Message> inner)
+      : slot_(slot), inner_(std::move(inner)) {}
+
+  std::uint64_t slot() const noexcept { return slot_; }
+  const Message& inner() const noexcept { return *inner_; }
+
+  std::unique_ptr<Message> clone() const override {
+    return std::make_unique<SlotMessage>(slot_, inner_->clone());
+  }
+  std::string describe() const override {
+    return "[slot " + std::to_string(slot_) + "] " + inner_->describe();
+  }
+
+ private:
+  std::uint64_t slot_;
+  std::unique_ptr<Message> inner_;
+};
+
+/// The no-op command proposed by nodes whose queue is drained. Reserved:
+/// client commands must be positive.
+inline constexpr Value kNoopCommand = 0;
+
+/// Packs (node, sequence) into a globally unique command id.
+constexpr Value makeCommand(ProcessId node, std::uint32_t seq) noexcept {
+  return static_cast<Value>(
+      (static_cast<std::uint64_t>(node + 1) << 32) | seq);
+}
+constexpr ProcessId commandNode(Value command) noexcept {
+  return static_cast<ProcessId>(
+             static_cast<std::uint64_t>(command) >> 32) - 1;
+}
+
+/// Factories instantiated per slot. Randomized drivers that share a seed
+/// across processes (e.g. the lottery) MUST mix the slot into that seed:
+/// template rounds restart at 1 in every slot, so a slot-agnostic shared
+/// draw would crown the same winner in every slot's round 1 — a drained
+/// node's no-op could then win forever (livelock).
+using SlotDetectorFactory = std::function<DetectorFactory(std::uint64_t)>;
+using SlotDriverFactory = std::function<DriverFactory(std::uint64_t)>;
+
+class ReplicatedLogNode final : public Process {
+ public:
+  struct Options {
+    /// Per-slot template options (kind, decision rule, round cap).
+    ConsensusProcess::Options slot;
+    /// Upper bound on slots, as a runaway guard.
+    std::uint64_t maxSlots = 10000;
+  };
+
+  /// `commands` is this node's client workload (each must be positive and
+  /// globally unique — use makeCommand). The detector/driver factories are
+  /// instantiated fresh for every slot and round.
+  ReplicatedLogNode(std::vector<Value> commands,
+                    SlotDetectorFactory detectorFactory,
+                    SlotDriverFactory driverFactory, Options options);
+  ~ReplicatedLogNode() override;
+
+  void onStart() override;
+  void onMessage(ProcessId from, const Message& message) override;
+  void onTimer(TimerId id) override;
+  void onTick(Tick tick) override;
+
+  /// Committed commands in slot order, no-ops included.
+  const std::vector<Value>& log() const noexcept { return log_; }
+  /// Committed non-noop commands in slot order.
+  std::vector<Value> committedCommands() const;
+  bool drained() const noexcept { return pending_.empty(); }
+  std::uint64_t currentSlot() const noexcept { return slot_; }
+
+ private:
+  class SlotContextImpl;
+  struct ActiveSlot {
+    std::unique_ptr<SlotContextImpl> context;
+    std::unique_ptr<ConsensusProcess> engine;
+  };
+
+  void openCurrentSlot();
+  void onSlotDecided(std::uint64_t slot, Value winner);
+  void pruneOldSlots();
+
+  SlotDetectorFactory detectorFactory_;
+  SlotDriverFactory driverFactory_;
+  Options options_;
+
+  std::deque<Value> pending_;
+  std::vector<Value> log_;
+  /// Lowest undecided slot at this node.
+  std::uint64_t slot_ = 0;
+
+  /// Slot engines still alive: the current slot plus recently decided ones
+  /// that keep answering stragglers until they retire (see
+  /// Options::participateRoundsAfterDecide in ConsensusProcess).
+  std::map<std::uint64_t, ActiveSlot> active_;
+  std::map<TimerId, std::uint64_t> timerSlot_;
+  /// Buffered traffic for slots this node has not reached yet.
+  std::map<std::uint64_t,
+           std::vector<std::pair<ProcessId, std::unique_ptr<Message>>>>
+      buffered_;
+};
+
+}  // namespace ooc::log

@@ -1,0 +1,156 @@
+#include "paxos/paxos_node.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace ooc::paxos {
+
+PaxosNode::PaxosNode(Value input, PaxosConfig config)
+    : input_(input), config_(config) {}
+
+void PaxosNode::record(Confidence confidence, Value value) {
+  if (!confidenceLog_.empty() &&
+      confidenceLog_.back().confidence == confidence &&
+      confidenceLog_.back().value == value) {
+    return;
+  }
+  confidenceLog_.push_back(ConfidenceChange{confidence, value, ctx().now()});
+}
+
+void PaxosNode::onStart() {
+  promiseFrom_.assign(ctx().processCount(), false);
+  record(Confidence::kVacillate, input_);
+  armRetryTimer();
+}
+
+void PaxosNode::armRetryTimer() {
+  if (retryTimer_ != 0) ctx().cancelTimer(retryTimer_);
+  const auto span = static_cast<double>(ctx().rng().between(
+      static_cast<std::int64_t>(config_.retryMin),
+      static_cast<std::int64_t>(config_.retryMax)));
+  const Tick delay = std::min<Tick>(
+      config_.backoffCap, static_cast<Tick>(span * backoff_));
+  retryTimer_ = ctx().setTimer(std::max<Tick>(1, delay));
+}
+
+void PaxosNode::onTimer(TimerId id) {
+  if (id != retryTimer_ || decided_) return;
+  // The reconciliator moment: no decision was learned in time; raise a
+  // fresh ballot and back off harder for the next stalemate.
+  ++reconciliatorInvocations_;
+  record(Confidence::kVacillate,
+         acceptedBallot_ != 0 ? acceptedValue_ : input_);
+  startBallot();
+  backoff_ = std::min(backoff_ * config_.backoffFactor,
+                      static_cast<double>(config_.backoffCap));
+  armRetryTimer();
+}
+
+void PaxosNode::startBallot() {
+  ++attempt_;
+  ++ballotsStarted_;
+  currentBallot_ =
+      attempt_ * ctx().processCount() + ctx().self() + 1;
+  proposing_ = true;
+  acceptRequested_ = false;
+  promiseFrom_.assign(ctx().processCount(), false);
+  promiseCount_ = 0;
+  highestAcceptedSeen_ = 0;
+  valueToPropose_ = input_;
+  OOC_TRACE("paxos p", ctx().self(), " ballot ", currentBallot_);
+  ctx().broadcast(Prepare(currentBallot_));
+}
+
+void PaxosNode::onMessage(ProcessId from, const Message& message) {
+  if (const auto* msg = message.as<Prepare>()) {
+    handlePrepare(from, *msg);
+  } else if (const auto* msg = message.as<Promise>()) {
+    handlePromise(from, *msg);
+  } else if (const auto* msg = message.as<Accept>()) {
+    handleAccept(from, *msg);
+  } else if (const auto* msg = message.as<Accepted>()) {
+    handleAccepted(from, *msg);
+  } else if (const auto* msg = message.as<Nack>()) {
+    handleNack(from, *msg);
+  } else if (const auto* msg = message.as<DecidedAnnounce>()) {
+    learn(msg->value);
+  }
+}
+
+void PaxosNode::handlePrepare(ProcessId from, const Prepare& msg) {
+  if (msg.ballot > promised_) {
+    promised_ = msg.ballot;
+    ctx().send(from,
+               std::make_unique<Promise>(msg.ballot, acceptedBallot_,
+                                         acceptedValue_));
+  } else {
+    ctx().send(from, std::make_unique<Nack>(msg.ballot, promised_));
+  }
+}
+
+void PaxosNode::handlePromise(ProcessId from, const Promise& msg) {
+  if (!proposing_ || acceptRequested_ || msg.ballot != currentBallot_)
+    return;
+  if (from >= promiseFrom_.size() || promiseFrom_[from]) return;
+  promiseFrom_[from] = true;
+  ++promiseCount_;
+  // Honour the highest already-accepted proposal among the promises —
+  // the rule that makes chosen values stable.
+  if (msg.acceptedBallot > highestAcceptedSeen_) {
+    highestAcceptedSeen_ = msg.acceptedBallot;
+    valueToPropose_ = msg.acceptedValue;
+  }
+  if (2 * promiseCount_ > ctx().processCount()) {
+    acceptRequested_ = true;
+    ctx().broadcast(Accept(currentBallot_, valueToPropose_));
+  }
+}
+
+void PaxosNode::handleAccept(ProcessId, const Accept& msg) {
+  if (msg.ballot < promised_) {
+    // A stale proposer; no reply needed beyond its own Nacks from Prepare.
+    return;
+  }
+  promised_ = msg.ballot;
+  acceptedBallot_ = msg.ballot;
+  acceptedValue_ = msg.value;
+  // Adopt-level knowledge: a majority-backed proposer pushed this value.
+  record(Confidence::kAdopt, msg.value);
+  ctx().broadcast(Accepted(msg.ballot, msg.value));
+}
+
+void PaxosNode::handleAccepted(ProcessId from, const Accepted& msg) {
+  if (decided_) return;
+  BallotTally& tally = acceptedTallies_[msg.ballot];
+  if (tally.seen.empty()) {
+    tally.seen.assign(ctx().processCount(), false);
+    tally.value = msg.value;
+  }
+  if (from >= tally.seen.size() || tally.seen[from]) return;
+  tally.seen[from] = true;
+  ++tally.count;
+  if (2 * tally.count > ctx().processCount()) learn(tally.value);
+}
+
+void PaxosNode::handleNack(ProcessId, const Nack& msg) {
+  if (msg.ballot != currentBallot_ || !proposing_) return;
+  ++nacksReceived_;
+  // Jump past the competing ballot on the next attempt.
+  const std::uint64_t neededAttempt = msg.promised / ctx().processCount();
+  attempt_ = std::max(attempt_, neededAttempt);
+  proposing_ = false;
+}
+
+void PaxosNode::learn(Value value) {
+  if (decided_) return;
+  decided_ = true;
+  decision_ = value;
+  record(Confidence::kCommit, value);
+  ctx().decide(value);
+  if (retryTimer_ != 0) ctx().cancelTimer(retryTimer_);
+  // Short-circuit for laggards; acceptor duties continue regardless.
+  ctx().broadcast(DecidedAnnounce(value));
+}
+
+}  // namespace ooc::paxos

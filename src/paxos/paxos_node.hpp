@@ -1,0 +1,115 @@
+// Single-decree Paxos (Lamport) — the second leader-driven substrate, the
+// canonical peer of Raft. Asynchronous message passing, t < n/2 crash
+// faults. Every node is proposer + acceptor + learner and proposes its own
+// input, so the cluster is a consensus object in the paper's sense.
+//
+// Framework instrumentation mirrors the Raft decomposition (paper
+// Algorithms 10-11): the paper's three knowledge states appear verbatim —
+//   vacillate — no accepted proposal heard (start / retry timeout);
+//   adopt     — this acceptor accepted a proposal (majority-backed
+//               proposer exists; value may still be superseded);
+//   commit    — a majority accepted one ballot (value learned / chosen).
+// The retry timer (randomized backoff) is the reconciliator: it shakes
+// dueling-proposer stalemates exactly as Raft's election timer does.
+//
+// Liveness: classic Paxos can livelock under duelling proposers; the
+// randomized, exponentially backed-off retry timer makes termination
+// probability-1 — the timing property again.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/confidence.hpp"
+#include "paxos/messages.hpp"
+#include "sim/process.hpp"
+
+namespace ooc::paxos {
+
+struct PaxosConfig {
+  /// Randomized retry delay for an undecided proposer.
+  Tick retryMin = 100;
+  Tick retryMax = 200;
+  /// Multiplier applied per consecutive failed ballot (capped).
+  double backoffFactor = 1.5;
+  Tick backoffCap = 2000;
+};
+
+class PaxosNode final : public Process {
+ public:
+  PaxosNode(Value input, PaxosConfig config);
+
+  void onStart() override;
+  void onMessage(ProcessId from, const Message& message) override;
+  void onTimer(TimerId id) override;
+
+  bool decided() const noexcept { return decided_; }
+  Value decisionValue() const noexcept { return decision_; }
+  std::uint64_t ballotsStarted() const noexcept { return ballotsStarted_; }
+  std::uint64_t nacksReceived() const noexcept { return nacksReceived_; }
+  /// Reconciliator invocations (retry timeouts), per the instrumentation.
+  std::uint64_t reconciliatorInvocations() const noexcept {
+    return reconciliatorInvocations_;
+  }
+
+  struct ConfidenceChange {
+    Confidence confidence;
+    Value value;
+    Tick at;
+  };
+  const std::vector<ConfidenceChange>& confidenceLog() const noexcept {
+    return confidenceLog_;
+  }
+
+ private:
+  void record(Confidence confidence, Value value);
+  void armRetryTimer();
+  void startBallot();
+  void learn(Value value);
+
+  void handlePrepare(ProcessId from, const Prepare& msg);
+  void handlePromise(ProcessId from, const Promise& msg);
+  void handleAccept(ProcessId from, const Accept& msg);
+  void handleAccepted(ProcessId from, const Accepted& msg);
+  void handleNack(ProcessId from, const Nack& msg);
+
+  Value input_;
+  PaxosConfig config_;
+
+  // Acceptor state.
+  Ballot promised_ = 0;
+  Ballot acceptedBallot_ = 0;
+  Value acceptedValue_ = kNoValue;
+
+  // Proposer state.
+  Ballot currentBallot_ = 0;
+  std::uint64_t attempt_ = 0;
+  bool proposing_ = false;       // between Prepare and majority promises
+  bool acceptRequested_ = false; // Accept round in flight
+  std::vector<bool> promiseFrom_;
+  std::size_t promiseCount_ = 0;
+  Ballot highestAcceptedSeen_ = 0;
+  Value valueToPropose_ = kNoValue;
+
+  // Learner state: per-ballot distinct-sender Accepted tallies.
+  struct BallotTally {
+    std::vector<bool> seen;
+    std::size_t count = 0;
+    Value value = kNoValue;
+  };
+  std::unordered_map<Ballot, BallotTally> acceptedTallies_;
+
+  bool decided_ = false;
+  Value decision_ = kNoValue;
+  TimerId retryTimer_ = 0;
+  double backoff_ = 1.0;
+
+  std::uint64_t ballotsStarted_ = 0;
+  std::uint64_t nacksReceived_ = 0;
+  std::uint64_t reconciliatorInvocations_ = 0;
+  std::vector<ConfidenceChange> confidenceLog_;
+};
+
+}  // namespace ooc::paxos

@@ -1,0 +1,40 @@
+#include "phaseking/conciliator.hpp"
+
+#include "phaseking/messages.hpp"
+
+namespace ooc::phaseking {
+namespace {
+
+/// MIN(1, v) with clamping of hostile payloads into the binary domain.
+Value binarize(Value v) noexcept { return v == 0 ? 0 : 1; }
+
+}  // namespace
+
+KingConciliator::KingConciliator(Round round) : round_(round) {}
+
+void KingConciliator::invoke(ObjectContext& ctx, const Outcome& detected) {
+  fallback_ = binarize(detected.value);
+  if (ctx.self() == kingOf(round_, ctx.processCount())) {
+    ctx.broadcast(KingMessage(binarize(detected.value)));
+  }
+}
+
+void KingConciliator::onMessage(ObjectContext& ctx, ProcessId from,
+                                const Message& inner) {
+  const auto* king = inner.as<KingMessage>();
+  if (king == nullptr || value_) return;
+  if (from != kingOf(round_, ctx.processCount())) return;  // imposter
+  value_ = binarize(king->value);
+}
+
+void KingConciliator::onTick(ObjectContext&, Tick) {
+  // End of the conciliator exchange: a silent (Byzantine) king yields no
+  // message; fall back to the processor's own value so the round completes.
+  if (!value_) value_ = fallback_;
+}
+
+DriverFactory KingConciliator::factory() {
+  return [](Round m) { return std::make_unique<KingConciliator>(m); };
+}
+
+}  // namespace ooc::phaseking

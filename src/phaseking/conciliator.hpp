@@ -1,0 +1,48 @@
+// Phase-King's conciliator (paper §4.1, Algorithm 4): the round's king
+// broadcasts MIN(1, v); everyone returns the king's value.
+//
+//   Conciliator(X, sigma, m):
+//     if id = king(m): broadcast <MIN(1, v)>
+//     sigma_m <- message received from king(m)
+//     return (adopt, sigma_m)
+//
+// Kings rotate: king(m) = (m - 1) mod n, so across any n consecutive rounds
+// every processor reigns once and, with at most t < n/3 Byzantine
+// processors, a correct king occurs within any t+1 consecutive rounds.
+// Deviations a Byzantine king can force are tolerated: if the king's
+// message never arrives (silent king) the processor falls back to its own
+// MIN(1, sigma) at the end of the conciliator tick, and received king
+// values are clamped to the binary domain.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "core/objects.hpp"
+
+namespace ooc::phaseking {
+
+class KingConciliator final : public Driver {
+ public:
+  /// `round` is the template phase m (1-based); the king is (m-1) mod n.
+  explicit KingConciliator(Round round);
+
+  void invoke(ObjectContext& ctx, const Outcome& detected) override;
+  void onMessage(ObjectContext& ctx, ProcessId from,
+                 const Message& inner) override;
+  void onTick(ObjectContext& ctx, Tick tick) override;
+  std::optional<Value> result() const override { return value_; }
+
+  static DriverFactory factory();
+
+  static ProcessId kingOf(Round round, std::size_t n) noexcept {
+    return static_cast<ProcessId>((round - 1) % n);
+  }
+
+ private:
+  Round round_;
+  Value fallback_ = 1;
+  std::optional<Value> value_;
+};
+
+}  // namespace ooc::phaseking

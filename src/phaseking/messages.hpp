@@ -1,0 +1,56 @@
+// Wire messages of the Phase-King algorithm (paper §4.1).
+//
+// The decomposed (template) variant sends these inside TaggedMessage
+// envelopes; the monolithic baseline sends them raw with the phase included.
+// Every field is untrusted: Byzantine senders forge arbitrary contents, and
+// receivers only ever count values after validating their domain.
+#pragma once
+
+#include <string>
+
+#include "sim/message.hpp"
+#include "util/types.hpp"
+
+namespace ooc::phaseking {
+
+/// Value broadcast of AC exchange 1 or 2 (Algorithm 3).
+struct ExchangeMessage final : MessageBase<ExchangeMessage> {
+  ExchangeMessage(int exchange, Value value)
+      : exchange(exchange), value(value) {}
+
+  int exchange;  // 1 or 2
+  Value value;   // legal domain: {0,1} in exchange 1, {0,1,2} in exchange 2
+
+  std::string describe() const override {
+    return "pk<e" + std::to_string(exchange) + "," + std::to_string(value) +
+           ">";
+  }
+};
+
+/// The king's broadcast (Algorithm 4).
+struct KingMessage final : MessageBase<KingMessage> {
+  explicit KingMessage(Value value) : value(value) {}
+  Value value;
+
+  std::string describe() const override {
+    return "pk<king," + std::to_string(value) + ">";
+  }
+};
+
+/// Monolithic baseline wire format: the same payloads with the phase number
+/// attached (the template variant gets this from the envelope instead).
+struct ClassicPkMessage final : MessageBase<ClassicPkMessage> {
+  ClassicPkMessage(Round phase, int exchange, Value value)
+      : phase(phase), exchange(exchange), value(value) {}
+
+  Round phase;
+  int exchange;  // 1, 2, or 3 (3 = king broadcast)
+  Value value;
+
+  std::string describe() const override {
+    return "pkc<p" + std::to_string(phase) + ",e" +
+           std::to_string(exchange) + "," + std::to_string(value) + ">";
+  }
+};
+
+}  // namespace ooc::phaseking

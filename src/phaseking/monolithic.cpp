@@ -1,0 +1,102 @@
+#include "phaseking/monolithic.hpp"
+
+#include <stdexcept>
+
+#include "phaseking/messages.hpp"
+
+namespace ooc::phaseking {
+namespace {
+Value binarize(Value v) noexcept { return v == 0 ? 0 : 1; }
+}  // namespace
+
+MonolithicPhaseKing::MonolithicPhaseKing(Value input,
+                                         std::size_t faultTolerance)
+    : t_(faultTolerance), value_(input) {}
+
+void MonolithicPhaseKing::onStart() {
+  if (3 * t_ >= ctx().processCount())
+    throw std::invalid_argument("Phase-King requires 3t < n");
+  phase_ = 1;
+  beginPhase();
+}
+
+void MonolithicPhaseKing::beginPhase() {
+  slot_ = 0;
+  seenExchange1_.assign(ctx().processCount(), false);
+  seenExchange2_.assign(ctx().processCount(), false);
+  countC_ = {};
+  countD_ = {};
+  kingValueSeen_ = false;
+  ctx().broadcast(ClassicPkMessage(phase_, 1, value_));
+}
+
+void MonolithicPhaseKing::onMessage(ProcessId from, const Message& message) {
+  const auto* msg = message.as<ClassicPkMessage>();
+  if (msg == nullptr || decided_ || msg->phase != phase_) return;
+
+  switch (msg->exchange) {
+    case 1:
+      if (seenExchange1_[from]) return;
+      seenExchange1_[from] = true;
+      if (msg->value == 0 || msg->value == 1)
+        ++countC_[static_cast<std::size_t>(msg->value)];
+      break;
+    case 2:
+      if (seenExchange2_[from]) return;
+      seenExchange2_[from] = true;
+      if (msg->value >= 0 && msg->value <= 2)
+        ++countD_[static_cast<std::size_t>(msg->value)];
+      break;
+    case 3:
+      if (from != static_cast<ProcessId>((phase_ - 1) % ctx().processCount()))
+        return;  // only the reigning king is believed
+      if (!kingValueSeen_) {
+        kingValueSeen_ = true;
+        kingValue_ = binarize(msg->value);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void MonolithicPhaseKing::onTick(Tick) {
+  if (decided_ || phase_ == 0) return;
+  const std::size_t n = ctx().processCount();
+
+  switch (slot_) {
+    case 0: {  // end of exchange 1
+      value_ = 2;
+      for (Value k = 0; k <= 1; ++k)
+        if (countC_[static_cast<std::size_t>(k)] >= n - t_) value_ = k;
+      ctx().broadcast(ClassicPkMessage(phase_, 2, value_));
+      slot_ = 1;
+      return;
+    }
+    case 1: {  // end of exchange 2
+      for (Value k = 2; k >= 0; --k)
+        if (countD_[static_cast<std::size_t>(k)] > t_) value_ = k;
+      if (ctx().self() == (phase_ - 1) % n)
+        ctx().broadcast(ClassicPkMessage(phase_, 3, binarize(value_)));
+      slot_ = 2;
+      return;
+    }
+    case 2: {  // end of king broadcast
+      const bool strong =
+          value_ != 2 && countD_[static_cast<std::size_t>(value_)] >= n - t_;
+      if (!strong) value_ = kingValueSeen_ ? kingValue_ : binarize(value_);
+      if (phase_ == t_ + 1) {
+        decided_ = true;
+        ctx().decide(value_);
+        return;
+      }
+      ++phase_;
+      beginPhase();
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace ooc::phaseking

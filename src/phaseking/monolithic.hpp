@@ -1,0 +1,52 @@
+// Classic Phase-King (Berman, Garay, Perry 1989), monolithic baseline.
+//
+// Runs exactly t+1 phases of (exchange 1, exchange 2, king broadcast) in
+// lockstep — 3 ticks per phase — then decides the current value. Shares no
+// code with the decomposed PhaseKingAc/KingConciliator; experiment E4
+// compares the two.
+//
+// Unlike the decomposed version (which can detect commit and decide early),
+// the classic algorithm always runs its full t+1 phases; both guarantee all
+// correct processors hold the same value at the end because some phase has
+// a correct king.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "sim/process.hpp"
+#include "util/types.hpp"
+
+namespace ooc::phaseking {
+
+class MonolithicPhaseKing final : public Process {
+ public:
+  MonolithicPhaseKing(Value input, std::size_t faultTolerance);
+
+  void onStart() override;
+  void onMessage(ProcessId from, const Message& message) override;
+  void onTick(Tick tick) override;
+
+  bool decided() const noexcept { return decided_; }
+  Value decisionValue() const noexcept { return value_; }
+  Round currentPhase() const noexcept { return phase_; }
+
+ private:
+  void beginPhase();
+
+  std::size_t t_;
+  Value value_;
+  Round phase_ = 0;      // 1-based; 0 before start
+  int slot_ = 0;         // 0 after exchange-1 send, 1 after exchange-2, 2 king
+  bool decided_ = false;
+
+  std::vector<bool> seenExchange1_;
+  std::vector<bool> seenExchange2_;
+  std::array<std::size_t, 2> countC_{};
+  std::array<std::size_t, 3> countD_{};
+  bool kingValueSeen_ = false;
+  Value kingValue_ = 1;
+};
+
+}  // namespace ooc::phaseking

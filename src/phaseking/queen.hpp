@@ -1,0 +1,96 @@
+// Phase-Queen (Berman & Garay 1989) decomposed into the framework — an
+// extension beyond the paper's three case studies showing a fourth
+// algorithm dropping into the same template.
+//
+// Synchronous model, t Byzantine processors, 4t < n. Each round is ONE
+// value exchange plus a queen broadcast (vs Phase-King's two exchanges):
+//
+//   QueenAC(v, m):                      (one lockstep exchange)
+//     broadcast <v>; tally C(0), C(1) over distinct senders
+//     w <- plurality (ties -> 0)
+//     if C(w) >= n - t: return (commit, w) else return (adopt, w)
+//
+//   QueenConciliator(X, sigma, m):      (one lockstep exchange)
+//     if self = queen(m): broadcast MIN(1, sigma)
+//     return queen's value (own value if the queen stays silent)
+//
+// Coherence over adopt & commit: if P commits w then at least n - 2t
+// correct processors broadcast w; any correct Q therefore counts
+// C_Q(w) >= n - 2t > n/2 (using 4t < n), making w Q's strict plurality —
+// every outcome carries w. Convergence: unanimous correct inputs give
+// C(w) >= n - t everywhere. The same argument makes an honest queen's
+// round unifying: a committing processor's value IS the queen's plurality.
+//
+// Like Phase-King, the sound decision rule is classic (decide after t+1
+// completed rounds); decide-on-commit has the same Byzantine-queen gap.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/objects.hpp"
+#include "phaseking/byzantine.hpp"
+#include "sim/process.hpp"
+
+namespace ooc::phaseking {
+
+class PhaseQueenAc final : public AgreementDetector {
+ public:
+  explicit PhaseQueenAc(std::size_t faultTolerance);
+
+  void invoke(ObjectContext& ctx, Value v) override;
+  void onMessage(ObjectContext& ctx, ProcessId from,
+                 const Message& inner) override;
+  void onTick(ObjectContext& ctx, Tick tick) override;
+  std::optional<Outcome> result() const override { return outcome_; }
+
+  static DetectorFactory factory(std::size_t faultTolerance);
+
+ private:
+  std::size_t t_;
+  std::optional<Outcome> outcome_;
+  std::vector<bool> seen_;
+  std::array<std::size_t, 2> tally_{};
+};
+
+class QueenConciliator final : public Driver {
+ public:
+  explicit QueenConciliator(Round round);
+
+  void invoke(ObjectContext& ctx, const Outcome& detected) override;
+  void onMessage(ObjectContext& ctx, ProcessId from,
+                 const Message& inner) override;
+  void onTick(ObjectContext& ctx, Tick tick) override;
+  std::optional<Value> result() const override { return value_; }
+
+  static DriverFactory factory();
+
+  static ProcessId queenOf(Round round, std::size_t n) noexcept {
+    return static_cast<ProcessId>((round - 1) % n);
+  }
+
+ private:
+  Round round_;
+  Value fallback_ = 1;
+  std::optional<Value> value_;
+};
+
+/// Byzantine adversary for Phase-Queen runs: the 2-ticks-per-round
+/// calendar analogue of PhaseKingByzantine, sharing its strategy set.
+class PhaseQueenByzantine final : public Process {
+ public:
+  explicit PhaseQueenByzantine(ByzantineStrategy strategy);
+
+  void onStart() override;
+  void onMessage(ProcessId, const Message&) override {}
+  void onTick(Tick tick) override;
+
+ private:
+  void act(Tick tick);
+
+  ByzantineStrategy strategy_;
+};
+
+}  // namespace ooc::phaseking

@@ -1,0 +1,65 @@
+#include "raft/consensus.hpp"
+
+namespace ooc::raft {
+
+RaftConsensus::RaftConsensus(Value input, RaftConfig config)
+    : RaftProcess(config), input_(input) {}
+
+Value RaftConsensus::preferredValue() const noexcept {
+  return log().empty() ? input_ : log().back().command;
+}
+
+void RaftConsensus::record(Confidence confidence, Value value) {
+  if (!confidenceLog_.empty() &&
+      confidenceLog_.back().confidence == confidence &&
+      confidenceLog_.back().value == value &&
+      confidenceLog_.back().term == currentTerm()) {
+    return;  // no transition
+  }
+  confidenceLog_.push_back(
+      ConfidenceChange{currentTerm(), confidence, value, ctx().now()});
+}
+
+void RaftConsensus::onApply(LogIndex index, const LogEntry& entry) {
+  // D&S(v): decide on the first applied command, stop applying thereafter.
+  if (stopApplying_) return;
+  stopApplying_ = true;
+  (void)index;
+  decided_ = true;
+  decisionValue_ = entry.command;
+  ctx().decide(entry.command);
+}
+
+void RaftConsensus::onBecameLeader() {
+  // Algorithm 10: leadership won => (Adopt, log[lastLogIndex].value) BEFORE
+  // replicating; then Algorithm 7: replicate D&S(v*), proposing our own
+  // input if the log is empty. (submit() can commit immediately on a
+  // single-node cluster, so the adopt record must precede it.)
+  record(Confidence::kAdopt, preferredValue());
+  if (log().empty()) submit(input_);
+}
+
+void RaftConsensus::onEntriesAccepted() {
+  // AppendEntries of the first kind accepted: tentative knowledge that a
+  // majority-backed leader proposed this value.
+  record(Confidence::kAdopt, preferredValue());
+}
+
+void RaftConsensus::onCommitAdvanced() {
+  record(Confidence::kCommit, preferredValue());
+}
+
+void RaftConsensus::onElectionTimeout() {
+  // Algorithm 11 (reconciliator): reset timer, bump term, keep the last
+  // log value as the preference. The timer reset and term bump are done by
+  // the Raft machinery; here we account the invocation and fall back to
+  // vacillate: the processor has no evidence about the system state.
+  ++reconciliatorInvocations_;
+  record(Confidence::kVacillate, preferredValue());
+}
+
+void RaftConsensus::onRoleChanged(Role oldRole) {
+  (void)oldRole;
+}
+
+}  // namespace ooc::raft

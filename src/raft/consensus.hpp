@@ -1,0 +1,88 @@
+// Consensus via Raft with the single D&S(v) command (paper §4.3,
+// Algorithms 7–9), plus the paper's VAC/reconciliator instrumentation
+// (Algorithms 10–11).
+//
+// D&S(v) — "decide-and-stop-applying" — makes the replicated log a consensus
+// object: every node decides on the command in the FIRST log slot it
+// applies, and ignores everything after. Leader Completeness + Log Matching
+// guarantee all nodes apply the same first entry.
+//
+// The instrumentation records the paper's three per-term knowledge states:
+//   vacillate — no evidence a leader was chosen (term start / timeout);
+//   adopt     — accepted an AppendEntries of the first kind (tentative
+//               entry, commit index unchanged), or won leadership;
+//   commit    — the commit index advanced over the decided entry.
+// The reconciliator (Algorithm 11) is the election-timeout moment: reset
+// timer, bump term, keep the value in the last log slot. The recorded
+// transition log drives experiment E7.
+#pragma once
+
+#include <vector>
+
+#include "core/confidence.hpp"
+#include "raft/raft_process.hpp"
+
+namespace ooc::raft {
+
+class RaftConsensus : public RaftProcess {
+ public:
+  RaftConsensus(Value input, RaftConfig config);
+
+  bool decided() const noexcept { return decided_; }
+  Value decisionValue() const noexcept { return decisionValue_; }
+
+  /// One entry per confidence transition, in simulation order.
+  struct ConfidenceChange {
+    Term term = 0;
+    Confidence confidence = Confidence::kVacillate;
+    Value value = kNoValue;
+    Tick at = 0;
+  };
+  const std::vector<ConfidenceChange>& confidenceLog() const noexcept {
+    return confidenceLog_;
+  }
+  Confidence confidence() const noexcept {
+    return confidenceLog_.empty() ? Confidence::kVacillate
+                                  : confidenceLog_.back().confidence;
+  }
+  /// Reconciliator invocations (election timeouts) observed (Algorithm 11).
+  std::uint64_t reconciliatorInvocations() const noexcept {
+    return reconciliatorInvocations_;
+  }
+
+ protected:
+  void onApply(LogIndex index, const LogEntry& entry) override;
+  /// Snapshot support (only exercised when compaction is enabled): the
+  /// decision IS the state machine, so the payload is the decided value.
+  std::vector<Value> captureSnapshot() const override {
+    return decided_ ? std::vector<Value>{decisionValue_}
+                    : std::vector<Value>{};
+  }
+  void restoreSnapshot(const std::vector<Value>& state) override {
+    if (!state.empty() && !stopApplying_) {
+      stopApplying_ = true;
+      decided_ = true;
+      decisionValue_ = state.front();
+      ctx().decide(state.front());
+    }
+  }
+  void onBecameLeader() override;
+  void onEntriesAccepted() override;
+  void onCommitAdvanced() override;
+  void onElectionTimeout() override;
+  void onRoleChanged(Role oldRole) override;
+
+ private:
+  void record(Confidence confidence, Value value);
+  /// The paper's v* = log[lastLogIndex].value, falling back to the input.
+  Value preferredValue() const noexcept;
+
+  Value input_;
+  bool decided_ = false;
+  bool stopApplying_ = false;
+  Value decisionValue_ = kNoValue;
+  std::vector<ConfidenceChange> confidenceLog_;
+  std::uint64_t reconciliatorInvocations_ = 0;
+};
+
+}  // namespace ooc::raft

@@ -1,0 +1,85 @@
+#include "raft/decentralized.hpp"
+
+#include <stdexcept>
+
+namespace ooc::raft {
+
+DecentralizedRaftVac::DecentralizedRaftVac(std::size_t faultTolerance)
+    : t_(faultTolerance) {}
+
+void DecentralizedRaftVac::invoke(ObjectContext& ctx, Value v) {
+  if (2 * t_ >= ctx.processCount())
+    throw std::invalid_argument("decentralized raft requires t < n/2");
+  input_ = v;
+  proposalSeen_.assign(ctx.processCount(), false);
+  commitSeen_.assign(ctx.processCount(), false);
+  ctx.broadcast(DecProposeMessage(v));
+}
+
+void DecentralizedRaftVac::onMessage(ObjectContext& ctx, ProcessId from,
+                                     const Message& inner) {
+  if (outcome_) return;
+
+  if (const auto* propose = inner.as<DecProposeMessage>()) {
+    if (from >= proposalSeen_.size() || proposalSeen_[from]) return;
+    proposalSeen_[from] = true;
+    ++proposalCount_;
+    ++proposalTally_[propose->value];
+    maybeFinishProposals(ctx);
+    return;
+  }
+
+  if (const auto* commit = inner.as<DecCommitMessage>()) {
+    if (from >= commitSeen_.size() || commitSeen_[from]) return;
+    commitSeen_[from] = true;
+    ++commitPhaseCount_;
+    if (commit->commit) {
+      ++commitTally_[commit->value];
+      if (!anyCommitSeen_) anyCommitSeen_ = commit->value;
+    }
+    maybeFinish();
+  }
+}
+
+void DecentralizedRaftVac::maybeFinishProposals(ObjectContext& ctx) {
+  const std::size_t n = ctx.processCount();
+  if (commitPhaseSent_ || proposalCount_ < n - t_) return;
+  commitPhaseSent_ = true;
+
+  std::optional<Value> majority;
+  for (const auto& [value, count] : proposalTally_) {
+    if (2 * count > n) {
+      majority = value;
+      break;
+    }
+  }
+  ctx.broadcast(majority ? DecCommitMessage(true, *majority)
+                         : DecCommitMessage(false, kNoValue));
+  maybeFinish();
+}
+
+void DecentralizedRaftVac::maybeFinish() {
+  if (outcome_ || !commitPhaseSent_ ||
+      commitPhaseCount_ < proposalSeen_.size() - t_) {
+    return;
+  }
+  for (const auto& [value, count] : commitTally_) {
+    if (count > t_) {
+      outcome_ = Outcome{Confidence::kCommit, value};
+      return;
+    }
+  }
+  if (anyCommitSeen_) {
+    outcome_ = Outcome{Confidence::kAdopt, *anyCommitSeen_};
+    return;
+  }
+  outcome_ = Outcome{Confidence::kVacillate, input_};
+}
+
+DetectorFactory DecentralizedRaftVac::factory(std::size_t faultTolerance) {
+  return [faultTolerance](Round) {
+    return std::make_unique<DecentralizedRaftVac>(faultTolerance);
+  };
+}
+
+}  // namespace ooc::raft

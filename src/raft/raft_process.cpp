@@ -1,0 +1,370 @@
+#include "raft/raft_process.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace ooc::raft {
+
+RaftProcess::RaftProcess(RaftConfig config) : config_(config) {}
+
+void RaftProcess::onStart() {
+  votesGranted_.assign(ctx().processCount(), false);
+  nextIndex_.assign(ctx().processCount(), 1);
+  matchIndex_.assign(ctx().processCount(), 0);
+  resetElectionTimer();
+}
+
+// --- timers ----------------------------------------------------------------
+
+void RaftProcess::resetElectionTimer() {
+  if (electionTimer_ != 0) ctx().cancelTimer(electionTimer_);
+  const Tick timeout = static_cast<Tick>(ctx().rng().between(
+      static_cast<std::int64_t>(config_.electionTimeoutMin),
+      static_cast<std::int64_t>(config_.electionTimeoutMax)));
+  electionTimer_ = ctx().setTimer(timeout);
+}
+
+void RaftProcess::stopElectionTimer() {
+  if (electionTimer_ != 0) {
+    ctx().cancelTimer(electionTimer_);
+    electionTimer_ = 0;
+  }
+}
+
+void RaftProcess::startHeartbeatTimer() {
+  heartbeatTimer_ = ctx().setTimer(config_.heartbeatInterval);
+}
+
+void RaftProcess::onTimer(TimerId id) {
+  if (id == electionTimer_) {
+    electionTimer_ = 0;
+    onElectionTimeout();
+    becomeCandidate();
+    return;
+  }
+  if (id == heartbeatTimer_ && role_ == Role::kLeader) {
+    broadcastAppends();
+    startHeartbeatTimer();
+  }
+}
+
+// --- role transitions --------------------------------------------------------
+
+void RaftProcess::becomeFollower(Term term) {
+  const Role old = role_;
+  if (term > currentTerm_) {
+    currentTerm_ = term;
+    votedFor_.reset();
+  }
+  role_ = Role::kFollower;
+  resetElectionTimer();
+  if (old != Role::kFollower) {
+    OOC_DEBUG("raft p", ctx().self(), " -> follower (t=", currentTerm_, ")");
+    onRoleChanged(old);
+  }
+}
+
+void RaftProcess::becomeCandidate() {
+  const Role old = role_;
+  role_ = Role::kCandidate;
+  ++currentTerm_;
+  ++electionsStarted_;
+  votedFor_ = ctx().self();
+  std::fill(votesGranted_.begin(), votesGranted_.end(), false);
+  votesGranted_[ctx().self()] = true;
+  resetElectionTimer();
+  OOC_DEBUG("raft p", ctx().self(), " -> candidate (t=", currentTerm_, ")");
+  if (old != Role::kCandidate) onRoleChanged(old);
+
+  if (2 * 1 > ctx().processCount()) {  // single-node cluster wins instantly
+    becomeLeader();
+    return;
+  }
+  const RequestVote request(currentTerm_, ctx().self(), lastLogIndex(),
+                            lastLogTerm());
+  for (ProcessId peer = 0; peer < ctx().processCount(); ++peer) {
+    if (peer == ctx().self()) continue;
+    ctx().send(peer, request.clone());
+  }
+}
+
+void RaftProcess::becomeLeader() {
+  const Role old = role_;
+  role_ = Role::kLeader;
+  ++timesElectedLeader_;
+  stopElectionTimer();
+  std::fill(nextIndex_.begin(), nextIndex_.end(), lastLogIndex() + 1);
+  std::fill(matchIndex_.begin(), matchIndex_.end(), LogIndex{0});
+  matchIndex_[ctx().self()] = lastLogIndex();
+  OOC_DEBUG("raft p", ctx().self(), " -> LEADER (t=", currentTerm_, ")");
+  onRoleChanged(old);
+  onBecameLeader();
+  broadcastAppends();
+  startHeartbeatTimer();
+}
+
+// --- client ------------------------------------------------------------------
+
+bool RaftProcess::submit(Value command) {
+  if (role_ != Role::kLeader) return false;
+  log_.push_back(LogEntry{currentTerm_, command});
+  matchIndex_[ctx().self()] = lastLogIndex();
+  advanceCommitIndex();  // single-node clusters commit immediately
+  broadcastAppends();
+  return true;
+}
+
+// --- replication -------------------------------------------------------------
+
+void RaftProcess::sendAppendTo(ProcessId peer) {
+  const LogIndex next = nextIndex_[peer];
+  if (next <= snapshotIndex_) {
+    // The entries this follower needs were compacted away: ship the state
+    // machine as of lastApplied (>= snapshotIndex) instead.
+    ctx().send(peer, std::make_unique<InstallSnapshot>(
+                         currentTerm_, ctx().self(), lastApplied_,
+                         termAt(lastApplied_), captureSnapshot()));
+    return;
+  }
+  const LogIndex prevIndex = next - 1;
+  const Term prevTerm = prevIndex == 0 ? 0 : termAt(prevIndex);
+  std::vector<LogEntry> entries;
+  const LogIndex last = std::min<LogIndex>(
+      lastLogIndex(), prevIndex + config_.maxEntriesPerAppend);
+  for (LogIndex i = next; i <= last; ++i) entries.push_back(entryAt(i));
+  ctx().send(peer, std::make_unique<AppendEntries>(
+                       currentTerm_, ctx().self(), prevIndex, prevTerm,
+                       std::move(entries), commitIndex_));
+}
+
+void RaftProcess::broadcastAppends() {
+  for (ProcessId peer = 0; peer < ctx().processCount(); ++peer) {
+    if (peer == ctx().self()) continue;
+    sendAppendTo(peer);
+  }
+}
+
+void RaftProcess::advanceCommitIndex() {
+  // Find the highest N > commitIndex replicated on a majority with
+  // log[N].term == currentTerm (the Raft commit rule; committing only
+  // current-term entries is what makes Leader Completeness hold).
+  const std::size_t n = ctx().processCount();
+  for (LogIndex candidate = lastLogIndex(); candidate > commitIndex_;
+       --candidate) {
+    if (entryAt(candidate).term != currentTerm_) break;
+    std::size_t replicas = 0;
+    for (ProcessId peer = 0; peer < n; ++peer)
+      if (matchIndex_[peer] >= candidate) ++replicas;
+    if (2 * replicas > n) {
+      commitIndex_ = candidate;
+      applyCommitted();
+      onCommitAdvanced();
+      // Tell followers promptly so they can advance too (the "second kind"
+      // of AppendEntries — here an empty append carrying the new index).
+      broadcastAppends();
+      return;
+    }
+  }
+}
+
+void RaftProcess::applyCommitted() {
+  while (lastApplied_ < commitIndex_) {
+    ++lastApplied_;
+    onApply(lastApplied_, entryAt(lastApplied_));
+  }
+  maybeAutoCompact();
+}
+
+void RaftProcess::onApply(LogIndex, const LogEntry&) {}
+
+void RaftProcess::maybeAutoCompact() {
+  if (config_.compactionThreshold == 0) return;
+  if (lastApplied_ - snapshotIndex_ >= config_.compactionThreshold)
+    compactTo(lastApplied_);
+}
+
+void RaftProcess::compactTo(LogIndex upto) {
+  if (upto <= snapshotIndex_) return;  // already covered
+  if (upto > lastApplied_)
+    throw std::logic_error("cannot compact beyond the applied prefix");
+  const Term boundaryTerm = termAt(upto);
+  log_.erase(log_.begin(),
+             log_.begin() + static_cast<std::ptrdiff_t>(upto - snapshotIndex_));
+  snapshotIndex_ = upto;
+  snapshotTerm_ = boundaryTerm;
+  ++snapshotsTaken_;
+  OOC_DEBUG("raft p", ctx().self(), " compacted through ", upto);
+}
+
+// --- message dispatch ----------------------------------------------------------
+
+void RaftProcess::onMessage(ProcessId from, const Message& message) {
+  if (const auto* msg = message.as<RequestVote>()) {
+    handleRequestVote(from, *msg);
+  } else if (const auto* msg = message.as<RequestVoteReply>()) {
+    handleRequestVoteReply(from, *msg);
+  } else if (const auto* msg = message.as<AppendEntries>()) {
+    handleAppendEntries(from, *msg);
+  } else if (const auto* msg = message.as<AppendEntriesReply>()) {
+    handleAppendEntriesReply(from, *msg);
+  } else if (const auto* msg = message.as<InstallSnapshot>()) {
+    handleInstallSnapshot(from, *msg);
+  }
+}
+
+void RaftProcess::handleRequestVote(ProcessId from, const RequestVote& msg) {
+  if (msg.term > currentTerm_) becomeFollower(msg.term);
+  bool grant = false;
+  if (msg.term == currentTerm_ && role_ == Role::kFollower &&
+      (!votedFor_ || *votedFor_ == msg.candidate)) {
+    // Up-to-date check (election restriction, Raft §5.4.1).
+    const bool upToDate =
+        msg.lastLogTerm > lastLogTerm() ||
+        (msg.lastLogTerm == lastLogTerm() &&
+         msg.lastLogIndex >= lastLogIndex());
+    if (upToDate) {
+      grant = true;
+      votedFor_ = msg.candidate;
+      resetElectionTimer();
+    }
+  }
+  ctx().send(from,
+             std::make_unique<RequestVoteReply>(currentTerm_, grant));
+}
+
+void RaftProcess::handleRequestVoteReply(ProcessId from,
+                                         const RequestVoteReply& msg) {
+  if (msg.term > currentTerm_) {
+    becomeFollower(msg.term);
+    return;
+  }
+  if (role_ != Role::kCandidate || msg.term != currentTerm_ || !msg.granted)
+    return;
+  votesGranted_[from] = true;
+  const auto votes = static_cast<std::size_t>(
+      std::count(votesGranted_.begin(), votesGranted_.end(), true));
+  if (2 * votes > ctx().processCount()) becomeLeader();
+}
+
+void RaftProcess::handleAppendEntries(ProcessId from,
+                                      const AppendEntries& msg) {
+  if (msg.term < currentTerm_) {
+    ctx().send(from, std::make_unique<AppendEntriesReply>(currentTerm_,
+                                                          false, 0));
+    return;
+  }
+  // Valid leader for our term (or newer): follow it.
+  if (msg.term > currentTerm_ || role_ != Role::kFollower) {
+    becomeFollower(msg.term);
+  } else {
+    resetElectionTimer();
+  }
+
+  // Consistency check: our log must contain prevLogIndex with prevLogTerm.
+  // Indices at or below our snapshot are committed state and definitionally
+  // consistent (Leader Completeness: a legitimate leader agrees on them).
+  if (msg.prevLogIndex > lastLogIndex() ||
+      (msg.prevLogIndex > snapshotIndex_ &&
+       entryAt(msg.prevLogIndex).term != msg.prevLogTerm)) {
+    ctx().send(from, std::make_unique<AppendEntriesReply>(currentTerm_,
+                                                          false, 0));
+    return;
+  }
+
+  // Append new entries, removing conflicting suffixes.
+  bool appended = false;
+  LogIndex index = msg.prevLogIndex;
+  for (const LogEntry& entry : msg.entries) {
+    ++index;
+    if (index <= snapshotIndex_) continue;  // covered by our snapshot
+    if (index <= lastLogIndex()) {
+      if (entryAt(index).term == entry.term) continue;  // already have it
+      // Conflict: drop it and everything after.
+      log_.resize(index - snapshotIndex_ - 1);
+    }
+    log_.push_back(entry);
+    appended = true;
+  }
+  if (appended) onEntriesAccepted();
+
+  if (msg.leaderCommit > commitIndex_) {
+    commitIndex_ = std::min<LogIndex>(msg.leaderCommit, lastLogIndex());
+    applyCommitted();
+    onCommitAdvanced();
+  }
+  ctx().send(from, std::make_unique<AppendEntriesReply>(
+                       currentTerm_, true,
+                       std::min<LogIndex>(index, lastLogIndex())));
+}
+
+void RaftProcess::handleAppendEntriesReply(ProcessId from,
+                                           const AppendEntriesReply& msg) {
+  if (msg.term > currentTerm_) {
+    becomeFollower(msg.term);
+    return;
+  }
+  if (role_ != Role::kLeader || msg.term != currentTerm_) return;
+
+  if (!msg.success) {
+    // Backtrack and retry with an earlier prefix (Figure 2's NextIndex
+    // decrement loop).
+    if (nextIndex_[from] > 1) --nextIndex_[from];
+    sendAppendTo(from);
+    return;
+  }
+  matchIndex_[from] = std::max(matchIndex_[from], msg.matchIndex);
+  nextIndex_[from] = matchIndex_[from] + 1;
+  advanceCommitIndex();
+  // Keep pushing if the follower still trails.
+  if (nextIndex_[from] <= lastLogIndex()) sendAppendTo(from);
+}
+
+void RaftProcess::handleInstallSnapshot(ProcessId from,
+                                        const InstallSnapshot& msg) {
+  if (msg.term < currentTerm_) {
+    ctx().send(from, std::make_unique<AppendEntriesReply>(currentTerm_,
+                                                          false, 0));
+    return;
+  }
+  if (msg.term > currentTerm_ || role_ != Role::kFollower) {
+    becomeFollower(msg.term);
+  } else {
+    resetElectionTimer();
+  }
+
+  if (msg.lastIncludedIndex <= commitIndex_ ||
+      msg.lastIncludedIndex <= snapshotIndex_) {
+    // Stale or duplicate: we already hold this prefix as committed data.
+    ctx().send(from, std::make_unique<AppendEntriesReply>(
+                         currentTerm_, true, msg.lastIncludedIndex));
+    return;
+  }
+
+  // Retain any consistent suffix beyond the snapshot; otherwise drop the
+  // whole log and start from the snapshot boundary.
+  if (msg.lastIncludedIndex < lastLogIndex() &&
+      msg.lastIncludedIndex > snapshotIndex_ &&
+      entryAt(msg.lastIncludedIndex).term == msg.lastIncludedTerm) {
+    log_.erase(log_.begin(),
+               log_.begin() + static_cast<std::ptrdiff_t>(
+                                  msg.lastIncludedIndex - snapshotIndex_));
+  } else {
+    log_.clear();
+  }
+  restoreSnapshot(msg.state);
+  snapshotIndex_ = msg.lastIncludedIndex;
+  snapshotTerm_ = msg.lastIncludedTerm;
+  commitIndex_ = std::max(commitIndex_, snapshotIndex_);
+  lastApplied_ = snapshotIndex_;
+  ++snapshotsInstalled_;
+  OOC_DEBUG("raft p", ctx().self(), " installed snapshot through ",
+            snapshotIndex_);
+  applyCommitted();  // in case commitIndex advanced past the snapshot
+  onCommitAdvanced();
+  ctx().send(from, std::make_unique<AppendEntriesReply>(currentTerm_, true,
+                                                        snapshotIndex_));
+}
+
+}  // namespace ooc::raft

@@ -1,0 +1,155 @@
+// A complete Raft node (paper §4.3; Ongaro & Ousterhout 2014).
+//
+// Implements leader election with randomized timeouts, log replication with
+// the AppendEntries consistency check and NextIndex backtracking,
+// commit-index advancement restricted to current-term entries, and in-order
+// application to the state machine. Together these give the three
+// properties the paper leans on: Leader Completeness, State Machine Safety
+// and Log Matching.
+//
+// Fault surface: the simulator provides crashes (permanent), message delay,
+// loss, duplication and partitions. Terms make all of it safe; the
+// randomized election timer provides liveness once the paper's timing
+// property (broadcast time << election timeout << MTBF) holds.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "raft/messages.hpp"
+#include "raft/types.hpp"
+#include "sim/process.hpp"
+
+namespace ooc::raft {
+
+class RaftProcess : public Process {
+ public:
+  explicit RaftProcess(RaftConfig config);
+
+  // --- client API ----------------------------------------------------------
+  /// Appends a command if this node currently leads; returns whether it did.
+  bool submit(Value command);
+
+  // --- inspection ----------------------------------------------------------
+  Role role() const noexcept { return role_; }
+  Term currentTerm() const noexcept { return currentTerm_; }
+  LogIndex commitIndex() const noexcept { return commitIndex_; }
+  LogIndex lastApplied() const noexcept { return lastApplied_; }
+  LogIndex lastLogIndex() const noexcept {
+    return snapshotIndex_ + log_.size();
+  }
+  /// Retained suffix: entries with indices (snapshotIndex, lastLogIndex].
+  const std::vector<LogEntry>& log() const noexcept { return log_; }
+  /// Highest index covered by the local snapshot (0 = none).
+  LogIndex snapshotIndex() const noexcept { return snapshotIndex_; }
+  std::uint64_t snapshotsInstalled() const noexcept {
+    return snapshotsInstalled_;
+  }
+  std::uint64_t snapshotsTaken() const noexcept { return snapshotsTaken_; }
+  std::uint64_t electionsStarted() const noexcept {
+    return electionsStarted_;
+  }
+  std::uint64_t timesElectedLeader() const noexcept {
+    return timesElectedLeader_;
+  }
+
+  // --- Process interface ---------------------------------------------------
+  void onStart() override;
+  void onMessage(ProcessId from, const Message& message) override;
+  void onTimer(TimerId id) override;
+
+ protected:
+  /// Applied in log order, exactly once per index (State Machine Safety).
+  virtual void onApply(LogIndex index, const LogEntry& entry);
+  /// This node just won an election for currentTerm().
+  virtual void onBecameLeader() {}
+  /// A follower accepted new entries (the paper's "first kind" of
+  /// AppendEntries — tentative, not yet covered by the commit index).
+  virtual void onEntriesAccepted() {}
+  /// commitIndex advanced (the paper's "second kind").
+  virtual void onCommitAdvanced() {}
+  /// Role transition hook (old role passed; new role via role()).
+  virtual void onRoleChanged(Role /*oldRole*/) {}
+  /// The election timer fired and a new election is about to start — the
+  /// template decomposition's reconciliator moment (Algorithm 11).
+  virtual void onElectionTimeout() {}
+
+  /// Snapshot support: serialize the state machine as applied through
+  /// lastApplied() (opaque payload shipped in InstallSnapshot), and restore
+  /// from such a payload. Subclasses with state must override both;
+  /// the defaults carry no state (fine for the single-command consensus
+  /// usage, whose decision hook re-fires via onCommitAdvanced).
+  virtual std::vector<Value> captureSnapshot() const { return {}; }
+  virtual void restoreSnapshot(const std::vector<Value>& /*state*/) {}
+
+  /// Discards applied entries up to `upto` (must be <= lastApplied) after
+  /// capturing a snapshot. Invoked automatically per
+  /// RaftConfig::compactionThreshold; callable manually.
+  void compactTo(LogIndex upto);
+
+  const RaftConfig& config() const noexcept { return config_; }
+
+ private:
+  Term lastLogTerm() const noexcept {
+    return log_.empty() ? snapshotTerm_ : log_.back().term;
+  }
+  /// Term of `index`, which may be the snapshot boundary.
+  Term termAt(LogIndex index) const {
+    return index == snapshotIndex_ ? snapshotTerm_ : entryAt(index).term;
+  }
+  const LogEntry& entryAt(LogIndex index) const {
+    return log_[index - snapshotIndex_ - 1];
+  }
+
+  void becomeFollower(Term term);
+  void becomeCandidate();
+  void becomeLeader();
+  void resetElectionTimer();
+  void stopElectionTimer();
+  void startHeartbeatTimer();
+  void sendAppendTo(ProcessId peer);
+  void broadcastAppends();
+  void advanceCommitIndex();
+  void applyCommitted();
+
+  void handleRequestVote(ProcessId from, const RequestVote& msg);
+  void handleRequestVoteReply(ProcessId from, const RequestVoteReply& msg);
+  void handleAppendEntries(ProcessId from, const AppendEntries& msg);
+  void handleAppendEntriesReply(ProcessId from,
+                                const AppendEntriesReply& msg);
+  void handleInstallSnapshot(ProcessId from, const InstallSnapshot& msg);
+  void maybeAutoCompact();
+
+  RaftConfig config_;
+
+  // Persistent state (in the paper's sense; our nodes never restart, so it
+  // lives in memory).
+  Term currentTerm_ = 0;
+  std::optional<ProcessId> votedFor_;
+  std::vector<LogEntry> log_;
+  LogIndex snapshotIndex_ = 0;
+  Term snapshotTerm_ = 0;
+  std::uint64_t snapshotsTaken_ = 0;
+  std::uint64_t snapshotsInstalled_ = 0;
+
+  // Volatile state.
+  Role role_ = Role::kFollower;
+  LogIndex commitIndex_ = 0;
+  LogIndex lastApplied_ = 0;
+
+  // Candidate state.
+  std::vector<bool> votesGranted_;
+
+  // Leader state (reinitialized on every election win).
+  std::vector<LogIndex> nextIndex_;
+  std::vector<LogIndex> matchIndex_;
+
+  TimerId electionTimer_ = 0;
+  TimerId heartbeatTimer_ = 0;
+
+  std::uint64_t electionsStarted_ = 0;
+  std::uint64_t timesElectedLeader_ = 0;
+};
+
+}  // namespace ooc::raft

@@ -1,0 +1,53 @@
+// Core Raft types (paper §4.3; Ongaro & Ousterhout 2014).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace ooc::raft {
+
+using Term = std::uint64_t;
+/// Log indices are 1-based as in the Raft paper; 0 means "none".
+using LogIndex = std::uint64_t;
+
+enum class Role : unsigned char { kFollower, kCandidate, kLeader };
+
+inline const char* toString(Role role) noexcept {
+  switch (role) {
+    case Role::kFollower: return "follower";
+    case Role::kCandidate: return "candidate";
+    case Role::kLeader: return "leader";
+  }
+  return "?";
+}
+
+/// One log slot: a command and the term in which the leader received it.
+/// In the paper's consensus usage, every command is D&S(v) — "decide v and
+/// stop applying" — so the command payload is just the value.
+struct LogEntry {
+  Term term = 0;
+  Value command = kNoValue;
+
+  friend bool operator==(const LogEntry&, const LogEntry&) = default;
+};
+
+struct RaftConfig {
+  /// Election timeout is drawn uniformly from [min, max] ticks. The paper's
+  /// timing property needs broadcastTime << electionTimeout; with unit-ish
+  /// message delays the defaults satisfy it comfortably.
+  Tick electionTimeoutMin = 150;
+  Tick electionTimeoutMax = 300;
+  /// Leader heartbeat / replication retry period.
+  Tick heartbeatInterval = 40;
+  /// Cap on entries shipped per AppendEntries (backtracking resends more).
+  std::size_t maxEntriesPerAppend = 64;
+  /// Log compaction: when the applied prefix beyond the last snapshot
+  /// reaches this many entries, the node snapshots its state machine and
+  /// discards the prefix; followers that lag past the snapshot are caught
+  /// up via InstallSnapshot. 0 disables compaction.
+  std::uint64_t compactionThreshold = 0;
+};
+
+}  // namespace ooc::raft

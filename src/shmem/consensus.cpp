@@ -1,0 +1,86 @@
+#include "shmem/consensus.hpp"
+
+#include <stdexcept>
+
+namespace ooc::shmem {
+
+ShmemConsensus::ShmemConsensus(SharedArena& arena, Value input,
+                               double writeProbability, std::uint64_t seed,
+                               Round maxRounds)
+    : arena_(arena),
+      value_(input),
+      writeProbability_(writeProbability),
+      rng_(seed),
+      maxRounds_(maxRounds) {
+  if (input != 0 && input != 1)
+    throw std::invalid_argument("shared-memory consensus is binary");
+}
+
+bool ShmemConsensus::step() {
+  ++steps_;
+  RoundRegisters& regs = arena_.round(round_);
+
+  switch (pc_) {
+    case Pc::kAcAnnounce:
+      regs.first.announce[static_cast<std::size_t>(value_)] = true;
+      pc_ = Pc::kAcReadDirection;
+      return false;
+
+    case Pc::kAcReadDirection:
+      if (regs.first.direction) {
+        direction_ = *regs.first.direction;
+        pc_ = Pc::kAcCheckConflict;
+      } else {
+        pc_ = Pc::kAcWriteDirection;
+      }
+      return false;
+
+    case Pc::kAcWriteDirection:
+      regs.first.direction = value_;
+      direction_ = value_;
+      pc_ = Pc::kAcCheckConflict;
+      return false;
+
+    case Pc::kAcCheckConflict: {
+      const bool conflict =
+          regs.first.announce[static_cast<std::size_t>(1 - direction_)];
+      const Outcome outcome{
+          conflict ? Confidence::kAdopt : Confidence::kCommit, direction_};
+      acOutcomes_.emplace(round_, outcome);
+      value_ = direction_;
+      if (!conflict) {
+        decided_ = true;
+        decision_ = direction_;
+        pc_ = Pc::kDone;
+        return true;
+      }
+      pc_ = Pc::kConcRead;
+      return false;
+    }
+
+    case Pc::kConcRead:
+      if (regs.race) {
+        value_ = *regs.race;
+        if (round_ >= maxRounds_) {
+          pc_ = Pc::kDone;
+          return true;
+        }
+        ++round_;
+        pc_ = Pc::kAcAnnounce;
+      } else {
+        pc_ = Pc::kConcMaybeWrite;
+      }
+      return false;
+
+    case Pc::kConcMaybeWrite:
+      if (rng_.chance(writeProbability_)) regs.race = value_;
+      pc_ = Pc::kConcRead;
+      return false;
+
+    case Pc::kDone:
+      return true;
+  }
+  return true;
+}
+
+}  // namespace ooc::shmem

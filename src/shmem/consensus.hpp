@@ -1,0 +1,117 @@
+// Aspnes' framework in its native shared-memory model (paper [2], the
+// framework this paper extends): binary consensus as rounds of a
+// register-based adopt-commit followed by a probabilistic-write conciliator
+// (Algorithm 2's loop), with each register operation one atomic step.
+//
+// Adopt-commit (multi-writer registers announce[2], direction):
+//   AC_m(v):
+//     announce[v] <- true                       (one step)
+//     d <- direction                            (one step)
+//     if d = bot: direction <- v; d <- v        (one step, skipped if set)
+//     if announce[1-d] = false: return (commit, d)   (one step)
+//     else:                     return (adopt,  d)
+//
+// Correctness sketch (full argument in tests/shmem_test.cpp): if P commits
+// d it read announce[1-d] = false at a time when direction was already
+// non-bot; any process that could return 1-d must have announced 1-d before
+// reading direction as bot, which would have been visible to P — so every
+// returned value is d. Unanimous inputs never set announce[1-v], giving
+// convergence.
+//
+// Conciliator (register race, Aspnes 2012 probabilistic-write):
+//   C_m(v):
+//     loop: r <- race (one step); if r != bot: return r
+//           with probability p: race <- v (one step); (re-read next loop)
+//
+// With probability > 0 exactly one write lands before any read, in which
+// case all processes return the same value — probabilistic agreement.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "core/confidence.hpp"
+#include "shmem/executor.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace ooc::shmem {
+
+/// Registers of one adopt-commit instance.
+struct AcRegisters {
+  std::array<bool, 2> announce{false, false};
+  std::optional<Value> direction;
+};
+
+/// Per-round shared registers. The simulator is single-threaded, so plain
+/// members model atomic registers exactly (each access happens inside one
+/// scheduler step). The AC consensus loop uses `first` + `race`; the VAC
+/// loop (vac_consensus.hpp) chains `first` and `second` per the paper's
+/// §5 two-AC construction.
+struct RoundRegisters {
+  AcRegisters first;
+  AcRegisters second;
+  std::optional<Value> race;
+};
+
+/// The shared memory: lazily materialized per-round register banks.
+class SharedArena {
+ public:
+  RoundRegisters& round(Round m) { return rounds_[m]; }
+  const std::map<Round, RoundRegisters>& all() const noexcept {
+    return rounds_;
+  }
+
+ private:
+  std::map<Round, RoundRegisters> rounds_;
+};
+
+/// One processor running the AC + conciliator consensus loop. Binary
+/// values only ({0,1}), as in the framework's presentation.
+class ShmemConsensus final : public StepProcess {
+ public:
+  /// `writeProbability` is the conciliator's per-iteration write chance
+  /// (Aspnes suggests Theta(1/n); experiments sweep it).
+  ShmemConsensus(SharedArena& arena, Value input, double writeProbability,
+                 std::uint64_t seed, Round maxRounds = 100000);
+
+  bool step() override;
+
+  bool decided() const noexcept { return decided_; }
+  Value decisionValue() const noexcept { return decision_; }
+  Round currentRound() const noexcept { return round_; }
+  std::uint64_t stepsTaken() const noexcept { return steps_; }
+  /// Outcomes observed from each round's AC, for property auditing.
+  const std::map<Round, Outcome>& acOutcomes() const noexcept {
+    return acOutcomes_;
+  }
+
+ private:
+  enum class Pc {
+    kAcAnnounce,
+    kAcReadDirection,
+    kAcWriteDirection,
+    kAcCheckConflict,
+    kConcRead,
+    kConcMaybeWrite,
+    kDone,
+  };
+
+  SharedArena& arena_;
+  Value value_;
+  double writeProbability_;
+  Rng rng_;
+  Round maxRounds_;
+
+  Pc pc_ = Pc::kAcAnnounce;
+  Round round_ = 1;
+  Value direction_ = kNoValue;
+  bool decided_ = false;
+  Value decision_ = kNoValue;
+  std::uint64_t steps_ = 0;
+  std::map<Round, Outcome> acOutcomes_;
+};
+
+}  // namespace ooc::shmem

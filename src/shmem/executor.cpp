@@ -1,0 +1,73 @@
+#include "shmem/executor.hpp"
+
+#include <algorithm>
+
+namespace ooc::shmem {
+
+const char* toString(SchedulePolicy policy) noexcept {
+  switch (policy) {
+    case SchedulePolicy::kRoundRobin: return "round-robin";
+    case SchedulePolicy::kRandom: return "random";
+    case SchedulePolicy::kSkewed: return "skewed";
+  }
+  return "?";
+}
+
+StepScheduler::StepScheduler(SchedulePolicy policy, std::uint64_t seed)
+    : policy_(policy), rng_(seed) {}
+
+void StepScheduler::add(StepProcess& process) {
+  processes_.push_back(&process);
+  done_.push_back(false);
+}
+
+bool StepScheduler::allDone() const noexcept {
+  return std::all_of(done_.begin(), done_.end(), [](bool d) { return d; });
+}
+
+std::uint64_t StepScheduler::run(std::uint64_t maxSteps) {
+  std::uint64_t steps = 0;
+  std::size_t cursor = 0;
+
+  auto pickRandomLive = [&]() -> std::size_t {
+    // Count live processes, then select uniformly among them.
+    std::size_t live = 0;
+    for (bool d : done_) live += d ? 0 : 1;
+    std::size_t target = static_cast<std::size_t>(rng_.below(live));
+    for (std::size_t i = 0; i < processes_.size(); ++i) {
+      if (done_[i]) continue;
+      if (target == 0) return i;
+      --target;
+    }
+    return 0;  // unreachable while any process is live
+  };
+
+  while (!allDone() && steps < maxSteps) {
+    std::size_t chosen = 0;
+    switch (policy_) {
+      case SchedulePolicy::kRoundRobin: {
+        while (done_[cursor % processes_.size()]) ++cursor;
+        chosen = cursor % processes_.size();
+        ++cursor;
+        break;
+      }
+      case SchedulePolicy::kRandom:
+        chosen = pickRandomLive();
+        break;
+      case SchedulePolicy::kSkewed: {
+        if (rng_.chance(0.5)) {
+          chosen = 0;
+          while (done_[chosen]) ++chosen;
+        } else {
+          chosen = pickRandomLive();
+        }
+        break;
+      }
+    }
+    done_[chosen] = processes_[chosen]->step();
+    ++steps;
+  }
+  return steps;
+}
+
+}  // namespace ooc::shmem

@@ -1,0 +1,66 @@
+// Shared-memory execution model for Aspnes' original framework (paper [2]).
+//
+// Wait-free shared-memory algorithms are sequences of atomic register
+// operations interleaved by an adversarial scheduler. The executor models
+// exactly that: each StepProcess::step() performs ONE shared-memory
+// operation, and the scheduler decides whose step runs next. Determinism
+// comes from the seeded scheduler; adversarial behaviour from the policy.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace ooc::shmem {
+
+/// A process whose execution is divided into atomic shared-memory steps.
+class StepProcess {
+ public:
+  StepProcess() = default;
+  StepProcess(const StepProcess&) = delete;
+  StepProcess& operator=(const StepProcess&) = delete;
+  virtual ~StepProcess() = default;
+
+  /// Executes one atomic step. Returns true when the process has finished
+  /// (further calls are not made).
+  virtual bool step() = 0;
+};
+
+/// Interleaving policies.
+enum class SchedulePolicy {
+  /// Fair round-robin over unfinished processes.
+  kRoundRobin,
+  /// Uniformly random unfinished process each step.
+  kRandom,
+  /// Adversarial flavour: with probability 1/2 runs the lowest-id
+  /// unfinished process, otherwise a random one — starves high ids and
+  /// creates long solo runs, the bad case for probabilistic protocols.
+  kSkewed,
+};
+
+const char* toString(SchedulePolicy policy) noexcept;
+
+/// Runs the processes to completion (or a step cap) under a policy.
+class StepScheduler {
+ public:
+  StepScheduler(SchedulePolicy policy, std::uint64_t seed);
+
+  void add(StepProcess& process);
+
+  /// Runs until every process finished or `maxSteps` were executed.
+  /// Returns the number of steps executed.
+  std::uint64_t run(std::uint64_t maxSteps = 10'000'000);
+
+  bool allDone() const noexcept;
+
+ private:
+  SchedulePolicy policy_;
+  Rng rng_;
+  std::vector<StepProcess*> processes_;
+  std::vector<bool> done_;
+};
+
+}  // namespace ooc::shmem

@@ -1,0 +1,122 @@
+#include "shmem/vac_consensus.hpp"
+
+#include <stdexcept>
+
+namespace ooc::shmem {
+
+ShmemVacConsensus::ShmemVacConsensus(SharedArena& arena, Value input,
+                                     double writeProbability,
+                                     std::uint64_t seed, Round maxRounds)
+    : arena_(arena),
+      value_(input),
+      writeProbability_(writeProbability),
+      rng_(seed),
+      maxRounds_(maxRounds) {
+  if (input != 0 && input != 1)
+    throw std::invalid_argument("shared-memory consensus is binary");
+}
+
+AcRegisters& ShmemVacConsensus::bank() {
+  RoundRegisters& regs = arena_.round(round_);
+  return acIndex_ == 0 ? regs.first : regs.second;
+}
+
+void ShmemVacConsensus::finishVac(Confidence c1, Confidence c2) {
+  Confidence level = Confidence::kVacillate;
+  if (c2 == Confidence::kCommit) {
+    level = c1 == Confidence::kCommit ? Confidence::kCommit
+                                      : Confidence::kAdopt;
+  }
+  vacOutcomes_.emplace(round_, Outcome{level, value_});
+
+  if (level == Confidence::kCommit) {
+    decided_ = true;
+    decision_ = value_;
+    pc_ = Pc::kDone;
+    return;
+  }
+  if (level == Confidence::kAdopt) {
+    // Keep u2 (already in value_) and start the next round.
+    if (round_ >= maxRounds_) {
+      pc_ = Pc::kDone;
+      return;
+    }
+    ++round_;
+    acIndex_ = 0;
+    pc_ = Pc::kAnnounce;
+    return;
+  }
+  pc_ = Pc::kConcRead;  // vacillate: reconcile
+}
+
+bool ShmemVacConsensus::step() {
+  ++steps_;
+
+  switch (pc_) {
+    case Pc::kAnnounce:
+      bank().announce[static_cast<std::size_t>(value_)] = true;
+      pc_ = Pc::kReadDirection;
+      return false;
+
+    case Pc::kReadDirection:
+      if (bank().direction) {
+        direction_ = *bank().direction;
+        pc_ = Pc::kCheckConflict;
+      } else {
+        pc_ = Pc::kWriteDirection;
+      }
+      return false;
+
+    case Pc::kWriteDirection:
+      bank().direction = value_;
+      direction_ = value_;
+      pc_ = Pc::kCheckConflict;
+      return false;
+
+    case Pc::kCheckConflict: {
+      const bool conflict =
+          bank().announce[static_cast<std::size_t>(1 - direction_)];
+      const Confidence confidence =
+          conflict ? Confidence::kAdopt : Confidence::kCommit;
+      value_ = direction_;
+      if (acIndex_ == 0) {
+        // Chain into the round's second AC with u1 as input.
+        firstConfidence_ = confidence;
+        acIndex_ = 1;
+        pc_ = Pc::kAnnounce;
+      } else {
+        finishVac(firstConfidence_, confidence);
+      }
+      return pc_ == Pc::kDone;
+    }
+
+    case Pc::kConcRead: {
+      RoundRegisters& regs = arena_.round(round_);
+      if (regs.race) {
+        value_ = *regs.race;
+        if (round_ >= maxRounds_) {
+          pc_ = Pc::kDone;
+          return true;
+        }
+        ++round_;
+        acIndex_ = 0;
+        pc_ = Pc::kAnnounce;
+      } else {
+        pc_ = Pc::kConcMaybeWrite;
+      }
+      return false;
+    }
+
+    case Pc::kConcMaybeWrite:
+      if (rng_.chance(writeProbability_))
+        arena_.round(round_).race = value_;
+      pc_ = Pc::kConcRead;
+      return false;
+
+    case Pc::kDone:
+      return true;
+  }
+  return true;
+}
+
+}  // namespace ooc::shmem

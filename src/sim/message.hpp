@@ -1,0 +1,44 @@
+// Message abstraction for the simulated message-passing network.
+//
+// Protocol messages are ordinary structs deriving from Message via the CRTP
+// helper MessageBase, which supplies cloning (needed for broadcast fan-out
+// and duplication faults). Receivers downcast with Message::as<T>() — a
+// checked dynamic_cast — and must treat every field as untrusted, since a
+// Byzantine sender can put anything in them.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace ooc {
+
+class Message {
+ public:
+  Message() = default;
+  Message(const Message&) = default;
+  Message& operator=(const Message&) = default;
+  virtual ~Message() = default;
+
+  /// Deep copy; used by broadcast and by duplication faults.
+  virtual std::unique_ptr<Message> clone() const = 0;
+
+  /// Human-readable rendering for traces and logs.
+  virtual std::string describe() const = 0;
+
+  /// Checked downcast; returns nullptr when the payload is another type.
+  template <typename T>
+  const T* as() const noexcept {
+    return dynamic_cast<const T*>(this);
+  }
+};
+
+/// CRTP base implementing clone() for a concrete message type.
+template <typename Derived>
+class MessageBase : public Message {
+ public:
+  std::unique_ptr<Message> clone() const override {
+    return std::make_unique<Derived>(static_cast<const Derived&>(*this));
+  }
+};
+
+}  // namespace ooc

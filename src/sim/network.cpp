@@ -1,0 +1,48 @@
+#include "sim/network.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ooc {
+
+UniformDelayNetwork::UniformDelayNetwork(Options options)
+    : options_(options) {
+  if (options_.minDelay < 1)
+    throw std::invalid_argument("minDelay must be >= 1 tick");
+  if (options_.maxDelay < options_.minDelay)
+    throw std::invalid_argument("maxDelay must be >= minDelay");
+}
+
+void UniformDelayNetwork::plan(ProcessId, ProcessId, Tick, Rng& rng,
+                               std::vector<Tick>& delaysOut) {
+  if (rng.chance(options_.dropProbability)) return;
+  auto draw = [&] {
+    return static_cast<Tick>(
+        rng.between(static_cast<std::int64_t>(options_.minDelay),
+                    static_cast<std::int64_t>(options_.maxDelay)));
+  };
+  delaysOut.push_back(draw());
+  if (rng.chance(options_.duplicateProbability)) delaysOut.push_back(draw());
+}
+
+PartitionedNetwork::PartitionedNetwork(std::unique_ptr<NetworkModel> base)
+    : base_(std::move(base)) {
+  if (!base_) throw std::invalid_argument("base network model is required");
+}
+
+void PartitionedNetwork::setPartition(std::vector<int> groupOf) {
+  groupOf_ = std::move(groupOf);
+}
+
+void PartitionedNetwork::clearPartition() noexcept { groupOf_.clear(); }
+
+void PartitionedNetwork::plan(ProcessId from, ProcessId to, Tick now,
+                              Rng& rng, std::vector<Tick>& delaysOut) {
+  if (!groupOf_.empty() && from < groupOf_.size() && to < groupOf_.size() &&
+      groupOf_[from] != groupOf_[to]) {
+    return;  // severed link
+  }
+  base_->plan(from, to, now, rng, delaysOut);
+}
+
+}  // namespace ooc

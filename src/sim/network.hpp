@@ -1,0 +1,79 @@
+// Network models: they decide, per message, when (and whether, and how many
+// times) it is delivered. Synchrony is a network model here, not a separate
+// engine — the synchronous protocols additionally use the simulator's
+// lockstep tick barriers.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace ooc {
+
+/// Strategy deciding message fate. plan() appends one delay per delivery of
+/// the message (zero entries = dropped, two or more = duplicated). Delays
+/// must be >= 1 tick so causality within a tick is never violated.
+class NetworkModel {
+ public:
+  virtual ~NetworkModel() = default;
+  virtual void plan(ProcessId from, ProcessId to, Tick now, Rng& rng,
+                    std::vector<Tick>& delaysOut) = 0;
+};
+
+/// Reliable unit-delay network: the synchronous model of the Phase-King
+/// sections of the paper. Every message sent at tick T arrives at T+1.
+class SynchronousNetwork final : public NetworkModel {
+ public:
+  void plan(ProcessId, ProcessId, Tick, Rng&,
+            std::vector<Tick>& delaysOut) override {
+    delaysOut.push_back(1);
+  }
+};
+
+/// Asynchronous network with uniformly random per-message delays and
+/// optional loss and duplication. With dropProbability = 0 it models the
+/// reliable asynchronous network assumed by Ben-Or.
+class UniformDelayNetwork final : public NetworkModel {
+ public:
+  struct Options {
+    Tick minDelay = 1;
+    Tick maxDelay = 10;
+    double dropProbability = 0.0;
+    double duplicateProbability = 0.0;
+  };
+
+  explicit UniformDelayNetwork(Options options);
+
+  void plan(ProcessId from, ProcessId to, Tick now, Rng& rng,
+            std::vector<Tick>& delaysOut) override;
+
+ private:
+  Options options_;
+};
+
+/// Wraps a base model with a mutable process partition: messages crossing
+/// group boundaries are dropped. Groups are changed at runtime through
+/// setPartition/clearPartition (typically from Simulator::schedule hooks),
+/// which is how the Raft experiments create and heal network splits.
+class PartitionedNetwork final : public NetworkModel {
+ public:
+  explicit PartitionedNetwork(std::unique_ptr<NetworkModel> base);
+
+  /// groupOf[p] = partition id of process p. Sizes the network to
+  /// groupOf.size() processes.
+  void setPartition(std::vector<int> groupOf);
+  void clearPartition() noexcept;
+  bool partitioned() const noexcept { return !groupOf_.empty(); }
+
+  void plan(ProcessId from, ProcessId to, Tick now, Rng& rng,
+            std::vector<Tick>& delaysOut) override;
+
+ private:
+  std::unique_ptr<NetworkModel> base_;
+  std::vector<int> groupOf_;  // empty = fully connected
+};
+
+}  // namespace ooc

@@ -1,0 +1,320 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace ooc {
+
+// ---------------------------------------------------------------------------
+// Events
+
+struct Simulator::Event {
+  enum class Kind { kStart, kDeliver, kTimer, kControl, kBarrier };
+
+  Tick at = 0;
+  // Barriers sort after all normal events of the same tick.
+  int phase = 0;
+  std::uint64_t seq = 0;
+  Kind kind = Kind::kControl;
+
+  ProcessId target = 0;
+  ProcessId from = 0;
+  std::unique_ptr<Message> message;
+  TimerId timer = 0;
+  std::function<void()> action;
+};
+
+struct Simulator::EventOrder {
+  // std::push_heap builds a max-heap; invert to get earliest-first.
+  bool operator()(const Event& a, const Event& b) const noexcept {
+    if (a.at != b.at) return a.at > b.at;
+    if (a.phase != b.phase) return a.phase > b.phase;
+    return a.seq > b.seq;
+  }
+};
+
+void Simulator::pushEvent(Event event) {
+  event.seq = nextSeq_++;
+  heap_.push_back(std::move(event));
+  std::push_heap(heap_.begin(), heap_.end(), EventOrder{});
+}
+
+Simulator::Event Simulator::popEvent() {
+  std::pop_heap(heap_.begin(), heap_.end(), EventOrder{});
+  Event event = std::move(heap_.back());
+  heap_.pop_back();
+  return event;
+}
+
+// ---------------------------------------------------------------------------
+// Context implementation
+
+class Simulator::ContextImpl final : public Context {
+ public:
+  ContextImpl(Simulator& sim, ProcessId id) noexcept : sim_(sim), id_(id) {}
+
+  ProcessId self() const noexcept override { return id_; }
+  std::size_t processCount() const noexcept override {
+    return sim_.processes_.size();
+  }
+  Tick now() const noexcept override { return sim_.now_; }
+  Rng& rng() noexcept override { return sim_.processes_[id_].rng; }
+
+  void send(ProcessId to, std::unique_ptr<Message> msg) override {
+    sim_.deliverSend(id_, to, std::move(msg));
+  }
+
+  void broadcast(const Message& msg) override {
+    for (ProcessId to = 0; to < sim_.processes_.size(); ++to)
+      sim_.deliverSend(id_, to, msg.clone());
+  }
+
+  TimerId setTimer(Tick delay) override { return sim_.armTimer(id_, delay); }
+  void cancelTimer(TimerId id) noexcept override { sim_.disarmTimer(id); }
+
+  void decide(Value v) override { sim_.recordDecision(id_, v); }
+
+ private:
+  Simulator& sim_;
+  ProcessId id_;
+};
+
+// ---------------------------------------------------------------------------
+// Simulator
+
+Simulator::Simulator(SimConfig config, std::unique_ptr<NetworkModel> network)
+    : config_(config),
+      network_(std::move(network)),
+      networkRng_(Rng(config.seed).split(0xBEEF)),
+      harnessRng_(Rng(config.seed).split(0xCAFE)) {
+  if (!network_) throw std::invalid_argument("network model is required");
+}
+
+Simulator::~Simulator() = default;
+
+ProcessId Simulator::addProcess(std::unique_ptr<Process> process,
+                                bool faulty) {
+  if (started_)
+    throw std::logic_error("cannot add processes after run() started");
+  if (!process) throw std::invalid_argument("process must not be null");
+  const auto id = static_cast<ProcessId>(processes_.size());
+  Slot slot;
+  slot.process = std::move(process);
+  slot.context = std::make_unique<ContextImpl>(*this, id);
+  slot.rng = Rng(config_.seed).split(0x1000 + id);
+  slot.faulty = faulty;
+  slot.process->bind(*slot.context);
+  processes_.push_back(std::move(slot));
+  decisions_.emplace_back();
+  return id;
+}
+
+void Simulator::setValidValues(std::vector<Value> values) {
+  validValues_ = std::move(values);
+}
+
+void Simulator::crashAt(ProcessId id, Tick tick) {
+  schedule(tick, [this, id] {
+    if (id < processes_.size() && !processes_[id].crashed) {
+      processes_[id].crashed = true;
+      OOC_DEBUG("p", id, " crashed at tick ", now_);
+    }
+  });
+}
+
+void Simulator::schedule(Tick tick, std::function<void()> action) {
+  Event event;
+  event.at = tick;
+  event.kind = Event::Kind::kControl;
+  event.action = std::move(action);
+  pushEvent(std::move(event));
+}
+
+void Simulator::setStopPredicate(
+    std::function<bool(const Simulator&)> predicate) {
+  stopPredicate_ = std::move(predicate);
+}
+
+void Simulator::stopWhenAllCorrectDecided() {
+  setStopPredicate(
+      [](const Simulator& sim) { return sim.allCorrectDecided(); });
+}
+
+bool Simulator::shouldStop() const {
+  return stopPredicate_ && stopPredicate_(*this);
+}
+
+void Simulator::run() {
+  if (started_) throw std::logic_error("run() may be called once");
+  started_ = true;
+
+  for (ProcessId id = 0; id < processes_.size(); ++id) {
+    Event event;
+    event.at = 0;
+    event.kind = Event::Kind::kStart;
+    event.target = id;
+    pushEvent(std::move(event));
+  }
+  if (config_.lockstep) {
+    // First barrier fires at tick 1: no message can arrive at tick 0, and
+    // objects invoked during onStart must not see a barrier before their
+    // first messages (their exchange calendar starts at the next tick).
+    Event barrier;
+    barrier.at = 1;
+    barrier.phase = 1;
+    barrier.kind = Event::Kind::kBarrier;
+    pushEvent(std::move(barrier));
+  }
+
+  while (!heap_.empty()) {
+    if (shouldStop()) return;
+    if (eventsProcessed_ >= config_.maxEvents) {
+      hitCap_ = true;
+      return;
+    }
+    Event event = popEvent();
+    if (event.at > config_.maxTicks) {
+      hitCap_ = true;
+      return;
+    }
+    now_ = event.at;
+    ++eventsProcessed_;
+
+    switch (event.kind) {
+      case Event::Kind::kStart: {
+        Slot& slot = processes_[event.target];
+        if (!slot.crashed) slot.process->onStart();
+        break;
+      }
+      case Event::Kind::kDeliver: {
+        Slot& slot = processes_[event.target];
+        if (!slot.crashed) {
+          ++messagesDelivered_;
+          slot.process->onMessage(event.from, *event.message);
+        }
+        break;
+      }
+      case Event::Kind::kTimer: {
+        if (cancelledTimers_.erase(event.timer) > 0) break;
+        const auto owner = timerOwner_.find(event.timer);
+        if (owner == timerOwner_.end()) break;
+        const ProcessId id = owner->second;
+        timerOwner_.erase(owner);
+        Slot& slot = processes_[id];
+        if (!slot.crashed) slot.process->onTimer(event.timer);
+        break;
+      }
+      case Event::Kind::kControl:
+        event.action();
+        break;
+      case Event::Kind::kBarrier: {
+        for (Slot& slot : processes_)
+          if (!slot.crashed) slot.process->onTick(now_);
+        Event barrier;
+        barrier.at = now_ + 1;
+        barrier.phase = 1;
+        barrier.kind = Event::Kind::kBarrier;
+        pushEvent(std::move(barrier));
+        break;
+      }
+    }
+  }
+}
+
+void Simulator::deliverSend(ProcessId from, ProcessId to,
+                            std::unique_ptr<Message> msg) {
+  if (to >= processes_.size())
+    throw std::out_of_range("send to unknown process");
+  if (processes_[from].crashed) return;
+
+  ++messagesSent_;
+  if (!processes_[from].faulty) ++messagesSentByCorrect_;
+
+  scratchDelays_.clear();
+  if (from == to) {
+    // Self-delivery is always reliable and prompt.
+    scratchDelays_.push_back(1);
+  } else {
+    network_->plan(from, to, now_, networkRng_, scratchDelays_);
+  }
+  if (scratchDelays_.empty()) return;  // dropped
+
+  for (std::size_t i = 0; i < scratchDelays_.size(); ++i) {
+    Event event;
+    event.at = now_ + std::max<Tick>(1, scratchDelays_[i]);
+    event.kind = Event::Kind::kDeliver;
+    event.target = to;
+    event.from = from;
+    event.message =
+        i + 1 < scratchDelays_.size() ? msg->clone() : std::move(msg);
+    pushEvent(std::move(event));
+  }
+}
+
+TimerId Simulator::armTimer(ProcessId id, Tick delay) {
+  const TimerId timer = nextTimer_++;
+  timerOwner_.emplace(timer, id);
+  Event event;
+  event.at = now_ + std::max<Tick>(1, delay);
+  event.kind = Event::Kind::kTimer;
+  event.timer = timer;
+  pushEvent(std::move(event));
+  return timer;
+}
+
+void Simulator::disarmTimer(TimerId id) noexcept {
+  if (timerOwner_.erase(id) > 0) cancelledTimers_.insert(id);
+}
+
+void Simulator::recordDecision(ProcessId id, Value v) {
+  Decision& decision = decisions_[id];
+  if (decision.decided) return;  // decisions are irrevocable; ignore repeats
+  decision.decided = true;
+  decision.value = v;
+  decision.at = now_;
+  OOC_DEBUG("p", id, " decided ", v, " at tick ", now_);
+
+  if (processes_[id].faulty) return;  // Byzantine claims are not checked
+
+  if (!validValues_.empty() &&
+      std::find(validValues_.begin(), validValues_.end(), v) ==
+          validValues_.end()) {
+    validityViolated_ = true;
+  }
+  for (ProcessId other = 0; other < processes_.size(); ++other) {
+    if (other == id || processes_[other].faulty) continue;
+    if (decisions_[other].decided && decisions_[other].value != v) {
+      agreementViolated_ = true;
+    }
+  }
+}
+
+bool Simulator::crashed(ProcessId id) const { return processes_.at(id).crashed; }
+bool Simulator::faulty(ProcessId id) const { return processes_.at(id).faulty; }
+
+const Simulator::Decision& Simulator::decision(ProcessId id) const {
+  return decisions_.at(id);
+}
+
+bool Simulator::allCorrectDecided() const {
+  for (ProcessId id = 0; id < processes_.size(); ++id) {
+    const Slot& slot = processes_[id];
+    if (slot.faulty || slot.crashed) continue;
+    if (!decisions_[id].decided) return false;
+  }
+  return true;
+}
+
+std::size_t Simulator::correctDecisionCount() const {
+  std::size_t count = 0;
+  for (ProcessId id = 0; id < processes_.size(); ++id)
+    if (!processes_[id].faulty && decisions_[id].decided) ++count;
+  return count;
+}
+
+Process& Simulator::process(ProcessId id) { return *processes_.at(id).process; }
+
+}  // namespace ooc

@@ -1,0 +1,164 @@
+// Deterministic discrete-event simulator for message-passing protocols.
+//
+// A run is a pure function of (configuration, seed): events are ordered by
+// (tick, phase, sequence-number), all randomness derives from the run seed,
+// and handler execution is single-threaded. Synchronous (lockstep) protocols
+// enable tick barriers: after all messages of a tick are delivered, every
+// alive process receives onTick, which is where per-exchange computation of
+// algorithms like Phase-King happens.
+//
+// The simulator doubles as the consensus run monitor: processes report
+// decisions through Context::decide, and the simulator checks agreement and
+// validity online and provides the customary "all correct processes have
+// decided" stop condition.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "sim/process.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace ooc {
+
+struct SimConfig {
+  std::uint64_t seed = 1;
+  /// Enables per-tick barriers (synchronous model).
+  bool lockstep = false;
+  /// Hard caps; exceeding either aborts the run and sets hitCap().
+  Tick maxTicks = 1'000'000;
+  std::uint64_t maxEvents = 50'000'000;
+};
+
+class Simulator final {
+ public:
+  struct Decision {
+    bool decided = false;
+    Value value = kNoValue;
+    Tick at = 0;
+  };
+
+  Simulator(SimConfig config, std::unique_ptr<NetworkModel> network);
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Registers a processor; returns its id (assigned densely from 0).
+  /// `faulty` marks a Byzantine processor: its decisions and inputs are
+  /// excluded from agreement/validity checks and from allCorrectDecided().
+  ProcessId addProcess(std::unique_ptr<Process> process, bool faulty = false);
+
+  /// Declares the set of legal decision values (the correct processes'
+  /// inputs). When set, any decision outside it flags validityViolated().
+  void setValidValues(std::vector<Value> values);
+
+  /// Schedules a crash: from `tick` on, the process executes no handlers,
+  /// receives no messages, and sends nothing.
+  void crashAt(ProcessId id, Tick tick);
+
+  /// Schedules an arbitrary control action (e.g. partition changes).
+  void schedule(Tick tick, std::function<void()> action);
+
+  /// Stops the run when `predicate(*this)` is true (checked after every
+  /// event). Without a predicate the run ends when the event queue drains
+  /// or a cap is hit.
+  void setStopPredicate(std::function<bool(const Simulator&)> predicate);
+
+  /// Convenience: stop once every correct (non-faulty, non-crashed) process
+  /// has decided.
+  void stopWhenAllCorrectDecided();
+
+  /// Executes the run. May be called once.
+  void run();
+
+  // --- queries (valid during and after run) -------------------------------
+  Tick now() const noexcept { return now_; }
+  std::size_t processCount() const noexcept { return processes_.size(); }
+  bool crashed(ProcessId id) const;
+  bool faulty(ProcessId id) const;
+  const Decision& decision(ProcessId id) const;
+  /// True when every non-faulty, non-crashed process has decided.
+  bool allCorrectDecided() const;
+  /// Count of correct (non-faulty) processes that have decided (crashed
+  /// processes' pre-crash decisions count).
+  std::size_t correctDecisionCount() const;
+  bool agreementViolated() const noexcept { return agreementViolated_; }
+  bool validityViolated() const noexcept { return validityViolated_; }
+  bool hitCap() const noexcept { return hitCap_; }
+  std::uint64_t messagesSent() const noexcept { return messagesSent_; }
+  std::uint64_t messagesSentByCorrect() const noexcept {
+    return messagesSentByCorrect_;
+  }
+  std::uint64_t messagesDelivered() const noexcept {
+    return messagesDelivered_;
+  }
+  std::uint64_t eventsProcessed() const noexcept { return eventsProcessed_; }
+
+  /// The network model, for runtime reconfiguration from schedule() hooks.
+  NetworkModel& network() noexcept { return *network_; }
+
+  /// Randomness stream for harness-level choices (e.g. which process to
+  /// crash), derived from the run seed.
+  Rng& harnessRng() noexcept { return harnessRng_; }
+
+  Process& process(ProcessId id);
+
+ private:
+  class ContextImpl;
+  struct Event;
+  struct EventOrder;
+
+  void pushEvent(Event event);
+  Event popEvent();
+  void deliverSend(ProcessId from, ProcessId to,
+                   std::unique_ptr<Message> msg);
+  void recordDecision(ProcessId id, Value v);
+  TimerId armTimer(ProcessId id, Tick delay);
+  void disarmTimer(TimerId id) noexcept;
+  bool shouldStop() const;
+
+  SimConfig config_;
+  std::unique_ptr<NetworkModel> network_;
+  Rng networkRng_;
+  Rng harnessRng_;
+
+  struct Slot {
+    std::unique_ptr<Process> process;
+    std::unique_ptr<ContextImpl> context;
+    Rng rng{0};
+    bool faulty = false;
+    bool crashed = false;
+  };
+  std::vector<Slot> processes_;
+
+  std::vector<Event> heap_;  // binary heap ordered by EventOrder
+  std::uint64_t nextSeq_ = 0;
+  std::uint64_t nextTimer_ = 1;
+  std::unordered_map<TimerId, ProcessId> timerOwner_;
+  std::unordered_set<TimerId> cancelledTimers_;
+
+  Tick now_ = 0;
+  bool started_ = false;
+  bool hitCap_ = false;
+
+  std::vector<Decision> decisions_;
+  std::vector<Value> validValues_;
+  bool agreementViolated_ = false;
+  bool validityViolated_ = false;
+
+  std::uint64_t messagesSent_ = 0;
+  std::uint64_t messagesSentByCorrect_ = 0;
+  std::uint64_t messagesDelivered_ = 0;
+  std::uint64_t eventsProcessed_ = 0;
+
+  std::function<bool(const Simulator&)> stopPredicate_;
+  std::vector<Tick> scratchDelays_;
+};
+
+}  // namespace ooc

@@ -1,0 +1,32 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace ooc {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kOff};
+
+const char* levelName(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void setLogLevel(LogLevel level) noexcept { g_level.store(level); }
+LogLevel logLevel() noexcept { return g_level.load(); }
+
+void logWrite(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[%s] %s\n", levelName(level), message.c_str());
+}
+
+}  // namespace ooc

@@ -1,0 +1,47 @@
+// Minimal leveled logger.
+//
+// Simulations can emit very high event volumes, so logging is off by default
+// and is enabled per-run (examples turn it on to show traces; tests and
+// benches leave it off). The logger is intentionally a single global sink:
+// simulations are single-threaded and deterministic.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ooc {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Sets the global threshold; records at a lower level are discarded.
+void setLogLevel(LogLevel level) noexcept;
+LogLevel logLevel() noexcept;
+
+/// Writes one record to stderr (used via the OOC_LOG macro).
+void logWrite(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace detail
+
+}  // namespace ooc
+
+/// Streams `...` (operator<< chain) at `level` if enabled.
+#define OOC_LOG(level, ...)                                  \
+  do {                                                       \
+    if (static_cast<int>(level) >=                           \
+        static_cast<int>(::ooc::logLevel())) {               \
+      ::ooc::logWrite(level, ::ooc::detail::concat(__VA_ARGS__)); \
+    }                                                        \
+  } while (0)
+
+#define OOC_TRACE(...) OOC_LOG(::ooc::LogLevel::kTrace, __VA_ARGS__)
+#define OOC_DEBUG(...) OOC_LOG(::ooc::LogLevel::kDebug, __VA_ARGS__)
+#define OOC_INFO(...) OOC_LOG(::ooc::LogLevel::kInfo, __VA_ARGS__)
+#define OOC_WARN(...) OOC_LOG(::ooc::LogLevel::kWarn, __VA_ARGS__)
+#define OOC_ERROR(...) OOC_LOG(::ooc::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,60 @@
+// Summary statistics and fixed-width table rendering for experiment output.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ooc {
+
+/// Accumulates samples and reports summary statistics. Samples are retained
+/// so exact quantiles can be computed; experiment sample counts are small
+/// (thousands), so this is cheap.
+class Summary {
+ public:
+  void add(double x);
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+  double sum() const noexcept { return sum_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  double stddev() const;
+  /// Exact quantile by linear interpolation, q in [0,1].
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+};
+
+/// Renders rows of strings as an aligned ASCII table with a header rule —
+/// the uniform output format of every bench binary.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> row);
+
+  /// Convenience: formats arithmetic cells with fixed precision.
+  static std::string cell(double v, int precision = 2);
+  static std::string cell(std::uint64_t v);
+  static std::string cell(std::int64_t v);
+  static std::string cell(int v);
+
+  /// Renders the whole table, each line terminated by '\n'.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ooc

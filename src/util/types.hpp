@@ -1,0 +1,38 @@
+// Common strong types shared across the Object Oriented Consensus library.
+//
+// Everything in the simulator and the consensus framework is expressed in
+// terms of these aliases so that the representation can be changed in one
+// place (e.g. widening ProcessId for very large simulated networks).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ooc {
+
+/// Identifier of a simulated processor, in [0, n).
+using ProcessId = std::uint32_t;
+
+/// Simulated time, in abstract ticks. In lockstep (synchronous) protocols a
+/// tick is one communication exchange; in asynchronous runs it is simply a
+/// totally ordered clock with no semantic step meaning.
+using Tick = std::uint64_t;
+
+/// Identifier of an armed timer within one process.
+using TimerId = std::uint64_t;
+
+/// A consensus proposal/decision value.
+///
+/// The paper's algorithms are presented over binary values ({0,1}); the
+/// library supports any 64-bit value. Phase-King additionally uses the
+/// sentinel "2" internally, exactly as in the paper's Algorithm 3.
+using Value = std::int64_t;
+
+/// Sentinel for "no value" (distinct from any legal proposal in this
+/// library; proposals must be >= 0).
+inline constexpr Value kNoValue = std::numeric_limits<Value>::min();
+
+/// Round (phase) number of the consensus template, `m` in the paper.
+using Round = std::uint32_t;
+
+}  // namespace ooc

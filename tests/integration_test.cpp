@@ -1,0 +1,170 @@
+// Cross-module integration tests: the "object oriented" payoff — detectors
+// and drivers from different algorithms composed in one template — plus
+// end-to-end invariants spanning simulator, template, objects and audits.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "harness/scenarios.hpp"
+
+namespace ooc {
+namespace {
+
+using harness::BenOrConfig;
+using harness::runBenOr;
+
+std::vector<Value> splitInputs(std::size_t n) {
+  std::vector<Value> inputs(n);
+  for (std::size_t i = 0; i < n; ++i) inputs[i] = static_cast<Value>(i % 2);
+  return inputs;
+}
+
+// Every detector mode x every reconciliator: all 12 combinations must
+// satisfy consensus and the object contracts. This is the paper's central
+// engineering claim — the objects are interchangeable building blocks.
+class MixAndMatch
+    : public ::testing::TestWithParam<
+          std::tuple<BenOrConfig::Mode, BenOrConfig::Reconciliator,
+                     std::uint64_t>> {};
+
+TEST_P(MixAndMatch, EveryCombinationReachesConsensus) {
+  const auto [mode, reconciliator, seed] = GetParam();
+  BenOrConfig config;
+  config.n = 6;
+  config.inputs = splitInputs(6);
+  config.seed = seed;
+  config.mode = mode;
+  config.reconciliator = reconciliator;
+  const auto result = runBenOr(config);
+  EXPECT_TRUE(result.allDecided);
+  EXPECT_FALSE(result.agreementViolated);
+  EXPECT_FALSE(result.validityViolated);
+  EXPECT_TRUE(result.allAuditsOk);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combos, MixAndMatch,
+    ::testing::Combine(
+        ::testing::Values(BenOrConfig::Mode::kDecomposed,
+                          BenOrConfig::Mode::kVacFromTwoAc,
+                          BenOrConfig::Mode::kDecentralizedVac),
+        ::testing::Values(BenOrConfig::Reconciliator::kLocalCoin,
+                          BenOrConfig::Reconciliator::kCommonCoin,
+                          BenOrConfig::Reconciliator::kBiasedCoin),
+        ::testing::Values(1u, 2u)));
+
+TEST(Integration, VacFromTwoAcUsesTwiceTheMessages) {
+  // The §5 construction costs two AC invocations per round: roughly double
+  // the per-round traffic of the native VAC. Compare unanimous runs (both
+  // decide in round 1, so traffic is exactly one detector invocation each).
+  BenOrConfig native;
+  native.n = 6;
+  native.inputs.assign(6, 1);
+  native.seed = 5;
+  native.mode = BenOrConfig::Mode::kDecomposed;
+  BenOrConfig synthesized = native;
+  synthesized.mode = BenOrConfig::Mode::kVacFromTwoAc;
+
+  const auto nativeResult = runBenOr(native);
+  const auto synthResult = runBenOr(synthesized);
+  ASSERT_TRUE(nativeResult.allDecided);
+  ASSERT_TRUE(synthResult.allDecided);
+  EXPECT_EQ(nativeResult.maxDecisionRound, 1u);
+  EXPECT_EQ(synthResult.maxDecisionRound, 1u);
+  // Processes keep participating briefly after deciding (next round's
+  // traffic until the run stops), so the factor is near 2, not exactly 2.
+  const double ratio = static_cast<double>(synthResult.messagesByCorrect) /
+                       static_cast<double>(nativeResult.messagesByCorrect);
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 2.5);
+}
+
+TEST(Integration, DecentralizedRaftMatchesBenOrRoundShape) {
+  // Paper §4.3: decentralizing Raft yields an algorithm that "highly
+  // resembles Ben-Or's". Same template, same reconciliator, same seeds:
+  // decision-round distributions should be statistically close. We assert
+  // a coarse bound: mean decision rounds within 2x of each other over a
+  // seed batch.
+  double benorTotal = 0, decTotal = 0;
+  constexpr int kRuns = 30;
+  for (std::uint64_t seed = 1; seed <= kRuns; ++seed) {
+    BenOrConfig config;
+    config.n = 6;
+    config.inputs = splitInputs(6);
+    config.seed = 900 + seed;
+    config.mode = BenOrConfig::Mode::kDecomposed;
+    const auto benor = runBenOr(config);
+    config.mode = BenOrConfig::Mode::kDecentralizedVac;
+    const auto dec = runBenOr(config);
+    EXPECT_TRUE(benor.allDecided);
+    EXPECT_TRUE(dec.allDecided);
+    benorTotal += benor.meanDecisionRound;
+    decTotal += dec.meanDecisionRound;
+  }
+  EXPECT_LT(decTotal, 2.0 * benorTotal);
+  EXPECT_LT(benorTotal, 2.0 * decTotal);
+}
+
+TEST(Integration, DecomposedAndMonolithicBenOrAgreeOnShape) {
+  // E1's claim in test form: across seeds, mean rounds-to-decide of the
+  // decomposed and monolithic implementations stay within 50% of each
+  // other (identical algorithm, independent implementations).
+  double decomposedTotal = 0, monolithicTotal = 0;
+  constexpr int kRuns = 40;
+  for (std::uint64_t seed = 1; seed <= kRuns; ++seed) {
+    BenOrConfig config;
+    config.n = 5;
+    config.inputs = splitInputs(5);
+    config.seed = 7000 + seed;
+    config.mode = BenOrConfig::Mode::kDecomposed;
+    decomposedTotal += runBenOr(config).meanDecisionRound;
+    config.mode = BenOrConfig::Mode::kMonolithic;
+    monolithicTotal += runBenOr(config).meanDecisionRound;
+  }
+  const double ratio = decomposedTotal / monolithicTotal;
+  EXPECT_GT(ratio, 0.66) << decomposedTotal << " vs " << monolithicTotal;
+  EXPECT_LT(ratio, 1.5) << decomposedTotal << " vs " << monolithicTotal;
+}
+
+TEST(Integration, CommonCoinBeatsLocalCoinAtScale) {
+  // E10's headline: the common-coin reconciliator's rounds-to-decide does
+  // not degrade with n, the local coin's does. At n = 12 the gap must be
+  // visible in the mean over a seed batch.
+  double localTotal = 0, commonTotal = 0;
+  constexpr int kRuns = 25;
+  for (std::uint64_t seed = 1; seed <= kRuns; ++seed) {
+    BenOrConfig config;
+    config.n = 12;
+    config.inputs = splitInputs(12);
+    config.seed = 4000 + seed;
+    config.mode = BenOrConfig::Mode::kDecomposed;
+    config.reconciliator = BenOrConfig::Reconciliator::kLocalCoin;
+    localTotal += runBenOr(config).meanDecisionRound;
+    config.reconciliator = BenOrConfig::Reconciliator::kCommonCoin;
+    commonTotal += runBenOr(config).meanDecisionRound;
+  }
+  EXPECT_LT(commonTotal, localTotal);
+}
+
+TEST(Integration, CrashesDuringDriveStageAreHarmless) {
+  // Crash processes at ticks chosen to land inside the reconciliator step
+  // of early rounds; agreement and audits must hold in every run.
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    BenOrConfig config;
+    config.n = 7;
+    config.inputs = splitInputs(7);
+    config.seed = 500 + seed;
+    config.mode = BenOrConfig::Mode::kDecomposed;
+    config.crashes = {{static_cast<ProcessId>(seed % 7), 15 + seed * 3},
+                      {static_cast<ProcessId>((seed * 3) % 7), 30 + seed},
+                      {static_cast<ProcessId>((seed * 5 + 1) % 7), 2}};
+    // Ensure distinct victims; duplicates just crash once, still <= t = 3.
+    const auto result = runBenOr(config);
+    EXPECT_TRUE(result.allDecided) << "seed " << seed;
+    EXPECT_FALSE(result.agreementViolated);
+    EXPECT_TRUE(result.allAuditsOk);
+  }
+}
+
+}  // namespace
+}  // namespace ooc

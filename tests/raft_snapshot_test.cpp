@@ -1,0 +1,169 @@
+// Log compaction + InstallSnapshot tests.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "raft/kv_store.hpp"
+#include "sim/simulator.hpp"
+
+namespace ooc {
+namespace {
+
+struct Cluster {
+  explicit Cluster(std::size_t n, std::uint64_t seed,
+                   raft::RaftConfig raftConfig = {}) {
+    SimConfig simConfig;
+    simConfig.seed = seed;
+    simConfig.maxTicks = 2'000'000;
+    UniformDelayNetwork::Options net;
+    net.minDelay = 1;
+    net.maxDelay = 5;
+    net.duplicateProbability = 0.05;  // exercise duplicate snapshots too
+    auto partitioned = std::make_unique<PartitionedNetwork>(
+        std::make_unique<UniformDelayNetwork>(net));
+    network = partitioned.get();
+    sim = std::make_unique<Simulator>(simConfig, std::move(partitioned));
+    for (std::size_t i = 0; i < n; ++i) {
+      auto node = std::make_unique<raft::KvStoreNode>(raftConfig);
+      nodes.push_back(node.get());
+      sim->addProcess(std::move(node));
+    }
+  }
+
+  raft::KvStoreNode* leader() {
+    for (auto* node : nodes)
+      if (node->role() == raft::Role::kLeader) return node;
+    return nullptr;
+  }
+
+  std::unique_ptr<Simulator> sim;
+  PartitionedNetwork* network = nullptr;
+  std::vector<raft::KvStoreNode*> nodes;
+};
+
+TEST(RaftSnapshot, AutoCompactionShrinksTheLog) {
+  raft::RaftConfig config;
+  config.compactionThreshold = 5;
+  Cluster cluster(3, 1, config);
+
+  cluster.sim->schedule(2000, [&] {
+    auto* leader = cluster.leader();
+    ASSERT_NE(leader, nullptr);
+    for (std::uint32_t k = 0; k < 20; ++k) leader->set(k, k);
+  });
+  cluster.sim->setStopPredicate([&](const Simulator&) {
+    for (const auto* node : cluster.nodes)
+      if (node->data().size() < 20) return false;
+    return true;
+  });
+  cluster.sim->run();
+  ASSERT_FALSE(cluster.sim->hitCap());
+
+  for (const auto* node : cluster.nodes) {
+    EXPECT_EQ(node->data().size(), 20u);
+    EXPECT_GT(node->snapshotsTaken(), 0u) << "compaction never fired";
+    EXPECT_LT(node->log().size(), 20u) << "log was not truncated";
+    EXPECT_EQ(node->lastLogIndex(), 20u) << "indices must be preserved";
+  }
+}
+
+TEST(RaftSnapshot, LaggingFollowerCatchesUpViaSnapshot) {
+  raft::RaftConfig config;
+  config.compactionThreshold = 4;
+  Cluster cluster(3, 2, config);
+
+  ProcessId isolated = 99;
+  cluster.sim->schedule(2000, [&] {
+    auto* leader = cluster.leader();
+    ASSERT_NE(leader, nullptr);
+    // Isolate a follower, then write enough to compact its entries away.
+    for (ProcessId id = 0; id < 3; ++id) {
+      if (cluster.nodes[id] != leader) {
+        isolated = id;
+        break;
+      }
+    }
+    std::vector<int> groups(3, 0);
+    groups[isolated] = 1;
+    cluster.network->setPartition(groups);
+  });
+  cluster.sim->schedule(2200, [&] {
+    auto* leader = cluster.leader();
+    ASSERT_NE(leader, nullptr);
+    for (std::uint32_t k = 0; k < 30; ++k) leader->set(k, k * 3);
+  });
+  cluster.sim->schedule(20000, [&] { cluster.network->clearPartition(); });
+  cluster.sim->setStopPredicate([&](const Simulator&) {
+    for (const auto* node : cluster.nodes)
+      if (node->data().size() < 30) return false;
+    return true;
+  });
+  cluster.sim->run();
+  ASSERT_FALSE(cluster.sim->hitCap());
+
+  ASSERT_LT(isolated, 3u);
+  const auto* straggler = cluster.nodes[isolated];
+  EXPECT_GT(straggler->snapshotsInstalled(), 0u)
+      << "follower caught up without a snapshot — compaction too lazy?";
+  for (std::uint32_t k = 0; k < 30; ++k) {
+    ASSERT_TRUE(straggler->data().contains(k));
+    EXPECT_EQ(straggler->data().at(k), k * 3);
+  }
+  // Committed prefixes identical everywhere.
+  for (const auto* node : cluster.nodes)
+    EXPECT_EQ(node->data(), cluster.nodes[0]->data());
+}
+
+TEST(RaftSnapshot, CompactionDisabledByDefault) {
+  Cluster cluster(3, 3);  // threshold = 0
+  cluster.sim->schedule(2000, [&] {
+    auto* leader = cluster.leader();
+    ASSERT_NE(leader, nullptr);
+    for (std::uint32_t k = 0; k < 15; ++k) leader->set(k, k);
+  });
+  cluster.sim->setStopPredicate([&](const Simulator&) {
+    for (const auto* node : cluster.nodes)
+      if (node->data().size() < 15) return false;
+    return true;
+  });
+  cluster.sim->run();
+  for (const auto* node : cluster.nodes) {
+    EXPECT_EQ(node->snapshotsTaken(), 0u);
+    EXPECT_EQ(node->log().size(), node->lastLogIndex());
+  }
+}
+
+TEST(RaftSnapshot, HeavyChurnWithCompactionStaysConsistent) {
+  // Compaction + loss + a crash: the ultimate log-repair workout.
+  raft::RaftConfig config;
+  config.compactionThreshold = 3;
+  Cluster cluster(5, 4, config);
+  cluster.sim->schedule(2000, [&] {
+    auto* leader = cluster.leader();
+    ASSERT_NE(leader, nullptr);
+    for (std::uint32_t k = 0; k < 25; ++k) leader->set(k, k + 7);
+  });
+  cluster.sim->crashAt(4, 2500);
+  cluster.sim->setStopPredicate([&](const Simulator& sim) {
+    for (ProcessId id = 0; id < 5; ++id) {
+      if (sim.crashed(id)) continue;
+      if (cluster.nodes[id]->data().size() < 25) return false;
+    }
+    return true;
+  });
+  cluster.sim->run();
+  ASSERT_FALSE(cluster.sim->hitCap());
+  const raft::KvStoreNode* reference = nullptr;
+  for (ProcessId id = 0; id < 5; ++id) {
+    if (cluster.sim->crashed(id)) continue;
+    if (!reference) {
+      reference = cluster.nodes[id];
+      continue;
+    }
+    EXPECT_EQ(cluster.nodes[id]->data(), reference->data());
+  }
+}
+
+}  // namespace
+}  // namespace ooc

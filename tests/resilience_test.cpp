@@ -1,0 +1,119 @@
+// Partition-resilience tests for the leader-driven substrates: quorum
+// availability governs liveness, healing restores it, safety is absolute.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "paxos/paxos_node.hpp"
+#include "sim/simulator.hpp"
+
+namespace ooc {
+namespace {
+
+struct PartitionedPaxos {
+  explicit PartitionedPaxos(std::size_t n, std::uint64_t seed,
+                            double duplicateProbability = 0.0) {
+    SimConfig simConfig;
+    simConfig.seed = seed;
+    simConfig.maxTicks = 1'000'000;
+    UniformDelayNetwork::Options net;
+    net.minDelay = 1;
+    net.maxDelay = 5;
+    net.duplicateProbability = duplicateProbability;
+    auto partitioned = std::make_unique<PartitionedNetwork>(
+        std::make_unique<UniformDelayNetwork>(net));
+    network = partitioned.get();
+    sim = std::make_unique<Simulator>(simConfig, std::move(partitioned));
+    for (ProcessId id = 0; id < n; ++id) {
+      inputs.push_back(static_cast<Value>(10 + id));
+      auto node =
+          std::make_unique<paxos::PaxosNode>(inputs.back(), paxos::PaxosConfig{});
+      nodes.push_back(node.get());
+      sim->addProcess(std::move(node));
+    }
+    sim->setValidValues(inputs);
+  }
+
+  std::unique_ptr<Simulator> sim;
+  PartitionedNetwork* network = nullptr;
+  std::vector<paxos::PaxosNode*> nodes;
+  std::vector<Value> inputs;
+};
+
+TEST(PaxosPartitions, NoQuorumNoDecisionThenHealDecides) {
+  PartitionedPaxos cluster(5, 1);
+  // 2/2/1 split from the start: no side has a quorum.
+  cluster.network->setPartition({0, 0, 1, 1, 2});
+  cluster.sim->schedule(5000, [&] {
+    // Nothing may have been decided while split.
+    for (const auto* node : cluster.nodes)
+      ASSERT_FALSE(node->decided()) << "decided without a quorum";
+    cluster.network->clearPartition();
+  });
+  cluster.sim->stopWhenAllCorrectDecided();
+  cluster.sim->run();
+  EXPECT_TRUE(cluster.sim->allCorrectDecided());
+  EXPECT_FALSE(cluster.sim->agreementViolated());
+  EXPECT_FALSE(cluster.sim->validityViolated());
+}
+
+TEST(PaxosPartitions, MajoritySideDecidesMinorityLearnsOnHeal) {
+  PartitionedPaxos cluster(5, 2);
+  cluster.network->setPartition({0, 0, 0, 1, 1});
+  Tick majorityDecidedAt = 0;
+  cluster.sim->schedule(6000, [&] {
+    int decided = 0;
+    for (ProcessId id = 0; id < 3; ++id)
+      decided += cluster.nodes[id]->decided() ? 1 : 0;
+    EXPECT_EQ(decided, 3) << "majority side failed to decide while split";
+    EXPECT_FALSE(cluster.nodes[3]->decided());
+    EXPECT_FALSE(cluster.nodes[4]->decided());
+    majorityDecidedAt = cluster.sim->now();
+    cluster.network->clearPartition();
+  });
+  cluster.sim->stopWhenAllCorrectDecided();
+  cluster.sim->run();
+  EXPECT_TRUE(cluster.sim->allCorrectDecided());
+  EXPECT_FALSE(cluster.sim->agreementViolated());
+  EXPECT_GT(majorityDecidedAt, 0u);
+}
+
+TEST(PaxosPartitions, RepeatedSplitsNeverBreakAgreement) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    PartitionedPaxos cluster(5, 700 + seed);
+    Rng chaos(seed);
+    Tick at = 50;
+    for (int wave = 0; wave < 5; ++wave) {
+      std::vector<int> groups(5);
+      for (auto& g : groups) g = static_cast<int>(chaos.below(2));
+      cluster.sim->schedule(at, [net = cluster.network, groups] {
+        net->setPartition(groups);
+      });
+      at += 150 + chaos.below(300);
+      cluster.sim->schedule(at, [net = cluster.network] {
+        net->clearPartition();
+      });
+      at += 100 + chaos.below(150);
+    }
+    cluster.sim->stopWhenAllCorrectDecided();
+    cluster.sim->run();
+    EXPECT_TRUE(cluster.sim->allCorrectDecided()) << "seed " << seed;
+    EXPECT_FALSE(cluster.sim->agreementViolated()) << "seed " << seed;
+    EXPECT_FALSE(cluster.sim->validityViolated()) << "seed " << seed;
+  }
+}
+
+TEST(PaxosPartitions, DuplicationIsHarmless) {
+  // 30% duplicated messages: distinct-sender tallies must absorb it.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    PartitionedPaxos cluster(5, 800 + seed, /*duplicateProbability=*/0.3);
+    cluster.sim->stopWhenAllCorrectDecided();
+    cluster.sim->run();
+    EXPECT_TRUE(cluster.sim->allCorrectDecided()) << "seed " << seed;
+    EXPECT_FALSE(cluster.sim->agreementViolated()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace ooc
