@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Model-checking sweep: builds the `check` CLI and explores all consensus
+# families with every strategy (random walks, delay-bounded reordering,
+# crash-schedule enumeration). Exits nonzero if any invariant violation is
+# found; counterexamples (config + trace) land in ./counterexamples/.
+#
+#   scripts/check.sh               # default 10k-seed sweep per family
+#   SEEDS=100000 scripts/check.sh  # bigger sweep
+#   EXTRA="--family benor" scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEEDS="${SEEDS:-10000}"
+EXTRA="${EXTRA:-}"
+
+cmake -B build -S . >/dev/null
+cmake --build build --target check -j >/dev/null
+
+# shellcheck disable=SC2086  # EXTRA is intentionally word-split
+exec build/tools/check --seeds "$SEEDS" --trace-dir counterexamples $EXTRA

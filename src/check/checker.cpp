@@ -1,0 +1,130 @@
+#include "check/checker.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <filesystem>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "check/replay.hpp"
+
+namespace ooc::check {
+namespace {
+
+const Invariant* findByName(const std::vector<const Invariant*>& invariants,
+                            const std::string& name) {
+  for (const Invariant* invariant : invariants)
+    if (name == invariant->name()) return invariant;
+  return nullptr;
+}
+
+}  // namespace
+
+CheckReport explore(const ExplorationStrategy& strategy,
+                    const std::vector<const Invariant*>& invariants,
+                    const CheckerOptions& options) {
+  const std::size_t total = strategy.size();
+  std::size_t threadCount = options.threads;
+  if (threadCount == 0)
+    threadCount = std::max(1u, std::thread::hardware_concurrency());
+  threadCount = std::max<std::size_t>(1, std::min(threadCount, total));
+
+  std::atomic<std::size_t> nextIndex{0};
+  std::atomic<std::size_t> explored{0};
+  std::atomic<bool> stop{false};
+  std::mutex mutex;
+  std::vector<Finding> findings;
+  std::exception_ptr firstError;
+
+  const auto worker = [&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::size_t index =
+          nextIndex.fetch_add(1, std::memory_order_relaxed);
+      if (index >= total) break;
+      try {
+        const Scenario scenario = strategy.generate(index);
+        const RunReport report = runScenario(scenario);
+        explored.fetch_add(1, std::memory_order_relaxed);
+        for (const Invariant* invariant : invariants) {
+          auto violation = invariant->check(scenario, report);
+          if (!violation) continue;
+          std::lock_guard<std::mutex> lock(mutex);
+          Finding finding;
+          finding.configIndex = index;
+          finding.violation = std::move(*violation);
+          finding.scenario = scenario;
+          findings.push_back(std::move(finding));
+          if (options.maxFindings > 0 &&
+              findings.size() >= options.maxFindings)
+            stop.store(true, std::memory_order_relaxed);
+          break;
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!firstError) firstError = std::current_exception();
+        stop.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  if (threadCount <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threadCount);
+    for (std::size_t i = 0; i < threadCount; ++i) pool.emplace_back(worker);
+    for (auto& thread : pool) thread.join();
+  }
+  if (firstError) std::rethrow_exception(firstError);
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return a.configIndex < b.configIndex;
+            });
+  if (options.maxFindings > 0 && findings.size() > options.maxFindings)
+    findings.resize(options.maxFindings);
+
+  // Post-processing runs sequentially: shrinking and trace emission must be
+  // deterministic regardless of the worker-pool interleaving above.
+  if (!options.traceDir.empty())
+    std::filesystem::create_directories(options.traceDir);
+  for (Finding& finding : findings) {
+    const Invariant* invariant =
+        findByName(invariants, finding.violation.invariant);
+    if (options.shrink && invariant != nullptr) {
+      ShrinkResult shrunk = shrinkCounterexample(
+          finding.scenario, *invariant, options.shrinkOptions);
+      finding.shrinkAttempts = shrunk.attempts;
+      finding.shrunk = std::move(shrunk.scenario);
+      // Re-derive the violation detail from the minimal configuration.
+      if (auto violation = invariant->check(
+              *finding.shrunk, runScenario(*finding.shrunk)))
+        finding.violation = std::move(*violation);
+    }
+    if (!options.traceDir.empty()) {
+      const Scenario& minimal =
+          finding.shrunk ? *finding.shrunk : finding.scenario;
+      CounterexampleFile file;
+      file.scenario = minimal;
+      file.invariant = finding.violation.invariant;
+      file.detail = finding.violation.detail;
+      file.trace = recordRun(minimal).trace;
+      const std::filesystem::path path =
+          std::filesystem::path(options.traceDir) /
+          ("counterexample-" + std::to_string(finding.configIndex) +
+           ".trace");
+      writeCounterexampleFile(file, path.string());
+      finding.tracePath = path.string();
+    }
+  }
+
+  CheckReport report;
+  report.configsExplored = explored.load();
+  report.findings = std::move(findings);
+  return report;
+}
+
+}  // namespace ooc::check

@@ -1,0 +1,82 @@
+#include "check/invariant.hpp"
+
+#include <sstream>
+
+namespace ooc::check {
+
+std::optional<Violation> AgreementInvariant::check(
+    const Scenario&, const RunReport& report) const {
+  if (!report.agreementViolated) return std::nullopt;
+  return Violation{name(), "two correct processes decided different values"};
+}
+
+std::optional<Violation> ValidityInvariant::check(
+    const Scenario&, const RunReport& report) const {
+  if (!report.validityViolated) return std::nullopt;
+  return Violation{name(), "a correct process decided a non-input value"};
+}
+
+std::optional<Violation> CoherenceAuditInvariant::check(
+    const Scenario&, const RunReport& report) const {
+  for (std::size_t i = 0; i < report.audits.size(); ++i) {
+    const RoundAudit& audit = report.audits[i];
+    if (audit.ok()) continue;
+    std::ostringstream os;
+    os << "round " << (i + 1) << ":";
+    if (!audit.validity) os << " validity";
+    if (!audit.convergence) os << " convergence";
+    if (!audit.coherenceAdoptCommit) os << " coherence(adopt,commit)";
+    if (!audit.coherenceVacillateAdopt) os << " coherence(vacillate,adopt)";
+    os << " violated";
+    return Violation{name(), os.str()};
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> TerminationInvariant::check(
+    const Scenario&, const RunReport& report) const {
+  if (report.allDecided) return std::nullopt;
+  return Violation{name(),
+                   "a correct process failed to decide within the run caps"};
+}
+
+std::optional<Violation> RaftConfidenceInvariant::check(
+    const Scenario& scenario, const RunReport& report) const {
+  if (scenario.family != Family::kRaft) return std::nullopt;
+  if (!report.confidenceOrderOk)
+    return Violation{name(), "commit observed before any adopt-level evidence"};
+  if (!report.commitValuesAgree)
+    return Violation{name(), "commit-level values disagree across processes"};
+  return std::nullopt;
+}
+
+std::optional<Violation> AdoptWitnessInvariant::check(
+    const Scenario&, const RunReport& report) const {
+  if (report.adoptMismatchWitnesses == 0) return std::nullopt;
+  std::ostringstream os;
+  os << report.adoptMismatchWitnesses << " of " << report.adoptOutcomesTotal
+     << " adopt outcomes disagree with the decision (decide-on-adopt would "
+        "have broken agreement)";
+  return Violation{name(), os.str()};
+}
+
+std::vector<std::unique_ptr<Invariant>> safetySuite(bool requireTermination) {
+  std::vector<std::unique_ptr<Invariant>> suite;
+  suite.push_back(std::make_unique<AgreementInvariant>());
+  suite.push_back(std::make_unique<ValidityInvariant>());
+  suite.push_back(std::make_unique<CoherenceAuditInvariant>());
+  suite.push_back(std::make_unique<RaftConfidenceInvariant>());
+  if (requireTermination)
+    suite.push_back(std::make_unique<TerminationInvariant>());
+  return suite;
+}
+
+std::vector<const Invariant*> view(
+    const std::vector<std::unique_ptr<Invariant>>& suite) {
+  std::vector<const Invariant*> out;
+  out.reserve(suite.size());
+  for (const auto& invariant : suite) out.push_back(invariant.get());
+  return out;
+}
+
+}  // namespace ooc::check

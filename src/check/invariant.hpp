@@ -1,0 +1,97 @@
+// Pluggable invariant monitors, evaluated against every explored run. Each
+// monitor inspects the family-independent RunReport (and may look at the
+// configuration, e.g. to skip checks a family cannot support) and returns a
+// violation with a human-readable detail string, or nothing.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/scenario.hpp"
+
+namespace ooc::check {
+
+struct Violation {
+  std::string invariant;  // name() of the monitor that fired
+  std::string detail;
+};
+
+class Invariant {
+ public:
+  Invariant() = default;
+  Invariant(const Invariant&) = delete;
+  Invariant& operator=(const Invariant&) = delete;
+  virtual ~Invariant() = default;
+
+  virtual const char* name() const noexcept = 0;
+  virtual std::optional<Violation> check(const Scenario& scenario,
+                                         const RunReport& report) const = 0;
+};
+
+/// No two correct processes decide differently (the simulator's online
+/// agreement monitor).
+class AgreementInvariant final : public Invariant {
+ public:
+  const char* name() const noexcept override { return "agreement"; }
+  std::optional<Violation> check(const Scenario&,
+                                 const RunReport& report) const override;
+};
+
+/// Every decision is some correct process's input.
+class ValidityInvariant final : public Invariant {
+ public:
+  const char* name() const noexcept override { return "validity"; }
+  std::optional<Violation> check(const Scenario&,
+                                 const RunReport& report) const override;
+};
+
+/// Per-round VAC/AC object-contract audits: validity, convergence, and the
+/// two coherence properties of paper §2, per completed round.
+class CoherenceAuditInvariant final : public Invariant {
+ public:
+  const char* name() const noexcept override { return "coherence-audit"; }
+  std::optional<Violation> check(const Scenario&,
+                                 const RunReport& report) const override;
+};
+
+/// Every correct process decides before the run's tick/round caps.
+class TerminationInvariant final : public Invariant {
+ public:
+  const char* name() const noexcept override { return "termination"; }
+  std::optional<Violation> check(const Scenario&,
+                                 const RunReport& report) const override;
+};
+
+/// Raft confidence instrumentation: commit never precedes adopt-level
+/// evidence, and all commit-level values agree (paper Algorithms 10-11).
+class RaftConfidenceInvariant final : public Invariant {
+ public:
+  const char* name() const noexcept override { return "raft-confidence"; }
+  std::optional<Violation> check(const Scenario&,
+                                 const RunReport& report) const override;
+};
+
+/// §5 witness hunter: fires when a run contains a completed adopt-level
+/// outcome whose value differs from the run's decision — a schedule proving
+/// that "decide on adopt" would have broken agreement. This is not a bug in
+/// the implementation (the checker's healthy sweeps exclude it); it is used
+/// in witness-hunt mode to *find* the paper's AC-insufficiency schedules.
+class AdoptWitnessInvariant final : public Invariant {
+ public:
+  const char* name() const noexcept override { return "adopt-witness"; }
+  std::optional<Violation> check(const Scenario&,
+                                 const RunReport& report) const override;
+};
+
+/// The standard safety suite: agreement, validity, coherence audits, Raft
+/// confidence, and (optionally) termination.
+std::vector<std::unique_ptr<Invariant>> safetySuite(
+    bool requireTermination = true);
+
+/// Non-owning view helper for APIs taking `const Invariant*` lists.
+std::vector<const Invariant*> view(
+    const std::vector<std::unique_ptr<Invariant>>& suite);
+
+}  // namespace ooc::check

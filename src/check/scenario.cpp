@@ -1,0 +1,163 @@
+#include "check/scenario.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "harness/serialize.hpp"
+
+namespace ooc::check {
+
+const char* toString(Family family) noexcept {
+  switch (family) {
+    case Family::kBenOr: return "benor";
+    case Family::kPhaseKing: return "phaseking";
+    case Family::kRaft: return "raft";
+  }
+  return "?";
+}
+
+Family parseFamily(const std::string& name) {
+  if (name == "benor") return Family::kBenOr;
+  if (name == "phaseking") return Family::kPhaseKing;
+  if (name == "raft") return Family::kRaft;
+  throw std::runtime_error("unknown scenario family '" + name + "'");
+}
+
+std::uint64_t Scenario::seed() const noexcept {
+  switch (family) {
+    case Family::kBenOr: return benOr.seed;
+    case Family::kPhaseKing: return phaseKing.seed;
+    case Family::kRaft: return raft.seed;
+  }
+  return 0;
+}
+
+void Scenario::setSeed(std::uint64_t seed) noexcept {
+  switch (family) {
+    case Family::kBenOr: benOr.seed = seed; break;
+    case Family::kPhaseKing: phaseKing.seed = seed; break;
+    case Family::kRaft: raft.seed = seed; break;
+  }
+}
+
+std::size_t Scenario::processCount() const noexcept {
+  switch (family) {
+    case Family::kBenOr: return benOr.n;
+    case Family::kPhaseKing: return phaseKing.n;
+    case Family::kRaft: return raft.n;
+  }
+  return 0;
+}
+
+RunReport runScenario(const Scenario& scenario,
+                      const harness::RunHooks& hooks) {
+  RunReport report;
+  switch (scenario.family) {
+    case Family::kBenOr: {
+      const auto result = harness::runBenOr(scenario.benOr, hooks);
+      report.allDecided = result.allDecided;
+      report.agreementViolated = result.agreementViolated;
+      report.validityViolated = result.validityViolated;
+      report.decidedValue = result.decidedValue;
+      report.messages = result.messagesByCorrect;
+      report.audits = result.audits;
+      report.allAuditsOk = result.allAuditsOk;
+      report.adoptOutcomesTotal = result.adoptOutcomesTotal;
+      report.adoptMismatchWitnesses = result.adoptMismatchWitnesses;
+      break;
+    }
+    case Family::kPhaseKing: {
+      const auto result = harness::runPhaseKing(scenario.phaseKing, hooks);
+      report.allDecided = result.allDecided;
+      report.agreementViolated = result.agreementViolated;
+      report.validityViolated = result.validityViolated;
+      report.decidedValue = result.decidedValue;
+      report.messages = result.messagesByCorrect;
+      report.audits = result.audits;
+      report.allAuditsOk = result.allAuditsOk;
+      break;
+    }
+    case Family::kRaft: {
+      const auto result = harness::runRaft(scenario.raft, hooks);
+      report.allDecided = result.allDecided;
+      report.agreementViolated = result.agreementViolated;
+      report.validityViolated = result.validityViolated;
+      report.decidedValue = result.decidedValue;
+      report.messages = result.messages;
+      report.confidenceOrderOk = result.confidenceOrderOk;
+      report.commitValuesAgree = result.commitValuesAgree;
+      break;
+    }
+  }
+  return report;
+}
+
+std::string serialize(const Scenario& scenario) {
+  std::string out = std::string("family=") + toString(scenario.family) + "\n";
+  switch (scenario.family) {
+    case Family::kBenOr: return out + harness::serialize(scenario.benOr);
+    case Family::kPhaseKing:
+      return out + harness::serialize(scenario.phaseKing);
+    case Family::kRaft: return out + harness::serialize(scenario.raft);
+  }
+  return out;
+}
+
+Scenario parseScenario(const std::string& text) {
+  const auto newline = text.find('\n');
+  const std::string first =
+      newline == std::string::npos ? text : text.substr(0, newline);
+  if (first.rfind("family=", 0) != 0)
+    throw std::runtime_error("scenario: expected leading family= line");
+  Scenario scenario;
+  scenario.family = parseFamily(first.substr(7));
+  const std::string rest =
+      newline == std::string::npos ? "" : text.substr(newline + 1);
+  switch (scenario.family) {
+    case Family::kBenOr:
+      scenario.benOr = harness::parseBenOrConfig(rest);
+      break;
+    case Family::kPhaseKing:
+      scenario.phaseKing = harness::parsePhaseKingConfig(rest);
+      break;
+    case Family::kRaft:
+      scenario.raft = harness::parseRaftConfig(rest);
+      break;
+  }
+  return scenario;
+}
+
+std::string describe(const Scenario& scenario) {
+  std::ostringstream os;
+  os << toString(scenario.family) << " n=" << scenario.processCount()
+     << " seed=" << scenario.seed();
+  switch (scenario.family) {
+    case Family::kBenOr:
+      os << " mode=" << harness::toString(scenario.benOr.mode)
+         << " reconciliator="
+         << harness::toString(scenario.benOr.reconciliator)
+         << " crashes=" << scenario.benOr.crashes.size()
+         << " max-delay=" << scenario.benOr.maxDelay;
+      if (scenario.benOr.adversary.enabled())
+        os << " adversary-budget=" << scenario.benOr.adversary.extraDelayMax;
+      if (scenario.benOr.fault != harness::BenOrConfig::Fault::kNone)
+        os << " fault=" << harness::toString(scenario.benOr.fault);
+      break;
+    case Family::kPhaseKing:
+      os << " algorithm=" << harness::toString(scenario.phaseKing.algorithm)
+         << " byzantine=" << scenario.phaseKing.byzantineCount
+         << " strategy=" << phaseking::toString(scenario.phaseKing.strategy)
+         << " placement=" << harness::toString(scenario.phaseKing.placement);
+      break;
+    case Family::kRaft:
+      os << " crashes=" << scenario.raft.crashes.size()
+         << " partitions=" << scenario.raft.partitions.size()
+         << " drop-prob=" << scenario.raft.dropProbability;
+      if (scenario.raft.adversary.enabled())
+        os << " adversary-budget=" << scenario.raft.adversary.extraDelayMax;
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace ooc::check

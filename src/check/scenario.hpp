@@ -1,0 +1,67 @@
+// Family-independent view of a scenario run, so exploration strategies,
+// invariants and the shrinker can treat Ben-Or, Phase-King and Raft runs
+// uniformly. A Scenario is a tagged union of the harness configurations; a
+// RunReport is the least common denominator of the harness results that the
+// invariant monitors consume.
+#pragma once
+
+#include <string>
+
+#include "harness/scenarios.hpp"
+
+namespace ooc::check {
+
+enum class Family { kBenOr, kPhaseKing, kRaft };
+
+const char* toString(Family family) noexcept;
+Family parseFamily(const std::string& name);
+
+/// One fully specified run configuration of any scenario family. Only the
+/// member selected by `family` is meaningful.
+struct Scenario {
+  Family family = Family::kBenOr;
+  harness::BenOrConfig benOr;
+  harness::PhaseKingConfig phaseKing;
+  harness::RaftScenarioConfig raft;
+
+  std::uint64_t seed() const noexcept;
+  void setSeed(std::uint64_t seed) noexcept;
+  /// Process count of the active family.
+  std::size_t processCount() const noexcept;
+};
+
+/// The observations every invariant can ask about, whatever the family.
+struct RunReport {
+  bool allDecided = false;
+  bool agreementViolated = false;
+  bool validityViolated = false;
+  Value decidedValue = kNoValue;
+  std::uint64_t messages = 0;
+
+  /// Per-round object audits (empty for monolithic Ben-Or and Raft).
+  std::vector<RoundAudit> audits;
+  bool allAuditsOk = true;
+
+  /// §5 witnesses: completed adopt outcomes disagreeing with the decision.
+  std::size_t adoptOutcomesTotal = 0;
+  std::size_t adoptMismatchWitnesses = 0;
+
+  /// Raft VAC-instrumentation checks (trivially true for other families).
+  bool confidenceOrderOk = true;
+  bool commitValuesAgree = true;
+};
+
+/// Runs the scenario to completion (one deterministic Simulator per call;
+/// safe to invoke concurrently from many threads).
+RunReport runScenario(const Scenario& scenario,
+                      const harness::RunHooks& hooks = {});
+
+/// Text round-trip: a `family=...` line followed by the family config's
+/// key=value serialization (harness/serialize.hpp).
+std::string serialize(const Scenario& scenario);
+Scenario parseScenario(const std::string& text);
+
+/// One-line human summary for checker reports.
+std::string describe(const Scenario& scenario);
+
+}  // namespace ooc::check

@@ -1,0 +1,191 @@
+#include "check/shrink.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace ooc::check {
+namespace {
+
+bool allEqual(const std::vector<Value>& values) {
+  return std::adjacent_find(values.begin(), values.end(),
+                            std::not_equal_to<>()) == values.end();
+}
+
+void dropCrashesAbove(std::vector<std::pair<ProcessId, Tick>>& crashes,
+                      std::size_t n) {
+  std::erase_if(crashes,
+                [n](const auto& crash) { return crash.first >= n; });
+}
+
+template <typename Config>
+void eachCrashReduction(const Scenario& base, const Config& config,
+                        Config Scenario::* member,
+                        std::vector<Scenario>& out) {
+  for (std::size_t i = 0; i < config.crashes.size(); ++i) {
+    Scenario candidate = base;
+    auto& crashes = (candidate.*member).crashes;
+    crashes.erase(crashes.begin() + static_cast<std::ptrdiff_t>(i));
+    out.push_back(std::move(candidate));
+  }
+  for (std::size_t i = 0; i < config.crashes.size(); ++i) {
+    if (config.crashes[i].second <= 1) continue;
+    Scenario candidate = base;
+    auto& crash = (candidate.*member).crashes[i];
+    crash.second = std::max<Tick>(1, crash.second / 2);
+    out.push_back(std::move(candidate));
+  }
+}
+
+void eachAdversaryReduction(const Scenario& base,
+                            const harness::AdversaryOptions& adversary,
+                            std::vector<Scenario>& out, bool raft) {
+  if (!adversary.enabled()) return;
+  const auto set = [&](Tick budget) {
+    Scenario candidate = base;
+    auto& target =
+        raft ? candidate.raft.adversary : candidate.benOr.adversary;
+    target.extraDelayMax = budget;
+    out.push_back(std::move(candidate));
+  };
+  set(0);
+  if (adversary.extraDelayMax > 1) set(adversary.extraDelayMax / 2);
+}
+
+void eachInputSimplification(const Scenario& base,
+                             const std::vector<Value>& inputs,
+                             std::vector<Scenario>& out, Family family) {
+  if (inputs.empty() || allEqual(inputs)) return;
+  for (const Value v : {Value{0}, Value{1}}) {
+    Scenario candidate = base;
+    std::vector<Value>* target = nullptr;
+    switch (family) {
+      case Family::kBenOr: target = &candidate.benOr.inputs; break;
+      case Family::kPhaseKing: target = &candidate.phaseKing.inputs; break;
+      case Family::kRaft: target = &candidate.raft.inputs; break;
+    }
+    std::fill(target->begin(), target->end(), v);
+    out.push_back(std::move(candidate));
+  }
+}
+
+/// All one-step reductions of `base`, most aggressive first.
+std::vector<Scenario> reductions(const Scenario& base) {
+  std::vector<Scenario> out;
+  switch (base.family) {
+    case Family::kBenOr: {
+      const auto& config = base.benOr;
+      eachCrashReduction(base, config, &Scenario::benOr, out);
+      if (config.n > 3) {
+        Scenario candidate = base;
+        auto& c = candidate.benOr;
+        --c.n;
+        c.t.reset();
+        c.inputs.resize(c.n);
+        dropCrashesAbove(c.crashes, c.n);
+        out.push_back(std::move(candidate));
+      }
+      if (config.maxDelay > config.minDelay) {
+        Scenario candidate = base;
+        candidate.benOr.maxDelay = config.minDelay;
+        out.push_back(std::move(candidate));
+        const Tick mid = (config.minDelay + config.maxDelay) / 2;
+        if (mid != config.minDelay && mid != config.maxDelay) {
+          candidate = base;
+          candidate.benOr.maxDelay = mid;
+          out.push_back(std::move(candidate));
+        }
+      }
+      eachAdversaryReduction(base, config.adversary, out, false);
+      eachInputSimplification(base, config.inputs, out, Family::kBenOr);
+      break;
+    }
+    case Family::kPhaseKing: {
+      const auto& config = base.phaseKing;
+      if (config.byzantineCount > 0) {
+        Scenario candidate = base;
+        --candidate.phaseKing.byzantineCount;
+        out.push_back(std::move(candidate));
+      }
+      if (config.n > 4) {
+        Scenario candidate = base;
+        auto& c = candidate.phaseKing;
+        --c.n;
+        c.t.reset();
+        const std::size_t divisor =
+            c.algorithm == harness::PhaseKingConfig::Algorithm::kKing ? 3 : 4;
+        c.byzantineCount =
+            std::min(c.byzantineCount, (c.n - 1) / divisor);
+        out.push_back(std::move(candidate));
+      }
+      eachInputSimplification(base, config.inputs, out, Family::kPhaseKing);
+      break;
+    }
+    case Family::kRaft: {
+      const auto& config = base.raft;
+      eachCrashReduction(base, config, &Scenario::raft, out);
+      for (std::size_t i = 0; i < config.partitions.size(); ++i) {
+        Scenario candidate = base;
+        auto& partitions = candidate.raft.partitions;
+        partitions.erase(partitions.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+        out.push_back(std::move(candidate));
+      }
+      if (config.n > 3) {
+        Scenario candidate = base;
+        auto& c = candidate.raft;
+        --c.n;
+        if (!c.inputs.empty()) c.inputs.resize(c.n);
+        dropCrashesAbove(c.crashes, c.n);
+        for (auto& partition : c.partitions)
+          if (partition.groups.size() > c.n) partition.groups.resize(c.n);
+        out.push_back(std::move(candidate));
+      }
+      if (config.dropProbability > 0.0) {
+        Scenario candidate = base;
+        candidate.raft.dropProbability = 0.0;
+        out.push_back(std::move(candidate));
+      }
+      if (config.duplicateProbability > 0.0) {
+        Scenario candidate = base;
+        candidate.raft.duplicateProbability = 0.0;
+        out.push_back(std::move(candidate));
+      }
+      if (config.maxDelay > config.minDelay) {
+        Scenario candidate = base;
+        candidate.raft.maxDelay = config.minDelay;
+        out.push_back(std::move(candidate));
+      }
+      eachAdversaryReduction(base, config.adversary, out, true);
+      eachInputSimplification(base, config.inputs, out, Family::kRaft);
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrinkCounterexample(Scenario scenario,
+                                  const Invariant& invariant,
+                                  const ShrinkOptions& options) {
+  ShrinkResult result;
+  result.scenario = std::move(scenario);
+  bool progress = true;
+  while (progress && result.attempts < options.maxAttempts) {
+    progress = false;
+    for (Scenario& candidate : reductions(result.scenario)) {
+      if (result.attempts >= options.maxAttempts) break;
+      ++result.attempts;
+      if (invariant.check(candidate, runScenario(candidate)).has_value()) {
+        result.scenario = std::move(candidate);
+        ++result.accepted;
+        progress = true;
+        break;  // restart the pass from the smaller scenario
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ooc::check

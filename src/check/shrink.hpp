@@ -1,0 +1,36 @@
+// Greedy counterexample shrinking: starting from a violating scenario,
+// repeatedly tries structurally smaller candidates (fewer crashes, fewer
+// processes, earlier crash ticks, tighter delay bounds, smaller adversary
+// budgets, simpler inputs) and keeps a candidate whenever re-running it
+// still violates the same invariant. Terminates at a local minimum or the
+// attempt cap. Deterministic: candidate order is fixed and every re-run is
+// a pure function of its configuration.
+#pragma once
+
+#include <cstddef>
+
+#include "check/invariant.hpp"
+#include "check/scenario.hpp"
+
+namespace ooc::check {
+
+struct ShrinkOptions {
+  /// Cap on candidate re-runs (each is a full simulation).
+  std::size_t maxAttempts = 400;
+};
+
+struct ShrinkResult {
+  /// The locally minimal scenario; still violates the invariant.
+  Scenario scenario;
+  /// Candidate re-runs performed.
+  std::size_t attempts = 0;
+  /// Candidates that kept the violation (accepted reductions).
+  std::size_t accepted = 0;
+};
+
+/// `scenario` must violate `invariant` (the caller observed it fail).
+ShrinkResult shrinkCounterexample(Scenario scenario,
+                                  const Invariant& invariant,
+                                  const ShrinkOptions& options = {});
+
+}  // namespace ooc::check

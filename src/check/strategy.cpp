@@ -1,0 +1,220 @@
+#include "check/strategy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace ooc::check {
+namespace {
+
+std::vector<Value> randomBinaryInputs(std::size_t n, Rng& meta) {
+  std::vector<Value> inputs(n);
+  for (auto& v : inputs) v = meta.coin();
+  return inputs;
+}
+
+std::vector<std::pair<ProcessId, Tick>> randomCrashes(std::size_t n,
+                                                      std::size_t budget,
+                                                      Tick tickMax,
+                                                      Rng& meta) {
+  std::vector<std::pair<ProcessId, Tick>> crashes;
+  const std::size_t count = budget == 0 ? 0 : meta.below(budget + 1);
+  for (std::size_t k = 0; k < count; ++k) {
+    crashes.emplace_back(static_cast<ProcessId>(meta.below(n)),
+                         static_cast<Tick>(1 + meta.below(tickMax)));
+  }
+  return crashes;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RandomWalkStrategy
+
+RandomWalkStrategy::RandomWalkStrategy(Scenario base, Options options)
+    : base_(std::move(base)), options_(options) {}
+
+Scenario RandomWalkStrategy::generate(std::size_t index) const {
+  Scenario scenario = base_;
+  scenario.setSeed(options_.seedBase + index);
+  // The meta stream drives configuration shape only; the run seed above
+  // drives the protocol's own randomness.
+  Rng meta = Rng(options_.seedBase).split(0x3A7E0000 + index);
+
+  const auto pickCount = [&]() {
+    const std::size_t lo = std::max<std::size_t>(1, options_.minProcesses);
+    const std::size_t hi = std::max(lo, options_.maxProcesses);
+    return lo + meta.below(hi - lo + 1);
+  };
+
+  switch (scenario.family) {
+    case Family::kBenOr: {
+      auto& config = scenario.benOr;
+      if (options_.randomizeCrashes || options_.randomizeInputs) {
+        config.n = pickCount();
+        config.t.reset();  // recompute the default budget for the new n
+      }
+      if (options_.randomizeInputs) {
+        config.inputs = randomBinaryInputs(config.n, meta);
+      } else if (config.inputs.size() != config.n) {
+        config.inputs.resize(config.n);
+        for (std::size_t i = 0; i < config.n; ++i)
+          config.inputs[i] = static_cast<Value>(i % 2);
+      }
+      if (options_.randomizeCrashes) {
+        config.crashes = randomCrashes(config.n, (config.n - 1) / 2,
+                                       options_.crashTickMax, meta);
+      }
+      if (options_.randomizeDelays)
+        config.maxDelay = config.minDelay + meta.below(30);
+      break;
+    }
+    case Family::kPhaseKing: {
+      auto& config = scenario.phaseKing;
+      const std::size_t t =
+          config.t.value_or(config.n == 0 ? 0 : (config.n - 1) / 3);
+      if (options_.randomizeCrashes)  // fault-schedule freedom: the attackers
+        config.byzantineCount = meta.below(t + 1);
+      config.strategy =
+          static_cast<phaseking::ByzantineStrategy>(meta.below(5));
+      config.placement =
+          static_cast<harness::PhaseKingConfig::Placement>(meta.below(3));
+      if (options_.randomizeInputs)
+        config.inputs = randomBinaryInputs(
+            config.n - config.byzantineCount, meta);
+      break;
+    }
+    case Family::kRaft: {
+      auto& config = scenario.raft;
+      if (options_.randomizeCrashes || options_.randomizeInputs)
+        config.n = pickCount();
+      if (options_.randomizeInputs)
+        config.inputs = randomBinaryInputs(config.n, meta);
+      else
+        config.inputs.clear();  // harness default: id % 2
+      if (options_.randomizeCrashes) {
+        config.crashes = randomCrashes(config.n, (config.n - 1) / 2,
+                                       options_.crashTickMax, meta);
+      }
+      if (options_.randomizeDelays)
+        config.maxDelay = config.minDelay + meta.below(8);
+      break;
+    }
+  }
+  return scenario;
+}
+
+// ---------------------------------------------------------------------------
+// DelayBoundStrategy
+
+DelayBoundStrategy::DelayBoundStrategy(Scenario base, Options options)
+    : base_(std::move(base)), options_(std::move(options)) {
+  if (base_.family == Family::kPhaseKing)
+    throw std::invalid_argument(
+        "delay-bound exploration needs an asynchronous family");
+  if (options_.budgets.empty() || options_.adversarySeedsPerBudget == 0)
+    throw std::invalid_argument("delay-bound strategy needs a non-empty grid");
+}
+
+Scenario DelayBoundStrategy::generate(std::size_t index) const {
+  Scenario scenario = base_;
+  harness::AdversaryOptions adversary;
+  adversary.extraDelayMax =
+      options_.budgets[index / options_.adversarySeedsPerBudget];
+  adversary.seed = options_.adversarySeedBase +
+                   index % options_.adversarySeedsPerBudget;
+  adversary.perturbProbability = options_.perturbProbability;
+  if (scenario.family == Family::kBenOr)
+    scenario.benOr.adversary = adversary;
+  else
+    scenario.raft.adversary = adversary;
+  return scenario;
+}
+
+// ---------------------------------------------------------------------------
+// CrashScheduleStrategy
+
+CrashScheduleStrategy::CrashScheduleStrategy(Scenario base, Options options)
+    : base_(std::move(base)), options_(std::move(options)) {
+  if (base_.family == Family::kPhaseKing)
+    throw std::invalid_argument(
+        "crash-schedule enumeration applies to crash-fault families");
+  if (options_.tickGrid.empty())
+    throw std::invalid_argument("crash-schedule strategy needs a tick grid");
+
+  const std::size_t n = base_.processCount();
+  std::size_t budget = options_.maxCrashes;
+  if (budget == 0) budget = n == 0 ? 0 : (n - 1) / 2;
+  budget = std::min(budget, n);
+
+  // Subsets in size order, lexicographic within a size.
+  std::vector<ProcessId> current;
+  const auto emit = [&](auto&& self, std::size_t firstId,
+                        std::size_t remaining) -> void {
+    if (remaining == 0) {
+      subsets_.push_back(current);
+      return;
+    }
+    for (std::size_t id = firstId; id + remaining <= n; ++id) {
+      current.push_back(static_cast<ProcessId>(id));
+      self(self, id + 1, remaining - 1);
+      current.pop_back();
+    }
+  };
+  for (std::size_t size = 0; size <= budget; ++size) emit(emit, 0, size);
+
+  subsetStart_.reserve(subsets_.size());
+  for (const auto& subset : subsets_) {
+    subsetStart_.push_back(total_);
+    std::size_t assignments = 1;
+    for (std::size_t k = 0; k < subset.size(); ++k)
+      assignments *= options_.tickGrid.size();
+    total_ += assignments;
+  }
+}
+
+Scenario CrashScheduleStrategy::generate(std::size_t index) const {
+  // Find the subset owning this index (last start <= index).
+  const auto it = std::upper_bound(subsetStart_.begin(), subsetStart_.end(),
+                                   index);
+  const std::size_t subsetIndex =
+      static_cast<std::size_t>(it - subsetStart_.begin()) - 1;
+  const std::vector<ProcessId>& subset = subsets_[subsetIndex];
+  std::size_t offset = index - subsetStart_[subsetIndex];
+
+  std::vector<std::pair<ProcessId, Tick>> crashes;
+  crashes.reserve(subset.size());
+  for (const ProcessId id : subset) {
+    const std::size_t digit = offset % options_.tickGrid.size();
+    offset /= options_.tickGrid.size();
+    crashes.emplace_back(id, options_.tickGrid[digit]);
+  }
+
+  Scenario scenario = base_;
+  if (scenario.family == Family::kBenOr)
+    scenario.benOr.crashes = std::move(crashes);
+  else
+    scenario.raft.crashes = std::move(crashes);
+  return scenario;
+}
+
+// ---------------------------------------------------------------------------
+// CompositeStrategy
+
+CompositeStrategy::CompositeStrategy(
+    std::string name, std::vector<std::unique_ptr<ExplorationStrategy>> parts)
+    : name_(std::move(name)), parts_(std::move(parts)) {
+  for (const auto& part : parts_) total_ += part->size();
+}
+
+Scenario CompositeStrategy::generate(std::size_t index) const {
+  for (const auto& part : parts_) {
+    if (index < part->size()) return part->generate(index);
+    index -= part->size();
+  }
+  throw std::out_of_range("composite strategy index out of range");
+}
+
+}  // namespace ooc::check

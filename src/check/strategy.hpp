@@ -1,0 +1,135 @@
+// Exploration strategies: deterministic, indexable generators of scenario
+// configurations. A strategy is a pure function index -> Scenario, so a
+// sweep parallelizes trivially (workers pull indices from an atomic
+// counter), any configuration can be regenerated from (strategy, index),
+// and a finding's provenance is just its index.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/scenario.hpp"
+
+namespace ooc::check {
+
+class ExplorationStrategy {
+ public:
+  ExplorationStrategy() = default;
+  ExplorationStrategy(const ExplorationStrategy&) = delete;
+  ExplorationStrategy& operator=(const ExplorationStrategy&) = delete;
+  virtual ~ExplorationStrategy() = default;
+
+  virtual const char* name() const noexcept = 0;
+  /// Number of configurations this strategy enumerates.
+  virtual std::size_t size() const noexcept = 0;
+  /// The index-th configuration. Deterministic and thread-safe.
+  virtual Scenario generate(std::size_t index) const = 0;
+};
+
+/// Multi-seed random walk: run `runs` configurations derived from a base
+/// scenario, each with a fresh run seed and (optionally) randomized process
+/// count, inputs, delay bounds and crash schedules drawn from a per-index
+/// meta stream. The classic "thousands of seeds" sweep.
+class RandomWalkStrategy final : public ExplorationStrategy {
+ public:
+  struct Options {
+    std::uint64_t seedBase = 1;
+    std::size_t runs = 1000;
+    bool randomizeInputs = true;
+    /// Ben-Or / Raft only (Phase-King faults are Byzantine, not crashes).
+    bool randomizeCrashes = true;
+    bool randomizeDelays = true;
+    /// Ben-Or / Raft process-count range; Phase-King keeps the base n.
+    std::size_t minProcesses = 3;
+    std::size_t maxProcesses = 9;
+    /// Crash ticks are drawn from [1, crashTickMax].
+    Tick crashTickMax = 300;
+  };
+
+  RandomWalkStrategy(Scenario base, Options options);
+
+  const char* name() const noexcept override { return "random-walk"; }
+  std::size_t size() const noexcept override { return options_.runs; }
+  Scenario generate(std::size_t index) const override;
+
+ private:
+  Scenario base_;
+  Options options_;
+};
+
+/// Delay-bounded reordering: sweeps the message-reordering adversary over a
+/// grid of delay budgets x adversary seeds while the protocol configuration
+/// (including its run seed) stays fixed — systematic exploration of bounded
+/// perturbations of one schedule. Asynchronous families only.
+class DelayBoundStrategy final : public ExplorationStrategy {
+ public:
+  struct Options {
+    std::vector<Tick> budgets = {1, 2, 4, 8, 16, 32};
+    std::size_t adversarySeedsPerBudget = 50;
+    std::uint64_t adversarySeedBase = 1;
+    double perturbProbability = 1.0;
+  };
+
+  /// Throws std::invalid_argument for Phase-King (synchronous lockstep has
+  /// no delay freedom to explore).
+  DelayBoundStrategy(Scenario base, Options options);
+
+  const char* name() const noexcept override { return "delay-bound"; }
+  std::size_t size() const noexcept override {
+    return options_.budgets.size() * options_.adversarySeedsPerBudget;
+  }
+  Scenario generate(std::size_t index) const override;
+
+ private:
+  Scenario base_;
+  Options options_;
+};
+
+/// Targeted crash-schedule enumeration: every crash set of up to
+/// `maxCrashes` distinct processes, each crashing at every combination of
+/// ticks from `tickGrid` (plus the crash-free schedule). Ben-Or / Raft only.
+class CrashScheduleStrategy final : public ExplorationStrategy {
+ public:
+  struct Options {
+    /// Defaults to the family's fault budget: floor((n-1)/2) for Ben-Or,
+    /// minority for Raft.
+    std::size_t maxCrashes = 0;
+    std::vector<Tick> tickGrid = {1, 5, 10, 25, 50, 100, 200};
+  };
+
+  /// Throws std::invalid_argument for Phase-King (its faults are Byzantine).
+  CrashScheduleStrategy(Scenario base, Options options);
+
+  const char* name() const noexcept override { return "crash-schedule"; }
+  std::size_t size() const noexcept override { return total_; }
+  Scenario generate(std::size_t index) const override;
+
+ private:
+  Scenario base_;
+  Options options_;
+  /// All enumerated crash sets (process-id subsets, size <= maxCrashes).
+  std::vector<std::vector<ProcessId>> subsets_;
+  /// subsetStart_[s] = first global index of subset s's tick assignments.
+  std::vector<std::size_t> subsetStart_;
+  std::size_t total_ = 0;
+};
+
+/// Concatenation of strategies (indices are assigned in order).
+class CompositeStrategy final : public ExplorationStrategy {
+ public:
+  CompositeStrategy(std::string name,
+                    std::vector<std::unique_ptr<ExplorationStrategy>> parts);
+
+  const char* name() const noexcept override { return name_.c_str(); }
+  std::size_t size() const noexcept override { return total_; }
+  Scenario generate(std::size_t index) const override;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<ExplorationStrategy>> parts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace ooc::check

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "benor/async_byzantine.hpp"
+#include "harness/fault_injection.hpp"
 #include "benor/byzantine_vac.hpp"
 #include "benor/monolithic.hpp"
 #include "benor/reconciliators.hpp"
@@ -63,9 +64,20 @@ DetectorFactory makeBenOrDetector(const BenOrConfig& config, std::size_t t) {
   throw std::logic_error("unknown mode");
 }
 
+/// Applies the configured message-reordering adversary, if any.
+std::unique_ptr<NetworkModel> wrapAdversary(std::unique_ptr<NetworkModel> net,
+                                            const AdversaryOptions& options) {
+  if (!options.enabled()) return net;
+  DelayAdversaryNetwork::Options adv;
+  adv.seed = options.seed;
+  adv.extraDelayMax = options.extraDelayMax;
+  adv.perturbProbability = options.perturbProbability;
+  return std::make_unique<DelayAdversaryNetwork>(std::move(net), adv);
+}
+
 }  // namespace
 
-BenOrResult runBenOr(const BenOrConfig& config) {
+BenOrResult runBenOr(const BenOrConfig& config, const RunHooks& hooks) {
   if (config.inputs.size() != config.n)
     throw std::invalid_argument("inputs must have size n");
   const std::size_t t =
@@ -77,7 +89,10 @@ BenOrResult runBenOr(const BenOrConfig& config) {
   UniformDelayNetwork::Options net;
   net.minDelay = config.minDelay;
   net.maxDelay = config.maxDelay;
-  Simulator sim(simConfig, std::make_unique<UniformDelayNetwork>(net));
+  Simulator sim(simConfig,
+                wrapAdversary(std::make_unique<UniformDelayNetwork>(net),
+                              config.adversary));
+  if (hooks.observer) sim.setScheduleObserver(hooks.observer);
 
   std::vector<ConsensusProcess*> templated;
   std::vector<benor::MonolithicBenOr*> classic;
@@ -97,7 +112,8 @@ BenOrResult runBenOr(const BenOrConfig& config) {
       options.alwaysRunDriver =
           config.reconciliator == BenOrConfig::Reconciliator::kLottery;
       auto process = std::make_unique<ConsensusProcess>(
-          config.inputs[id], makeBenOrDetector(config, t),
+          config.inputs[id],
+          injectFault(makeBenOrDetector(config, t), config.fault),
           makeReconciliator(config), options);
       templated.push_back(process.get());
       sim.addProcess(std::move(process));
@@ -230,7 +246,8 @@ BenOrResult runByzantineBenOr(const ByzantineBenOrConfig& config) {
 
 // ---------------------------------------------------------------------------
 
-PhaseKingResult runPhaseKing(const PhaseKingConfig& config) {
+PhaseKingResult runPhaseKing(const PhaseKingConfig& config,
+                             const RunHooks& hooks) {
   const bool queen = config.algorithm == PhaseKingConfig::Algorithm::kQueen;
   const std::size_t n = config.n;
   const std::size_t f = config.byzantineCount;
@@ -259,6 +276,7 @@ PhaseKingResult runPhaseKing(const PhaseKingConfig& config) {
   simConfig.lockstep = true;
   simConfig.maxTicks = config.maxTicks;
   Simulator sim(simConfig, std::make_unique<SynchronousNetwork>());
+  if (hooks.observer) sim.setScheduleObserver(hooks.observer);
 
   std::vector<ConsensusProcess*> templated(n, nullptr);
   std::vector<Value> validInputs;
@@ -354,7 +372,8 @@ PhaseKingResult runPhaseKing(const PhaseKingConfig& config) {
 
 // ---------------------------------------------------------------------------
 
-RaftScenarioResult runRaft(const RaftScenarioConfig& config) {
+RaftScenarioResult runRaft(const RaftScenarioConfig& config,
+                           const RunHooks& hooks) {
   SimConfig simConfig;
   simConfig.seed = config.seed;
   simConfig.maxTicks = config.maxTicks;
@@ -364,10 +383,11 @@ RaftScenarioResult runRaft(const RaftScenarioConfig& config) {
   net.maxDelay = config.maxDelay;
   net.dropProbability = config.dropProbability;
   net.duplicateProbability = config.duplicateProbability;
-  auto partitioned = std::make_unique<PartitionedNetwork>(
-      std::make_unique<UniformDelayNetwork>(net));
+  auto partitioned = std::make_unique<PartitionedNetwork>(wrapAdversary(
+      std::make_unique<UniformDelayNetwork>(net), config.adversary));
   PartitionedNetwork* networkHandle = partitioned.get();
   Simulator sim(simConfig, std::move(partitioned));
+  if (hooks.observer) sim.setScheduleObserver(hooks.observer);
 
   std::vector<Value> inputs = config.inputs;
   if (inputs.empty()) {

@@ -16,7 +16,31 @@
 #include "raft/types.hpp"
 #include "util/types.hpp"
 
+namespace ooc {
+class ScheduleObserver;
+}
+
 namespace ooc::harness {
+
+/// Optional instrumentation threaded through a scenario run. Not part of
+/// the serializable configuration: hooks are attached by the caller (the
+/// model checker's trace recorder/verifier) and never affect the schedule.
+struct RunHooks {
+  ScheduleObserver* observer = nullptr;
+};
+
+/// Delay-bounded adversarial rescheduling for asynchronous scenarios: when
+/// extraDelayMax > 0 the run's network is wrapped in a DelayAdversaryNetwork
+/// that stretches each delivery by up to extraDelayMax extra ticks with
+/// probability perturbProbability. The adversary draws from its own seed so
+/// schedules can be swept while the protocol's randomness stays fixed.
+struct AdversaryOptions {
+  Tick extraDelayMax = 0;
+  double perturbProbability = 1.0;
+  std::uint64_t seed = 1;
+
+  bool enabled() const noexcept { return extraDelayMax > 0; }
+};
 
 // ---------------------------------------------------------------------------
 // Ben-Or family (asynchronous, crash faults, t < n/2)
@@ -59,6 +83,20 @@ struct BenOrConfig {
   Tick maxDelay = 10;
   Round maxRounds = 5000;
   Tick maxTicks = 5'000'000;
+
+  /// Message-reordering adversary (model checker strategies).
+  AdversaryOptions adversary;
+
+  /// Deliberately planted bugs, behind a test-only hook: the model checker
+  /// must be able to prove it catches real violations. Template modes only
+  /// (the monolithic baseline has no detector to corrupt).
+  enum class Fault {
+    kNone,
+    /// Odd-id processes flip the value of every adopt-level detector
+    /// outcome, violating VAC coherence over vacillate & adopt.
+    kVacAdoptFlip,
+  };
+  Fault fault = Fault::kNone;
 };
 
 struct BenOrResult {
@@ -82,7 +120,7 @@ struct BenOrResult {
   std::size_t adoptMismatchWitnesses = 0;
 };
 
-BenOrResult runBenOr(const BenOrConfig& config);
+BenOrResult runBenOr(const BenOrConfig& config, const RunHooks& hooks = {});
 
 /// Byzantine Ben-Or (extension): asynchronous binary consensus with f
 /// planted Byzantine processes, n > 5t detector thresholds.
@@ -155,7 +193,8 @@ struct PhaseKingResult {
   bool allAuditsOk = true;
 };
 
-PhaseKingResult runPhaseKing(const PhaseKingConfig& config);
+PhaseKingResult runPhaseKing(const PhaseKingConfig& config,
+                             const RunHooks& hooks = {});
 
 // ---------------------------------------------------------------------------
 // Raft (asynchronous with timeouts; crashes, loss, partitions)
@@ -180,6 +219,9 @@ struct RaftScenarioConfig {
   };
   std::vector<PartitionEvent> partitions;
 
+  /// Message-reordering adversary (model checker strategies).
+  AdversaryOptions adversary;
+
   Tick maxTicks = 300000;
 };
 
@@ -203,6 +245,7 @@ struct RaftScenarioResult {
   std::size_t confidenceTransitions = 0;
 };
 
-RaftScenarioResult runRaft(const RaftScenarioConfig& config);
+RaftScenarioResult runRaft(const RaftScenarioConfig& config,
+                           const RunHooks& hooks = {});
 
 }  // namespace ooc::harness

@@ -1,0 +1,397 @@
+#include "harness/serialize.hpp"
+
+#include <array>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace ooc::harness {
+namespace {
+
+// ---------------------------------------------------------------------------
+// key=value writer / reader
+
+class KvWriter {
+ public:
+  void put(const std::string& key, const std::string& value) {
+    os_ << key << '=' << value << '\n';
+  }
+  void put(const std::string& key, std::uint64_t value) {
+    put(key, std::to_string(value));
+  }
+  void put(const std::string& key, double value) {
+    std::ostringstream os;
+    os.precision(std::numeric_limits<double>::max_digits10);
+    os << value;
+    put(key, os.str());
+  }
+  void putValues(const std::string& key, const std::vector<Value>& values) {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) os << ',';
+      os << values[i];
+    }
+    put(key, os.str());
+  }
+
+  std::string str() const { return os_.str(); }
+
+ private:
+  std::ostringstream os_;
+};
+
+class KvReader {
+ public:
+  explicit KvReader(const std::string& text) {
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      const auto eq = line.find('=');
+      if (eq == std::string::npos)
+        throw std::runtime_error("config: malformed line '" + line + "'");
+      entries_[line.substr(0, eq)].push_back(line.substr(eq + 1));
+    }
+  }
+
+  bool has(const std::string& key) const { return entries_.contains(key); }
+
+  std::string get(const std::string& key) const {
+    const auto it = entries_.find(key);
+    if (it == entries_.end())
+      throw std::runtime_error("config: missing key '" + key + "'");
+    return it->second.front();
+  }
+  std::string get(const std::string& key, const std::string& fallback) const {
+    return has(key) ? get(key) : fallback;
+  }
+  std::uint64_t getU64(const std::string& key, std::uint64_t fallback) const {
+    return has(key) ? std::stoull(get(key)) : fallback;
+  }
+  double getDouble(const std::string& key, double fallback) const {
+    return has(key) ? std::stod(get(key)) : fallback;
+  }
+  const std::vector<std::string>& getAll(const std::string& key) const {
+    static const std::vector<std::string> kEmpty;
+    const auto it = entries_.find(key);
+    return it == entries_.end() ? kEmpty : it->second;
+  }
+  std::vector<Value> getValues(const std::string& key) const {
+    std::vector<Value> values;
+    const std::string joined = get(key, "");
+    std::istringstream in(joined);
+    std::string token;
+    while (std::getline(in, token, ','))
+      if (!token.empty()) values.push_back(std::stoll(token));
+    return values;
+  }
+
+ private:
+  std::unordered_map<std::string, std::vector<std::string>> entries_;
+};
+
+std::string crashEntry(const std::pair<ProcessId, Tick>& crash) {
+  return std::to_string(crash.first) + "@" + std::to_string(crash.second);
+}
+
+std::pair<ProcessId, Tick> parseCrash(const std::string& entry) {
+  const auto at = entry.find('@');
+  if (at == std::string::npos)
+    throw std::runtime_error("config: malformed crash '" + entry + "'");
+  return {static_cast<ProcessId>(std::stoul(entry.substr(0, at))),
+          static_cast<Tick>(std::stoull(entry.substr(at + 1)))};
+}
+
+void putAdversary(KvWriter& kv, const AdversaryOptions& adversary) {
+  kv.put("adversary-budget", adversary.extraDelayMax);
+  kv.put("adversary-prob", adversary.perturbProbability);
+  kv.put("adversary-seed", adversary.seed);
+}
+
+AdversaryOptions getAdversary(const KvReader& kv) {
+  AdversaryOptions adversary;
+  adversary.extraDelayMax = kv.getU64("adversary-budget", 0);
+  adversary.perturbProbability = kv.getDouble("adversary-prob", 1.0);
+  adversary.seed = kv.getU64("adversary-seed", 1);
+  return adversary;
+}
+
+template <typename Enum, std::size_t N>
+Enum parseEnum(const std::string& name, const char* what,
+               const std::array<std::pair<const char*, Enum>, N>& table) {
+  for (const auto& [label, value] : table)
+    if (name == label) return value;
+  throw std::runtime_error(std::string("unknown ") + what + " '" + name + "'");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// enums
+
+const char* toString(BenOrConfig::Mode mode) noexcept {
+  switch (mode) {
+    case BenOrConfig::Mode::kDecomposed: return "decomposed";
+    case BenOrConfig::Mode::kMonolithic: return "monolithic";
+    case BenOrConfig::Mode::kVacFromTwoAc: return "vac-from-two-ac";
+    case BenOrConfig::Mode::kDecentralizedVac: return "decentralized-vac";
+  }
+  return "?";
+}
+
+const char* toString(BenOrConfig::Reconciliator reconciliator) noexcept {
+  switch (reconciliator) {
+    case BenOrConfig::Reconciliator::kLocalCoin: return "local-coin";
+    case BenOrConfig::Reconciliator::kCommonCoin: return "common-coin";
+    case BenOrConfig::Reconciliator::kBiasedCoin: return "biased-coin";
+    case BenOrConfig::Reconciliator::kKeepValue: return "keep-value";
+    case BenOrConfig::Reconciliator::kLottery: return "lottery";
+  }
+  return "?";
+}
+
+const char* toString(BenOrConfig::Fault fault) noexcept {
+  switch (fault) {
+    case BenOrConfig::Fault::kNone: return "none";
+    case BenOrConfig::Fault::kVacAdoptFlip: return "vac-adopt-flip";
+  }
+  return "?";
+}
+
+const char* toString(PhaseKingConfig::Algorithm algorithm) noexcept {
+  switch (algorithm) {
+    case PhaseKingConfig::Algorithm::kKing: return "king";
+    case PhaseKingConfig::Algorithm::kQueen: return "queen";
+  }
+  return "?";
+}
+
+const char* toString(PhaseKingConfig::Placement placement) noexcept {
+  switch (placement) {
+    case PhaseKingConfig::Placement::kFront: return "front";
+    case PhaseKingConfig::Placement::kBack: return "back";
+    case PhaseKingConfig::Placement::kSpread: return "spread";
+  }
+  return "?";
+}
+
+BenOrConfig::Mode parseBenOrMode(const std::string& name) {
+  return parseEnum(
+      name, "mode",
+      std::array<std::pair<const char*, BenOrConfig::Mode>, 4>{{
+          {"decomposed", BenOrConfig::Mode::kDecomposed},
+          {"monolithic", BenOrConfig::Mode::kMonolithic},
+          {"vac-from-two-ac", BenOrConfig::Mode::kVacFromTwoAc},
+          {"decentralized-vac", BenOrConfig::Mode::kDecentralizedVac},
+      }});
+}
+
+BenOrConfig::Reconciliator parseReconciliator(const std::string& name) {
+  return parseEnum(
+      name, "reconciliator",
+      std::array<std::pair<const char*, BenOrConfig::Reconciliator>, 5>{{
+          {"local-coin", BenOrConfig::Reconciliator::kLocalCoin},
+          {"common-coin", BenOrConfig::Reconciliator::kCommonCoin},
+          {"biased-coin", BenOrConfig::Reconciliator::kBiasedCoin},
+          {"keep-value", BenOrConfig::Reconciliator::kKeepValue},
+          {"lottery", BenOrConfig::Reconciliator::kLottery},
+      }});
+}
+
+BenOrConfig::Fault parseFault(const std::string& name) {
+  return parseEnum(name, "fault",
+                   std::array<std::pair<const char*, BenOrConfig::Fault>, 2>{{
+                       {"none", BenOrConfig::Fault::kNone},
+                       {"vac-adopt-flip", BenOrConfig::Fault::kVacAdoptFlip},
+                   }});
+}
+
+PhaseKingConfig::Algorithm parseAlgorithm(const std::string& name) {
+  return parseEnum(
+      name, "algorithm",
+      std::array<std::pair<const char*, PhaseKingConfig::Algorithm>, 2>{{
+          {"king", PhaseKingConfig::Algorithm::kKing},
+          {"queen", PhaseKingConfig::Algorithm::kQueen},
+      }});
+}
+
+PhaseKingConfig::Placement parsePlacement(const std::string& name) {
+  return parseEnum(
+      name, "placement",
+      std::array<std::pair<const char*, PhaseKingConfig::Placement>, 3>{{
+          {"front", PhaseKingConfig::Placement::kFront},
+          {"back", PhaseKingConfig::Placement::kBack},
+          {"spread", PhaseKingConfig::Placement::kSpread},
+      }});
+}
+
+phaseking::ByzantineStrategy parseByzantineStrategy(const std::string& name) {
+  using S = phaseking::ByzantineStrategy;
+  return parseEnum(name, "byzantine strategy",
+                   std::array<std::pair<const char*, S>, 5>{{
+                       {"silent", S::kSilent},
+                       {"random", S::kRandom},
+                       {"equivocate", S::kEquivocate},
+                       {"lying-king", S::kLyingKing},
+                       {"anti-king", S::kAntiKing},
+                   }});
+}
+
+// ---------------------------------------------------------------------------
+// BenOrConfig
+
+std::string serialize(const BenOrConfig& config) {
+  KvWriter kv;
+  kv.put("n", config.n);
+  if (config.t) kv.put("t", *config.t);
+  kv.putValues("inputs", config.inputs);
+  kv.put("seed", config.seed);
+  kv.put("mode", toString(config.mode));
+  kv.put("reconciliator", toString(config.reconciliator));
+  kv.put("bias", config.bias);
+  for (const auto& crash : config.crashes) kv.put("crash", crashEntry(crash));
+  kv.put("min-delay", config.minDelay);
+  kv.put("max-delay", config.maxDelay);
+  kv.put("max-rounds", static_cast<std::uint64_t>(config.maxRounds));
+  kv.put("max-ticks", config.maxTicks);
+  putAdversary(kv, config.adversary);
+  kv.put("fault", toString(config.fault));
+  return kv.str();
+}
+
+BenOrConfig parseBenOrConfig(const std::string& text) {
+  const KvReader kv(text);
+  BenOrConfig config;
+  config.n = kv.getU64("n", config.n);
+  if (kv.has("t")) config.t = kv.getU64("t", 0);
+  config.inputs = kv.getValues("inputs");
+  config.seed = kv.getU64("seed", config.seed);
+  config.mode = parseBenOrMode(kv.get("mode", "decomposed"));
+  config.reconciliator =
+      parseReconciliator(kv.get("reconciliator", "local-coin"));
+  config.bias = kv.getDouble("bias", config.bias);
+  for (const std::string& entry : kv.getAll("crash"))
+    config.crashes.push_back(parseCrash(entry));
+  config.minDelay = kv.getU64("min-delay", config.minDelay);
+  config.maxDelay = kv.getU64("max-delay", config.maxDelay);
+  config.maxRounds = static_cast<Round>(kv.getU64("max-rounds", config.maxRounds));
+  config.maxTicks = kv.getU64("max-ticks", config.maxTicks);
+  config.adversary = getAdversary(kv);
+  config.fault = parseFault(kv.get("fault", "none"));
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// PhaseKingConfig
+
+std::string serialize(const PhaseKingConfig& config) {
+  KvWriter kv;
+  kv.put("algorithm", toString(config.algorithm));
+  kv.put("n", config.n);
+  kv.put("byzantine", config.byzantineCount);
+  if (config.t) kv.put("t", *config.t);
+  kv.put("strategy", phaseking::toString(config.strategy));
+  kv.put("placement", toString(config.placement));
+  kv.putValues("inputs", config.inputs);
+  kv.put("monolithic", static_cast<std::uint64_t>(config.monolithic));
+  kv.put("early-commit",
+         static_cast<std::uint64_t>(config.earlyCommitDecision));
+  kv.put("seed", config.seed);
+  kv.put("max-rounds", static_cast<std::uint64_t>(config.maxRounds));
+  kv.put("max-ticks", config.maxTicks);
+  return kv.str();
+}
+
+PhaseKingConfig parsePhaseKingConfig(const std::string& text) {
+  const KvReader kv(text);
+  PhaseKingConfig config;
+  config.algorithm = parseAlgorithm(kv.get("algorithm", "king"));
+  config.n = kv.getU64("n", config.n);
+  config.byzantineCount = kv.getU64("byzantine", config.byzantineCount);
+  if (kv.has("t")) config.t = kv.getU64("t", 0);
+  config.strategy = parseByzantineStrategy(kv.get("strategy", "equivocate"));
+  config.placement = parsePlacement(kv.get("placement", "front"));
+  config.inputs = kv.getValues("inputs");
+  config.monolithic = kv.getU64("monolithic", 0) != 0;
+  config.earlyCommitDecision = kv.getU64("early-commit", 0) != 0;
+  config.seed = kv.getU64("seed", config.seed);
+  config.maxRounds = static_cast<Round>(kv.getU64("max-rounds", config.maxRounds));
+  config.maxTicks = kv.getU64("max-ticks", config.maxTicks);
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// RaftScenarioConfig
+
+std::string serialize(const RaftScenarioConfig& config) {
+  KvWriter kv;
+  kv.put("n", config.n);
+  kv.putValues("inputs", config.inputs);
+  kv.put("seed", config.seed);
+  kv.put("min-delay", config.minDelay);
+  kv.put("max-delay", config.maxDelay);
+  kv.put("drop-prob", config.dropProbability);
+  kv.put("dup-prob", config.duplicateProbability);
+  for (const auto& crash : config.crashes) kv.put("crash", crashEntry(crash));
+  for (const auto& event : config.partitions) {
+    std::ostringstream os;
+    os << event.at << ':';
+    for (std::size_t i = 0; i < event.groups.size(); ++i) {
+      if (i > 0) os << ',';
+      os << event.groups[i];
+    }
+    kv.put("partition", os.str());
+  }
+  kv.put("election-min", config.raft.electionTimeoutMin);
+  kv.put("election-max", config.raft.electionTimeoutMax);
+  kv.put("heartbeat", config.raft.heartbeatInterval);
+  kv.put("max-append", config.raft.maxEntriesPerAppend);
+  kv.put("compaction", config.raft.compactionThreshold);
+  putAdversary(kv, config.adversary);
+  kv.put("max-ticks", config.maxTicks);
+  return kv.str();
+}
+
+RaftScenarioConfig parseRaftConfig(const std::string& text) {
+  const KvReader kv(text);
+  RaftScenarioConfig config;
+  config.n = kv.getU64("n", config.n);
+  config.inputs = kv.getValues("inputs");
+  config.seed = kv.getU64("seed", config.seed);
+  config.minDelay = kv.getU64("min-delay", config.minDelay);
+  config.maxDelay = kv.getU64("max-delay", config.maxDelay);
+  config.dropProbability = kv.getDouble("drop-prob", config.dropProbability);
+  config.duplicateProbability =
+      kv.getDouble("dup-prob", config.duplicateProbability);
+  for (const std::string& entry : kv.getAll("crash"))
+    config.crashes.push_back(parseCrash(entry));
+  for (const std::string& entry : kv.getAll("partition")) {
+    const auto colon = entry.find(':');
+    if (colon == std::string::npos)
+      throw std::runtime_error("config: malformed partition '" + entry + "'");
+    RaftScenarioConfig::PartitionEvent event;
+    event.at = std::stoull(entry.substr(0, colon));
+    std::istringstream groups(entry.substr(colon + 1));
+    std::string token;
+    while (std::getline(groups, token, ','))
+      if (!token.empty()) event.groups.push_back(std::stoi(token));
+    config.partitions.push_back(std::move(event));
+  }
+  config.raft.electionTimeoutMin =
+      kv.getU64("election-min", config.raft.electionTimeoutMin);
+  config.raft.electionTimeoutMax =
+      kv.getU64("election-max", config.raft.electionTimeoutMax);
+  config.raft.heartbeatInterval =
+      kv.getU64("heartbeat", config.raft.heartbeatInterval);
+  config.raft.maxEntriesPerAppend =
+      kv.getU64("max-append", config.raft.maxEntriesPerAppend);
+  config.raft.compactionThreshold =
+      kv.getU64("compaction", config.raft.compactionThreshold);
+  config.adversary = getAdversary(kv);
+  config.maxTicks = kv.getU64("max-ticks", config.maxTicks);
+  return config;
+}
+
+}  // namespace ooc::harness

@@ -1,0 +1,38 @@
+// Text (de)serialization of the scenario configurations, so that a hostile
+// schedule found by the model checker travels as a standalone file: one
+// `key=value` pair per line, repeated keys for lists of structured entries
+// (crash=pid@tick, partition=tick:g0,g1,...). Parsing is strict — unknown
+// keys or malformed values throw — because a counterexample that silently
+// loses a field reproduces nothing.
+#pragma once
+
+#include <string>
+
+#include "harness/scenarios.hpp"
+
+namespace ooc::harness {
+
+std::string serialize(const BenOrConfig& config);
+std::string serialize(const PhaseKingConfig& config);
+std::string serialize(const RaftScenarioConfig& config);
+
+/// All parsers throw std::runtime_error with a line-level message on
+/// malformed input.
+BenOrConfig parseBenOrConfig(const std::string& text);
+PhaseKingConfig parsePhaseKingConfig(const std::string& text);
+RaftScenarioConfig parseRaftConfig(const std::string& text);
+
+// Enum <-> string helpers (shared with the check CLI's flag parsing).
+const char* toString(BenOrConfig::Mode mode) noexcept;
+const char* toString(BenOrConfig::Reconciliator reconciliator) noexcept;
+const char* toString(BenOrConfig::Fault fault) noexcept;
+const char* toString(PhaseKingConfig::Algorithm algorithm) noexcept;
+const char* toString(PhaseKingConfig::Placement placement) noexcept;
+BenOrConfig::Mode parseBenOrMode(const std::string& name);
+BenOrConfig::Reconciliator parseReconciliator(const std::string& name);
+BenOrConfig::Fault parseFault(const std::string& name);
+PhaseKingConfig::Algorithm parseAlgorithm(const std::string& name);
+PhaseKingConfig::Placement parsePlacement(const std::string& name);
+phaseking::ByzantineStrategy parseByzantineStrategy(const std::string& name);
+
+}  // namespace ooc::harness

@@ -36,7 +36,15 @@ void RaftConsensus::onBecameLeader() {
   // input if the log is empty. (submit() can commit immediately on a
   // single-node cluster, so the adopt record must precede it.)
   record(Confidence::kAdopt, preferredValue());
-  if (log().empty()) submit(input_);
+  if (log().empty()) {
+    submit(input_);
+  } else if (log().back().term != currentTerm()) {
+    // The commit rule only counts replicas of current-term entries, so a
+    // leader whose log holds only inherited entries could heartbeat forever
+    // without ever advancing commitIndex (Raft §5.4.2). Re-propose the
+    // inherited value under the current term to unblock commitment.
+    submit(preferredValue());
+  }
 }
 
 void RaftConsensus::onEntriesAccepted() {

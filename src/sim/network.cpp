@@ -25,6 +25,31 @@ void UniformDelayNetwork::plan(ProcessId, ProcessId, Tick, Rng& rng,
   if (rng.chance(options_.duplicateProbability)) delaysOut.push_back(draw());
 }
 
+DelayAdversaryNetwork::DelayAdversaryNetwork(
+    std::unique_ptr<NetworkModel> base, Options options)
+    : base_(std::move(base)),
+      options_(options),
+      adversaryRng_(Rng(options.seed).split(0xADD5)) {
+  if (!base_) throw std::invalid_argument("base network model is required");
+}
+
+void DelayAdversaryNetwork::plan(ProcessId from, ProcessId to, Tick now,
+                                 Rng& rng, std::vector<Tick>& delaysOut) {
+  const std::size_t before = delaysOut.size();
+  base_->plan(from, to, now, rng, delaysOut);
+  for (std::size_t i = before; i < delaysOut.size(); ++i) {
+    // Draw from the adversary stream for every delivery, even unperturbed
+    // ones, so the stream's alignment is a function of the message sequence
+    // alone (replays stay bit-identical across probability sweeps).
+    const Tick extra = options_.extraDelayMax == 0
+                           ? 0
+                           : static_cast<Tick>(adversaryRng_.below(
+                                 options_.extraDelayMax + 1));
+    if (adversaryRng_.chance(options_.perturbProbability))
+      delaysOut[i] += extra;
+  }
+}
+
 PartitionedNetwork::PartitionedNetwork(std::unique_ptr<NetworkModel> base)
     : base_(std::move(base)) {
   if (!base_) throw std::invalid_argument("base network model is required");

@@ -54,6 +54,34 @@ class UniformDelayNetwork final : public NetworkModel {
   Options options_;
 };
 
+/// Delay-bounded adversarial scheduler: wraps a base model and stretches
+/// each planned delivery by an extra delay in [0, extraDelayMax], drawn from
+/// a dedicated stream seeded independently of the run seed. This is the
+/// model checker's message-reordering adversary: its power is bounded by the
+/// delay budget, and sweeping (seed, budget) pairs explores bounded
+/// reorderings of the same underlying run (delay-bounded exploration).
+/// Dropped messages stay dropped; duplicates are perturbed independently.
+class DelayAdversaryNetwork final : public NetworkModel {
+ public:
+  struct Options {
+    std::uint64_t seed = 1;
+    /// Upper bound on the extra delay added per delivery, in ticks.
+    Tick extraDelayMax = 0;
+    /// Probability that a given delivery is perturbed at all.
+    double perturbProbability = 1.0;
+  };
+
+  DelayAdversaryNetwork(std::unique_ptr<NetworkModel> base, Options options);
+
+  void plan(ProcessId from, ProcessId to, Tick now, Rng& rng,
+            std::vector<Tick>& delaysOut) override;
+
+ private:
+  std::unique_ptr<NetworkModel> base_;
+  Options options_;
+  Rng adversaryRng_;
+};
+
 /// Wraps a base model with a mutable process partition: messages crossing
 /// group boundaries are dropped. Groups are changed at runtime through
 /// setPartition/clearPartition (typically from Simulator::schedule hooks),

@@ -182,6 +182,7 @@ void Simulator::run() {
     }
     now_ = event.at;
     ++eventsProcessed_;
+    if (observer_) observe(event);
 
     switch (event.kind) {
       case Event::Kind::kStart: {
@@ -198,7 +199,9 @@ void Simulator::run() {
         break;
       }
       case Event::Kind::kTimer: {
-        if (cancelledTimers_.erase(event.timer) > 0) break;
+        // An id absent from timerOwner_ means the timer was cancelled (ids
+        // are never reused); the heap entry is simply dropped here, so no
+        // tombstone bookkeeping can accumulate.
         const auto owner = timerOwner_.find(event.timer);
         if (owner == timerOwner_.end()) break;
         const ProcessId id = owner->second;
@@ -254,6 +257,36 @@ void Simulator::deliverSend(ProcessId from, ProcessId to,
   }
 }
 
+void Simulator::observe(const Event& event) {
+  TraceEvent out;
+  out.at = event.at;
+  switch (event.kind) {
+    case Event::Kind::kStart:
+      out.kind = TraceEvent::Kind::kStart;
+      out.a = event.target;
+      break;
+    case Event::Kind::kDeliver:
+      out.kind = TraceEvent::Kind::kDeliver;
+      out.a = event.target;
+      out.b = event.from;
+      break;
+    case Event::Kind::kTimer: {
+      out.kind = TraceEvent::Kind::kTimer;
+      const auto owner = timerOwner_.find(event.timer);
+      out.a = owner == timerOwner_.end() ? kNoTraceProcess : owner->second;
+      out.aux = event.timer;
+      break;
+    }
+    case Event::Kind::kControl:
+      out.kind = TraceEvent::Kind::kControl;
+      break;
+    case Event::Kind::kBarrier:
+      out.kind = TraceEvent::Kind::kBarrier;
+      break;
+  }
+  observer_->onEvent(out);
+}
+
 TimerId Simulator::armTimer(ProcessId id, Tick delay) {
   const TimerId timer = nextTimer_++;
   timerOwner_.emplace(timer, id);
@@ -265,9 +298,7 @@ TimerId Simulator::armTimer(ProcessId id, Tick delay) {
   return timer;
 }
 
-void Simulator::disarmTimer(TimerId id) noexcept {
-  if (timerOwner_.erase(id) > 0) cancelledTimers_.insert(id);
-}
+void Simulator::disarmTimer(TimerId id) noexcept { timerOwner_.erase(id); }
 
 void Simulator::recordDecision(ProcessId id, Value v) {
   Decision& decision = decisions_[id];
@@ -276,6 +307,14 @@ void Simulator::recordDecision(ProcessId id, Value v) {
   decision.value = v;
   decision.at = now_;
   OOC_DEBUG("p", id, " decided ", v, " at tick ", now_);
+  if (observer_) {
+    TraceEvent out;
+    out.at = now_;
+    out.kind = TraceEvent::Kind::kDecision;
+    out.a = id;
+    out.aux = static_cast<std::uint64_t>(v);
+    observer_->onEvent(out);
+  }
 
   if (processes_[id].faulty) return;  // Byzantine claims are not checked
 

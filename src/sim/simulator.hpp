@@ -17,11 +17,11 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/network.hpp"
 #include "sim/process.hpp"
+#include "sim/trace.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
@@ -74,6 +74,13 @@ class Simulator final {
   /// has decided.
   void stopWhenAllCorrectDecided();
 
+  /// Attaches a scheduler observer (non-owning; must outlive the run): every
+  /// executed event and every reported decision is mirrored to it in
+  /// deterministic execution order. Used for trace record/replay.
+  void setScheduleObserver(ScheduleObserver* observer) noexcept {
+    observer_ = observer;
+  }
+
   /// Executes the run. May be called once.
   void run();
 
@@ -99,6 +106,10 @@ class Simulator final {
     return messagesDelivered_;
   }
   std::uint64_t eventsProcessed() const noexcept { return eventsProcessed_; }
+  /// Number of currently armed (not yet fired or cancelled) timers. Must
+  /// stay bounded on long runs: disarming releases the bookkeeping
+  /// immediately (the heap entry is dropped lazily when its tick arrives).
+  std::size_t pendingTimerCount() const noexcept { return timerOwner_.size(); }
 
   /// The network model, for runtime reconfiguration from schedule() hooks.
   NetworkModel& network() noexcept { return *network_; }
@@ -116,6 +127,7 @@ class Simulator final {
 
   void pushEvent(Event event);
   Event popEvent();
+  void observe(const Event& event);
   void deliverSend(ProcessId from, ProcessId to,
                    std::unique_ptr<Message> msg);
   void recordDecision(ProcessId id, Value v);
@@ -140,8 +152,11 @@ class Simulator final {
   std::vector<Event> heap_;  // binary heap ordered by EventOrder
   std::uint64_t nextSeq_ = 0;
   std::uint64_t nextTimer_ = 1;
+  /// Owner of every armed timer. A timer event whose id is no longer here
+  /// was cancelled (timer ids are never reused, and each id gets exactly one
+  /// heap event), so cancellation needs no separate tombstone set — the set
+  /// of armed timers stays bounded however many timers a run churns.
   std::unordered_map<TimerId, ProcessId> timerOwner_;
-  std::unordered_set<TimerId> cancelledTimers_;
 
   Tick now_ = 0;
   bool started_ = false;
@@ -159,6 +174,7 @@ class Simulator final {
 
   std::function<bool(const Simulator&)> stopPredicate_;
   std::vector<Tick> scratchDelays_;
+  ScheduleObserver* observer_ = nullptr;
 };
 
 }  // namespace ooc

@@ -1,0 +1,71 @@
+// Large-scale model-checking sweeps. Labeled `slow` in ctest and skipped
+// unless OOC_RUN_SLOW=1, so tier-1 runs stay fast; CI's scheduled job and
+// scripts/check.sh cover this ground. OOC_CHECK_SEEDS overrides the sweep
+// size (default 10000 random-walk configurations per family).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "check/checker.hpp"
+#include "check/invariant.hpp"
+#include "check/scenario.hpp"
+#include "check/strategy.hpp"
+
+namespace ooc::check {
+namespace {
+
+std::size_t sweepSize() {
+  if (const char* env = std::getenv("OOC_CHECK_SEEDS"))
+    return static_cast<std::size_t>(std::stoull(env));
+  return 10000;
+}
+
+#define OOC_REQUIRE_SLOW()                                       \
+  do {                                                           \
+    if (std::getenv("OOC_RUN_SLOW") == nullptr)                  \
+      GTEST_SKIP() << "set OOC_RUN_SLOW=1 to run big sweeps";    \
+  } while (0)
+
+Scenario familyBase(Family family) {
+  Scenario scenario;
+  scenario.family = family;
+  if (family == Family::kBenOr) {
+    auto& config = scenario.benOr;
+    config.inputs.resize(config.n);
+    for (std::size_t i = 0; i < config.n; ++i)
+      config.inputs[i] = static_cast<Value>(i % 2);
+  }
+  return scenario;
+}
+
+void sweep(Family family) {
+  RandomWalkStrategy::Options options;
+  options.runs = sweepSize();
+  const RandomWalkStrategy strategy(familyBase(family), options);
+  const auto suite = safetySuite();
+  const CheckReport report = explore(strategy, view(suite), {});
+  EXPECT_EQ(report.configsExplored, options.runs);
+  EXPECT_TRUE(report.ok())
+      << report.findings.front().violation.invariant << " at index "
+      << report.findings.front().configIndex << ": "
+      << report.findings.front().violation.detail;
+}
+
+TEST(SlowSweep, BenOrTenThousandSeedsClean) {
+  OOC_REQUIRE_SLOW();
+  sweep(Family::kBenOr);
+}
+
+TEST(SlowSweep, PhaseKingTenThousandSeedsClean) {
+  OOC_REQUIRE_SLOW();
+  sweep(Family::kPhaseKing);
+}
+
+TEST(SlowSweep, RaftTenThousandSeedsClean) {
+  OOC_REQUIRE_SLOW();
+  sweep(Family::kRaft);
+}
+
+}  // namespace
+}  // namespace ooc::check

@@ -1,0 +1,315 @@
+// Model-checker tests: strategy enumeration is deterministic and complete,
+// healthy property sweeps over every Ben-Or mode x reconciliator find no
+// violations, and a deliberately planted VAC coherence bug is caught,
+// shrunk to a small configuration, serialized, and reproduced by replay.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "check/checker.hpp"
+#include "check/invariant.hpp"
+#include "check/replay.hpp"
+#include "check/scenario.hpp"
+#include "check/shrink.hpp"
+#include "check/strategy.hpp"
+
+namespace ooc::check {
+namespace {
+
+using harness::BenOrConfig;
+
+Scenario benOrBase(BenOrConfig::Mode mode,
+                   BenOrConfig::Reconciliator reconciliator) {
+  Scenario scenario;
+  scenario.family = Family::kBenOr;
+  auto& config = scenario.benOr;
+  config.n = 5;
+  config.inputs = {0, 1, 0, 1, 1};
+  config.mode = mode;
+  config.reconciliator = reconciliator;
+  return scenario;
+}
+
+// ---------------------------------------------------------------------------
+// Property sweeps: every mode x reconciliator stays clean under random
+// exploration. keep-value is the paper's negative control — it provably
+// stalls on balanced inputs — so its sweep checks safety only.
+
+class ModeReconciliatorSweep
+    : public ::testing::TestWithParam<
+          std::tuple<BenOrConfig::Mode, BenOrConfig::Reconciliator>> {};
+
+TEST_P(ModeReconciliatorSweep, RandomWalkFindsNoViolation) {
+  const auto [mode, reconciliator] = GetParam();
+  Scenario base = benOrBase(mode, reconciliator);
+  const bool keepValue =
+      reconciliator == BenOrConfig::Reconciliator::kKeepValue;
+  if (keepValue) {
+    base.benOr.maxRounds = 30;
+    base.benOr.maxTicks = 400000;
+  }
+
+  RandomWalkStrategy::Options options;
+  options.runs = 20;
+  options.seedBase = 7000;
+  const RandomWalkStrategy strategy(base, options);
+
+  const auto suite = safetySuite(/*requireTermination=*/!keepValue);
+  const CheckReport report = explore(strategy, view(suite), {});
+  EXPECT_EQ(report.configsExplored, 20u);
+  EXPECT_TRUE(report.ok()) << report.findings.front().violation.invariant
+                           << ": "
+                           << report.findings.front().violation.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, ModeReconciliatorSweep,
+    ::testing::Combine(
+        ::testing::Values(BenOrConfig::Mode::kDecomposed,
+                          BenOrConfig::Mode::kMonolithic,
+                          BenOrConfig::Mode::kVacFromTwoAc,
+                          BenOrConfig::Mode::kDecentralizedVac),
+        ::testing::Values(BenOrConfig::Reconciliator::kLocalCoin,
+                          BenOrConfig::Reconciliator::kCommonCoin,
+                          BenOrConfig::Reconciliator::kBiasedCoin,
+                          BenOrConfig::Reconciliator::kKeepValue,
+                          BenOrConfig::Reconciliator::kLottery)));
+
+TEST(CheckerSweep, DelayAdversaryKeepsBenOrSafe) {
+  DelayBoundStrategy::Options options;
+  options.budgets = {2, 8};
+  options.adversarySeedsPerBudget = 10;
+  const DelayBoundStrategy strategy(
+      benOrBase(BenOrConfig::Mode::kDecomposed,
+                BenOrConfig::Reconciliator::kLocalCoin),
+      options);
+  const auto suite = safetySuite();
+  const CheckReport report = explore(strategy, view(suite), {});
+  EXPECT_EQ(report.configsExplored, 20u);
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(CheckerSweep, CrashEnumerationKeepsBenOrSafe) {
+  CrashScheduleStrategy::Options options;
+  options.maxCrashes = 2;
+  options.tickGrid = {1, 20};
+  const CrashScheduleStrategy strategy(
+      benOrBase(BenOrConfig::Mode::kDecomposed,
+                BenOrConfig::Reconciliator::kLocalCoin),
+      options);
+  // n=5, <=2 crashes: 1 + 5*2 + 10*4 = 51 schedules.
+  EXPECT_EQ(strategy.size(), 51u);
+  const auto suite = safetySuite();
+  const CheckReport report = explore(strategy, view(suite), {});
+  EXPECT_EQ(report.configsExplored, 51u);
+  EXPECT_TRUE(report.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Strategy mechanics
+
+TEST(Strategies, GenerateIsDeterministic) {
+  RandomWalkStrategy::Options options;
+  options.runs = 10;
+  const RandomWalkStrategy strategy(
+      benOrBase(BenOrConfig::Mode::kDecomposed,
+                BenOrConfig::Reconciliator::kLocalCoin),
+      options);
+  for (std::size_t i = 0; i < strategy.size(); ++i)
+    EXPECT_EQ(serialize(strategy.generate(i)),
+              serialize(strategy.generate(i)));
+}
+
+TEST(Strategies, DelayBoundCoversTheBudgetGrid) {
+  DelayBoundStrategy::Options options;
+  options.budgets = {1, 4, 16};
+  options.adversarySeedsPerBudget = 5;
+  const DelayBoundStrategy strategy(
+      benOrBase(BenOrConfig::Mode::kDecomposed,
+                BenOrConfig::Reconciliator::kLocalCoin),
+      options);
+  ASSERT_EQ(strategy.size(), 15u);
+  std::set<std::pair<Tick, std::uint64_t>> seen;
+  for (std::size_t i = 0; i < strategy.size(); ++i) {
+    const Scenario scenario = strategy.generate(i);
+    EXPECT_TRUE(scenario.benOr.adversary.enabled());
+    seen.emplace(scenario.benOr.adversary.extraDelayMax,
+                 scenario.benOr.adversary.seed);
+  }
+  EXPECT_EQ(seen.size(), 15u);  // every (budget, seed) pair, no duplicates
+}
+
+TEST(Strategies, CrashEnumerationCoversEverySchedule) {
+  CrashScheduleStrategy::Options options;
+  options.maxCrashes = 2;
+  options.tickGrid = {1, 9};
+  const CrashScheduleStrategy strategy(
+      benOrBase(BenOrConfig::Mode::kDecomposed,
+                BenOrConfig::Reconciliator::kLocalCoin),
+      options);
+  std::set<std::string> seen;
+  for (std::size_t i = 0; i < strategy.size(); ++i) {
+    const Scenario scenario = strategy.generate(i);
+    EXPECT_LE(scenario.benOr.crashes.size(), 2u);
+    std::set<ProcessId> ids;
+    for (const auto& [id, tick] : scenario.benOr.crashes) {
+      ids.insert(id);
+      EXPECT_TRUE(tick == 1 || tick == 9);
+    }
+    EXPECT_EQ(ids.size(), scenario.benOr.crashes.size());  // distinct pids
+    seen.insert(serialize(scenario));
+  }
+  EXPECT_EQ(seen.size(), strategy.size());  // exhaustive, no duplicates
+}
+
+TEST(Strategies, SynchronousFamilyRejectsScheduleAdversaries) {
+  Scenario phaseKing;
+  phaseKing.family = Family::kPhaseKing;
+  EXPECT_THROW(DelayBoundStrategy(phaseKing, {}), std::invalid_argument);
+  EXPECT_THROW(CrashScheduleStrategy(phaseKing, {}), std::invalid_argument);
+}
+
+TEST(Strategies, CompositeConcatenatesParts) {
+  const Scenario base = benOrBase(BenOrConfig::Mode::kDecomposed,
+                                  BenOrConfig::Reconciliator::kLocalCoin);
+  RandomWalkStrategy::Options rw;
+  rw.runs = 3;
+  DelayBoundStrategy::Options db;
+  db.budgets = {4};
+  db.adversarySeedsPerBudget = 2;
+  std::vector<std::unique_ptr<ExplorationStrategy>> parts;
+  parts.push_back(std::make_unique<RandomWalkStrategy>(base, rw));
+  parts.push_back(std::make_unique<DelayBoundStrategy>(base, db));
+  const CompositeStrategy composite("combo", std::move(parts));
+  ASSERT_EQ(composite.size(), 5u);
+  EXPECT_FALSE(composite.generate(2).benOr.adversary.enabled());
+  EXPECT_TRUE(composite.generate(3).benOr.adversary.enabled());
+  EXPECT_THROW(composite.generate(5), std::out_of_range);
+}
+
+// ---------------------------------------------------------------------------
+// The planted bug: a VAC whose odd-id processes flip their adopt-level
+// outcome values violates coherence. The checker must find it, shrink it,
+// and emit a counterexample that replays bit-identically.
+
+Scenario plantedBugBase() {
+  Scenario base = benOrBase(BenOrConfig::Mode::kDecomposed,
+                            BenOrConfig::Reconciliator::kLocalCoin);
+  base.benOr.fault = BenOrConfig::Fault::kVacAdoptFlip;
+  return base;
+}
+
+TEST(PlantedBug, IsCaughtShrunkAndReplayable) {
+  RandomWalkStrategy::Options options;
+  options.runs = 50;
+  const RandomWalkStrategy strategy(plantedBugBase(), options);
+
+  const std::string traceDir =
+      (std::filesystem::path(::testing::TempDir()) / "ooc-planted-bug")
+          .string();
+  CheckerOptions checker;
+  checker.maxFindings = 1;
+  checker.traceDir = traceDir;
+
+  const auto suite = safetySuite();
+  const CheckReport report = explore(strategy, view(suite), checker);
+  ASSERT_FALSE(report.ok()) << "planted coherence bug was not detected";
+  const Finding& finding = report.findings.front();
+
+  // Shrinking ran and kept the violation on a no-larger configuration.
+  ASSERT_TRUE(finding.shrunk.has_value());
+  EXPECT_LE(finding.shrunk->benOr.n, finding.scenario.benOr.n);
+  EXPECT_LE(finding.shrunk->benOr.crashes.size(),
+            finding.scenario.benOr.crashes.size());
+  EXPECT_EQ(finding.shrunk->benOr.fault, BenOrConfig::Fault::kVacAdoptFlip);
+
+  // The counterexample file exists, parses, and replays bit-identically,
+  // reproducing the violation from disk alone.
+  ASSERT_FALSE(finding.tracePath.empty());
+  const CounterexampleFile file = loadCounterexampleFile(finding.tracePath);
+  EXPECT_EQ(file.invariant, finding.violation.invariant);
+  const ReplayResult replay = replayRun(file.scenario, file.trace);
+  EXPECT_TRUE(replay.identical)
+      << replay.divergence.value_or("(no divergence)");
+  bool reproduced = false;
+  for (const auto& invariant : suite) {
+    if (file.invariant != invariant->name()) continue;
+    reproduced =
+        invariant->check(file.scenario, replay.report).has_value();
+  }
+  EXPECT_TRUE(reproduced);
+}
+
+TEST(PlantedBug, ShrinkReachesASmallConfiguration) {
+  // Find any violating configuration, then shrink it hard and check the
+  // result is locally minimal-ish: few processes, no crashes left.
+  RandomWalkStrategy::Options options;
+  options.runs = 50;
+  const RandomWalkStrategy strategy(plantedBugBase(), options);
+  const auto suite = safetySuite();
+
+  std::optional<Scenario> violating;
+  const Invariant* fired = nullptr;
+  for (std::size_t i = 0; i < strategy.size() && !violating; ++i) {
+    const Scenario scenario = strategy.generate(i);
+    const RunReport report = runScenario(scenario);
+    for (const Invariant* invariant : view(suite)) {
+      if (invariant->check(scenario, report)) {
+        violating = scenario;
+        fired = invariant;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(violating.has_value());
+
+  const ShrinkResult shrunk = shrinkCounterexample(*violating, *fired, {});
+  EXPECT_GT(shrunk.attempts, 0u);
+  EXPECT_LE(shrunk.scenario.benOr.n, 6u);
+  EXPECT_TRUE(shrunk.scenario.benOr.crashes.empty());
+  // Still a genuine counterexample.
+  EXPECT_TRUE(fired
+                  ->check(shrunk.scenario, runScenario(shrunk.scenario))
+                  .has_value());
+}
+
+TEST(PlantedBug, HealthySweepWithSameSeedsStaysClean) {
+  // Identical exploration without the fault: no findings, proving the
+  // detection above is attributable to the planted bug alone.
+  RandomWalkStrategy::Options options;
+  options.runs = 50;
+  const RandomWalkStrategy strategy(
+      benOrBase(BenOrConfig::Mode::kDecomposed,
+                BenOrConfig::Reconciliator::kLocalCoin),
+      options);
+  const auto suite = safetySuite();
+  const CheckReport report = explore(strategy, view(suite), {});
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.configsExplored, 50u);
+}
+
+// ---------------------------------------------------------------------------
+// Witness hunting (§5): the checker can search for schedules where
+// decide-on-adopt would have broken agreement.
+
+TEST(WitnessHunt, FindsAdoptMismatchSchedules) {
+  RandomWalkStrategy::Options options;
+  options.runs = 200;
+  const RandomWalkStrategy strategy(
+      benOrBase(BenOrConfig::Mode::kDecomposed,
+                BenOrConfig::Reconciliator::kLocalCoin),
+      options);
+  const AdoptWitnessInvariant witness;
+  CheckerOptions checker;
+  checker.maxFindings = 1;
+  checker.shrink = false;
+  const CheckReport report = explore(strategy, {&witness}, checker);
+  EXPECT_FALSE(report.ok())
+      << "no decide-on-adopt witness in 200 runs (statistically expected)";
+}
+
+}  // namespace
+}  // namespace ooc::check

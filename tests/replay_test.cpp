@@ -1,0 +1,168 @@
+// Trace record/replay: a recorded run re-executes bit-identically (every
+// scheduler event, decision, tick and message count), configs and traces
+// round-trip through their text serializations, and tampered traces are
+// diagnosed with a divergence.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "check/replay.hpp"
+#include "check/scenario.hpp"
+#include "harness/serialize.hpp"
+
+namespace ooc::check {
+namespace {
+
+Scenario benOrScenario() {
+  Scenario scenario;
+  scenario.family = Family::kBenOr;
+  auto& config = scenario.benOr;
+  config.n = 5;
+  config.inputs = {0, 1, 0, 1, 1};
+  config.seed = 42;
+  config.maxDelay = 7;
+  config.crashes = {{2, 30}};
+  return scenario;
+}
+
+Scenario phaseKingScenario() {
+  Scenario scenario;
+  scenario.family = Family::kPhaseKing;
+  scenario.phaseKing.seed = 7;
+  return scenario;
+}
+
+Scenario raftScenario() {
+  Scenario scenario;
+  scenario.family = Family::kRaft;
+  auto& config = scenario.raft;
+  config.n = 5;
+  config.seed = 11;
+  config.crashes = {{0, 500}};
+  config.partitions.push_back({200, {0, 0, 0, 1, 1}});
+  config.partitions.push_back({800, {}});
+  return scenario;
+}
+
+void expectBitIdenticalReplay(const Scenario& scenario) {
+  const RecordedRun recorded = recordRun(scenario);
+  ASSERT_FALSE(recorded.trace.events.empty());
+
+  const ReplayResult replay = replayRun(scenario, recorded.trace);
+  EXPECT_TRUE(replay.identical)
+      << replay.divergence.value_or("(no divergence reported)");
+
+  // The replayed run reproduces the recorded outcome exactly.
+  EXPECT_EQ(replay.report.allDecided, recorded.report.allDecided);
+  EXPECT_EQ(replay.report.decidedValue, recorded.report.decidedValue);
+  EXPECT_EQ(replay.report.messages, recorded.report.messages);
+
+  // And the re-derived trace counters match too.
+  const RecordedRun again = recordRun(scenario);
+  EXPECT_EQ(again.trace, recorded.trace);
+}
+
+TEST(Replay, BenOrRunReplaysBitIdentically) {
+  expectBitIdenticalReplay(benOrScenario());
+}
+
+TEST(Replay, PhaseKingRunReplaysBitIdentically) {
+  expectBitIdenticalReplay(phaseKingScenario());
+}
+
+TEST(Replay, RaftRunReplaysBitIdentically) {
+  expectBitIdenticalReplay(raftScenario());
+}
+
+TEST(Replay, DecisionsAppearInTrace) {
+  const RecordedRun recorded = recordRun(benOrScenario());
+  std::size_t decisions = 0;
+  for (const TraceEvent& event : recorded.trace.events)
+    if (event.kind == TraceEvent::Kind::kDecision) ++decisions;
+  // Process 2 crashes at tick 30; the other four must decide (2 itself may
+  // or may not squeeze its decision in before the crash).
+  EXPECT_GE(decisions, 4u);
+  EXPECT_LE(decisions, 5u);
+}
+
+TEST(Replay, TamperedTraceReportsDivergence) {
+  const Scenario scenario = benOrScenario();
+  RecordedRun recorded = recordRun(scenario);
+  ASSERT_GT(recorded.trace.events.size(), 10u);
+  recorded.trace.events[10].a ^= 1;  // flip one participant id
+
+  const ReplayResult replay = replayRun(scenario, recorded.trace);
+  EXPECT_FALSE(replay.identical);
+  ASSERT_TRUE(replay.divergence.has_value());
+  EXPECT_NE(replay.divergence->find("event"), std::string::npos);
+}
+
+TEST(Replay, TruncatedTraceReportsDivergence) {
+  const Scenario scenario = benOrScenario();
+  RecordedRun recorded = recordRun(scenario);
+  recorded.trace.events.resize(recorded.trace.events.size() / 2);
+
+  const ReplayResult replay = replayRun(scenario, recorded.trace);
+  EXPECT_FALSE(replay.identical);
+  EXPECT_TRUE(replay.divergence.has_value());
+}
+
+TEST(Replay, TraceSerializationRoundTrips) {
+  const RecordedRun recorded = recordRun(benOrScenario());
+  std::ostringstream out;
+  serializeTrace(recorded.trace, out);
+  std::istringstream in(out.str());
+  const Trace parsed = parseTrace(in);
+  EXPECT_EQ(parsed, recorded.trace);
+}
+
+TEST(Replay, ScenarioSerializationRoundTrips) {
+  for (const Scenario& scenario :
+       {benOrScenario(), phaseKingScenario(), raftScenario()}) {
+    const std::string text = serialize(scenario);
+    const Scenario parsed = parseScenario(text);
+    // Configs don't define operator==; equality via re-serialization.
+    EXPECT_EQ(serialize(parsed), text);
+    // A parsed config drives the exact same schedule.
+    const RecordedRun original = recordRun(scenario);
+    EXPECT_TRUE(replayRun(parsed, original.trace).identical);
+  }
+}
+
+TEST(Replay, CounterexampleFileRoundTrips) {
+  const Scenario scenario = raftScenario();
+  CounterexampleFile file;
+  file.scenario = scenario;
+  file.invariant = "agreement";
+  file.detail = "two correct processes decided different values";
+  file.trace = recordRun(scenario).trace;
+
+  const std::string text = serializeCounterexample(file);
+  const CounterexampleFile parsed = parseCounterexample(text);
+  EXPECT_EQ(parsed.invariant, file.invariant);
+  EXPECT_EQ(parsed.detail, file.detail);
+  EXPECT_EQ(parsed.trace, file.trace);
+  EXPECT_EQ(serialize(parsed.scenario), serialize(file.scenario));
+}
+
+TEST(Replay, MalformedCounterexampleThrows) {
+  EXPECT_THROW(parseCounterexample("nonsense"), std::runtime_error);
+  EXPECT_THROW(parseCounterexample("ooc-counterexample v1\ninvariant=x\n"),
+               std::runtime_error);
+}
+
+TEST(Replay, AdversaryScheduleIsPartOfTheConfig) {
+  Scenario scenario = benOrScenario();
+  scenario.benOr.adversary.extraDelayMax = 8;
+  scenario.benOr.adversary.seed = 3;
+  const RecordedRun recorded = recordRun(scenario);
+
+  // Same adversary: bit-identical. Different adversary seed: diverges.
+  EXPECT_TRUE(replayRun(scenario, recorded.trace).identical);
+  Scenario other = scenario;
+  other.benOr.adversary.seed = 4;
+  EXPECT_FALSE(replayRun(other, recorded.trace).identical);
+}
+
+}  // namespace
+}  // namespace ooc::check

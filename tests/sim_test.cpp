@@ -149,6 +149,30 @@ TEST(Simulator, CancelledTimerDoesNotFire) {
   EXPECT_TRUE(p->timersFired.empty());
 }
 
+// Regression: arming and immediately disarming many timers must not
+// accumulate per-timer bookkeeping (cancelled ids used to pile up in a
+// tombstone set until their heap entries drained).
+TEST(Simulator, MassTimerChurnLeavesNoPendingState) {
+  Simulator sim(SimConfig{}, sync());
+  class Churner : public Recorder {
+   public:
+    void onStart() override {
+      for (int i = 0; i < 100000; ++i) {
+        const TimerId id = ctx().setTimer(1000);
+        ctx().cancelTimer(id);
+      }
+      keep = ctx().setTimer(3);
+    }
+    TimerId keep = 0;
+  };
+  auto* p = new Churner;
+  sim.addProcess(std::unique_ptr<Process>(p));
+  sim.run();
+  ASSERT_EQ(p->timersFired.size(), 1u);
+  EXPECT_EQ(p->timersFired.front(), p->keep);
+  EXPECT_EQ(sim.pendingTimerCount(), 0u);
+}
+
 TEST(Simulator, CrashedProcessReceivesNothing) {
   Simulator sim(SimConfig{}, sync());
   sim.addProcess(std::make_unique<Sender>([](Context& ctx) {

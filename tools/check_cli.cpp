@@ -1,0 +1,314 @@
+// `check` — schedule-exploration model checker CLI.
+//
+// Sweeps exploration strategies (multi-seed random walks, delay-bounded
+// message reordering, targeted crash-schedule enumeration) over the
+// consensus families, evaluates the safety invariant suite against every
+// run, shrinks each finding to a locally minimal configuration and writes
+// a standalone counterexample file that replays bit-identically.
+//
+//   check                                  # default sweep, all families
+//   check --family benor --seeds 10000     # big Ben-Or seed sweep
+//   check --strategy crash --family raft   # enumerate Raft crash schedules
+//   check --plant-vac-bug                  # prove the checker catches bugs
+//   check --replay FILE                    # re-execute a counterexample
+//
+// Exit status: 0 clean, 1 violations found (or replay diverged), 2 usage.
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/checker.hpp"
+#include "check/invariant.hpp"
+#include "check/replay.hpp"
+#include "check/scenario.hpp"
+#include "check/strategy.hpp"
+#include "harness/scenarios.hpp"
+
+namespace {
+
+using namespace ooc;
+using namespace ooc::check;
+
+struct CliOptions {
+  std::string family = "all";    // benor | phaseking | raft | all
+  std::string strategy = "all";  // random | delay | crash | all
+  std::size_t seeds = 1000;
+  std::uint64_t seedBase = 1;
+  std::size_t threads = 0;
+  bool shrink = true;
+  bool requireTermination = true;
+  bool plantVacBug = false;
+  bool huntAdoptWitness = false;
+  std::string traceDir = "counterexamples";
+  std::size_t maxFindings = 5;
+  std::string replayPath;
+  Tick budget = 0;        // 0: default budget grid
+  std::size_t maxCrashes = 0;  // 0: family fault budget
+  std::size_t n = 0;      // 0: family default
+  Tick maxDelay = 0;      // 0: family default
+};
+
+void printUsage(std::ostream& os) {
+  os << "usage: check [options]\n"
+        "  --family F        benor | phaseking | raft | all (default all)\n"
+        "  --strategy S      random | delay | crash | all (default all)\n"
+        "  --seeds N         random-walk runs per family (default 1000)\n"
+        "  --seed-base N     first seed of the sweep (default 1)\n"
+        "  --threads N       worker threads (default: hardware)\n"
+        "  --n N             base process count (default: family default)\n"
+        "  --max-delay D     base network delay bound\n"
+        "  --budget B        single delay-adversary budget (default: grid)\n"
+        "  --max-crashes K   crash-enumeration budget (default: fault "
+        "budget)\n"
+        "  --max-findings N  stop after N findings (default 5)\n"
+        "  --trace-dir DIR   counterexample output dir (default "
+        "counterexamples)\n"
+        "  --no-shrink       report findings without minimizing them\n"
+        "  --no-termination  drop the termination invariant\n"
+        "  --plant-vac-bug   Ben-Or only: plant the vac-adopt-flip fault\n"
+        "  --hunt-adopt-witness  hunt paper-style decide-on-adopt "
+        "witnesses\n"
+        "  --replay FILE     re-execute a counterexample file and verify "
+        "it\n"
+        "  --help            this text\n";
+}
+
+Scenario baseScenario(Family family, const CliOptions& options) {
+  Scenario scenario;
+  scenario.family = family;
+  switch (family) {
+    case Family::kBenOr: {
+      auto& config = scenario.benOr;
+      if (options.n > 0) config.n = options.n;
+      if (options.maxDelay > 0) config.maxDelay = options.maxDelay;
+      config.inputs.resize(config.n);
+      for (std::size_t i = 0; i < config.n; ++i)
+        config.inputs[i] = static_cast<Value>(i % 2);
+      if (options.plantVacBug)
+        config.fault = harness::BenOrConfig::Fault::kVacAdoptFlip;
+      break;
+    }
+    case Family::kPhaseKing:
+      if (options.n > 0) scenario.phaseKing.n = options.n;
+      break;
+    case Family::kRaft:
+      if (options.n > 0) scenario.raft.n = options.n;
+      if (options.maxDelay > 0) scenario.raft.maxDelay = options.maxDelay;
+      break;
+  }
+  return scenario;
+}
+
+std::unique_ptr<ExplorationStrategy> buildStrategy(
+    Family family, const CliOptions& options) {
+  const Scenario base = baseScenario(family, options);
+  std::vector<std::unique_ptr<ExplorationStrategy>> parts;
+
+  const bool wantRandom =
+      options.strategy == "all" || options.strategy == "random";
+  const bool wantDelay =
+      options.strategy == "all" || options.strategy == "delay";
+  const bool wantCrash =
+      options.strategy == "all" || options.strategy == "crash";
+
+  if (wantRandom) {
+    RandomWalkStrategy::Options rw;
+    rw.seedBase = options.seedBase;
+    rw.runs = options.seeds;
+    parts.push_back(std::make_unique<RandomWalkStrategy>(base, rw));
+  }
+  if (wantDelay && family != Family::kPhaseKing) {
+    DelayBoundStrategy::Options db;
+    if (options.budget > 0) db.budgets = {options.budget};
+    db.adversarySeedBase = options.seedBase;
+    parts.push_back(std::make_unique<DelayBoundStrategy>(base, db));
+  }
+  if (wantCrash && family != Family::kPhaseKing) {
+    CrashScheduleStrategy::Options cs;
+    cs.maxCrashes = options.maxCrashes;
+    parts.push_back(std::make_unique<CrashScheduleStrategy>(base, cs));
+  }
+  if (parts.empty()) return nullptr;
+  if (parts.size() == 1) return std::move(parts.front());
+  return std::make_unique<CompositeStrategy>(
+      std::string(toString(family)) + "-sweep", std::move(parts));
+}
+
+void printFinding(const Finding& finding) {
+  std::cout << "  VIOLATION [" << finding.violation.invariant
+            << "] at index " << finding.configIndex << "\n"
+            << "    detail:  " << finding.violation.detail << "\n"
+            << "    config:  " << describe(finding.scenario) << "\n";
+  if (finding.shrunk) {
+    std::cout << "    shrunk:  " << describe(*finding.shrunk) << " ("
+              << finding.shrinkAttempts << " shrink attempts)\n";
+  }
+  if (!finding.tracePath.empty()) {
+    std::cout << "    trace:   " << finding.tracePath << "\n"
+              << "    repro:   check --replay " << finding.tracePath
+              << "\n";
+  }
+}
+
+int runReplay(const CliOptions& options) {
+  CounterexampleFile file;
+  try {
+    file = loadCounterexampleFile(options.replayPath);
+  } catch (const std::exception& error) {
+    std::cerr << "check: " << error.what() << "\n";
+    return 2;
+  }
+  std::cout << "replaying " << options.replayPath << "\n"
+            << "  invariant: " << file.invariant << "\n"
+            << "  detail:    " << file.detail << "\n"
+            << "  config:    " << describe(file.scenario) << "\n";
+
+  const ReplayResult replay = replayRun(file.scenario, file.trace);
+  std::cout << "  schedule:  "
+            << (replay.identical ? "bit-identical to recorded trace"
+                                 : "DIVERGED")
+            << "\n";
+  if (!replay.identical && replay.divergence)
+    std::cout << "    " << *replay.divergence << "\n";
+
+  // Re-evaluate the recorded invariant against the replayed run.
+  auto suite = safetySuite(true);
+  suite.push_back(std::make_unique<AdoptWitnessInvariant>());
+  bool reproduced = false;
+  for (const auto& invariant : suite) {
+    if (file.invariant != invariant->name()) continue;
+    if (auto violation = invariant->check(file.scenario, replay.report)) {
+      reproduced = true;
+      std::cout << "  violation: reproduced (" << violation->detail
+                << ")\n";
+    } else {
+      std::cout << "  violation: NOT reproduced\n";
+    }
+  }
+  return replay.identical && reproduced ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  const auto next = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "check: " << argv[i] << " needs a value\n";
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  const auto nextNumber = [&](int& i) -> std::uint64_t {
+    const char* flag = argv[i];
+    const std::string value = next(i);
+    try {
+      std::size_t consumed = 0;
+      const std::uint64_t parsed = std::stoull(value, &consumed);
+      if (consumed != value.size()) throw std::invalid_argument(value);
+      return parsed;
+    } catch (const std::exception&) {
+      std::cerr << "check: " << flag << " needs a number, got '" << value
+                << "'\n";
+      std::exit(2);
+    }
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--family") options.family = next(i);
+    else if (arg == "--strategy") options.strategy = next(i);
+    else if (arg == "--seeds") options.seeds = nextNumber(i);
+    else if (arg == "--seed-base") options.seedBase = nextNumber(i);
+    else if (arg == "--threads") options.threads = nextNumber(i);
+    else if (arg == "--n") options.n = nextNumber(i);
+    else if (arg == "--max-delay") options.maxDelay = nextNumber(i);
+    else if (arg == "--budget") options.budget = nextNumber(i);
+    else if (arg == "--max-crashes")
+      options.maxCrashes = nextNumber(i);
+    else if (arg == "--max-findings")
+      options.maxFindings = nextNumber(i);
+    else if (arg == "--trace-dir") options.traceDir = next(i);
+    else if (arg == "--no-shrink") options.shrink = false;
+    else if (arg == "--no-termination") options.requireTermination = false;
+    else if (arg == "--plant-vac-bug") options.plantVacBug = true;
+    else if (arg == "--hunt-adopt-witness")
+      options.huntAdoptWitness = true;
+    else if (arg == "--replay") options.replayPath = next(i);
+    else if (arg == "--help" || arg == "-h") {
+      printUsage(std::cout);
+      return 0;
+    } else {
+      std::cerr << "check: unknown option '" << arg << "'\n";
+      printUsage(std::cerr);
+      return 2;
+    }
+  }
+
+  if (!options.replayPath.empty()) return runReplay(options);
+
+  std::vector<Family> families;
+  if (options.family == "all") {
+    families = {Family::kBenOr, Family::kPhaseKing, Family::kRaft};
+  } else {
+    try {
+      families = {parseFamily(options.family)};
+    } catch (const std::exception& error) {
+      std::cerr << "check: " << error.what() << "\n";
+      return 2;
+    }
+  }
+  if (options.strategy != "all" && options.strategy != "random" &&
+      options.strategy != "delay" && options.strategy != "crash") {
+    std::cerr << "check: unknown strategy '" << options.strategy << "'\n";
+    return 2;
+  }
+  if (options.plantVacBug && options.family != "benor") {
+    std::cerr << "check: --plant-vac-bug needs --family benor\n";
+    return 2;
+  }
+
+  // Witness hunting looks for schedules where decide-on-adopt would have
+  // broken agreement — evidence for the paper's §5 argument, not bugs — so
+  // it replaces the safety suite.
+  std::vector<std::unique_ptr<Invariant>> suite;
+  if (options.huntAdoptWitness) {
+    suite.push_back(std::make_unique<AdoptWitnessInvariant>());
+  } else {
+    suite = safetySuite(options.requireTermination);
+  }
+  const std::vector<const Invariant*> invariants = view(suite);
+
+  CheckerOptions checker;
+  checker.threads = options.threads;
+  checker.shrink = options.shrink;
+  checker.maxFindings = options.maxFindings;
+  checker.traceDir = options.traceDir;
+
+  std::size_t totalFindings = 0;
+  std::size_t totalExplored = 0;
+  for (const Family family : families) {
+    const auto strategy = buildStrategy(family, options);
+    if (!strategy) {
+      std::cout << "== " << toString(family)
+                << ": no applicable strategy, skipped\n";
+      continue;
+    }
+    std::cout << "== " << toString(family) << ": exploring "
+              << strategy->size() << " configurations (" << strategy->name()
+              << ")\n";
+    const CheckReport report = explore(*strategy, invariants, checker);
+    for (const Finding& finding : report.findings) printFinding(finding);
+    std::cout << "   explored " << report.configsExplored
+              << " configurations, " << report.findings.size()
+              << " violation(s)\n";
+    totalFindings += report.findings.size();
+    totalExplored += report.configsExplored;
+  }
+  std::cout << (totalFindings == 0 ? "OK" : "FAIL") << ": "
+            << totalExplored << " configurations, " << totalFindings
+            << " violation(s)\n";
+  return totalFindings == 0 ? 0 : 1;
+}
