@@ -21,11 +21,11 @@ using namespace ooc;
 using namespace ooc::bench;
 using harness::BenOrConfig;
 
-int main() {
-  Verdict verdict;
-  constexpr int kRuns = 300;
+int main(int argc, char** argv) {
+  Bench bench(argc, argv, "ac_insufficiency");
+  const int kRuns = bench.trials(300);
 
-  banner("E9: decide-on-adopt counterexample census (Ben-Or, local coin)",
+  bench.banner("E9: decide-on-adopt counterexample census (Ben-Or, local coin)",
          "witness := completed (adopt, u) outcome with final decision != u. "
          "Each row aggregates 300 seeded runs; 'runs w/ witness' is the "
          "fraction of executions on which the AC framework's decide rule "
@@ -50,9 +50,9 @@ int main() {
       config.t = std::max<std::size_t>(1, c.n / 4);
       config.maxDelay = c.maxDelay;
       const auto result = runBenOr(config);
-      verdict.require(result.allDecided && !result.agreementViolated,
+      bench.require(result.allDecided && !result.agreementViolated,
                       "VAC template stays correct");
-      verdict.require(result.allAuditsOk, "object contracts");
+      bench.require(result.allAuditsOk, "object contracts");
       adoptTotal += result.adoptOutcomesTotal;
       witnesses += result.adoptMismatchWitnesses;
       runsWithWitness += result.adoptMismatchWitnesses > 0 ? 1 : 0;
@@ -68,10 +68,10 @@ int main() {
                            2),
          Table::cell(100.0 * runsWithWitness / kRuns, 1)});
   }
-  emit(table);
+  bench.emit(table);
   std::printf(
       "reading: the VAC template treats these adopt states as tentative and "
       "never mis-decides (0 agreement violations above); a decide-on-commit "
       "AC pipeline would have failed on every witness run.\n");
-  return verdict.exitCode();
+  return bench.finish();
 }

@@ -11,13 +11,13 @@ using namespace ooc;
 using namespace ooc::bench;
 using harness::BenOrConfig;
 
-int main() {
-  banner("E3: Ben-Or vs crash count (n = 9, t = 4)",
+int main(int argc, char** argv) {
+  Bench bench(argc, argv, "benor_faults");
+  bench.banner("E3: Ben-Or vs crash count (n = 9, t = 4)",
          "f <= t: always decides. f > t: liveness may fail (quorums "
          "unreachable), agreement still never violated.");
-  Verdict verdict;
   constexpr std::size_t kN = 9;
-  constexpr int kRuns = 80;
+  const int kRuns = bench.trials(80);
 
   Table table({"crashes f", "decided %", "mean rounds (deciders)",
                "agreement violations", "mean msgs"});
@@ -51,12 +51,12 @@ int main() {
       }
       messages.add(static_cast<double>(result.messagesByCorrect));
       if (f <= 4) {
-        verdict.require(result.allDecided,
+        bench.require(result.allDecided,
                         "liveness at f=" + std::to_string(f));
-        verdict.require(result.allAuditsOk, "object contracts");
+        bench.require(result.allAuditsOk, "object contracts");
       }
-      verdict.require(!result.agreementViolated, "agreement (safety)");
-      verdict.require(!result.validityViolated, "validity");
+      bench.require(!result.agreementViolated, "agreement (safety)");
+      bench.require(!result.validityViolated, "validity");
     }
     table.addRow(
         {Table::cell(std::uint64_t{f}),
@@ -64,6 +64,6 @@ int main() {
          rounds.empty() ? "-" : Table::cell(rounds.mean()),
          Table::cell(agreementViolations), Table::cell(messages.mean(), 0)});
   }
-  emit(table);
-  return verdict.exitCode();
+  bench.emit(table);
+  return bench.finish();
 }

@@ -33,12 +33,12 @@ std::vector<Value> biasedInputs(std::size_t n, double fractionOnes) {
 
 }  // namespace
 
-int main() {
-  banner("E1: Ben-Or decomposed vs monolithic",
+int main(int argc, char** argv) {
+  Bench bench(argc, argv, "benor_rounds");
+  bench.banner("E1: Ben-Or decomposed vs monolithic",
          "Paper §4.2 claim: Algorithms 5+6 in the template ARE Ben-Or. "
          "Expect matching round distributions and message growth.");
-  Verdict verdict;
-  constexpr int kRuns = 120;
+  const int kRuns = bench.trials(120);
 
   {
     Table table({"n", "mode", "mean rounds", "p50", "p95", "max",
@@ -55,11 +55,11 @@ int main() {
           config.mode = monolithic ? BenOrConfig::Mode::kMonolithic
                                    : BenOrConfig::Mode::kDecomposed;
           const auto result = runBenOr(config);
-          verdict.require(result.allDecided && !result.agreementViolated &&
+          bench.require(result.allDecided && !result.agreementViolated &&
                               !result.validityViolated,
                           "benor consensus n=" + std::to_string(n));
           if (!monolithic)
-            verdict.require(result.allAuditsOk, "object contracts");
+            bench.require(result.allAuditsOk, "object contracts");
           rounds.add(result.meanDecisionRound);
           messages.add(static_cast<double>(result.messagesByCorrect) /
                        static_cast<double>(n));
@@ -71,10 +71,10 @@ int main() {
                       Table::cell(messages.mean(), 0), Table::cell(kRuns)});
       }
     }
-    emit(table);
+    bench.emit(table);
   }
 
-  banner("E2: rounds vs input bias",
+  bench.banner("E2: rounds vs input bias",
          "Convergence (§2): unanimity decides in exactly 1 round; the "
          "balanced midpoint is the hard case.");
   {
@@ -89,14 +89,14 @@ int main() {
         config.seed = 20'000 + static_cast<std::uint64_t>(run);
         config.t = 2;
         const auto result = runBenOr(config);
-        verdict.require(result.allDecided && !result.agreementViolated,
+        bench.require(result.allDecided && !result.agreementViolated,
                         "benor consensus (bias sweep)");
         rounds.add(result.meanDecisionRound);
       }
       table.addRow({Table::cell(fraction, 3), Table::cell(rounds.mean()),
                     Table::cell(rounds.p95()), Table::cell(rounds.max())});
     }
-    emit(table);
+    bench.emit(table);
   }
-  return verdict.exitCode();
+  return bench.finish();
 }

@@ -14,11 +14,11 @@ using namespace ooc::bench;
 using benor::AsyncByzantineStrategy;
 using harness::ByzantineBenOrConfig;
 
-int main() {
-  Verdict verdict;
-  constexpr int kRuns = 60;
+int main(int argc, char** argv) {
+  Bench bench(argc, argv, "byzantine_benor");
+  const int kRuns = bench.trials(60);
 
-  banner("E14a: strategy sweep (n = 11, f = t = 2)",
+  bench.banner("E14a: strategy sweep (n = 11, f = t = 2)",
          "Asynchronous Byzantine consensus through the unchanged template: "
          "every attack must fail.");
   {
@@ -40,7 +40,7 @@ int main() {
         const bool ok = result.allDecided && !result.agreementViolated &&
                         !result.validityViolated && result.allAuditsOk;
         clean += ok ? 1 : 0;
-        verdict.require(ok, std::string("byz-benor ") + toString(strategy));
+        bench.require(ok, std::string("byz-benor ") + toString(strategy));
         rounds.add(result.meanDecisionRound);
         messages.add(static_cast<double>(result.messagesByCorrect) / 9.0);
       }
@@ -48,10 +48,10 @@ int main() {
                     Table::cell(rounds.mean()), Table::cell(rounds.p95()),
                     Table::cell(messages.mean(), 0)});
     }
-    emit(table);
+    bench.emit(table);
   }
 
-  banner("E14b: resilience boundary (n = 11, t = 2)",
+  bench.banner("E14b: resilience boundary (n = 11, t = 2)",
          "f <= t: clean. f > t: the adversary may stall or corrupt "
          "(failures beyond the bound are the bound, not bugs).");
   {
@@ -74,17 +74,17 @@ int main() {
         clean += ok ? 1 : 0;
         decided += result.allDecided ? 1 : 0;
         broken += result.agreementViolated ? 1 : 0;
-        if (f <= 2) verdict.require(ok, "f<=t must be clean");
+        if (f <= 2) bench.require(ok, "f<=t must be clean");
       }
       table.addRow({Table::cell(std::uint64_t{f}),
                     Table::cell(100.0 * clean / kRuns, 1),
                     Table::cell(100.0 * decided / kRuns, 1),
                     Table::cell(100.0 * broken / kRuns, 1)});
     }
-    emit(table);
+    bench.emit(table);
   }
 
-  banner("E14c: scale at maximal tolerance",
+  bench.banner("E14c: scale at maximal tolerance",
          "Rounds stay flat; messages grow ~n^2 per round.");
   {
     Table table({"n", "t", "mean rounds", "mean msgs/correct"});
@@ -99,7 +99,7 @@ int main() {
             static_cast<int>(AsyncByzantineStrategy::kEquivocate);
         config.seed = 220'000 + static_cast<std::uint64_t>(run);
         const auto result = runByzantineBenOr(config);
-        verdict.require(result.allDecided && !result.agreementViolated,
+        bench.require(result.allDecided && !result.agreementViolated,
                         "byz-benor scale");
         rounds.add(result.meanDecisionRound);
         messages.add(static_cast<double>(result.messagesByCorrect) /
@@ -109,7 +109,7 @@ int main() {
                     Table::cell(std::uint64_t{t}), Table::cell(rounds.mean()),
                     Table::cell(messages.mean(), 0)});
     }
-    emit(table);
+    bench.emit(table);
   }
-  return verdict.exitCode();
+  return bench.finish();
 }

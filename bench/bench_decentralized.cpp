@@ -16,11 +16,11 @@ using namespace ooc;
 using namespace ooc::bench;
 using harness::BenOrConfig;
 
-int main() {
-  Verdict verdict;
-  constexpr int kRuns = 200;
+int main(int argc, char** argv) {
+  Bench bench(argc, argv, "decentralized");
+  const int kRuns = bench.trials(200);
 
-  banner("E12: Ben-Or VAC vs decentralized-Raft VAC (same template, same "
+  bench.banner("E12: Ben-Or VAC vs decentralized-Raft VAC (same template, same "
          "local coin, same seeds)",
          "Paper §4.3 remark quantified: the two detectors should be "
          "behaviourally identical up to message naming.");
@@ -41,7 +41,7 @@ int main() {
         config.mode = decentralized ? BenOrConfig::Mode::kDecentralizedVac
                                     : BenOrConfig::Mode::kDecomposed;
         const auto result = runBenOr(config);
-        verdict.require(result.allDecided && !result.agreementViolated &&
+        bench.require(result.allDecided && !result.agreementViolated &&
                             result.allAuditsOk,
                         "consensus + contracts");
         rounds.add(result.meanDecisionRound);
@@ -57,9 +57,9 @@ int main() {
                     Table::cell(100.0 * firstRoundCommits / kRuns, 1)});
     }
   }
-  emit(table);
+  bench.emit(table);
   std::printf("reading: identical rows (bit-for-bit with the same seeds) — "
               "the decentralized variant IS Ben-Or with renamed messages, "
               "which is precisely the paper's point.\n");
-  return verdict.exitCode();
+  return bench.finish();
 }

@@ -12,6 +12,7 @@
 
 #include "bench/bench_common.hpp"
 #include "harness/scenarios.hpp"
+#include "obs/metrics.hpp"
 #include "paxos/paxos_node.hpp"
 #include "sim/simulator.hpp"
 
@@ -58,16 +59,41 @@ PaxosOutcome runPaxosOnce(std::size_t n, std::uint64_t seed,
         std::max(outcome.lastDecision, sim.decision(id).at);
     outcome.ballots += nodes[id]->ballotsStarted();
   }
+
+  // Paxos runs its simulations directly (no harness runner), so the bench
+  // publishes the family telemetry itself.
+  if (obs::enabled()) {
+    auto& reg = obs::metrics();
+    const obs::Labels base = {{"family", "paxos"}};
+    reg.addCounter("runs", 1, base);
+    reg.addCounter("messages_sent", sim.messagesSent(), base);
+    reg.addCounter("messages_delivered", sim.messagesDelivered(), base);
+    reg.addCounter("messages_dropped", sim.messagesDropped(), base);
+    reg.addCounter("events_executed", sim.eventsProcessed(), base);
+    reg.addCounter("ballots_started", outcome.ballots, base);
+    for (ProcessId id = 0; id < n; ++id) {
+      reg.addCounter("driver_invocations",
+                     nodes[id]->reconciliatorInvocations(), base);
+      for (const auto& change : nodes[id]->confidenceLog()) {
+        reg.addCounter("confidence_transitions", 1,
+                       {{"family", "paxos"},
+                        {"confidence", toString(change.confidence)}});
+      }
+      if (sim.decision(id).decided)
+        reg.observe("ticks_to_decide",
+                    static_cast<double>(sim.decision(id).at), base);
+    }
+  }
   return outcome;
 }
 
 }  // namespace
 
-int main() {
-  Verdict verdict;
-  constexpr int kRuns = 30;
+int main(int argc, char** argv) {
+  Bench bench(argc, argv, "paxos");
+  const int kRuns = bench.trials(30);
 
-  banner("E17a: Paxos retry window sweep (n = 5, delays 1-5)",
+  bench.banner("E17a: Paxos retry window sweep (n = 5, delays 1-5)",
          "The reconciliator-timing shape again: tight windows duel "
          "(ballot churn), relaxed windows idle. Safety holds throughout.");
   {
@@ -86,7 +112,7 @@ int main() {
         config.retryMax = c.hi;
         const auto outcome = runPaxosOnce(
             5, 260'000 + static_cast<std::uint64_t>(run), config, 0.0);
-        verdict.require(outcome.clean, "paxos consensus");
+        bench.require(outcome.clean, "paxos consensus");
         clean += outcome.clean ? 1 : 0;
         ticks.add(static_cast<double>(outcome.lastDecision));
         ballots.add(static_cast<double>(outcome.ballots));
@@ -99,10 +125,10 @@ int main() {
                     Table::cell(ballots.mean(), 1),
                     Table::cell(messages.mean(), 0)});
     }
-    emit(table);
+    bench.emit(table);
   }
 
-  banner("E17b: Paxos vs Raft, one decision, same network (n = 5)",
+  bench.banner("E17b: Paxos vs Raft, one decision, same network (n = 5)",
          "Default timers each. Expected shape: comparable decision "
          "latency (one leader emergence + one replication round each); "
          "Paxos spends more messages because its learner path is an "
@@ -117,7 +143,7 @@ int main() {
         const auto outcome = runPaxosOnce(
             5, 270'000 + static_cast<std::uint64_t>(run),
             paxos::PaxosConfig{}, 0.0);
-        verdict.require(outcome.clean, "paxos consensus");
+        bench.require(outcome.clean, "paxos consensus");
         ticks.add(static_cast<double>(outcome.lastDecision));
         messages.add(static_cast<double>(outcome.messages));
         attempts.add(static_cast<double>(outcome.ballots));
@@ -134,7 +160,7 @@ int main() {
         config.n = 5;
         config.seed = 270'000 + static_cast<std::uint64_t>(run);
         const auto result = runRaft(config);
-        verdict.require(result.allDecided && !result.agreementViolated,
+        bench.require(result.allDecided && !result.agreementViolated,
                         "raft consensus");
         ticks.add(static_cast<double>(result.lastDecisionTick));
         messages.add(static_cast<double>(result.messages));
@@ -145,10 +171,10 @@ int main() {
                     Table::cell(messages.mean(), 0),
                     Table::cell(attempts.mean(), 1)});
     }
-    emit(table);
+    bench.emit(table);
   }
 
-  banner("E17c: loss tolerance (n = 5, default timers)",
+  bench.banner("E17c: loss tolerance (n = 5, default timers)",
          "Retry-based recovery: liveness degrades gracefully, safety "
          "never breaks.");
   {
@@ -161,7 +187,7 @@ int main() {
             5, 280'000 + static_cast<std::uint64_t>(run),
             paxos::PaxosConfig{}, drop);
         clean += outcome.clean ? 1 : 0;
-        verdict.require(outcome.clean, "paxos under loss");
+        bench.require(outcome.clean, "paxos under loss");
         ticks.add(static_cast<double>(outcome.lastDecision));
         ballots.add(static_cast<double>(outcome.ballots));
       }
@@ -169,7 +195,7 @@ int main() {
                     Table::cell(ticks.mean(), 0),
                     Table::cell(ballots.mean(), 1)});
     }
-    emit(table);
+    bench.emit(table);
   }
-  return verdict.exitCode();
+  return bench.finish();
 }

@@ -14,11 +14,11 @@ using namespace ooc::bench;
 using harness::PhaseKingConfig;
 using phaseking::ByzantineStrategy;
 
-int main() {
-  Verdict verdict;
-  constexpr int kRuns = 40;
+int main(int argc, char** argv) {
+  Bench bench(argc, argv, "phaseking");
+  const int kRuns = bench.trials(40);
 
-  banner("E4a: decomposed vs monolithic Phase-King (f = t, equivocators "
+  bench.banner("E4a: decomposed vs monolithic Phase-King (f = t, equivocators "
          "seated as first kings)",
          "Paper §4.1: Algorithms 3+4 under the AC/conciliator template "
          "reproduce Phase-King (classic t+1-round decision rule). Both "
@@ -43,9 +43,9 @@ int main() {
           const bool ok = result.allDecided && !result.agreementViolated &&
                           !result.validityViolated;
           clean += ok ? 1 : 0;
-          verdict.require(ok, "phase-king f=t run");
+          bench.require(ok, "phase-king f=t run");
           if (!monolithic) {
-            verdict.require(result.allAuditsOk, "AC contracts");
+            bench.require(result.allAuditsOk, "AC contracts");
             rounds.add(static_cast<double>(result.maxDecisionRound));
           } else {
             rounds.add(static_cast<double>(t + 1));
@@ -63,10 +63,10 @@ int main() {
                       Table::cell(ticks.mean(), 1)});
       }
     }
-    emit(table);
+    bench.emit(table);
   }
 
-  banner("E4b: strategy sweep at n = 13, f = t = 4",
+  bench.banner("E4b: strategy sweep at n = 13, f = t = 4",
          "Every attack in the repertoire must fail (agreement + validity + "
          "contracts hold).");
   {
@@ -88,16 +88,16 @@ int main() {
         const bool ok = result.allDecided && !result.agreementViolated &&
                         !result.validityViolated && result.allAuditsOk;
         clean += ok ? 1 : 0;
-        verdict.require(ok, std::string("strategy ") + toString(strategy));
+        bench.require(ok, std::string("strategy ") + toString(strategy));
         rounds.add(static_cast<double>(result.maxDecisionRound));
       }
       table.addRow({toString(strategy), Table::cell(100.0 * clean / kRuns, 1),
                     Table::cell(rounds.mean()), Table::cell(rounds.max(), 0)});
     }
-    emit(table);
+    bench.emit(table);
   }
 
-  banner("E5: resilience boundary (n = 10, t = 3)",
+  bench.banner("E5: resilience boundary (n = 10, t = 3)",
          "f <= t: 100% clean. f > t: the equivocating adversary can break "
          "runs (3t < n is tight). Safety failures beyond the bound are "
          "EXPECTED and demonstrate the boundary, not a bug.");
@@ -121,7 +121,7 @@ int main() {
         agreement += result.agreementViolated ? 1 : 0;
         validity += result.validityViolated ? 1 : 0;
         stuck += result.allDecided ? 0 : 1;
-        if (f <= 3) verdict.require(ok, "f<=t must be clean");
+        if (f <= 3) bench.require(ok, "f<=t must be clean");
       }
       table.addRow({Table::cell(std::uint64_t{f}),
                     Table::cell(100.0 * clean / kRuns, 1),
@@ -129,10 +129,10 @@ int main() {
                     Table::cell(100.0 * validity / kRuns, 1),
                     Table::cell(100.0 * stuck / kRuns, 1)});
     }
-    emit(table);
+    bench.emit(table);
   }
 
-  banner("E4c: the early-decision gap (n = 13, f = t = 4, random "
+  bench.banner("E4c: the early-decision gap (n = 13, f = t = 4, random "
          "adversary)",
          "The paper's template decides on commit (Algorithm 2). For "
          "Phase-King that rule is UNSOUND: a Byzantine king reigning in an "
@@ -161,14 +161,14 @@ int main() {
         clean += ok ? 1 : 0;
         broken += result.agreementViolated ? 1 : 0;
         rounds.add(static_cast<double>(result.maxDecisionRound));
-        if (!early) verdict.require(ok, "classic rule must stay clean");
+        if (!early) bench.require(ok, "classic rule must stay clean");
       }
       table.addRow({early ? "early commit (paper)" : "classic t+1 (sound)",
                     Table::cell(100.0 * clean / kGapRuns, 1),
                     Table::cell(100.0 * broken / kGapRuns, 1),
                     Table::cell(rounds.mean())});
     }
-    emit(table);
+    bench.emit(table);
   }
-  return verdict.exitCode();
+  return bench.finish();
 }

@@ -14,11 +14,11 @@ using namespace ooc;
 using namespace ooc::bench;
 using harness::RaftScenarioConfig;
 
-int main() {
-  Verdict verdict;
-  constexpr int kRuns = 30;
+int main(int argc, char** argv) {
+  Bench bench(argc, argv, "raft");
+  const int kRuns = bench.trials(30);
 
-  banner("E6a: election timeout vs broadcast time (n = 5, delay 1-5 ticks)",
+  bench.banner("E6a: election timeout vs broadcast time (n = 5, delay 1-5 ticks)",
          "Timing property ablation: the timeout/broadcast ratio drives "
          "election churn and decision latency. Safety holds throughout.");
   {
@@ -47,12 +47,12 @@ int main() {
         config.maxTicks = 400'000;
         const auto result = runRaft(config);
         if (c.timingPropertyHolds) {
-          verdict.require(result.allDecided,
+          bench.require(result.allDecided,
                           "raft liveness (timing property holds)");
         }
-        verdict.require(!result.agreementViolated && !result.validityViolated,
+        bench.require(!result.agreementViolated && !result.validityViolated,
                         "raft safety");
-        verdict.require(result.commitValuesAgree, "commit values agree");
+        bench.require(result.commitValuesAgree, "commit values agree");
         if (result.allDecided) {
           ++decided;
           ticks.add(static_cast<double>(result.lastDecisionTick));
@@ -70,10 +70,10 @@ int main() {
                     Table::cell(elections.mean(), 1),
                     Table::cell(messages.mean(), 0)});
     }
-    emit(table);
+    bench.emit(table);
   }
 
-  banner("E6b: message loss sweep (n = 5, timeouts 150-300)",
+  bench.banner("E6b: message loss sweep (n = 5, timeouts 150-300)",
          "Loss delays elections and commits but never violates agreement.");
   {
     Table table({"drop prob", "decided %", "mean ticks to decide",
@@ -88,7 +88,7 @@ int main() {
         config.dropProbability = drop;
         config.maxTicks = 2'000'000;
         const auto result = runRaft(config);
-        verdict.require(!result.agreementViolated, "raft safety under loss");
+        bench.require(!result.agreementViolated, "raft safety under loss");
         if (result.allDecided) {
           ++decided;
           ticks.add(static_cast<double>(result.lastDecisionTick));
@@ -102,10 +102,10 @@ int main() {
                     Table::cell(elections.mean(), 1),
                     Table::cell(messages.mean(), 0)});
     }
-    emit(table);
+    bench.emit(table);
   }
 
-  banner("E6c: cluster size sweep (quiet network)",
+  bench.banner("E6c: cluster size sweep (quiet network)",
          "Message cost grows ~n per appended entry + n^2 in vote traffic; "
          "decision latency stays near one election + one replication round "
          "trip.");
@@ -118,7 +118,7 @@ int main() {
         config.n = n;
         config.seed = 90'000 + static_cast<std::uint64_t>(run);
         const auto result = runRaft(config);
-        verdict.require(result.allDecided && !result.agreementViolated,
+        bench.require(result.allDecided && !result.agreementViolated,
                         "raft size sweep");
         ticks.add(static_cast<double>(result.lastDecisionTick));
         elections.add(static_cast<double>(result.electionsStarted));
@@ -129,7 +129,7 @@ int main() {
                     Table::cell(elections.mean(), 1),
                     Table::cell(messages.mean(), 0)});
     }
-    emit(table);
+    bench.emit(table);
   }
-  return verdict.exitCode();
+  return bench.finish();
 }

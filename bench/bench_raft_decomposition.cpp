@@ -18,11 +18,11 @@ using namespace ooc;
 using namespace ooc::bench;
 using harness::RaftScenarioConfig;
 
-int main() {
-  Verdict verdict;
-  constexpr int kRuns = 40;
+int main(int argc, char** argv) {
+  Bench bench(argc, argv, "raft_decomposition");
+  const int kRuns = bench.trials(40);
 
-  banner("E7a: VAC confidence-transition census (n = 5)",
+  bench.banner("E7a: VAC confidence-transition census (n = 5)",
          "Every process history must respect the VAC ordering (no commit "
          "before adopt-level evidence) and all commit values must agree — "
          "the instrumented form of coherence over adopt & commit.");
@@ -51,7 +51,7 @@ int main() {
         config.raft.heartbeatInterval = std::max<Tick>(2, s.timeoutLo / 3);
         config.maxTicks = 3'000'000;
         const auto result = runRaft(config);
-        verdict.require(result.allDecided && !result.agreementViolated,
+        bench.require(result.allDecided && !result.agreementViolated,
                         std::string("raft consensus: ") + s.name);
         orderOk = orderOk && result.confidenceOrderOk;
         commitsAgree = commitsAgree && result.commitValuesAgree;
@@ -59,17 +59,17 @@ int main() {
         reconciliations.add(
             static_cast<double>(result.reconciliatorInvocations));
       }
-      verdict.require(orderOk, "VAC confidence ordering");
-      verdict.require(commitsAgree, "commit coherence");
+      bench.require(orderOk, "VAC confidence ordering");
+      bench.require(commitsAgree, "commit coherence");
       table.addRow({s.name, Table::cell(kRuns),
                     Table::cell(transitions.mean(), 1),
                     Table::cell(reconciliations.mean(), 1),
                     orderOk ? "yes" : "NO", commitsAgree ? "yes" : "NO"});
     }
-    emit(table);
+    bench.emit(table);
   }
 
-  banner("E7b: reconciliator churn vs decision latency",
+  bench.banner("E7b: reconciliator churn vs decision latency",
          "Algorithm 11 says the election timeout IS Raft's reconciliator: "
          "runs that reconcile more must be the runs that decide later "
          "(positive correlation across seeds).");
@@ -87,7 +87,7 @@ int main() {
       config.dropProbability = 0.1;
       config.maxTicks = 3'000'000;
       const auto result = runRaft(config);
-      verdict.require(result.allDecided, "raft correlation run");
+      bench.require(result.allDecided, "raft correlation run");
       const double x = static_cast<double>(result.reconciliatorInvocations);
       const double y = static_cast<double>(result.lastDecisionTick);
       lat.add(y);
@@ -108,8 +108,8 @@ int main() {
     table.addRow({"mean decision tick", Table::cell(lat.mean(), 0)});
     table.addRow({"Pearson r (reconciliations, latency)",
                   Table::cell(r, 3)});
-    emit(table);
-    verdict.require(r > 0.3, "positive churn/latency correlation");
+    bench.emit(table);
+    bench.require(r > 0.3, "positive churn/latency correlation");
   }
-  return verdict.exitCode();
+  return bench.finish();
 }

@@ -18,11 +18,11 @@ using namespace ooc;
 using namespace ooc::bench;
 using harness::BenOrConfig;
 
-int main() {
-  Verdict verdict;
-  constexpr int kRuns = 100;
+int main(int argc, char** argv) {
+  Bench bench(argc, argv, "reconciliators");
+  const int kRuns = bench.trials(100);
 
-  banner("E10: reconciliator sweep (Ben-Or VAC, split inputs)",
+  bench.banner("E10: reconciliator sweep (Ben-Or VAC, split inputs)",
          "Swapping only the drive-step object changes expected rounds from "
          "growing-in-n (local coin) to O(1) (common coin); removing it "
          "(keep-value) removes termination.");
@@ -57,11 +57,11 @@ int main() {
           config.maxTicks = 300'000;
         }
         const auto result = runBenOr(config);
-        verdict.require(!result.agreementViolated && !result.validityViolated,
+        bench.require(!result.agreementViolated && !result.validityViolated,
                         "safety");
         if (!isControl) {
-          verdict.require(result.allDecided, "liveness with reconciliation");
-          verdict.require(result.allAuditsOk, "contracts");
+          bench.require(result.allDecided, "liveness with reconciliation");
+          bench.require(result.allAuditsOk, "contracts");
         }
         if (result.allDecided) {
           ++decided;
@@ -71,7 +71,7 @@ int main() {
       if (isControl) {
         // Balanced inputs with an even split can never produce a majority:
         // keep-value must stall in every run (that is the point).
-        verdict.require(decided == 0, "keep-value control must stall");
+        bench.require(decided == 0, "keep-value control must stall");
       }
       table.addRow({Table::cell(std::uint64_t{n}), choice.name,
                     Table::cell(100.0 * decided / kRuns, 1),
@@ -80,6 +80,6 @@ int main() {
                     rounds.empty() ? "-" : Table::cell(rounds.max(), 0)});
     }
   }
-  emit(table);
-  return verdict.exitCode();
+  bench.emit(table);
+  return bench.finish();
 }

@@ -81,11 +81,11 @@ LogOutcome runLog(std::size_t n, std::size_t commandsPerNode,
 
 }  // namespace
 
-int main() {
-  Verdict verdict;
-  constexpr int kRuns = 15;
+int main(int argc, char** argv) {
+  Bench bench(argc, argv, "replicated_log");
+  const int kRuns = bench.trials(15);
 
-  banner("E16: replicated log from template instances (Ben-Or VAC + "
+  bench.banner("E16: replicated log from template instances (Ben-Or VAC + "
          "lottery, one consensus per slot)",
          "All logs identical, every command committed exactly once; "
          "'slot overhead' counts no-op slots won by drained proposers.");
@@ -102,8 +102,8 @@ int main() {
       const auto outcome =
           runLog(c.n, c.commandsPerNode,
                  250'000 + static_cast<std::uint64_t>(run));
-      verdict.require(outcome.complete, "log completeness");
-      verdict.require(outcome.consistent, "log consistency");
+      bench.require(outcome.complete, "log completeness");
+      bench.require(outcome.consistent, "log consistency");
       consistent = consistent && outcome.consistent;
       slots.add(outcome.slots);
       ticksPer.add(outcome.ticks / total);
@@ -117,10 +117,10 @@ int main() {
                   Table::cell(messagesPer.mean(), 0),
                   consistent ? "yes" : "NO"});
   }
-  emit(table);
+  bench.emit(table);
   std::printf("comparison point: bench_raft's purpose-built log commits a "
               "command in ~1 round trip once a leader exists; the generic "
               "object log pays per-slot consensus instead of electing — no "
               "leader, no terms, no repair machinery.\n");
-  return verdict.exitCode();
+  return bench.finish();
 }

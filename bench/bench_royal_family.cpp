@@ -10,11 +10,11 @@ using namespace ooc::bench;
 using harness::PhaseKingConfig;
 using phaseking::ByzantineStrategy;
 
-int main() {
-  Verdict verdict;
-  constexpr int kRuns = 40;
+int main(int argc, char** argv) {
+  Bench bench(argc, argv, "royal_family");
+  const int kRuns = bench.trials(40);
 
-  banner("E15a: queen vs king at the same (n, f) within both bounds",
+  bench.banner("E15a: queen vs king at the same (n, f) within both bounds",
          "Classic t+1-round rule for both. The queen finishes in fewer "
          "ticks and messages; both stay clean.");
   {
@@ -41,7 +41,7 @@ int main() {
           const bool ok = result.allDecided && !result.agreementViolated &&
                           !result.validityViolated && result.allAuditsOk;
           clean += ok ? 1 : 0;
-          verdict.require(ok, queenRun ? "queen run" : "king run");
+          bench.require(ok, queenRun ? "queen run" : "king run");
           ticks.add(static_cast<double>(result.lastDecisionTick));
           messages.add(static_cast<double>(result.messagesByCorrect) /
                        static_cast<double>(c.n - c.t));
@@ -54,10 +54,10 @@ int main() {
                       Table::cell(messages.mean(), 0)});
       }
     }
-    emit(table);
+    bench.emit(table);
   }
 
-  banner("E15b: the resilience price (n = 13)",
+  bench.banner("E15b: the resilience price (n = 13)",
          "The king survives f = 4 (3t < n allows t = 4); the queen's bound "
          "is t = 3 — at f = 4 her guarantees are void and the equivocating "
          "adversary can break her runs.");
@@ -80,7 +80,7 @@ int main() {
                              !king.validityViolated
                          ? 1
                          : 0;
-        verdict.require(!king.agreementViolated || f > 4,
+        bench.require(!king.agreementViolated || f > 4,
                         "king agreement inside bound");
 
         config.algorithm = PhaseKingConfig::Algorithm::kQueen;
@@ -90,7 +90,7 @@ int main() {
                           ? 1
                           : 0;
         if (f <= 3) {
-          verdict.require(!queen.agreementViolated,
+          bench.require(!queen.agreementViolated,
                           "queen agreement inside bound");
         }
       }
@@ -98,7 +98,7 @@ int main() {
                     Table::cell(100.0 * kingClean / kRuns, 1),
                     Table::cell(100.0 * queenClean / kRuns, 1)});
     }
-    emit(table);
+    bench.emit(table);
   }
-  return verdict.exitCode();
+  return bench.finish();
 }

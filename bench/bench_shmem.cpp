@@ -54,11 +54,11 @@ ShmemOutcome runOnce(std::size_t n, SchedulePolicy policy,
 
 }  // namespace
 
-int main() {
-  Verdict verdict;
-  constexpr int kRuns = 60;
+int main(int argc, char** argv) {
+  Bench bench(argc, argv, "shmem");
+  const int kRuns = bench.trials(60);
 
-  banner("E11a: shared-memory AC + conciliator consensus vs n",
+  bench.banner("E11a: shared-memory AC + conciliator consensus vs n",
          "Aspnes' framework in its own model: steps per process stay "
          "modest and grow mildly with n; the skewed (semi-adversarial) "
          "schedule is the costliest.");
@@ -75,12 +75,12 @@ int main() {
           const auto outcome =
               runOnce(n, policy, 150'000 + static_cast<std::uint64_t>(run),
                       1.0 / static_cast<double>(n));
-          verdict.require(outcome.agreed, "shmem agreement");
+          bench.require(outcome.agreed, "shmem agreement");
           if (outcome.allDecided) ++decided;
           steps.add(outcome.steps / static_cast<double>(n));
           rounds.add(outcome.maxRound);
         }
-        verdict.require(decided == kRuns, "shmem termination");
+        bench.require(decided == kRuns, "shmem termination");
         table.addRow({Table::cell(std::uint64_t{n}), toString(policy),
                       Table::cell(steps.mean(), 1),
                       Table::cell(steps.p95(), 1),
@@ -88,10 +88,10 @@ int main() {
                       Table::cell(100.0 * decided / kRuns, 1)});
       }
     }
-    emit(table);
+    bench.emit(table);
   }
 
-  banner("E11b: conciliator write-probability sweep (n = 16, random "
+  bench.banner("E11b: conciliator write-probability sweep (n = 16, random "
          "schedule)",
          "Theta(1/n) is the sweet spot: eager writers race (more rounds), "
          "shy writers spin (more steps).");
@@ -103,7 +103,7 @@ int main() {
         const auto outcome = runOnce(
             16, SchedulePolicy::kRandom,
             160'000 + static_cast<std::uint64_t>(run), p);
-        verdict.require(outcome.agreed && outcome.allDecided,
+        bench.require(outcome.agreed && outcome.allDecided,
                         "shmem write-prob sweep");
         steps.add(outcome.steps / 16.0);
         rounds.add(outcome.maxRound);
@@ -111,10 +111,10 @@ int main() {
       table.addRow({Table::cell(p, 4), Table::cell(steps.mean(), 1),
                     Table::cell(rounds.mean(), 2)});
     }
-    emit(table);
+    bench.emit(table);
   }
 
-  banner("E11c: AC+conciliator loop (Algorithm 2) vs VAC+reconciliator "
+  bench.banner("E11c: AC+conciliator loop (Algorithm 2) vs VAC+reconciliator "
          "loop (Algorithm 1, two-AC construction) — both in shared memory",
          "The shared-memory price of the paper's richer object: the VAC "
          "round costs two AC executions, so ~2x the register operations "
@@ -145,14 +145,14 @@ int main() {
             }
           }
           const auto total = scheduler.run(20'000'000);
-          verdict.require(scheduler.allDone(), "E11c termination");
+          bench.require(scheduler.allDone(), "E11c termination");
           Value decision = kNoValue;
           Round highest = 0;
           for (std::size_t i = 0; i < n; ++i) {
             const Value v = vac ? vacs[i]->decisionValue()
                                 : acs[i]->decisionValue();
             if (decision == kNoValue) decision = v;
-            verdict.require(v == decision, "E11c agreement");
+            bench.require(v == decision, "E11c agreement");
             highest = std::max(highest, vac ? vacs[i]->currentRound()
                                             : acs[i]->currentRound());
           }
@@ -165,7 +165,7 @@ int main() {
                       Table::cell(rounds.mean(), 2)});
       }
     }
-    emit(table);
+    bench.emit(table);
   }
-  return verdict.exitCode();
+  return bench.finish();
 }

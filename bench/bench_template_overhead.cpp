@@ -9,6 +9,8 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <string>
+#include <vector>
 
 #include "harness/scenarios.hpp"
 
@@ -86,4 +88,33 @@ BENCHMARK(BM_BenOrVacFromTwoAc)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMicro
 BENCHMARK(BM_PhaseKingDecomposed)->Arg(7)->Arg(13)->Arg(25)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_PhaseKingMonolithic)->Arg(7)->Arg(13)->Arg(25)->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+// Custom main: accept the uniform bench flags (--quick, --json PATH) by
+// translating them to google-benchmark's own flags, so scripts/bench.sh can
+// drive every binary identically. Note the JSON here is google-benchmark's
+// schema (wall-clock timings), not ooc.bench.v1 — timings are inherently
+// non-reproducible byte-for-byte, and EXPERIMENTS.md documents the split.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  std::vector<std::string> storage;
+  storage.reserve(static_cast<std::size_t>(argc) + 2);
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      storage.push_back("--benchmark_min_time=0.01");
+    } else if (arg == "--json" && i + 1 < argc) {
+      storage.push_back(std::string("--benchmark_out=") + argv[++i]);
+      storage.push_back("--benchmark_out_format=json");
+    } else {
+      args.push_back(argv[i]);
+      continue;
+    }
+  }
+  for (std::string& s : storage) args.push_back(s.data());
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

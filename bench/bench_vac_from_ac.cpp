@@ -14,11 +14,11 @@ using namespace ooc;
 using namespace ooc::bench;
 using harness::BenOrConfig;
 
-int main() {
-  Verdict verdict;
-  constexpr int kRuns = 100;
+int main(int argc, char** argv) {
+  Bench bench(argc, argv, "vac_from_ac");
+  const int kRuns = bench.trials(100);
 
-  banner("E8: native VAC vs VAC-from-2xAC (same template, local coin)",
+  bench.banner("E8: native VAC vs VAC-from-2xAC (same template, local coin)",
          "Construction is correct (all contracts hold) and costs ~2x "
          "messages per round — the quantified version of '[AC] is slightly "
          "weaker' (paper §5).");
@@ -39,7 +39,7 @@ int main() {
         config.mode = synthesized ? BenOrConfig::Mode::kVacFromTwoAc
                                   : BenOrConfig::Mode::kDecomposed;
         const auto result = runBenOr(config);
-        verdict.require(result.allDecided && !result.agreementViolated &&
+        bench.require(result.allDecided && !result.agreementViolated &&
                             !result.validityViolated && result.allAuditsOk,
                         "consensus + contracts");
         rounds.add(result.meanDecisionRound);
@@ -55,8 +55,8 @@ int main() {
            synthesized ? Table::cell(messages.mean() / nativeMsgs, 2) : "1.00"});
     }
   }
-  emit(table);
+  bench.emit(table);
   std::printf("reading: per round the synthesized VAC spends two full AC "
               "invocations (4 message waves vs 2), hence the ~2x column.\n");
-  return verdict.exitCode();
+  return bench.finish();
 }

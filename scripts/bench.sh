@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Bench driver: builds and runs every experiment binary, collecting one
+# BENCH_<name>.json per bench (schema ooc.bench.v1; bench_template_overhead
+# emits google-benchmark's schema since wall-clock timings have no
+# reproducible form) plus an aggregate trajectory file BENCH_trajectory.json
+# that maps each bench to its verdict and run id. Exits nonzero if any bench
+# reported a correctness violation.
+#
+#   scripts/bench.sh                    # full trial counts, out/ directory
+#   scripts/bench.sh --quick            # reduced trials (CI smoke mode)
+#   scripts/bench.sh --out results/     # choose the output directory
+#   scripts/bench.sh --no-json         # console tables only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=""
+OUT="bench-results"
+JSON=1
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --quick) QUICK="--quick" ;;
+    --out) OUT="$2"; shift ;;
+    --no-json) JSON=0 ;;
+    -h|--help)
+      sed -n '2,13p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+    *) echo "bench.sh: unknown argument '$1'" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+BENCHES="
+bench_benor_rounds
+bench_benor_faults
+bench_phaseking
+bench_raft
+bench_raft_decomposition
+bench_vac_from_ac
+bench_ac_insufficiency
+bench_reconciliators
+bench_shmem
+bench_decentralized
+bench_byzantine_benor
+bench_royal_family
+bench_replicated_log
+bench_paxos
+bench_template_overhead
+"
+
+cmake -B build -S . >/dev/null
+# shellcheck disable=SC2086  # word-splitting the target list is intended
+cmake --build build -j --target $BENCHES >/dev/null
+
+mkdir -p "$OUT"
+failures=0
+trajectory="$OUT/BENCH_trajectory.json"
+[ "$JSON" = 1 ] && printf '{"schema":"ooc.bench-trajectory.v1","benches":[' > "$trajectory"
+first=1
+
+for bench in $BENCHES; do
+  name="${bench#bench_}"
+  echo "## $bench $QUICK"
+  json_flag=""
+  json_path="$OUT/BENCH_${name}.json"
+  [ "$JSON" = 1 ] && json_flag="--json $json_path"
+  status=0
+  # shellcheck disable=SC2086  # flags are intentionally word-split
+  "build/bench/$bench" $QUICK $json_flag || status=$?
+  if [ "$status" -ne 0 ]; then
+    failures=$((failures + 1))
+    echo "!! $bench exited $status" >&2
+  fi
+  if [ "$JSON" = 1 ]; then
+    [ "$first" = 1 ] || printf ',' >> "$trajectory"
+    first=0
+    run_id=$(sed -n 's/.*"run_id":"\([0-9a-f]*\)".*/\1/p' "$json_path" | head -1)
+    printf '{"bench":"%s","file":"BENCH_%s.json","run_id":"%s","exit":%d}' \
+      "$name" "$name" "${run_id:-}" "$status" >> "$trajectory"
+  fi
+done
+
+if [ "$JSON" = 1 ]; then
+  printf '],"failures":%d}\n' "$failures" >> "$trajectory"
+  echo "wrote $(ls "$OUT" | wc -l) files to $OUT/ (trajectory: $trajectory)"
+fi
+
+if [ "$failures" -ne 0 ]; then
+  echo "FAIL: $failures bench(es) reported violations" >&2
+  exit 1
+fi
+echo "OK: all benches clean"

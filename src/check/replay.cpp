@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "harness/scenarios.hpp"
+#include "harness/serialize.hpp"
 
 namespace ooc::check {
 namespace {
@@ -57,12 +58,16 @@ ReplayResult replayRun(const Scenario& scenario, const Trace& expected) {
 }
 
 std::string serializeCounterexample(const CounterexampleFile& file) {
+  const std::string scenarioText = serialize(file.scenario);
   std::ostringstream os;
   os << "ooc-counterexample v1\n";
+  os << "runid="
+     << (file.runId.empty() ? harness::configRunId(scenarioText) : file.runId)
+     << "\n";
   os << "invariant=" << file.invariant << "\n";
   os << "detail=" << file.detail << "\n";
   os << "scenario\n";
-  os << serialize(file.scenario);
+  os << scenarioText;
   os << "trace\n";
   serializeTrace(file.trace, os);
   return os.str();
@@ -82,7 +87,17 @@ CounterexampleFile parseCounterexample(const std::string& text) {
                                key + "= line");
     return line.substr(prefix.size());
   };
-  file.invariant = field("invariant");
+  // runid= is optional: files written before the field existed omit it.
+  if (!std::getline(in, line))
+    throw std::runtime_error("counterexample: truncated after header");
+  if (line.rfind("runid=", 0) == 0) {
+    file.runId = line.substr(6);
+    file.invariant = field("invariant");
+  } else if (line.rfind("invariant=", 0) == 0) {
+    file.invariant = line.substr(10);
+  } else {
+    throw std::runtime_error("counterexample: expected invariant= line");
+  }
   file.detail = field("detail");
 
   if (!std::getline(in, line) || line != "scenario")
@@ -100,6 +115,7 @@ CounterexampleFile parseCounterexample(const std::string& text) {
   if (!sawTrace)
     throw std::runtime_error("counterexample: missing trace section");
   file.scenario = parseScenario(scenarioText);
+  if (file.runId.empty()) file.runId = harness::configRunId(scenarioText);
   file.trace = parseTrace(in);
   return file;
 }

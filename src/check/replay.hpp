@@ -42,6 +42,10 @@ struct CounterexampleFile {
   std::string invariant;
   std::string detail;
   Trace trace;
+  /// Deterministic run identifier (harness::configRunId of the serialized
+  /// scenario). Filled on serialize when empty; optional on parse — files
+  /// written before the field existed load fine and get the id recomputed.
+  std::string runId;
 };
 
 std::string serializeCounterexample(const CounterexampleFile& file);

@@ -104,6 +104,8 @@ void ConsensusProcess::pump() {
       rounds_.back().detectorOutcome = *outcome;
       OOC_TRACE("p", ctx().self(), " round ", round_, " detector -> ",
                 toString(*outcome));
+      if (options_.onDetectorOutcome)
+        options_.onDetectorOutcome(round_, *outcome, ctx().now());
 
       bool runDriver = options_.alwaysRunDriver;
       useDriverValue_ = false;
@@ -152,6 +154,8 @@ void ConsensusProcess::pump() {
     if (!driven) return;
     rounds_.back().driverValue = *driven;
     OOC_TRACE("p", ctx().self(), " round ", round_, " driver -> ", *driven);
+    if (options_.onDriverValue)
+      options_.onDriverValue(round_, *driven, ctx().now());
     if (useDriverValue_) value_ = *driven;
     beginRound();
   }

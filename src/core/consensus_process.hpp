@@ -24,6 +24,7 @@
 //    keeps its own value.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -81,6 +82,13 @@ class ConsensusProcess final : public Process {
     /// round m+1 (used by the multi-slot replicated log, where instances
     /// must quiesce on their own).
     Round participateRoundsAfterDecide = 0;
+    /// Telemetry taps (may be empty). Invoked the moment a round's
+    /// detector/driver invocation returns, with the simulated tick — the
+    /// live counterpart of the post-run rounds() record, used for metric
+    /// collection and timeline annotation. Observation only: taps must not
+    /// send, arm timers, or otherwise touch the run.
+    std::function<void(Round, const Outcome&, Tick)> onDetectorOutcome;
+    std::function<void(Round, Value, Tick)> onDriverValue;
   };
 
   ConsensusProcess(Value input, DetectorFactory detectorFactory,

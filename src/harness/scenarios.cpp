@@ -12,6 +12,8 @@
 #include "benor/vac.hpp"
 #include "core/consensus_process.hpp"
 #include "core/vac_from_ac.hpp"
+#include "harness/serialize.hpp"
+#include "obs/metrics.hpp"
 #include "phaseking/adopt_commit.hpp"
 #include "phaseking/conciliator.hpp"
 #include "phaseking/monolithic.hpp"
@@ -64,6 +66,91 @@ DetectorFactory makeBenOrDetector(const BenOrConfig& config, std::size_t t) {
   throw std::logic_error("unknown mode");
 }
 
+// ---------------------------------------------------------------------------
+// Telemetry publication (src/obs/): one flush per run, guarded by
+// obs::enabled() so a disabled-telemetry sweep pays one relaxed atomic
+// load per run.
+
+/// Bounds the `round` label cardinality: long runs (Ben-Or can take
+/// hundreds of rounds on adversarial seeds) collapse into one tail label.
+std::string roundLabel(Round m) {
+  return m <= 32 ? std::to_string(m) : std::string("33+");
+}
+
+obs::Labels withLabel(obs::Labels base, const char* key, std::string value) {
+  base.emplace_back(key, std::move(value));
+  return base;
+}
+
+/// Simulator/network counters, flushed once per run under `base` labels.
+void publishSimMetrics(const Simulator& sim, const obs::Labels& base) {
+  auto& registry = obs::metrics();
+  registry.addCounter("runs", 1, base);
+  registry.addCounter("events_executed", sim.eventsProcessed(), base);
+  registry.addCounter("messages_sent", sim.messagesSent(), base);
+  registry.addCounter("messages_delivered", sim.messagesDelivered(), base);
+  registry.addCounter("messages_dropped", sim.messagesDropped(), base);
+  registry.addCounter("messages_duplicated", sim.messagesDuplicated(), base);
+  registry.addCounter("timers_armed", sim.timersArmed(), base);
+  registry.addCounter("timers_cancelled", sim.timersCancelled(), base);
+  registry.addCounter("timers_fired", sim.timersFired(), base);
+}
+
+/// Decision latency in simulated ticks, one sample per decided process.
+void publishDecisionTicks(const Simulator& sim, const obs::Labels& base) {
+  auto& registry = obs::metrics();
+  for (ProcessId id = 0; id < sim.processCount(); ++id) {
+    if (sim.faulty(id)) continue;
+    const auto& decision = sim.decision(id);
+    if (decision.decided)
+      registry.observe("ticks_to_decide", static_cast<double>(decision.at),
+                       base);
+  }
+}
+
+/// Per-round object telemetry of template processes: VAC/AC confidence
+/// transition counts keyed by (confidence, round), driver invocation
+/// counts, and the rounds-to-decide distribution. Null entries (Byzantine
+/// slots) are skipped.
+void publishTemplateMetrics(const std::vector<ConsensusProcess*>& processes,
+                            const obs::Labels& base) {
+  auto& registry = obs::metrics();
+  for (const ConsensusProcess* process : processes) {
+    if (process == nullptr) continue;
+    Round m = 0;
+    for (const RoundRecord& record : process->rounds()) {
+      ++m;
+      if (record.detectorOutcome) {
+        registry.addCounter(
+            "confidence_transitions", 1,
+            withLabel(withLabel(base, "confidence",
+                                toString(record.detectorOutcome->confidence)),
+                      "round", roundLabel(m)));
+      }
+      if (record.driverValue)
+        registry.addCounter("driver_invocations", 1,
+                            withLabel(base, "round", roundLabel(m)));
+    }
+    if (process->decided())
+      registry.observe("rounds_to_decide",
+                       static_cast<double>(process->decisionRound()), base);
+  }
+}
+
+/// Wires a TelemetrySink (when present) into a template process's options,
+/// binding the process id the simulator will assign next.
+void wireTelemetry(ConsensusProcess::Options& options, TelemetrySink* sink,
+                   ProcessId id) {
+  if (sink == nullptr) return;
+  options.onDetectorOutcome = [sink, id](Round m, const Outcome& outcome,
+                                         Tick at) {
+    sink->onDetectorOutcome(id, m, outcome, at);
+  };
+  options.onDriverValue = [sink, id](Round m, Value value, Tick at) {
+    sink->onDriverValue(id, m, value, at);
+  };
+}
+
 /// Applies the configured message-reordering adversary, if any.
 std::unique_ptr<NetworkModel> wrapAdversary(std::unique_ptr<NetworkModel> net,
                                             const AdversaryOptions& options) {
@@ -111,6 +198,7 @@ BenOrResult runBenOr(const BenOrConfig& config, const RunHooks& hooks) {
       // drive wave each round (see LotteryReconciliator).
       options.alwaysRunDriver =
           config.reconciliator == BenOrConfig::Reconciliator::kLottery;
+      wireTelemetry(options, hooks.telemetry, id);
       auto process = std::make_unique<ConsensusProcess>(
           config.inputs[id],
           injectFault(makeBenOrDetector(config, t), config.fault),
@@ -146,6 +234,21 @@ BenOrResult runBenOr(const BenOrConfig& config, const RunHooks& hooks) {
   }
   if (!decisionRounds.empty())
     result.meanDecisionRound = decisionRounds.mean();
+
+  if (obs::enabled()) {
+    const obs::Labels base = {{"family", "benor"},
+                              {"mode", toString(config.mode)}};
+    publishSimMetrics(sim, base);
+    publishDecisionTicks(sim, base);
+    publishTemplateMetrics(templated, base);
+    if (config.mode == BenOrConfig::Mode::kMonolithic) {
+      for (const benor::MonolithicBenOr* process : classic)
+        if (process->decided())
+          obs::metrics().observe(
+              "rounds_to_decide",
+              static_cast<double>(process->decisionRound()), base);
+    }
+  }
 
   if (config.mode != BenOrConfig::Mode::kMonolithic) {
     // Crashed processes participated in the rounds they started (they
@@ -235,6 +338,13 @@ BenOrResult runByzantineBenOr(const ByzantineBenOrConfig& config) {
   if (!decisionRounds.empty())
     result.meanDecisionRound = decisionRounds.mean();
 
+  if (obs::enabled()) {
+    const obs::Labels base = {{"family", "benor-byzantine"}};
+    publishSimMetrics(sim, base);
+    publishDecisionTicks(sim, base);
+    publishTemplateMetrics(templated, base);
+  }
+
   std::vector<const ConsensusProcess*> correct(templated.begin(),
                                                templated.end());
   result.audits = auditAllRounds(correct);
@@ -319,6 +429,7 @@ PhaseKingResult runPhaseKing(const PhaseKingConfig& config,
         options.decideOnCommit = false;  // classic: fixed t+1 phases
         options.decideAfterRound = static_cast<Round>(t + 1);
       }
+      wireTelemetry(options, hooks.telemetry, id);
       auto process = std::make_unique<ConsensusProcess>(
           input,
           queen ? phaseking::PhaseQueenAc::factory(t)
@@ -351,6 +462,16 @@ PhaseKingResult runPhaseKing(const PhaseKingConfig& config,
       result.maxDecisionRound =
           std::max(result.maxDecisionRound, templated[id]->decisionRound());
     }
+  }
+
+  if (obs::enabled()) {
+    const obs::Labels base = {
+        {"family", "phaseking"},
+        {"algorithm", queen ? "queen" : "king"},
+        {"mode", config.monolithic ? "monolithic" : "decomposed"}};
+    publishSimMetrics(sim, base);
+    publishDecisionTicks(sim, base);
+    publishTemplateMetrics(templated, base);
   }
 
   if (!config.monolithic) {
@@ -477,6 +598,51 @@ RaftScenarioResult runRaft(const RaftScenarioConfig& config,
         committed = change.value;
       } else if (change.value != committed) {
         result.commitValuesAgree = false;
+      }
+    }
+  }
+
+  // Replay the recorded confidence transitions (they carry their tick) to
+  // the telemetry sink; the timeline renderer orders them by tick.
+  if (hooks.telemetry) {
+    for (ProcessId id = 0; id < config.n; ++id) {
+      for (const auto& change : nodes[id]->confidenceLog()) {
+        hooks.telemetry->onDetectorOutcome(
+            id, static_cast<Round>(change.term),
+            Outcome{change.confidence, change.value}, change.at);
+      }
+    }
+  }
+
+  if (obs::enabled()) {
+    auto& registry = obs::metrics();
+    const obs::Labels base = {{"family", "raft"}};
+    publishSimMetrics(sim, base);
+    publishDecisionTicks(sim, base);
+    registry.addCounter("elections_started", result.electionsStarted, base);
+    registry.addCounter("leaderships", result.leaderships, base);
+    registry.addCounter("driver_invocations",
+                        result.reconciliatorInvocations, base);
+    for (ProcessId id = 0; id < config.n; ++id) {
+      const auto& log = nodes[id]->confidenceLog();
+      for (const auto& change : log) {
+        registry.addCounter(
+            "confidence_transitions", 1,
+            withLabel(withLabel(base, "confidence",
+                                toString(change.confidence)),
+                      "round",
+                      roundLabel(static_cast<Round>(change.term))));
+      }
+      // Rounds-to-decide analogue: the term in which this node first saw
+      // commit-level confidence.
+      if (sim.decision(id).decided) {
+        for (const auto& change : log) {
+          if (change.confidence == Confidence::kCommit) {
+            registry.observe("rounds_to_decide",
+                             static_cast<double>(change.term), base);
+            break;
+          }
+        }
       }
     }
   }

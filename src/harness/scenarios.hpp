@@ -22,11 +22,30 @@ class ScheduleObserver;
 
 namespace ooc::harness {
 
+/// Rich protocol-event tap: receives the object-level moments the schedule
+/// trace cannot see — detector outcomes (confidence transitions) and driver
+/// returns, with their simulated tick. Implemented by the trace_view
+/// timeline renderer and metric collectors. Observation only: sinks must
+/// not influence the run.
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink() = default;
+  /// Round `round`'s detector invocation returned `outcome` at `process`.
+  /// For Raft the "round" is the term of the confidence transition.
+  virtual void onDetectorOutcome(ProcessId process, Round round,
+                                 const Outcome& outcome, Tick at) = 0;
+  /// Round `round`'s driver (reconciliator/conciliator) returned `value`.
+  virtual void onDriverValue(ProcessId process, Round round, Value value,
+                             Tick at) = 0;
+};
+
 /// Optional instrumentation threaded through a scenario run. Not part of
 /// the serializable configuration: hooks are attached by the caller (the
-/// model checker's trace recorder/verifier) and never affect the schedule.
+/// model checker's trace recorder/verifier, the timeline renderer) and
+/// never affect the schedule.
 struct RunHooks {
   ScheduleObserver* observer = nullptr;
+  TelemetrySink* telemetry = nullptr;
 };
 
 /// Delay-bounded adversarial rescheduling for asynchronous scenarios: when

@@ -7,8 +7,15 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/run_id.hpp"
+
 namespace ooc::harness {
 namespace {
+
+// Prepend the deterministic run-id stamp to a serialized config body.
+std::string stampRunId(const std::string& body) {
+  return "# run-id=" + configRunId(body) + "\n" + body;
+}
 
 // ---------------------------------------------------------------------------
 // key=value writer / reader
@@ -127,6 +134,23 @@ Enum parseEnum(const std::string& name, const char* what,
 }
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// run identity
+
+std::string configRunId(const std::string& serialized) {
+  // Hash only the key=value payload: `#` comment lines (including a prior
+  // stamp) are skipped, so hashing a stamped file reproduces the stamp.
+  std::uint64_t hash = obs::kFnvOffsetBasis;
+  std::istringstream in(serialized);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    hash = obs::fnv1a(line, hash);
+    hash = obs::fnv1a("\n", hash);
+  }
+  return obs::toHex(hash);
+}
 
 // ---------------------------------------------------------------------------
 // enums
@@ -258,7 +282,7 @@ std::string serialize(const BenOrConfig& config) {
   kv.put("max-ticks", config.maxTicks);
   putAdversary(kv, config.adversary);
   kv.put("fault", toString(config.fault));
-  return kv.str();
+  return stampRunId(kv.str());
 }
 
 BenOrConfig parseBenOrConfig(const std::string& text) {
@@ -301,7 +325,7 @@ std::string serialize(const PhaseKingConfig& config) {
   kv.put("seed", config.seed);
   kv.put("max-rounds", static_cast<std::uint64_t>(config.maxRounds));
   kv.put("max-ticks", config.maxTicks);
-  return kv.str();
+  return stampRunId(kv.str());
 }
 
 PhaseKingConfig parsePhaseKingConfig(const std::string& text) {
@@ -351,7 +375,7 @@ std::string serialize(const RaftScenarioConfig& config) {
   kv.put("compaction", config.raft.compactionThreshold);
   putAdversary(kv, config.adversary);
   kv.put("max-ticks", config.maxTicks);
-  return kv.str();
+  return stampRunId(kv.str());
 }
 
 RaftScenarioConfig parseRaftConfig(const std::string& text) {

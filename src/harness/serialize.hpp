@@ -12,6 +12,17 @@
 
 namespace ooc::harness {
 
+/// Deterministic run identifier for a serialized configuration: a 64-bit
+/// FNV-1a hash of the key=value body (which includes the seed), rendered as
+/// 16 lowercase hex characters. The same (config, seed) always maps to the
+/// same id, so counterexample files, BENCH_*.json metrics and trace_view
+/// output can be correlated. Stamp lines (`# run-id=...`) are excluded from
+/// the hash, making the id stable under re-serialization.
+std::string configRunId(const std::string& serialized);
+
+/// Serialized configs open with a `# run-id=<hex>` stamp line; parsers
+/// (old and new) skip `#` comments, so stamped files remain backward and
+/// forward compatible.
 std::string serialize(const BenOrConfig& config);
 std::string serialize(const PhaseKingConfig& config);
 std::string serialize(const RaftScenarioConfig& config);

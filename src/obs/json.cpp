@@ -1,0 +1,133 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ooc::obs {
+
+std::string jsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string formatJsonNumber(double v) {
+  if (std::isnan(v) || std::isinf(v)) return "null";
+  if (v == 0.0) return "0";  // normalizes -0.0 too
+  const double rounded = std::nearbyint(v);
+  if (rounded == v && std::fabs(v) <= 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[40];
+  for (const int precision : {15, 16, 17}) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+void JsonWriter::prefix() {
+  if (pendingKey_) {
+    pendingKey_ = false;
+    return;
+  }
+  if (!firstInScope_.back()) out_ += ',';
+  firstInScope_.back() = false;
+}
+
+JsonWriter& JsonWriter::beginObject() {
+  prefix();
+  out_ += '{';
+  firstInScope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::endObject() {
+  firstInScope_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::beginArray() {
+  prefix();
+  out_ += '[';
+  firstInScope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::endArray() {
+  firstInScope_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  if (!firstInScope_.back()) out_ += ',';
+  firstInScope_.back() = false;
+  out_ += '"';
+  out_ += jsonEscape(k);
+  out_ += "\":";
+  pendingKey_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  prefix();
+  out_ += '"';
+  out_ += jsonEscape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  prefix();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  prefix();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  prefix();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  prefix();
+  out_ += formatJsonNumber(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  prefix();
+  out_ += json;
+  return *this;
+}
+
+}  // namespace ooc::obs

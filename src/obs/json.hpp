@@ -1,0 +1,57 @@
+// Deterministic minimal JSON emission for the telemetry layer.
+//
+// The bench/check `--json` outputs are diffed byte-for-byte to detect
+// nondeterminism (two runs with the same configuration and seed must
+// produce identical files), so everything here is reproducible by
+// construction: no locales, no pointer ordering, and number formatting
+// that picks the shortest decimal form that round-trips.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ooc::obs {
+
+/// Escapes `text` for inclusion inside a JSON string literal (quotes not
+/// included).
+std::string jsonEscape(std::string_view text);
+
+/// Deterministic rendering of a double: integral values (within exact
+/// int64 range) print without decimal point or exponent; otherwise the
+/// shortest of %.15g/%.16g/%.17g that parses back bit-identically.
+/// NaN and infinities render as null — JSON has no spelling for them.
+std::string formatJsonNumber(double v);
+
+/// Streaming JSON writer with automatic comma placement. The writer
+/// imposes no key order — deterministic output is the caller's job (emit
+/// keys in a fixed, sorted order).
+class JsonWriter {
+ public:
+  JsonWriter& beginObject();
+  JsonWriter& endObject();
+  JsonWriter& beginArray();
+  JsonWriter& endArray();
+  JsonWriter& key(std::string_view k);
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(double v);
+  /// Splices pre-rendered JSON (e.g. a registry snapshot) as one value.
+  JsonWriter& raw(std::string_view json);
+
+  const std::string& str() const noexcept { return out_; }
+
+ private:
+  void prefix();
+
+  std::string out_;
+  std::vector<bool> firstInScope_ = {true};
+  bool pendingKey_ = false;
+};
+
+}  // namespace ooc::obs

@@ -1,0 +1,177 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+
+namespace ooc::obs {
+namespace {
+
+std::string labelKey(const Labels& sorted) {
+  std::string key;
+  for (const auto& [k, v] : sorted) {
+    key += k;
+    key += '\x1e';
+    key += v;
+    key += '\x1f';
+  }
+  return key;
+}
+
+Labels sortedLabels(const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+}  // namespace
+
+const std::vector<double>& defaultBuckets() {
+  static const std::vector<double> kBuckets = {
+      1,   2,   4,    8,    16,   32,   64,    128,  256,
+      512, 1024, 2048, 4096, 8192, 16384, 32768, 65536};
+  return kBuckets;
+}
+
+Registry& Registry::global() noexcept {
+  static Registry instance;
+  return instance;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  series_.clear();
+  dropped_ = 0;
+}
+
+Registry::Series* Registry::intern(std::string_view name,
+                                   const Labels& labels, Type type) {
+  Labels sorted = sortedLabels(labels);
+  std::string key(name);
+  key += '\x1f';
+  key += labelKey(sorted);
+  const auto it = series_.find(key);
+  if (it != series_.end()) {
+    // Same key registered under a different type is a programming error;
+    // keep the first registration rather than corrupting it.
+    return it->second.type == type ? &it->second : nullptr;
+  }
+  if (series_.size() >= kMaxSeries) {
+    ++dropped_;
+    return nullptr;
+  }
+  Series& series = series_[std::move(key)];
+  series.type = type;
+  series.name = std::string(name);
+  series.labels = std::move(sorted);
+  return &series;
+}
+
+void Registry::addCounter(std::string_view name, std::uint64_t delta,
+                          const Labels& labels) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (Series* series = intern(name, labels, Type::kCounter))
+    series->counter += delta;
+}
+
+void Registry::setGauge(std::string_view name, double value,
+                        const Labels& labels) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (Series* series = intern(name, labels, Type::kGauge))
+    series->gauge = value;
+}
+
+void Registry::observe(std::string_view name, double sample,
+                       const Labels& labels,
+                       const std::vector<double>& bounds) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Series* series = intern(name, labels, Type::kHistogram);
+  if (series == nullptr) return;
+  if (series->bucketCounts.empty()) {
+    series->bounds = bounds;
+    series->bucketCounts.assign(bounds.size() + 1, 0);
+  }
+  std::size_t bucket = series->bounds.size();  // overflow slot
+  for (std::size_t i = 0; i < series->bounds.size(); ++i) {
+    if (sample <= series->bounds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++series->bucketCounts[bucket];
+  if (series->count == 0) {
+    series->min = sample;
+    series->max = sample;
+  } else {
+    series->min = std::min(series->min, sample);
+    series->max = std::max(series->max, sample);
+  }
+  ++series->count;
+  series->sum += sample;
+}
+
+std::size_t Registry::seriesCount() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return series_.size();
+}
+
+std::size_t Registry::droppedSeries() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::string Registry::toJson() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  JsonWriter json;
+  json.beginObject();
+  const auto emitLabels = [&](const Series& series) {
+    json.key("labels").beginObject();
+    for (const auto& [k, v] : series.labels) json.key(k).value(v);
+    json.endObject();
+  };
+  const auto emitType = [&](const char* arrayKey, Type type,
+                            auto&& emitBody) {
+    json.key(arrayKey).beginArray();
+    for (const auto& [key, series] : series_) {
+      if (series.type != type) continue;
+      json.beginObject().key("name").value(series.name);
+      emitLabels(series);
+      emitBody(series);
+      json.endObject();
+    }
+    json.endArray();
+  };
+  emitType("counters", Type::kCounter, [&](const Series& series) {
+    json.key("value").value(series.counter);
+  });
+  emitType("gauges", Type::kGauge, [&](const Series& series) {
+    json.key("value").value(series.gauge);
+  });
+  emitType("histograms", Type::kHistogram, [&](const Series& series) {
+    json.key("count").value(series.count);
+    json.key("sum").value(series.sum);
+    json.key("min").value(series.count > 0 ? series.min : 0.0);
+    json.key("max").value(series.count > 0 ? series.max : 0.0);
+    json.key("buckets").beginArray();
+    for (std::size_t i = 0; i < series.bounds.size(); ++i) {
+      json.beginObject()
+          .key("le")
+          .value(series.bounds[i])
+          .key("count")
+          .value(series.bucketCounts[i])
+          .endObject();
+    }
+    json.endArray();
+    json.key("overflow").value(
+        series.bucketCounts.empty() ? std::uint64_t{0}
+                                    : series.bucketCounts.back());
+  });
+  json.key("dropped_series").value(std::uint64_t{dropped_});
+  json.endObject();
+  return json.str();
+}
+
+}  // namespace ooc::obs

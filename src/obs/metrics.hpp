@@ -1,0 +1,120 @@
+// Protocol telemetry: a process-wide metrics registry.
+//
+// Series are keyed by (name, labels) — e.g. confidence transition counts
+// per family, confidence level and round — and come in three shapes:
+// counters (monotonic uint64), gauges (last-written double) and histograms
+// (fixed bucket bounds, plus count/sum/min/max).
+//
+// Design constraints, in priority order:
+//  * Near-zero cost when disabled. The registry ships disabled; every
+//    mutator first reads one relaxed atomic and returns. Hot paths (the
+//    simulator event loop) never call the registry at all — they keep
+//    plain member counters which the scenario runners flush here once per
+//    run, so a disabled-telemetry model-checking sweep pays one atomic
+//    load per *run*, not per event.
+//  * Deterministic when enabled. Counter increments and histogram
+//    observations are commutative, and snapshots render series sorted by
+//    (name, labels) with reproducible number formatting, so the JSON
+//    snapshot of a run is byte-identical across repetitions — even when
+//    the model checker fills the registry from many worker threads.
+//    (Gauges are last-write-wins and therefore only deterministic from
+//    single-threaded contexts, i.e. the bench binaries.)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ooc::obs {
+
+/// Label set attached to a series. Order does not matter: the registry
+/// sorts labels by key when interning the series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Default histogram bucket upper bounds (inclusive): powers of two
+/// covering 1..65536, suitable for round and tick distributions.
+const std::vector<double>& defaultBuckets();
+
+class Registry {
+ public:
+  /// Series beyond this cap are dropped (and counted in droppedSeries())
+  /// instead of growing without bound on a label-cardinality mistake.
+  static constexpr std::size_t kMaxSeries = 1 << 16;
+
+  void enable(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Drops every series (the enabled flag is unchanged).
+  void reset();
+
+  /// Adds `delta` to the counter series, creating it at zero first.
+  void addCounter(std::string_view name, std::uint64_t delta,
+                  const Labels& labels = {});
+  /// Sets the gauge series to `value` (last write wins).
+  void setGauge(std::string_view name, double value,
+                const Labels& labels = {});
+  /// Records `sample` into the histogram series. Bucket bounds are fixed
+  /// at series creation: the first observation's `bounds` win (pass the
+  /// same bounds everywhere, or use the defaultBuckets() overload).
+  void observe(std::string_view name, double sample, const Labels& labels,
+               const std::vector<double>& bounds);
+  void observe(std::string_view name, double sample,
+               const Labels& labels = {}) {
+    observe(name, sample, labels, defaultBuckets());
+  }
+
+  std::size_t seriesCount() const;
+  std::size_t droppedSeries() const;
+
+  /// Deterministic snapshot: {"counters":[...],"gauges":[...],
+  /// "histograms":[...]}, each array sorted by (name, labels).
+  std::string toJson() const;
+
+  /// The process-wide registry used by all instrumentation call sites.
+  static Registry& global() noexcept;
+
+ private:
+  enum class Type { kCounter, kGauge, kHistogram };
+
+  struct Series {
+    Type type = Type::kCounter;
+    std::string name;
+    Labels labels;  // sorted by key
+    std::uint64_t counter = 0;
+    double gauge = 0.0;
+    // Histogram state. bucketCounts has bounds.size() + 1 entries; the
+    // last one counts samples above every bound.
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> bucketCounts;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  Series* intern(std::string_view name, const Labels& labels, Type type);
+
+  mutable std::mutex mutex_;
+  std::atomic<bool> enabled_{false};
+  /// Key is "name\x1f<label-key>" so map order IS (name, labels) order.
+  std::map<std::string, Series> series_;
+  std::size_t dropped_ = 0;
+};
+
+/// Shorthand for Registry::global().enabled() — the guard instrumentation
+/// sites use before doing any work.
+inline bool enabled() noexcept { return Registry::global().enabled(); }
+
+/// Registry::global() accessors used by instrumentation call sites.
+inline Registry& metrics() noexcept { return Registry::global(); }
+
+}  // namespace ooc::obs

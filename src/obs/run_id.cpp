@@ -1,0 +1,16 @@
+#include "obs/run_id.hpp"
+
+#include <cstdio>
+
+namespace ooc::obs {
+
+std::string toHex(std::uint64_t hash) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+std::string runId(std::string_view text) { return toHex(fnv1a(text)); }
+
+}  // namespace ooc::obs

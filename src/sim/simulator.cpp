@@ -206,6 +206,7 @@ void Simulator::run() {
         if (owner == timerOwner_.end()) break;
         const ProcessId id = owner->second;
         timerOwner_.erase(owner);
+        ++timersFired_;
         Slot& slot = processes_[id];
         if (!slot.crashed) slot.process->onTimer(event.timer);
         break;
@@ -243,7 +244,11 @@ void Simulator::deliverSend(ProcessId from, ProcessId to,
   } else {
     network_->plan(from, to, now_, networkRng_, scratchDelays_);
   }
-  if (scratchDelays_.empty()) return;  // dropped
+  if (scratchDelays_.empty()) {
+    ++messagesDropped_;
+    return;
+  }
+  messagesDuplicated_ += scratchDelays_.size() - 1;
 
   for (std::size_t i = 0; i < scratchDelays_.size(); ++i) {
     Event event;
@@ -289,6 +294,7 @@ void Simulator::observe(const Event& event) {
 
 TimerId Simulator::armTimer(ProcessId id, Tick delay) {
   const TimerId timer = nextTimer_++;
+  ++timersArmed_;
   timerOwner_.emplace(timer, id);
   Event event;
   event.at = now_ + std::max<Tick>(1, delay);
@@ -298,7 +304,9 @@ TimerId Simulator::armTimer(ProcessId id, Tick delay) {
   return timer;
 }
 
-void Simulator::disarmTimer(TimerId id) noexcept { timerOwner_.erase(id); }
+void Simulator::disarmTimer(TimerId id) noexcept {
+  timersCancelled_ += timerOwner_.erase(id);
+}
 
 void Simulator::recordDecision(ProcessId id, Value v) {
   Decision& decision = decisions_[id];

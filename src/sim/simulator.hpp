@@ -105,7 +105,18 @@ class Simulator final {
   std::uint64_t messagesDelivered() const noexcept {
     return messagesDelivered_;
   }
+  /// Sends whose network plan produced no delivery (loss or partition).
+  std::uint64_t messagesDropped() const noexcept { return messagesDropped_; }
+  /// Extra delivery copies beyond the first (network duplication).
+  std::uint64_t messagesDuplicated() const noexcept {
+    return messagesDuplicated_;
+  }
   std::uint64_t eventsProcessed() const noexcept { return eventsProcessed_; }
+  // Timer churn: armed counts every setTimer, cancelled every disarm of a
+  // still-armed timer, fired every timer event that reached its owner.
+  std::uint64_t timersArmed() const noexcept { return timersArmed_; }
+  std::uint64_t timersCancelled() const noexcept { return timersCancelled_; }
+  std::uint64_t timersFired() const noexcept { return timersFired_; }
   /// Number of currently armed (not yet fired or cancelled) timers. Must
   /// stay bounded on long runs: disarming releases the bookkeeping
   /// immediately (the heap entry is dropped lazily when its tick arrives).
@@ -170,7 +181,12 @@ class Simulator final {
   std::uint64_t messagesSent_ = 0;
   std::uint64_t messagesSentByCorrect_ = 0;
   std::uint64_t messagesDelivered_ = 0;
+  std::uint64_t messagesDropped_ = 0;
+  std::uint64_t messagesDuplicated_ = 0;
   std::uint64_t eventsProcessed_ = 0;
+  std::uint64_t timersArmed_ = 0;
+  std::uint64_t timersCancelled_ = 0;
+  std::uint64_t timersFired_ = 0;
 
   std::function<bool(const Simulator&)> stopPredicate_;
   std::vector<Tick> scratchDelays_;

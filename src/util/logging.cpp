@@ -26,7 +26,18 @@ void setLogLevel(LogLevel level) noexcept { g_level.store(level); }
 LogLevel logLevel() noexcept { return g_level.load(); }
 
 void logWrite(LogLevel level, const std::string& message) {
-  std::fprintf(stderr, "[%s] %s\n", levelName(level), message.c_str());
+  // Assemble the record first and emit it with a single flushed write, so
+  // records from interleaved writers (e.g. the threaded model-checker sweep)
+  // never shear mid-line.
+  std::string record;
+  record.reserve(message.size() + 10);
+  record += '[';
+  record += levelName(level);
+  record += "] ";
+  record += message;
+  record += '\n';
+  std::fwrite(record.data(), 1, record.size(), stderr);
+  std::fflush(stderr);
 }
 
 }  // namespace ooc

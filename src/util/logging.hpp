@@ -31,13 +31,17 @@ std::string concat(Args&&... args) {
 
 }  // namespace ooc
 
-/// Streams `...` (operator<< chain) at `level` if enabled.
-#define OOC_LOG(level, ...)                                  \
-  do {                                                       \
-    if (static_cast<int>(level) >=                           \
-        static_cast<int>(::ooc::logLevel())) {               \
-      ::ooc::logWrite(level, ::ooc::detail::concat(__VA_ARGS__)); \
-    }                                                        \
+/// Streams `...` (operator<< chain) at `level` if enabled. The level
+/// expression is evaluated exactly once (callers may pass expressions with
+/// side effects or non-trivial cost).
+#define OOC_LOG(level, ...)                                        \
+  do {                                                             \
+    const ::ooc::LogLevel oocLogLevel_ = (level);                  \
+    if (static_cast<int>(oocLogLevel_) >=                          \
+        static_cast<int>(::ooc::logLevel())) {                     \
+      ::ooc::logWrite(oocLogLevel_,                                \
+                      ::ooc::detail::concat(__VA_ARGS__));         \
+    }                                                              \
   } while (0)
 
 #define OOC_TRACE(...) OOC_LOG(::ooc::LogLevel::kTrace, __VA_ARGS__)

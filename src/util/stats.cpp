@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
-#include <stdexcept>
 
 namespace ooc {
 
@@ -14,17 +13,17 @@ void Summary::add(double x) {
 }
 
 double Summary::mean() const {
-  if (samples_.empty()) throw std::logic_error("Summary::mean on empty set");
+  if (samples_.empty()) return 0.0;
   return sum_ / static_cast<double>(samples_.size());
 }
 
 double Summary::min() const {
-  if (samples_.empty()) throw std::logic_error("Summary::min on empty set");
+  if (samples_.empty()) return 0.0;
   return *std::min_element(samples_.begin(), samples_.end());
 }
 
 double Summary::max() const {
-  if (samples_.empty()) throw std::logic_error("Summary::max on empty set");
+  if (samples_.empty()) return 0.0;
   return *std::max_element(samples_.begin(), samples_.end());
 }
 
@@ -37,8 +36,7 @@ double Summary::stddev() const {
 }
 
 double Summary::quantile(double q) const {
-  if (samples_.empty())
-    throw std::logic_error("Summary::quantile on empty set");
+  if (samples_.empty()) return 0.0;
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());
     sorted_ = true;

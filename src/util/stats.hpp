@@ -11,6 +11,11 @@ namespace ooc {
 /// Accumulates samples and reports summary statistics. Samples are retained
 /// so exact quantiles can be computed; experiment sample counts are small
 /// (thousands), so this is cheap.
+///
+/// Empty-set contract: every statistic of an empty Summary is 0.0 — never a
+/// throw. Benches routinely build summaries from filtered subsets (e.g.
+/// "rounds among deciders") that can legitimately come up empty; callers
+/// that need to distinguish "no samples" from "all zeros" check empty().
 class Summary {
  public:
   void add(double x);
@@ -23,7 +28,7 @@ class Summary {
   double max() const;
   /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
   double stddev() const;
-  /// Exact quantile by linear interpolation, q in [0,1].
+  /// Exact quantile by linear interpolation, q in [0,1]; 0 when empty.
   double quantile(double q) const;
   double median() const { return quantile(0.5); }
   double p95() const { return quantile(0.95); }
@@ -51,6 +56,12 @@ class Table {
 
   /// Renders the whole table, each line terminated by '\n'.
   std::string render() const;
+
+  // Raw cells, for structured (JSON) re-emission of the rendered tables.
+  const std::vector<std::string>& header() const noexcept { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
 
  private:
   std::vector<std::string> header_;

@@ -1,0 +1,112 @@
+// Golden-output coverage for the trace_view timeline renderer: a recorded
+// run renders to an exact, byte-stable per-process timeline with the
+// protocol-level annotations (confidence transitions, driver values,
+// decisions) merged into the schedule.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/replay.hpp"
+#include "check/scenario.hpp"
+#include "check/timeline.hpp"
+
+namespace ooc {
+namespace {
+
+check::CounterexampleFile goldenFixture() {
+  check::Scenario scenario;
+  scenario.family = check::Family::kBenOr;
+  scenario.benOr.n = 4;
+  scenario.benOr.t = 1;
+  scenario.benOr.inputs = {0, 1, 1, 1};
+  scenario.benOr.seed = 3;
+  scenario.benOr.maxDelay = 2;
+  const check::RecordedRun run = check::recordRun(scenario);
+  check::CounterexampleFile file;
+  file.scenario = scenario;
+  file.invariant = "agreement";
+  file.detail = "golden rendering fixture";
+  file.trace = run.trace;
+  return file;
+}
+
+// The exact rendering of the fixture with scheduler noise hidden. If this
+// changes, either the renderer's format changed (update deliberately) or
+// run determinism broke (investigate: replay must be bit-identical).
+constexpr const char* kGolden =
+    "counterexample timeline  run-id=a1531b89d8b20b14\n"
+    "scenario:  benor n=4 seed=3 mode=decomposed reconciliator=local-coin "
+    "crashes=0 max-delay=2\n"
+    "invariant: agreement\n"
+    "detail:    golden rendering fixture\n"
+    "replay:    bit-identical to recorded trace\n"
+    "\n"
+    "p0:\n"
+    "  t=0\tstart\n"
+    "  t=3\tdetect[1] -> vacillate(0)\n"
+    "  t=3\tdrive[1] -> 1\n"
+    "  t=6\tdetect[2] -> commit(1)\n"
+    "  t=6\tDECIDED 1\n"
+    "\n"
+    "p1:\n"
+    "  t=0\tstart\n"
+    "  t=3\tdetect[1] -> vacillate(1)\n"
+    "  t=3\tdrive[1] -> 1\n"
+    "  t=6\tdetect[2] -> commit(1)\n"
+    "  t=6\tDECIDED 1\n"
+    "\n"
+    "p2:\n"
+    "  t=0\tstart\n"
+    "  t=3\tdetect[1] -> vacillate(1)\n"
+    "  t=3\tdrive[1] -> 1\n"
+    "  t=6\tdetect[2] -> commit(1)\n"
+    "  t=6\tDECIDED 1\n"
+    "\n"
+    "p3:\n"
+    "  t=0\tstart\n"
+    "  t=4\tdetect[1] -> vacillate(1)\n"
+    "  t=4\tdrive[1] -> 1\n"
+    "  t=6\tdetect[2] -> commit(1)\n"
+    "  t=6\tDECIDED 1\n";
+
+TEST(Timeline, GoldenRendering) {
+  const check::CounterexampleFile file = goldenFixture();
+  check::TimelineOptions options;
+  options.showDeliveries = false;
+  options.showTimers = false;
+  EXPECT_EQ(check::renderTimeline(file, options), kGolden);
+}
+
+TEST(Timeline, RenderingIsDeterministic) {
+  const check::CounterexampleFile file = goldenFixture();
+  EXPECT_EQ(check::renderTimeline(file), check::renderTimeline(file));
+}
+
+TEST(Timeline, DefaultOptionsIncludeDeliveries) {
+  const std::string text = check::renderTimeline(goldenFixture());
+  EXPECT_NE(text.find("deliver from p"), std::string::npos);
+  // Protocol annotations survive alongside the schedule.
+  EXPECT_NE(text.find("detect[1] -> vacillate"), std::string::npos);
+  EXPECT_NE(text.find("DECIDED 1"), std::string::npos);
+}
+
+TEST(Timeline, EventCapElidesSchedulerNoiseOnly) {
+  check::TimelineOptions options;
+  options.maxEventsPerProcess = 1;
+  const std::string text =
+      check::renderTimeline(goldenFixture(), options);
+  EXPECT_NE(text.find("more scheduler events elided"), std::string::npos);
+  // Protocol entries and decisions are never elided.
+  EXPECT_NE(text.find("detect[2] -> commit(1)"), std::string::npos);
+  EXPECT_NE(text.find("DECIDED 1"), std::string::npos);
+}
+
+TEST(Timeline, RoundTripThroughFileFormatRendersIdentically) {
+  const check::CounterexampleFile file = goldenFixture();
+  const check::CounterexampleFile reparsed =
+      check::parseCounterexample(check::serializeCounterexample(file));
+  EXPECT_EQ(check::renderTimeline(file), check::renderTimeline(reparsed));
+}
+
+}  // namespace
+}  // namespace ooc

@@ -150,12 +150,22 @@ TEST(Summary, QuantileInterpolates) {
   EXPECT_DOUBLE_EQ(s.quantile(1.0), 10.0);
 }
 
-TEST(Summary, EmptyThrows) {
+TEST(Summary, EmptyStatisticsAreZero) {
+  // Documented contract: every statistic of an empty Summary is 0.0 —
+  // benches summarize filtered subsets that can legitimately be empty.
   Summary s;
   EXPECT_TRUE(s.empty());
-  EXPECT_THROW(s.mean(), std::logic_error);
-  EXPECT_THROW(s.min(), std::logic_error);
-  EXPECT_THROW(s.quantile(0.5), std::logic_error);
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.sum(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.quantile(0.0), 0.0);
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+  EXPECT_EQ(s.median(), 0.0);
+  EXPECT_EQ(s.p95(), 0.0);
+  EXPECT_EQ(s.p99(), 0.0);
 }
 
 TEST(Summary, SingleSample) {

@@ -20,12 +20,17 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+
 #include "check/checker.hpp"
 #include "check/invariant.hpp"
 #include "check/replay.hpp"
 #include "check/scenario.hpp"
 #include "check/strategy.hpp"
 #include "harness/scenarios.hpp"
+#include "harness/serialize.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -45,6 +50,7 @@ struct CliOptions {
   std::string traceDir = "counterexamples";
   std::size_t maxFindings = 5;
   std::string replayPath;
+  std::string jsonPath;
   Tick budget = 0;        // 0: default budget grid
   std::size_t maxCrashes = 0;  // 0: family fault budget
   std::size_t n = 0;      // 0: family default
@@ -73,6 +79,8 @@ void printUsage(std::ostream& os) {
         "witnesses\n"
         "  --replay FILE     re-execute a counterexample file and verify "
         "it\n"
+        "  --json FILE       write a machine-readable sweep summary "
+        "(schema ooc.check.v1)\n"
         "  --help            this text\n";
 }
 
@@ -237,6 +245,7 @@ int main(int argc, char** argv) {
     else if (arg == "--hunt-adopt-witness")
       options.huntAdoptWitness = true;
     else if (arg == "--replay") options.replayPath = next(i);
+    else if (arg == "--json") options.jsonPath = next(i);
     else if (arg == "--help" || arg == "-h") {
       printUsage(std::cout);
       return 0;
@@ -287,6 +296,23 @@ int main(int argc, char** argv) {
   checker.maxFindings = options.maxFindings;
   checker.traceDir = options.traceDir;
 
+  // The registry stays disabled on plain sweeps (the 10k-seed check.sh path
+  // must not pay telemetry costs); --json opts in. Counter/histogram updates
+  // are commutative, so the snapshot is deterministic despite the worker
+  // threads.
+  if (!options.jsonPath.empty()) {
+    obs::metrics().reset();
+    obs::metrics().enable(true);
+  }
+
+  struct FamilyOutcome {
+    std::string family;
+    std::string strategy;
+    std::size_t configsExplored = 0;
+    std::vector<Finding> findings;
+  };
+  std::vector<FamilyOutcome> outcomes;
+
   std::size_t totalFindings = 0;
   std::size_t totalExplored = 0;
   for (const Family family : families) {
@@ -299,16 +325,61 @@ int main(int argc, char** argv) {
     std::cout << "== " << toString(family) << ": exploring "
               << strategy->size() << " configurations (" << strategy->name()
               << ")\n";
-    const CheckReport report = explore(*strategy, invariants, checker);
+    CheckReport report = explore(*strategy, invariants, checker);
     for (const Finding& finding : report.findings) printFinding(finding);
     std::cout << "   explored " << report.configsExplored
               << " configurations, " << report.findings.size()
               << " violation(s)\n";
     totalFindings += report.findings.size();
     totalExplored += report.configsExplored;
+    outcomes.push_back(FamilyOutcome{toString(family), strategy->name(),
+                                     report.configsExplored,
+                                     std::move(report.findings)});
   }
   std::cout << (totalFindings == 0 ? "OK" : "FAIL") << ": "
             << totalExplored << " configurations, " << totalFindings
             << " violation(s)\n";
+
+  if (!options.jsonPath.empty()) {
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("ooc.check.v1");
+    w.key("families").beginArray();
+    for (const FamilyOutcome& outcome : outcomes) {
+      w.beginObject();
+      w.key("family").value(outcome.family);
+      w.key("strategy").value(outcome.strategy);
+      w.key("configs_explored")
+          .value(static_cast<std::uint64_t>(outcome.configsExplored));
+      w.key("findings").beginArray();
+      for (const Finding& finding : outcome.findings) {
+        const Scenario& scenario =
+            finding.shrunk ? *finding.shrunk : finding.scenario;
+        w.beginObject();
+        w.key("invariant").value(finding.violation.invariant);
+        w.key("detail").value(finding.violation.detail);
+        w.key("config").value(describe(scenario));
+        w.key("run_id").value(harness::configRunId(serialize(scenario)));
+        w.key("trace").value(finding.tracePath);
+        w.endObject();
+      }
+      w.endArray();
+      w.endObject();
+    }
+    w.endArray();
+    w.key("total").beginObject();
+    w.key("configs_explored").value(static_cast<std::uint64_t>(totalExplored));
+    w.key("violations").value(static_cast<std::uint64_t>(totalFindings));
+    w.endObject();
+    w.key("metrics").raw(obs::metrics().toJson());
+    w.endObject();
+
+    std::ofstream out(options.jsonPath, std::ios::binary);
+    if (!out) {
+      std::cerr << "check: cannot write '" << options.jsonPath << "'\n";
+      return 2;
+    }
+    out << w.str() << '\n';
+  }
   return totalFindings == 0 ? 0 : 1;
 }

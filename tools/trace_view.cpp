@@ -1,0 +1,81 @@
+// `trace_view` — renders a recorded counterexample file as an annotated
+// per-process timeline.
+//
+// The schedule trace inside a counterexample only knows scheduler events;
+// trace_view re-executes the scenario (runs are pure functions of
+// configuration + seed, and the re-execution is verified bit-identical
+// against the recorded trace) with the telemetry tap attached, so the
+// timeline shows the protocol-level story too: every detector confidence
+// transition, every driver value, and the decisions.
+//
+//   trace_view counterexamples/agreement-0.trace
+//   trace_view --no-deliveries FILE        # protocol structure only
+//   trace_view --max-events 40 FILE        # cap scheduler noise per lane
+//
+// Exit status: 0 rendered, 2 usage/parse failure.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "check/replay.hpp"
+#include "check/timeline.hpp"
+
+namespace {
+
+void printUsage(std::ostream& os) {
+  os << "usage: trace_view [options] FILE\n"
+        "  FILE                a counterexample written by `check`\n"
+        "  --no-deliveries     hide message-delivery events\n"
+        "  --no-timers         hide timer-fire events\n"
+        "  --max-events N      per-process cap on scheduler events "
+        "(0 = unlimited)\n"
+        "  --help              this text\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ooc::check::TimelineOptions options;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--no-deliveries") {
+      options.showDeliveries = false;
+    } else if (arg == "--no-timers") {
+      options.showTimers = false;
+    } else if (arg == "--max-events") {
+      if (i + 1 >= argc) {
+        std::cerr << "trace_view: --max-events needs a value\n";
+        return 2;
+      }
+      options.maxEventsPerProcess =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--help" || arg == "-h") {
+      printUsage(std::cout);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "trace_view: unknown option '" << arg << "'\n";
+      printUsage(std::cerr);
+      return 2;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::cerr << "trace_view: only one FILE\n";
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    printUsage(std::cerr);
+    return 2;
+  }
+
+  try {
+    const ooc::check::CounterexampleFile file =
+        ooc::check::loadCounterexampleFile(path);
+    std::cout << ooc::check::renderTimeline(file, options);
+  } catch (const std::exception& error) {
+    std::cerr << "trace_view: " << error.what() << "\n";
+    return 2;
+  }
+  return 0;
+}
