@@ -45,6 +45,7 @@ bench_byzantine_benor
 bench_royal_family
 bench_replicated_log
 bench_paxos
+bench_recovery
 bench_template_overhead
 "
 

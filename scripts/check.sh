@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Model-checking sweep: builds the `check` CLI and explores all consensus
 # families with every strategy (random walks, delay-bounded reordering,
-# crash-schedule enumeration). Exits nonzero if any invariant violation is
+# crash-schedule enumeration, and — for raft — crash-restart schedules
+# against durable storage). Exits nonzero if any invariant violation is
 # found; counterexamples (config + trace) land in ./counterexamples/.
 #
 #   scripts/check.sh               # default 10k-seed sweep per family

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Rebuilds everything, runs the full test suite and regenerates every
-# experiment table (EXPERIMENTS.md E1-E17). All runs are seeded and
+# experiment table (EXPERIMENTS.md E1-E18). All runs are seeded and
 # deterministic: outputs are identical across invocations on one platform.
 set -euo pipefail
 cd "$(dirname "$0")/.."

@@ -50,6 +50,20 @@ std::optional<Violation> RaftConfidenceInvariant::check(
   return std::nullopt;
 }
 
+std::optional<Violation> VoteAmnesiaInvariant::check(
+    const Scenario& scenario, const RunReport& report) const {
+  if (scenario.family != Family::kRaft) return std::nullopt;
+  if (!report.voteAmnesia) return std::nullopt;
+  return Violation{name(), report.voteAmnesiaDetail};
+}
+
+std::optional<Violation> CommitRegressionInvariant::check(
+    const Scenario& scenario, const RunReport& report) const {
+  if (scenario.family != Family::kRaft) return std::nullopt;
+  if (!report.commitRegression) return std::nullopt;
+  return Violation{name(), report.commitRegressionDetail};
+}
+
 std::optional<Violation> AdoptWitnessInvariant::check(
     const Scenario&, const RunReport& report) const {
   if (report.adoptMismatchWitnesses == 0) return std::nullopt;
@@ -66,6 +80,8 @@ std::vector<std::unique_ptr<Invariant>> safetySuite(bool requireTermination) {
   suite.push_back(std::make_unique<ValidityInvariant>());
   suite.push_back(std::make_unique<CoherenceAuditInvariant>());
   suite.push_back(std::make_unique<RaftConfidenceInvariant>());
+  suite.push_back(std::make_unique<VoteAmnesiaInvariant>());
+  suite.push_back(std::make_unique<CommitRegressionInvariant>());
   if (requireTermination)
     suite.push_back(std::make_unique<TerminationInvariant>());
   return suite;

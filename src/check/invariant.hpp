@@ -73,6 +73,28 @@ class RaftConfidenceInvariant final : public Invariant {
                                  const RunReport& report) const override;
 };
 
+/// No vote amnesia: a restarted Raft process must never grant one term's
+/// vote to two different candidates across its incarnations — the classic
+/// lost-durable-state failure that seeds split brain. Ground truth comes
+/// from an audit trail that survives restarts, not from recovered state.
+class VoteAmnesiaInvariant final : public Invariant {
+ public:
+  const char* name() const noexcept override { return "no-vote-amnesia"; }
+  std::optional<Violation> check(const Scenario&,
+                                 const RunReport& report) const override;
+};
+
+/// No committed-entry regression: a process that applied/learned a
+/// committed value must never observe a different one after a restart.
+class CommitRegressionInvariant final : public Invariant {
+ public:
+  const char* name() const noexcept override {
+    return "no-commit-regression";
+  }
+  std::optional<Violation> check(const Scenario&,
+                                 const RunReport& report) const override;
+};
+
 /// §5 witness hunter: fires when a run contains a completed adopt-level
 /// outcome whose value differs from the run's decision — a schedule proving
 /// that "decide on adopt" would have broken agreement. This is not a bug in
@@ -86,7 +108,8 @@ class AdoptWitnessInvariant final : public Invariant {
 };
 
 /// The standard safety suite: agreement, validity, coherence audits, Raft
-/// confidence, and (optionally) termination.
+/// confidence, the crash-recovery durability monitors (vote amnesia,
+/// committed-entry regression), and (optionally) termination.
 std::vector<std::unique_ptr<Invariant>> safetySuite(
     bool requireTermination = true);
 

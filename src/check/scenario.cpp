@@ -86,6 +86,12 @@ RunReport runScenario(const Scenario& scenario,
       report.messages = result.messages;
       report.confidenceOrderOk = result.confidenceOrderOk;
       report.commitValuesAgree = result.commitValuesAgree;
+      report.restarts = result.restarts;
+      report.recoveries = result.recoveries;
+      report.voteAmnesia = result.voteAmnesia;
+      report.voteAmnesiaDetail = result.voteAmnesiaDetail;
+      report.commitRegression = result.commitRegression;
+      report.commitRegressionDetail = result.commitRegressionDetail;
       break;
     }
   }
@@ -153,6 +159,17 @@ std::string describe(const Scenario& scenario) {
       os << " crashes=" << scenario.raft.crashes.size()
          << " partitions=" << scenario.raft.partitions.size()
          << " drop-prob=" << scenario.raft.dropProbability;
+      if (!scenario.raft.restarts.empty()) {
+        os << " restarts=";
+        for (std::size_t i = 0; i < scenario.raft.restarts.size(); ++i) {
+          const auto& event = scenario.raft.restarts[i];
+          if (i > 0) os << ',';
+          os << 'p' << event.id << '@' << event.at << '+' << event.downtime;
+        }
+        os << (scenario.raft.raft.durable ? " durable" : " volatile");
+        if (scenario.raft.raft.durable)
+          os << (scenario.raft.raft.syncBeforeReply ? "+sync" : "+nosync");
+      }
       if (scenario.raft.adversary.enabled())
         os << " adversary-budget=" << scenario.raft.adversary.extraDelayMax;
       break;

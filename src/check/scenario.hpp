@@ -49,6 +49,17 @@ struct RunReport {
   /// Raft VAC-instrumentation checks (trivially true for other families).
   bool confidenceOrderOk = true;
   bool commitValuesAgree = true;
+
+  /// Crash-recovery observations (Raft family; zero/false elsewhere).
+  std::uint64_t restarts = 0;
+  std::uint64_t recoveries = 0;
+  /// Ground-truth durability audits: a process granted one term's vote to
+  /// two candidates / observed two different committed values across its
+  /// incarnations. Detail strings name the witness process.
+  bool voteAmnesia = false;
+  std::string voteAmnesiaDetail;
+  bool commitRegression = false;
+  std::string commitRegressionDetail;
 };
 
 /// Runs the scenario to completion (one deterministic Simulator per call;

@@ -124,6 +124,28 @@ std::vector<Scenario> reductions(const Scenario& base) {
     case Family::kRaft: {
       const auto& config = base.raft;
       eachCrashReduction(base, config, &Scenario::raft, out);
+      // Restart reductions: drop each event, then pull each event earlier
+      // and shorten each downtime (smaller schedules first).
+      for (std::size_t i = 0; i < config.restarts.size(); ++i) {
+        Scenario candidate = base;
+        auto& restarts = candidate.raft.restarts;
+        restarts.erase(restarts.begin() + static_cast<std::ptrdiff_t>(i));
+        out.push_back(std::move(candidate));
+      }
+      for (std::size_t i = 0; i < config.restarts.size(); ++i) {
+        if (config.restarts[i].at > 1) {
+          Scenario candidate = base;
+          auto& event = candidate.raft.restarts[i];
+          event.at = std::max<Tick>(1, event.at / 2);
+          out.push_back(std::move(candidate));
+        }
+        if (config.restarts[i].downtime > 1) {
+          Scenario candidate = base;
+          auto& event = candidate.raft.restarts[i];
+          event.downtime = std::max<Tick>(1, event.downtime / 2);
+          out.push_back(std::move(candidate));
+        }
+      }
       for (std::size_t i = 0; i < config.partitions.size(); ++i) {
         Scenario candidate = base;
         auto& partitions = candidate.raft.partitions;
@@ -137,6 +159,8 @@ std::vector<Scenario> reductions(const Scenario& base) {
         --c.n;
         if (!c.inputs.empty()) c.inputs.resize(c.n);
         dropCrashesAbove(c.crashes, c.n);
+        std::erase_if(c.restarts,
+                      [&c](const auto& event) { return event.id >= c.n; });
         for (auto& partition : c.partitions)
           if (partition.groups.size() > c.n) partition.groups.resize(c.n);
         out.push_back(std::move(candidate));

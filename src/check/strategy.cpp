@@ -201,6 +201,78 @@ Scenario CrashScheduleStrategy::generate(std::size_t index) const {
 }
 
 // ---------------------------------------------------------------------------
+// RestartScheduleStrategy
+
+RestartScheduleStrategy::RestartScheduleStrategy(Scenario base,
+                                                 Options options)
+    : base_(std::move(base)), options_(std::move(options)) {
+  if (base_.family != Family::kRaft)
+    throw std::invalid_argument(
+        "restart-schedule enumeration needs the raft family");
+  if (options_.crashTicks.empty() || options_.downtimes.empty() ||
+      options_.seedsPerSchedule == 0)
+    throw std::invalid_argument("restart-schedule strategy needs a grid");
+
+  const std::size_t n = base_.processCount();
+  const std::size_t budget = std::min(options_.maxRestarts, n);
+
+  std::vector<ProcessId> current;
+  const auto emit = [&](auto&& self, std::size_t firstId,
+                        std::size_t remaining) -> void {
+    if (remaining == 0) {
+      subsets_.push_back(current);
+      return;
+    }
+    for (std::size_t id = firstId; id + remaining <= n; ++id) {
+      current.push_back(static_cast<ProcessId>(id));
+      self(self, id + 1, remaining - 1);
+      current.pop_back();
+    }
+  };
+  for (std::size_t size = 0; size <= budget; ++size) emit(emit, 0, size);
+
+  const std::size_t grid =
+      options_.crashTicks.size() * options_.downtimes.size();
+  subsetStart_.reserve(subsets_.size());
+  for (const auto& subset : subsets_) {
+    subsetStart_.push_back(total_);
+    std::size_t assignments = options_.seedsPerSchedule;
+    for (std::size_t k = 0; k < subset.size(); ++k) assignments *= grid;
+    total_ += assignments;
+  }
+}
+
+Scenario RestartScheduleStrategy::generate(std::size_t index) const {
+  const auto it = std::upper_bound(subsetStart_.begin(), subsetStart_.end(),
+                                   index);
+  const std::size_t subsetIndex =
+      static_cast<std::size_t>(it - subsetStart_.begin()) - 1;
+  const std::vector<ProcessId>& subset = subsets_[subsetIndex];
+  std::size_t offset = index - subsetStart_[subsetIndex];
+
+  const std::size_t seedOffset = offset % options_.seedsPerSchedule;
+  offset /= options_.seedsPerSchedule;
+
+  std::vector<harness::RaftScenarioConfig::RestartEvent> restarts;
+  restarts.reserve(subset.size());
+  for (const ProcessId id : subset) {
+    std::size_t digit = offset % options_.crashTicks.size();
+    offset /= options_.crashTicks.size();
+    const Tick at = options_.crashTicks[digit];
+    digit = offset % options_.downtimes.size();
+    offset /= options_.downtimes.size();
+    restarts.push_back({id, at, options_.downtimes[digit]});
+  }
+
+  Scenario scenario = base_;
+  scenario.raft.restarts = std::move(restarts);
+  scenario.raft.dropProbability =
+      std::max(scenario.raft.dropProbability, options_.dropProbability);
+  scenario.setSeed(options_.seedBase + seedOffset);
+  return scenario;
+}
+
+// ---------------------------------------------------------------------------
 // CompositeStrategy
 
 CompositeStrategy::CompositeStrategy(

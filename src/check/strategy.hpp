@@ -116,6 +116,46 @@ class CrashScheduleStrategy final : public ExplorationStrategy {
   std::size_t total_ = 0;
 };
 
+/// Targeted crash-restart enumeration for the durability surface: every
+/// restart set of up to `maxRestarts` distinct processes (plus the
+/// restart-free schedule), each member restarting at every combination of
+/// (crash tick, downtime) from the grids, swept over `seedsPerSchedule` run
+/// seeds. Raft only (the other families have no recovery path to exercise).
+class RestartScheduleStrategy final : public ExplorationStrategy {
+ public:
+  struct Options {
+    std::size_t maxRestarts = 1;
+    /// Crash ticks sit around the first-election window so recovery races
+    /// with vote grants and leadership handoff rather than hitting a
+    /// settled cluster.
+    std::vector<Tick> crashTicks = {150, 160, 170, 185, 200,
+                                    220, 250, 280, 310, 350};
+    /// Short downtimes keep the rejoin inside the term that was live at
+    /// the crash — the window where recovered-but-stale state can act.
+    std::vector<Tick> downtimes = {1, 20, 80};
+    std::size_t seedsPerSchedule = 10;
+    std::uint64_t seedBase = 1;
+    /// Message loss stretches elections across multiple competing
+    /// candidacies, which is what gives a forgotten vote a second
+    /// same-term candidate to defect to.
+    double dropProbability = 0.1;
+  };
+
+  /// Throws std::invalid_argument for non-Raft families or empty grids.
+  RestartScheduleStrategy(Scenario base, Options options);
+
+  const char* name() const noexcept override { return "restart-schedule"; }
+  std::size_t size() const noexcept override { return total_; }
+  Scenario generate(std::size_t index) const override;
+
+ private:
+  Scenario base_;
+  Options options_;
+  std::vector<std::vector<ProcessId>> subsets_;
+  std::vector<std::size_t> subsetStart_;
+  std::size_t total_ = 0;
+};
+
 /// Concatenation of strategies (indices are assigned in order).
 class CompositeStrategy final : public ExplorationStrategy {
  public:

@@ -58,6 +58,15 @@ class TimelineCollector final : public ScheduleObserver,
         entry.text =
             "DECIDED " + std::to_string(static_cast<Value>(event.aux));
         break;
+      case TraceEvent::Kind::kCrash:
+        entry.process = event.a;
+        entry.text = "CRASHED (volatile state lost)";
+        break;
+      case TraceEvent::Kind::kRestart:
+        entry.process = event.a;
+        entry.text =
+            "RESTARTED (incarnation " + std::to_string(event.aux) + ")";
+        break;
       case TraceEvent::Kind::kControl:
       case TraceEvent::Kind::kBarrier:
         return;  // no process lane

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <memory>
 #include <stdexcept>
+#include <string>
+#include <unordered_map>
 
 #include "benor/async_byzantine.hpp"
 #include "harness/fault_injection.hpp"
@@ -94,6 +96,11 @@ void publishSimMetrics(const Simulator& sim, const obs::Labels& base) {
   registry.addCounter("timers_armed", sim.timersArmed(), base);
   registry.addCounter("timers_cancelled", sim.timersCancelled(), base);
   registry.addCounter("timers_fired", sim.timersFired(), base);
+  registry.addCounter("restarts", sim.restarts(), base);
+  registry.addCounter("messages_dropped_stale", sim.messagesDroppedStale(),
+                      base);
+  registry.addCounter("timers_purged_on_crash", sim.timersPurgedOnCrash(),
+                      base);
 }
 
 /// Decision latency in simulated ticks, one sample per decided process.
@@ -527,6 +534,8 @@ RaftScenarioResult runRaft(const RaftScenarioConfig& config,
 
   sim.setValidValues(inputs);
   for (const auto& [id, tick] : config.crashes) sim.crashAt(id, tick);
+  for (const auto& event : config.restarts)
+    sim.restartAt(event.id, event.at, event.downtime);
   for (const auto& event : config.partitions) {
     sim.schedule(event.at, [networkHandle, groups = event.groups] {
       if (groups.empty()) {
@@ -602,6 +611,56 @@ RaftScenarioResult runRaft(const RaftScenarioConfig& config,
     }
   }
 
+  // Crash-recovery observations: simulator-side restart counters plus
+  // per-node journal statistics.
+  result.restarts = sim.restarts();
+  result.messagesDroppedStale = sim.messagesDroppedStale();
+  result.timersPurged = sim.timersPurgedOnCrash();
+  for (const raft::RaftConsensus* node : nodes) {
+    if (const store::WriteAheadLog* wal = node->wal()) {
+      result.walAppends += wal->appends();
+      result.walSyncs += wal->syncs();
+    }
+    result.recoveries += node->recoveries();
+    result.recoveredRecords += node->lastRecovery().recordsRecovered;
+    result.tornTails += node->lastRecovery().tornTail ? 1 : 0;
+    result.corruptRecords += node->lastRecovery().corruptRecords;
+  }
+
+  // Durability-violation audits over the ground-truth histories (which
+  // survive restarts by construction — they model an outside observer).
+  // Vote amnesia: one process, one term, two candidates.
+  for (ProcessId id = 0; id < config.n && !result.voteAmnesia; ++id) {
+    std::unordered_map<raft::Term, ProcessId> granted;
+    for (const auto& vote : nodes[id]->voteHistory()) {
+      auto [it, inserted] = granted.emplace(vote.term, vote.candidate);
+      if (!inserted && it->second != vote.candidate) {
+        result.voteAmnesia = true;
+        result.voteAmnesiaDetail =
+            "p" + std::to_string(id) + " voted for p" +
+            std::to_string(it->second) + " and p" +
+            std::to_string(vote.candidate) + " in term " +
+            std::to_string(vote.term);
+        break;
+      }
+    }
+  }
+  // Committed-entry regression: one process observed two different
+  // committed values across its incarnations.
+  for (ProcessId id = 0; id < config.n && !result.commitRegression; ++id) {
+    const auto& history = nodes[id]->decisionHistory();
+    for (std::size_t i = 1; i < history.size(); ++i) {
+      if (history[i] != history.front()) {
+        result.commitRegression = true;
+        result.commitRegressionDetail =
+            "p" + std::to_string(id) + " committed value " +
+            std::to_string(history.front()) + " then value " +
+            std::to_string(history[i]);
+        break;
+      }
+    }
+  }
+
   // Replay the recorded confidence transitions (they carry their tick) to
   // the telemetry sink; the timeline renderer orders them by tick.
   if (hooks.telemetry) {
@@ -623,6 +682,16 @@ RaftScenarioResult runRaft(const RaftScenarioConfig& config,
     registry.addCounter("leaderships", result.leaderships, base);
     registry.addCounter("driver_invocations",
                         result.reconciliatorInvocations, base);
+    if (config.raft.durable) {
+      registry.addCounter("wal_appends", result.walAppends, base);
+      registry.addCounter("wal_syncs", result.walSyncs, base);
+      registry.addCounter("recoveries", result.recoveries, base);
+      registry.addCounter("wal_records_recovered", result.recoveredRecords,
+                          base);
+      registry.addCounter("wal_torn_tails", result.tornTails, base);
+      registry.addCounter("wal_corrupt_records", result.corruptRecords,
+                          base);
+    }
     for (ProcessId id = 0; id < config.n; ++id) {
       const auto& log = nodes[id]->confidenceLog();
       for (const auto& change : log) {

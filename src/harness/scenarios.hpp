@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -230,6 +231,17 @@ struct RaftScenarioConfig {
   double duplicateProbability = 0.0;
   std::vector<std::pair<ProcessId, Tick>> crashes;
 
+  /// Crash-restart timeline: process `id` crashes at `at` (losing volatile
+  /// state and any unsynced journal writes) and rejoins after `downtime`
+  /// ticks with a fresh incarnation. Whether anything survives the restart
+  /// is governed by `raft.durable` / `raft.syncBeforeReply`.
+  struct RestartEvent {
+    ProcessId id = 0;
+    Tick at = 0;
+    Tick downtime = 50;
+  };
+  std::vector<RestartEvent> restarts;
+
   /// Partition timeline: at `at`, impose `groups` (one id per process);
   /// an empty vector heals the network.
   struct PartitionEvent {
@@ -262,6 +274,28 @@ struct RaftScenarioResult {
   bool confidenceOrderOk = true;
   bool commitValuesAgree = true;
   std::size_t confidenceTransitions = 0;
+
+  /// Crash-recovery observations (all zero/false without restart events).
+  std::uint64_t restarts = 0;
+  std::uint64_t messagesDroppedStale = 0;
+  std::uint64_t timersPurged = 0;
+  std::uint64_t walAppends = 0;
+  std::uint64_t walSyncs = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t recoveredRecords = 0;
+  std::uint64_t tornTails = 0;
+  std::uint64_t corruptRecords = 0;
+
+  /// Durability-violation witnesses, from ground-truth audit trails that
+  /// survive restarts (not from any recovered state):
+  /// voteAmnesia — some process granted its term-T vote to two different
+  /// candidates (across incarnations); the split-brain seed.
+  bool voteAmnesia = false;
+  std::string voteAmnesiaDetail;
+  /// commitRegression — some process applied/learned two different
+  /// committed values across incarnations.
+  bool commitRegression = false;
+  std::string commitRegressionDetail;
 };
 
 RaftScenarioResult runRaft(const RaftScenarioConfig& config,

@@ -368,11 +368,22 @@ std::string serialize(const RaftScenarioConfig& config) {
     }
     kv.put("partition", os.str());
   }
+  // Restart entries: "pid@tick+downtime".
+  for (const auto& event : config.restarts) {
+    kv.put("restart", std::to_string(event.id) + "@" +
+                          std::to_string(event.at) + "+" +
+                          std::to_string(event.downtime));
+  }
   kv.put("election-min", config.raft.electionTimeoutMin);
   kv.put("election-max", config.raft.electionTimeoutMax);
   kv.put("heartbeat", config.raft.heartbeatInterval);
   kv.put("max-append", config.raft.maxEntriesPerAppend);
   kv.put("compaction", config.raft.compactionThreshold);
+  kv.put("durable", static_cast<std::uint64_t>(config.raft.durable));
+  kv.put("sync-before-reply",
+         static_cast<std::uint64_t>(config.raft.syncBeforeReply));
+  kv.put("torn-prob", config.raft.storage.tornTailProbability);
+  kv.put("corrupt-prob", config.raft.storage.corruptProbability);
   putAdversary(kv, config.adversary);
   kv.put("max-ticks", config.maxTicks);
   return stampRunId(kv.str());
@@ -413,6 +424,29 @@ RaftScenarioConfig parseRaftConfig(const std::string& text) {
       kv.getU64("max-append", config.raft.maxEntriesPerAppend);
   config.raft.compactionThreshold =
       kv.getU64("compaction", config.raft.compactionThreshold);
+  // Durability keys are absent from configs predating crash-recovery; the
+  // fallbacks reproduce the old semantics (no journal, restarts are fresh
+  // boots).
+  for (const std::string& entry : kv.getAll("restart")) {
+    const auto at = entry.find('@');
+    const auto plus = entry.find('+', at == std::string::npos ? 0 : at);
+    if (at == std::string::npos || plus == std::string::npos)
+      throw std::runtime_error("config: malformed restart '" + entry + "'");
+    RaftScenarioConfig::RestartEvent event;
+    event.id = static_cast<ProcessId>(std::stoul(entry.substr(0, at)));
+    event.at = std::stoull(entry.substr(at + 1, plus - at - 1));
+    event.downtime = std::stoull(entry.substr(plus + 1));
+    config.restarts.push_back(event);
+  }
+  config.raft.durable =
+      kv.getU64("durable", config.raft.durable ? 1 : 0) != 0;
+  config.raft.syncBeforeReply =
+      kv.getU64("sync-before-reply", config.raft.syncBeforeReply ? 1 : 0) !=
+      0;
+  config.raft.storage.tornTailProbability =
+      kv.getDouble("torn-prob", config.raft.storage.tornTailProbability);
+  config.raft.storage.corruptProbability =
+      kv.getDouble("corrupt-prob", config.raft.storage.corruptProbability);
   config.adversary = getAdversary(kv);
   config.maxTicks = kv.getU64("max-ticks", config.maxTicks);
   return config;

@@ -5,9 +5,92 @@
 #include "util/logging.hpp"
 
 namespace ooc::paxos {
+namespace {
+
+// Journal record tags.
+constexpr std::uint64_t kRecPromise = 1;  // {tag, promised ballot}
+constexpr std::uint64_t kRecAccept = 2;   // {tag, ballot, value}
+constexpr std::uint64_t kRecDecide = 3;   // {tag, value}
+
+std::uint64_t encodeValue(Value v) noexcept {
+  return static_cast<std::uint64_t>(static_cast<std::int64_t>(v));
+}
+
+Value decodeValue(std::uint64_t w) noexcept {
+  return static_cast<Value>(static_cast<std::int64_t>(w));
+}
+
+}  // namespace
 
 PaxosNode::PaxosNode(Value input, PaxosConfig config)
-    : input_(input), config_(config) {}
+    : input_(input), config_(config) {
+  if (config_.durable)
+    wal_ = std::make_unique<store::WriteAheadLog>(config_.storage);
+}
+
+void PaxosNode::persist(std::vector<std::uint64_t> record) {
+  if (!wal_) return;
+  wal_->append(record);
+  if (config_.syncBeforeReply) wal_->sync();
+}
+
+void PaxosNode::onCrash() {
+  if (wal_) wal_->crash(ctx().rng());
+}
+
+void PaxosNode::onRestart() {
+  // Drop every volatile field; the journal replay below rebuilds the
+  // acceptor state (the part Paxos' safety proof requires to be stable).
+  promised_ = 0;
+  acceptedBallot_ = 0;
+  acceptedValue_ = kNoValue;
+  currentBallot_ = 0;
+  attempt_ = 0;
+  proposing_ = false;
+  acceptRequested_ = false;
+  promiseFrom_.assign(ctx().processCount(), false);
+  promiseCount_ = 0;
+  highestAcceptedSeen_ = 0;
+  valueToPropose_ = kNoValue;
+  acceptedTallies_.clear();
+  decided_ = false;
+  decision_ = kNoValue;
+  retryTimer_ = 0;  // the simulator purged our timers at the crash
+  backoff_ = 1.0;
+  ++recoveries_;
+  if (wal_) {
+    for (const std::vector<std::uint64_t>& rec :
+         wal_->recover(&lastRecovery_)) {
+      if (rec.empty()) continue;
+      switch (rec[0]) {
+        case kRecPromise:
+          if (rec.size() == 2) promised_ = rec[1];
+          break;
+        case kRecAccept:
+          if (rec.size() == 3) {
+            promised_ = std::max(promised_, rec[1]);
+            acceptedBallot_ = rec[1];
+            acceptedValue_ = decodeValue(rec[2]);
+          }
+          break;
+        case kRecDecide:
+          if (rec.size() == 2) {
+            decided_ = true;
+            decision_ = decodeValue(rec[1]);
+          }
+          break;
+        default:
+          break;  // unknown tag: ignore (forward compatibility)
+      }
+    }
+  }
+  // Proposer bookkeeping is volatile; restart ballots past everything we
+  // ever promised so our own proposals are not dead on arrival.
+  attempt_ = promised_ / ctx().processCount() + 1;
+  record(Confidence::kVacillate,
+         acceptedBallot_ != 0 ? acceptedValue_ : input_);
+  if (!decided_) armRetryTimer();
+}
 
 void PaxosNode::record(Confidence confidence, Value value) {
   if (!confidenceLog_.empty() &&
@@ -81,6 +164,9 @@ void PaxosNode::onMessage(ProcessId from, const Message& message) {
 void PaxosNode::handlePrepare(ProcessId from, const Prepare& msg) {
   if (msg.ballot > promised_) {
     promised_ = msg.ballot;
+    // The promise must hit stable storage before the reply leaves — a
+    // forgotten promise lets a lower ballot slip through after a restart.
+    persist({kRecPromise, promised_});
     ctx().send(from,
                std::make_unique<Promise>(msg.ballot, acceptedBallot_,
                                          acceptedValue_));
@@ -115,6 +201,7 @@ void PaxosNode::handleAccept(ProcessId, const Accept& msg) {
   promised_ = msg.ballot;
   acceptedBallot_ = msg.ballot;
   acceptedValue_ = msg.value;
+  persist({kRecAccept, acceptedBallot_, encodeValue(acceptedValue_)});
   // Adopt-level knowledge: a majority-backed proposer pushed this value.
   record(Confidence::kAdopt, msg.value);
   ctx().broadcast(Accepted(msg.ballot, msg.value));
@@ -146,6 +233,8 @@ void PaxosNode::learn(Value value) {
   if (decided_) return;
   decided_ = true;
   decision_ = value;
+  decisionHistory_.push_back(value);
+  persist({kRecDecide, encodeValue(value)});
   record(Confidence::kCommit, value);
   ctx().decide(value);
   if (retryTimer_ != 0) ctx().cancelTimer(retryTimer_);

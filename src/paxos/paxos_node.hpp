@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -25,6 +26,7 @@
 #include "core/confidence.hpp"
 #include "paxos/messages.hpp"
 #include "sim/process.hpp"
+#include "store/wal.hpp"
 
 namespace ooc::paxos {
 
@@ -35,6 +37,17 @@ struct PaxosConfig {
   /// Multiplier applied per consecutive failed ballot (capped).
   double backoffFactor = 1.5;
   Tick backoffCap = 2000;
+  /// Crash-recovery durability: journal the acceptor state
+  /// (promised/accepted) and the learned decision to a simulated
+  /// write-ahead log, recovered on restart. Paxos' safety argument REQUIRES
+  /// this — an acceptor that forgets a promise can let two ballots choose
+  /// different values.
+  bool durable = false;
+  /// true = sync the journal before every Promise/Accepted reply (safe);
+  /// false = never sync (the crash-before-sync fault).
+  bool syncBeforeReply = true;
+  /// Storage fault injection applied when a crash hits the journal.
+  store::FaultConfig storage;
 };
 
 class PaxosNode final : public Process {
@@ -44,6 +57,8 @@ class PaxosNode final : public Process {
   void onStart() override;
   void onMessage(ProcessId from, const Message& message) override;
   void onTimer(TimerId id) override;
+  void onCrash() override;
+  void onRestart() override;
 
   bool decided() const noexcept { return decided_; }
   Value decisionValue() const noexcept { return decision_; }
@@ -63,11 +78,25 @@ class PaxosNode final : public Process {
     return confidenceLog_;
   }
 
+  /// Every decision this node learned, across incarnations — differing
+  /// entries are committed-value regression (see RaftConsensus).
+  const std::vector<Value>& decisionHistory() const noexcept {
+    return decisionHistory_;
+  }
+
+  /// Durability introspection (null / zero when !durable).
+  const store::WriteAheadLog* wal() const noexcept { return wal_.get(); }
+  std::uint64_t recoveries() const noexcept { return recoveries_; }
+  const store::RecoveryReport& lastRecovery() const noexcept {
+    return lastRecovery_;
+  }
+
  private:
   void record(Confidence confidence, Value value);
   void armRetryTimer();
   void startBallot();
   void learn(Value value);
+  void persist(std::vector<std::uint64_t> record);
 
   void handlePrepare(ProcessId from, const Prepare& msg);
   void handlePromise(ProcessId from, const Promise& msg);
@@ -110,6 +139,12 @@ class PaxosNode final : public Process {
   std::uint64_t nacksReceived_ = 0;
   std::uint64_t reconciliatorInvocations_ = 0;
   std::vector<ConfidenceChange> confidenceLog_;
+  std::vector<Value> decisionHistory_;
+
+  // Simulated stable storage (null unless config_.durable).
+  std::unique_ptr<store::WriteAheadLog> wal_;
+  std::uint64_t recoveries_ = 0;
+  store::RecoveryReport lastRecovery_;
 };
 
 }  // namespace ooc::paxos

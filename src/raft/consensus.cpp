@@ -27,7 +27,24 @@ void RaftConsensus::onApply(LogIndex index, const LogEntry& entry) {
   (void)index;
   decided_ = true;
   decisionValue_ = entry.command;
+  decisionHistory_.push_back(entry.command);
   ctx().decide(entry.command);
+}
+
+void RaftConsensus::onVolatileReset() {
+  // Crash-restart: the decided-flag and D&S stop-bit are volatile — the
+  // reborn node re-derives its decision from the recovered journal (the
+  // base class replays it right after this hook, possibly re-invoking
+  // onApply/restoreSnapshot). decisionHistory_ and confidenceLog_ are run
+  // monitor state, not process state: they deliberately survive so the
+  // checker can compare what different incarnations announced.
+  decided_ = false;
+  stopApplying_ = false;
+  decisionValue_ = kNoValue;
+  // No evidence survives into the new incarnation's view: fall back to
+  // vacillate with the input as the preference (the log is empty until
+  // journal replay restores it).
+  record(Confidence::kVacillate, preferredValue());
 }
 
 void RaftConsensus::onBecameLeader() {

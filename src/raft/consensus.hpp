@@ -50,6 +50,15 @@ class RaftConsensus : public RaftProcess {
     return reconciliatorInvocations_;
   }
 
+  /// Every decision this node announced, across all incarnations (a restart
+  /// resets the volatile decided-flag, so a recovered node re-derives its
+  /// decision from its journal — or, under crash-before-sync, possibly a
+  /// DIFFERENT one). Two differing entries are committed-entry regression:
+  /// the run monitor's ground truth for the no-commit-regression invariant.
+  const std::vector<Value>& decisionHistory() const noexcept {
+    return decisionHistory_;
+  }
+
  protected:
   void onApply(LogIndex index, const LogEntry& entry) override;
   /// Snapshot support (only exercised when compaction is enabled): the
@@ -63,6 +72,7 @@ class RaftConsensus : public RaftProcess {
       stopApplying_ = true;
       decided_ = true;
       decisionValue_ = state.front();
+      decisionHistory_.push_back(state.front());
       ctx().decide(state.front());
     }
   }
@@ -71,6 +81,7 @@ class RaftConsensus : public RaftProcess {
   void onCommitAdvanced() override;
   void onElectionTimeout() override;
   void onRoleChanged(Role oldRole) override;
+  void onVolatileReset() override;
 
  private:
   void record(Confidence confidence, Value value);
@@ -83,6 +94,7 @@ class RaftConsensus : public RaftProcess {
   Value decisionValue_ = kNoValue;
   std::vector<ConfidenceChange> confidenceLog_;
   std::uint64_t reconciliatorInvocations_ = 0;
+  std::vector<Value> decisionHistory_;
 };
 
 }  // namespace ooc::raft

@@ -1,19 +1,165 @@
 #include "raft/raft_process.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 #include "util/logging.hpp"
 
 namespace ooc::raft {
+namespace {
 
-RaftProcess::RaftProcess(RaftConfig config) : config_(config) {}
+// Journal record tags (first word of every WAL record).
+constexpr std::uint64_t kRecMeta = 1;      // {tag, term, votedFor+1 (0=none)}
+constexpr std::uint64_t kRecEntry = 2;     // {tag, term, command}
+constexpr std::uint64_t kRecTruncate = 3;  // {tag, new last absolute index}
+// {tag, snapshotIndex, snapshotTerm, logLen, (term,cmd)*, stateLen, state*}
+// — the full post-snapshot log image, so replay needs no re-deciding of
+// which suffix survived an InstallSnapshot.
+constexpr std::uint64_t kRecSnapshot = 4;
+
+std::uint64_t encodeValue(Value v) noexcept {
+  return std::bit_cast<std::uint64_t>(static_cast<std::int64_t>(v));
+}
+
+Value decodeValue(std::uint64_t w) noexcept {
+  return static_cast<Value>(std::bit_cast<std::int64_t>(w));
+}
+
+}  // namespace
+
+RaftProcess::RaftProcess(RaftConfig config) : config_(config) {
+  if (config_.durable)
+    wal_ = std::make_unique<store::WriteAheadLog>(config_.storage);
+}
 
 void RaftProcess::onStart() {
   votesGranted_.assign(ctx().processCount(), false);
   nextIndex_.assign(ctx().processCount(), 1);
   matchIndex_.assign(ctx().processCount(), 0);
   resetElectionTimer();
+}
+
+void RaftProcess::onCrash() {
+  if (wal_) wal_->crash(ctx().rng());
+}
+
+void RaftProcess::onRestart() {
+  // Everything below is volatile across a restart; the journal replay
+  // rebuilds the persistent fields from whatever survived the crash.
+  currentTerm_ = 0;
+  votedFor_.reset();
+  log_.clear();
+  snapshotIndex_ = 0;
+  snapshotTerm_ = 0;
+  role_ = Role::kFollower;
+  commitIndex_ = 0;
+  lastApplied_ = 0;
+  votesGranted_.assign(ctx().processCount(), false);
+  nextIndex_.assign(ctx().processCount(), 1);
+  matchIndex_.assign(ctx().processCount(), 0);
+  // The simulator already purged this node's timers at the crash.
+  electionTimer_ = 0;
+  heartbeatTimer_ = 0;
+  ++recoveries_;
+  onVolatileReset();
+  if (wal_) {
+    for (const std::vector<std::uint64_t>& rec :
+         wal_->recover(&lastRecovery_)) {
+      if (rec.empty()) continue;
+      switch (rec[0]) {
+        case kRecMeta:
+          if (rec.size() == 3) {
+            currentTerm_ = rec[1];
+            if (rec[2] == 0) {
+              votedFor_.reset();
+            } else {
+              votedFor_ = static_cast<ProcessId>(rec[2] - 1);
+            }
+          }
+          break;
+        case kRecEntry:
+          if (rec.size() == 3)
+            log_.push_back(LogEntry{rec[1], decodeValue(rec[2])});
+          break;
+        case kRecTruncate:
+          if (rec.size() == 2 && rec[1] >= snapshotIndex_ &&
+              rec[1] - snapshotIndex_ <= log_.size()) {
+            log_.resize(rec[1] - snapshotIndex_);
+          }
+          break;
+        case kRecSnapshot: {
+          if (rec.size() < 4) break;
+          snapshotIndex_ = rec[1];
+          snapshotTerm_ = rec[2];
+          const std::uint64_t logLen = rec[3];
+          if (rec.size() < 4 + 2 * logLen + 1) break;
+          log_.clear();
+          for (std::uint64_t i = 0; i < logLen; ++i) {
+            log_.push_back(LogEntry{rec[4 + 2 * i],
+                                    decodeValue(rec[4 + 2 * i + 1])});
+          }
+          const std::size_t stateAt = 4 + 2 * logLen;
+          const std::uint64_t stateLen = rec[stateAt];
+          if (rec.size() < stateAt + 1 + stateLen) break;
+          std::vector<Value> state;
+          for (std::uint64_t i = 0; i < stateLen; ++i)
+            state.push_back(decodeValue(rec[stateAt + 1 + i]));
+          commitIndex_ = snapshotIndex_;
+          lastApplied_ = snapshotIndex_;
+          restoreSnapshot(state);
+          break;
+        }
+        default:
+          break;  // unknown tag: ignore (forward compatibility)
+      }
+    }
+    commitIndex_ = snapshotIndex_;
+    lastApplied_ = snapshotIndex_;
+  }
+  OOC_DEBUG("raft p", ctx().self(), " recovered: t=", currentTerm_,
+            " log=", log_.size(), " snap=", snapshotIndex_);
+  resetElectionTimer();
+}
+
+// --- journalling ------------------------------------------------------------
+
+void RaftProcess::persist(std::vector<std::uint64_t> record) {
+  if (!wal_) return;
+  wal_->append(record);
+  if (config_.syncBeforeReply) wal_->sync();
+}
+
+void RaftProcess::persistMeta() {
+  persist({kRecMeta, currentTerm_,
+           votedFor_ ? static_cast<std::uint64_t>(*votedFor_) + 1 : 0});
+}
+
+void RaftProcess::persistEntry(const LogEntry& entry) {
+  persist({kRecEntry, entry.term, encodeValue(entry.command)});
+}
+
+void RaftProcess::persistTruncate() {
+  persist({kRecTruncate, lastLogIndex()});
+}
+
+void RaftProcess::persistSnapshot() {
+  if (!wal_) return;
+  std::vector<std::uint64_t> rec{kRecSnapshot, snapshotIndex_, snapshotTerm_,
+                                 log_.size()};
+  for (const LogEntry& entry : log_) {
+    rec.push_back(entry.term);
+    rec.push_back(encodeValue(entry.command));
+  }
+  const std::vector<Value> state = captureSnapshot();
+  rec.push_back(state.size());
+  for (Value v : state) rec.push_back(encodeValue(v));
+  persist(std::move(rec));
+}
+
+void RaftProcess::recordVote(ProcessId candidate) {
+  voteHistory_.push_back(
+      VoteRecord{currentTerm_, candidate, ctx().incarnation()});
 }
 
 // --- timers ----------------------------------------------------------------
@@ -57,6 +203,7 @@ void RaftProcess::becomeFollower(Term term) {
   if (term > currentTerm_) {
     currentTerm_ = term;
     votedFor_.reset();
+    persistMeta();
   }
   role_ = Role::kFollower;
   resetElectionTimer();
@@ -72,6 +219,8 @@ void RaftProcess::becomeCandidate() {
   ++currentTerm_;
   ++electionsStarted_;
   votedFor_ = ctx().self();
+  persistMeta();
+  recordVote(ctx().self());
   std::fill(votesGranted_.begin(), votesGranted_.end(), false);
   votesGranted_[ctx().self()] = true;
   resetElectionTimer();
@@ -110,6 +259,7 @@ void RaftProcess::becomeLeader() {
 bool RaftProcess::submit(Value command) {
   if (role_ != Role::kLeader) return false;
   log_.push_back(LogEntry{currentTerm_, command});
+  persistEntry(log_.back());
   matchIndex_[ctx().self()] = lastLogIndex();
   advanceCommitIndex();  // single-node clusters commit immediately
   broadcastAppends();
@@ -195,6 +345,7 @@ void RaftProcess::compactTo(LogIndex upto) {
   snapshotIndex_ = upto;
   snapshotTerm_ = boundaryTerm;
   ++snapshotsTaken_;
+  persistSnapshot();
   OOC_DEBUG("raft p", ctx().self(), " compacted through ", upto);
 }
 
@@ -226,7 +377,15 @@ void RaftProcess::handleRequestVote(ProcessId from, const RequestVote& msg) {
          msg.lastLogIndex >= lastLogIndex());
     if (upToDate) {
       grant = true;
+      const bool firstVoteThisTerm = !votedFor_.has_value();
       votedFor_ = msg.candidate;
+      if (firstVoteThisTerm) {
+        // Persist (and, under sync-before-reply, sync) the vote BEFORE the
+        // reply leaves: once the candidate counts it, forgetting it would
+        // let this node vote twice in the term after a restart.
+        persistMeta();
+        recordVote(msg.candidate);
+      }
       resetElectionTimer();
     }
   }
@@ -283,8 +442,10 @@ void RaftProcess::handleAppendEntries(ProcessId from,
       if (entryAt(index).term == entry.term) continue;  // already have it
       // Conflict: drop it and everything after.
       log_.resize(index - snapshotIndex_ - 1);
+      persistTruncate();
     }
     log_.push_back(entry);
+    persistEntry(entry);
     appended = true;
   }
   if (appended) onEntriesAccepted();
@@ -359,6 +520,7 @@ void RaftProcess::handleInstallSnapshot(ProcessId from,
   commitIndex_ = std::max(commitIndex_, snapshotIndex_);
   lastApplied_ = snapshotIndex_;
   ++snapshotsInstalled_;
+  persistSnapshot();
   OOC_DEBUG("raft p", ctx().self(), " installed snapshot through ",
             snapshotIndex_);
   applyCommitted();  // in case commitIndex advanced past the snapshot

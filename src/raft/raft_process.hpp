@@ -7,19 +7,25 @@
 // properties the paper leans on: Leader Completeness, State Machine Safety
 // and Log Matching.
 //
-// Fault surface: the simulator provides crashes (permanent), message delay,
-// loss, duplication and partitions. Terms make all of it safe; the
-// randomized election timer provides liveness once the paper's timing
-// property (broadcast time << election timeout << MTBF) holds.
+// Fault surface: the simulator provides crashes (permanent or
+// crash-restart), message delay, loss, duplication and partitions. Terms
+// make all of it safe; the randomized election timer provides liveness once
+// the paper's timing property (broadcast time << election timeout << MTBF)
+// holds. Crash-restart safety additionally requires RaftConfig::durable
+// with the sync-before-reply discipline: the node journals
+// currentTerm/votedFor/log to a simulated write-ahead log (store/wal.hpp)
+// and recovers from it in onRestart().
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "raft/messages.hpp"
 #include "raft/types.hpp"
 #include "sim/process.hpp"
+#include "store/wal.hpp"
 
 namespace ooc::raft {
 
@@ -54,10 +60,33 @@ class RaftProcess : public Process {
     return timesElectedLeader_;
   }
 
+  /// One entry per vote cast (self-votes included), across every
+  /// incarnation of this node. This is the run monitor's ground truth for
+  /// the no-vote-amnesia invariant: two entries with the same term but
+  /// different candidates mean a restart erased a vote that a candidate may
+  /// already have counted.
+  struct VoteRecord {
+    Term term = 0;
+    ProcessId candidate = 0;
+    std::uint32_t incarnation = 0;
+  };
+  const std::vector<VoteRecord>& voteHistory() const noexcept {
+    return voteHistory_;
+  }
+
+  /// Durability introspection (null / zero when !config().durable).
+  const store::WriteAheadLog* wal() const noexcept { return wal_.get(); }
+  std::uint64_t recoveries() const noexcept { return recoveries_; }
+  const store::RecoveryReport& lastRecovery() const noexcept {
+    return lastRecovery_;
+  }
+
   // --- Process interface ---------------------------------------------------
   void onStart() override;
   void onMessage(ProcessId from, const Message& message) override;
   void onTimer(TimerId id) override;
+  void onCrash() override;
+  void onRestart() override;
 
  protected:
   /// Applied in log order, exactly once per index (State Machine Safety).
@@ -74,6 +103,10 @@ class RaftProcess : public Process {
   /// The election timer fired and a new election is about to start — the
   /// template decomposition's reconciliator moment (Algorithm 11).
   virtual void onElectionTimeout() {}
+  /// A restart is in progress: volatile subclass state must be discarded
+  /// NOW, before the journal is replayed (replay may re-apply entries and
+  /// re-restore snapshots under the new incarnation).
+  virtual void onVolatileReset() {}
 
   /// Snapshot support: serialize the state machine as applied through
   /// lastApplied() (opaque payload shipped in InstallSnapshot), and restore
@@ -121,10 +154,22 @@ class RaftProcess : public Process {
   void handleInstallSnapshot(ProcessId from, const InstallSnapshot& msg);
   void maybeAutoCompact();
 
+  // Journalling. Every mutation of persistent state appends a record; with
+  // syncBeforeReply the append is synced immediately, so the state is
+  // durable before any message referencing it can be sent.
+  void persist(std::vector<std::uint64_t> record);
+  void persistMeta();
+  void persistEntry(const LogEntry& entry);
+  void persistTruncate();
+  void persistSnapshot();
+  void recordVote(ProcessId candidate);
+
   RaftConfig config_;
 
-  // Persistent state (in the paper's sense; our nodes never restart, so it
-  // lives in memory).
+  // Persistent state. The in-memory copy is authoritative while the node
+  // is up; with RaftConfig::durable every mutation is also journalled to
+  // wal_, and onRestart() rebuilds these fields from whatever the journal
+  // recovers (which may be a stale prefix under crash-before-sync).
   Term currentTerm_ = 0;
   std::optional<ProcessId> votedFor_;
   std::vector<LogEntry> log_;
@@ -150,6 +195,12 @@ class RaftProcess : public Process {
 
   std::uint64_t electionsStarted_ = 0;
   std::uint64_t timesElectedLeader_ = 0;
+
+  // Simulated stable storage (null unless config_.durable).
+  std::unique_ptr<store::WriteAheadLog> wal_;
+  std::uint64_t recoveries_ = 0;
+  store::RecoveryReport lastRecovery_;
+  std::vector<VoteRecord> voteHistory_;
 };
 
 }  // namespace ooc::raft

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "store/wal.hpp"
 #include "util/types.hpp"
 
 namespace ooc::raft {
@@ -48,6 +49,19 @@ struct RaftConfig {
   /// discards the prefix; followers that lag past the snapshot are caught
   /// up via InstallSnapshot. 0 disables compaction.
   std::uint64_t compactionThreshold = 0;
+  /// Crash-recovery durability. When `durable`, the node journals its
+  /// persistent state (currentTerm/votedFor/log/snapshots) to a simulated
+  /// write-ahead log and re-initializes from it after a crash-restart
+  /// (Simulator::restartAt). Without it a restart is a fresh boot.
+  bool durable = false;
+  /// fsync discipline: true syncs the journal after every append, so every
+  /// state change is durable before any message that references it leaves
+  /// the node (the safe discipline). false never syncs — the
+  /// crash-before-sync fault — so recovery sees a stale prefix and vote
+  /// amnesia / committed-entry regression become reachable.
+  bool syncBeforeReply = true;
+  /// Storage fault injection applied when a crash hits the journal.
+  store::FaultConfig storage;
 };
 
 }  // namespace ooc::raft

@@ -40,6 +40,11 @@ class Context {
   /// deciding; the monitor uses these reports for agreement/validity checks
   /// and for the all-decided stop condition.
   virtual void decide(Value v) = 0;
+
+  /// This process's incarnation: 0 until its first crash-restart, then +1
+  /// per restart. Messages addressed to a previous incarnation are dropped
+  /// by the simulator before delivery.
+  virtual std::uint32_t incarnation() const noexcept { return 0; }
 };
 
 /// Base class of every simulated processor. Handlers run atomically: the
@@ -68,6 +73,20 @@ class Process {
   /// of that tick's messages were delivered. Synchronous protocols do their
   /// per-exchange computation here.
   virtual void onTick(Tick /*tick*/) {}
+
+  /// Invoked at the crash tick of a crash-restart (Simulator::restartAt),
+  /// after the simulator purged this process's timers and before any
+  /// further handler runs. This is where simulated stable storage applies
+  /// its loss model (unsynced writes vanish, fault injection may tear the
+  /// tail or corrupt a record). Volatile protocol state need not be touched
+  /// here — onRestart() resets it.
+  virtual void onCrash() {}
+
+  /// Invoked at the restart tick, under the new incarnation. The process
+  /// must discard all volatile state and re-initialize from whatever its
+  /// stable storage recovers. The default treats a restart as a fresh boot
+  /// (correct for stateless or non-durable processes).
+  virtual void onRestart() { onStart(); }
 
  protected:
   Context& ctx() noexcept { return *context_; }

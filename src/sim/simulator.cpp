@@ -12,7 +12,8 @@ namespace ooc {
 // Events
 
 struct Simulator::Event {
-  enum class Kind { kStart, kDeliver, kTimer, kControl, kBarrier };
+  enum class Kind { kStart, kDeliver, kTimer, kControl, kBarrier, kCrash,
+                    kRestart };
 
   Tick at = 0;
   // Barriers sort after all normal events of the same tick.
@@ -25,6 +26,10 @@ struct Simulator::Event {
   std::unique_ptr<Message> message;
   TimerId timer = 0;
   std::function<void()> action;
+  /// For kDeliver: the target's incarnation at send time. A mismatch at
+  /// delivery means the target restarted in between — the message belongs
+  /// to its previous life and is discarded as stale.
+  std::uint32_t targetIncarnation = 0;
 };
 
 struct Simulator::EventOrder {
@@ -77,6 +82,10 @@ class Simulator::ContextImpl final : public Context {
 
   void decide(Value v) override { sim_.recordDecision(id_, v); }
 
+  std::uint32_t incarnation() const noexcept override {
+    return sim_.processes_[id_].incarnation;
+  }
+
  private:
   Simulator& sim_;
   ProcessId id_;
@@ -123,6 +132,21 @@ void Simulator::crashAt(ProcessId id, Tick tick) {
       OOC_DEBUG("p", id, " crashed at tick ", now_);
     }
   });
+}
+
+void Simulator::restartAt(ProcessId id, Tick crashTick, Tick downtime) {
+  if (id >= processes_.size())
+    throw std::out_of_range("restartAt: unknown process");
+  Event crash;
+  crash.at = crashTick;
+  crash.kind = Event::Kind::kCrash;
+  crash.target = id;
+  pushEvent(std::move(crash));
+  Event restart;
+  restart.at = crashTick + std::max<Tick>(1, downtime);
+  restart.kind = Event::Kind::kRestart;
+  restart.target = id;
+  pushEvent(std::move(restart));
 }
 
 void Simulator::schedule(Tick tick, std::function<void()> action) {
@@ -193,6 +217,14 @@ void Simulator::run() {
       case Event::Kind::kDeliver: {
         Slot& slot = processes_[event.target];
         if (!slot.crashed) {
+          if (event.targetIncarnation != slot.incarnation) {
+            // The target restarted after this message was sent: it belongs
+            // to the previous incarnation and must not leak into the new
+            // one (it could carry replies to requests the reborn process
+            // never made).
+            ++messagesDroppedStale_;
+            break;
+          }
           ++messagesDelivered_;
           slot.process->onMessage(event.from, *event.message);
         }
@@ -214,6 +246,31 @@ void Simulator::run() {
       case Event::Kind::kControl:
         event.action();
         break;
+      case Event::Kind::kCrash: {
+        Slot& slot = processes_[event.target];
+        if (!slot.crashed) {
+          slot.crashed = true;
+          // Stale timers must not survive into the next incarnation: purge
+          // every armed timer this process owns (its heap entries become
+          // inert, exactly like cancellation).
+          purgeTimersOf(event.target);
+          slot.process->onCrash();
+          OOC_DEBUG("p", event.target, " crashed (restarting) at tick ", now_);
+        }
+        break;
+      }
+      case Event::Kind::kRestart: {
+        Slot& slot = processes_[event.target];
+        if (slot.crashed) {
+          slot.crashed = false;
+          ++slot.incarnation;
+          ++restarts_;
+          slot.process->onRestart();
+          OOC_DEBUG("p", event.target, " restarted at tick ", now_,
+                    " (incarnation ", slot.incarnation, ")");
+        }
+        break;
+      }
       case Event::Kind::kBarrier: {
         for (Slot& slot : processes_)
           if (!slot.crashed) slot.process->onTick(now_);
@@ -256,6 +313,7 @@ void Simulator::deliverSend(ProcessId from, ProcessId to,
     event.kind = Event::Kind::kDeliver;
     event.target = to;
     event.from = from;
+    event.targetIncarnation = processes_[to].incarnation;
     event.message =
         i + 1 < scratchDelays_.size() ? msg->clone() : std::move(msg);
     pushEvent(std::move(event));
@@ -285,6 +343,17 @@ void Simulator::observe(const Event& event) {
     case Event::Kind::kControl:
       out.kind = TraceEvent::Kind::kControl;
       break;
+    case Event::Kind::kCrash:
+      out.kind = TraceEvent::Kind::kCrash;
+      out.a = event.target;
+      break;
+    case Event::Kind::kRestart:
+      out.kind = TraceEvent::Kind::kRestart;
+      out.a = event.target;
+      // The incarnation the process is about to enter (bumped when the
+      // event executes, right after this observation).
+      out.aux = processes_[event.target].incarnation + 1;
+      break;
     case Event::Kind::kBarrier:
       out.kind = TraceEvent::Kind::kBarrier;
       break;
@@ -308,9 +377,24 @@ void Simulator::disarmTimer(TimerId id) noexcept {
   timersCancelled_ += timerOwner_.erase(id);
 }
 
+void Simulator::purgeTimersOf(ProcessId id) noexcept {
+  for (auto it = timerOwner_.begin(); it != timerOwner_.end();) {
+    if (it->second == id) {
+      it = timerOwner_.erase(it);
+      ++timersPurgedOnCrash_;
+    } else {
+      ++it;
+    }
+  }
+}
+
 void Simulator::recordDecision(ProcessId id, Value v) {
   Decision& decision = decisions_[id];
-  if (decision.decided) return;  // decisions are irrevocable; ignore repeats
+  // Decisions are irrevocable: repeats are ignored here. A restarted
+  // process re-deciding a DIFFERENT value (committed-entry regression) is
+  // caught by the harness-level decision-history monitors, which see every
+  // incarnation's announcement (see RaftConsensus::decisionHistory).
+  if (decision.decided) return;
   decision.decided = true;
   decision.value = v;
   decision.at = now_;
@@ -340,6 +424,10 @@ void Simulator::recordDecision(ProcessId id, Value v) {
 }
 
 bool Simulator::crashed(ProcessId id) const { return processes_.at(id).crashed; }
+
+std::uint32_t Simulator::incarnation(ProcessId id) const {
+  return processes_.at(id).incarnation;
+}
 bool Simulator::faulty(ProcessId id) const { return processes_.at(id).faulty; }
 
 const Simulator::Decision& Simulator::decision(ProcessId id) const {

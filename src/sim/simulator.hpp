@@ -62,6 +62,15 @@ class Simulator final {
   /// receives no messages, and sends nothing.
   void crashAt(ProcessId id, Tick tick);
 
+  /// Schedules a crash at `crashTick` followed by a restart `downtime` ticks
+  /// later. At the crash the process gets onCrash() (where durable storage
+  /// applies its loss model), every timer it owns is purged, and all handlers
+  /// stop. At the restart its incarnation number is bumped, onRestart() runs
+  /// (volatile state reset + recovery from stable storage), and messages sent
+  /// to the previous incarnation that are still in flight are discarded as
+  /// stale at delivery time. Both transitions appear in recorded traces.
+  void restartAt(ProcessId id, Tick crashTick, Tick downtime);
+
   /// Schedules an arbitrary control action (e.g. partition changes).
   void schedule(Tick tick, std::function<void()> action);
 
@@ -117,6 +126,19 @@ class Simulator final {
   std::uint64_t timersArmed() const noexcept { return timersArmed_; }
   std::uint64_t timersCancelled() const noexcept { return timersCancelled_; }
   std::uint64_t timersFired() const noexcept { return timersFired_; }
+  /// Restart bookkeeping: executed restart events, deliveries discarded
+  /// because the target restarted after the send (stale incarnation), and
+  /// armed timers purged at a crash.
+  std::uint64_t restarts() const noexcept { return restarts_; }
+  std::uint64_t messagesDroppedStale() const noexcept {
+    return messagesDroppedStale_;
+  }
+  std::uint64_t timersPurgedOnCrash() const noexcept {
+    return timersPurgedOnCrash_;
+  }
+  /// Incarnation number of a process: 0 until its first restart, then +1
+  /// per restart.
+  std::uint32_t incarnation(ProcessId id) const;
   /// Number of currently armed (not yet fired or cancelled) timers. Must
   /// stay bounded on long runs: disarming releases the bookkeeping
   /// immediately (the heap entry is dropped lazily when its tick arrives).
@@ -144,6 +166,7 @@ class Simulator final {
   void recordDecision(ProcessId id, Value v);
   TimerId armTimer(ProcessId id, Tick delay);
   void disarmTimer(TimerId id) noexcept;
+  void purgeTimersOf(ProcessId id) noexcept;
   bool shouldStop() const;
 
   SimConfig config_;
@@ -157,6 +180,7 @@ class Simulator final {
     Rng rng{0};
     bool faulty = false;
     bool crashed = false;
+    std::uint32_t incarnation = 0;
   };
   std::vector<Slot> processes_;
 
@@ -187,6 +211,9 @@ class Simulator final {
   std::uint64_t timersArmed_ = 0;
   std::uint64_t timersCancelled_ = 0;
   std::uint64_t timersFired_ = 0;
+  std::uint64_t restarts_ = 0;
+  std::uint64_t messagesDroppedStale_ = 0;
+  std::uint64_t timersPurgedOnCrash_ = 0;
 
   std::function<bool(const Simulator&)> stopPredicate_;
   std::vector<Tick> scratchDelays_;

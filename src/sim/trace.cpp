@@ -16,6 +16,8 @@ char kindCode(TraceEvent::Kind kind) noexcept {
     case TraceEvent::Kind::kControl: return 'C';
     case TraceEvent::Kind::kBarrier: return 'B';
     case TraceEvent::Kind::kDecision: return 'V';
+    case TraceEvent::Kind::kCrash: return 'X';
+    case TraceEvent::Kind::kRestart: return 'R';
   }
   return '?';
 }
@@ -28,6 +30,8 @@ TraceEvent::Kind parseKind(char code) {
     case 'C': return TraceEvent::Kind::kControl;
     case 'B': return TraceEvent::Kind::kBarrier;
     case 'V': return TraceEvent::Kind::kDecision;
+    case 'X': return TraceEvent::Kind::kCrash;
+    case 'R': return TraceEvent::Kind::kRestart;
   }
   throw std::runtime_error(std::string("trace: unknown event kind '") + code +
                            "'");

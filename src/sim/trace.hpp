@@ -31,6 +31,8 @@ namespace ooc {
 ///   kControl  — (none)
 ///   kBarrier  — lockstep tick barrier
 ///   kDecision — a: decider, aux: decided value (bit-copied)
+///   kCrash    — a: process crashing with a scheduled restart
+///   kRestart  — a: restarting process, aux: its new incarnation number
 struct TraceEvent {
   enum class Kind : std::uint8_t {
     kStart,
@@ -39,6 +41,8 @@ struct TraceEvent {
     kControl,
     kBarrier,
     kDecision,
+    kCrash,
+    kRestart,
   };
 
   Tick at = 0;

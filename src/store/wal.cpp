@@ -1,0 +1,132 @@
+#include "store/wal.hpp"
+
+#include <array>
+
+namespace ooc::store {
+namespace {
+
+std::array<std::uint32_t, 256> makeCrcTable() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void putU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t getU32(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t getU64(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint64_t>(getU32(p)) |
+         (static_cast<std::uint64_t>(getU32(p + 4)) << 32);
+}
+
+constexpr std::size_t kHeaderBytes = 8;  // length:u32 + crc:u32
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) noexcept {
+  static const std::array<std::uint32_t, 256> table = makeCrcTable();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+WriteAheadLog::WriteAheadLog(FaultConfig faults) noexcept : faults_(faults) {}
+
+void WriteAheadLog::append(const std::vector<std::uint64_t>& words) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(words.size() * 8);
+  for (std::uint64_t w : words) {
+    putU32(payload, static_cast<std::uint32_t>(w));
+    putU32(payload, static_cast<std::uint32_t>(w >> 32));
+  }
+  putU32(pending_, static_cast<std::uint32_t>(payload.size()));
+  putU32(pending_, crc32(payload.data(), payload.size()));
+  pending_.insert(pending_.end(), payload.begin(), payload.end());
+  ++appends_;
+}
+
+void WriteAheadLog::sync() {
+  durable_.insert(durable_.end(), pending_.begin(), pending_.end());
+  pending_.clear();
+  ++syncs_;
+}
+
+void WriteAheadLog::crash(Rng& rng) {
+  ++crashes_;
+  if (!pending_.empty() && rng.chance(faults_.tornTailProbability)) {
+    // A strict prefix of the unsynced tail reached the platter. It may
+    // contain whole records (written but not fsynced — allowed to survive;
+    // sync() only promises a lower bound) followed by a torn one.
+    const std::size_t keep =
+        static_cast<std::size_t>(rng.below(pending_.size()));
+    durable_.insert(durable_.end(), pending_.begin(),
+                    pending_.begin() + static_cast<std::ptrdiff_t>(keep));
+  }
+  pending_.clear();
+  if (!durable_.empty() && rng.chance(faults_.corruptProbability)) {
+    const std::size_t at = static_cast<std::size_t>(rng.below(durable_.size()));
+    durable_[at] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+  }
+}
+
+std::vector<std::vector<std::uint64_t>> WriteAheadLog::recover(
+    RecoveryReport* report) {
+  RecoveryReport local;
+  std::vector<std::vector<std::uint64_t>> records;
+  std::size_t offset = 0;
+  while (offset < durable_.size()) {
+    if (durable_.size() - offset < kHeaderBytes) {
+      local.tornTail = true;  // header itself is partial
+      break;
+    }
+    const std::uint32_t length = getU32(durable_.data() + offset);
+    const std::uint32_t crc = getU32(durable_.data() + offset + 4);
+    if (durable_.size() - offset - kHeaderBytes < length) {
+      local.tornTail = true;  // payload cut short by the crash
+      break;
+    }
+    const std::uint8_t* payload = durable_.data() + offset + kHeaderBytes;
+    if (crc32(payload, length) != crc || length % 8 != 0) {
+      // A full-size record that fails its checksum is corruption, not a
+      // torn write. We cannot trust anything past it (lengths downstream
+      // may themselves be garbage), so truncate here like the torn case.
+      ++local.corruptRecords;
+      break;
+    }
+    std::vector<std::uint64_t> words(length / 8);
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      words[i] = getU64(payload + i * 8);
+    }
+    records.push_back(std::move(words));
+    offset += kHeaderBytes + length;
+  }
+  local.recordsRecovered = records.size();
+  local.bytesDiscarded = (durable_.size() - offset) + pending_.size();
+  durable_.resize(offset);
+  pending_.clear();
+  if (report != nullptr) {
+    *report = local;
+  }
+  return records;
+}
+
+}  // namespace ooc::store

@@ -39,7 +39,7 @@ using namespace ooc::check;
 
 struct CliOptions {
   std::string family = "all";    // benor | phaseking | raft | all
-  std::string strategy = "all";  // random | delay | crash | all
+  std::string strategy = "all";  // random | delay | crash | restart | all
   std::size_t seeds = 1000;
   std::uint64_t seedBase = 1;
   std::size_t threads = 0;
@@ -53,6 +53,8 @@ struct CliOptions {
   std::string jsonPath;
   Tick budget = 0;        // 0: default budget grid
   std::size_t maxCrashes = 0;  // 0: family fault budget
+  std::size_t maxRestarts = 1;
+  bool crashBeforeSync = false;
   std::size_t n = 0;      // 0: family default
   Tick maxDelay = 0;      // 0: family default
 };
@@ -60,7 +62,8 @@ struct CliOptions {
 void printUsage(std::ostream& os) {
   os << "usage: check [options]\n"
         "  --family F        benor | phaseking | raft | all (default all)\n"
-        "  --strategy S      random | delay | crash | all (default all)\n"
+        "  --strategy S      random | delay | crash | restart | all "
+        "(default all)\n"
         "  --seeds N         random-walk runs per family (default 1000)\n"
         "  --seed-base N     first seed of the sweep (default 1)\n"
         "  --threads N       worker threads (default: hardware)\n"
@@ -69,6 +72,11 @@ void printUsage(std::ostream& os) {
         "  --budget B        single delay-adversary budget (default: grid)\n"
         "  --max-crashes K   crash-enumeration budget (default: fault "
         "budget)\n"
+        "  --max-restarts K  restart-enumeration budget (default 1)\n"
+        "  --crash-before-sync  raft only: disable the sync-before-reply "
+        "discipline\n"
+        "                    so restarts recover stale journals (expected "
+        "to FAIL)\n"
         "  --max-findings N  stop after N findings (default 5)\n"
         "  --trace-dir DIR   counterexample output dir (default "
         "counterexamples)\n"
@@ -105,6 +113,11 @@ Scenario baseScenario(Family family, const CliOptions& options) {
     case Family::kRaft:
       if (options.n > 0) scenario.raft.n = options.n;
       if (options.maxDelay > 0) scenario.raft.maxDelay = options.maxDelay;
+      // Restart exploration exercises the durability subsystem: the clean
+      // direction journals with the safe sync discipline; --crash-before-sync
+      // drops the discipline so recovery can resurrect stale state.
+      scenario.raft.raft.durable = true;
+      scenario.raft.raft.syncBeforeReply = !options.crashBeforeSync;
       break;
   }
   return scenario;
@@ -121,6 +134,8 @@ std::unique_ptr<ExplorationStrategy> buildStrategy(
       options.strategy == "all" || options.strategy == "delay";
   const bool wantCrash =
       options.strategy == "all" || options.strategy == "crash";
+  const bool wantRestart =
+      options.strategy == "all" || options.strategy == "restart";
 
   if (wantRandom) {
     RandomWalkStrategy::Options rw;
@@ -138,6 +153,12 @@ std::unique_ptr<ExplorationStrategy> buildStrategy(
     CrashScheduleStrategy::Options cs;
     cs.maxCrashes = options.maxCrashes;
     parts.push_back(std::make_unique<CrashScheduleStrategy>(base, cs));
+  }
+  if (wantRestart && family == Family::kRaft) {
+    RestartScheduleStrategy::Options rs;
+    rs.maxRestarts = options.maxRestarts;
+    rs.seedBase = options.seedBase;
+    parts.push_back(std::make_unique<RestartScheduleStrategy>(base, rs));
   }
   if (parts.empty()) return nullptr;
   if (parts.size() == 1) return std::move(parts.front());
@@ -236,6 +257,10 @@ int main(int argc, char** argv) {
     else if (arg == "--budget") options.budget = nextNumber(i);
     else if (arg == "--max-crashes")
       options.maxCrashes = nextNumber(i);
+    else if (arg == "--max-restarts")
+      options.maxRestarts = nextNumber(i);
+    else if (arg == "--crash-before-sync")
+      options.crashBeforeSync = true;
     else if (arg == "--max-findings")
       options.maxFindings = nextNumber(i);
     else if (arg == "--trace-dir") options.traceDir = next(i);
@@ -270,12 +295,21 @@ int main(int argc, char** argv) {
     }
   }
   if (options.strategy != "all" && options.strategy != "random" &&
-      options.strategy != "delay" && options.strategy != "crash") {
+      options.strategy != "delay" && options.strategy != "crash" &&
+      options.strategy != "restart") {
     std::cerr << "check: unknown strategy '" << options.strategy << "'\n";
     return 2;
   }
   if (options.plantVacBug && options.family != "benor") {
     std::cerr << "check: --plant-vac-bug needs --family benor\n";
+    return 2;
+  }
+  if (options.crashBeforeSync && options.family != "raft") {
+    std::cerr << "check: --crash-before-sync needs --family raft\n";
+    return 2;
+  }
+  if (options.strategy == "restart" && options.family != "raft") {
+    std::cerr << "check: --strategy restart needs --family raft\n";
     return 2;
   }
 
