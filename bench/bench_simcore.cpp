@@ -1,0 +1,172 @@
+// E19 — simulator core throughput: events/sec and ns/event across
+// protocol x n x fault-mix.
+//
+// Every other experiment in this repo is bottlenecked by how fast the
+// discrete-event scheduler in src/sim/ can execute protocol runs (the
+// checker's restart grid alone replays 1510 configurations), so this bench
+// measures the scheduler itself through the same scenario runners the
+// checker and the other benches use. Each cell runs a fixed scenario over a
+// set of seeds, times the complete runs with a monotonic clock, and divides
+// by Simulator::eventsProcessed().
+//
+// Unlike the other benches, the metric values here are wall-clock timings:
+// the JSON (run_id, tables' event counts, verdict) is deterministic but the
+// events/sec and ns/event numbers are machine-dependent by design. The
+// trajectory entry appended by scripts/bench.sh tracks them across commits;
+// its compare mode flags >10% regressions.
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "harness/scenarios.hpp"
+#include "obs/metrics.hpp"
+
+using namespace ooc;
+using namespace ooc::bench;
+using harness::BenOrConfig;
+using harness::PhaseKingConfig;
+using harness::RaftScenarioConfig;
+
+namespace {
+
+struct CellResult {
+  std::uint64_t events = 0;
+  std::uint64_t decided = 0;  // runs where all correct processes decided
+};
+
+using RunFn = std::function<CellResult(std::uint64_t seed)>;
+
+struct Scenario {
+  std::string key;       // stable id: protocol_n<N>[_mix]
+  std::string describe;  // one-line cell description for the table
+  /// Multiplies the base trial count so event-sparse cells (Raft is
+  /// timeout-driven) still accumulate enough wall time to measure.
+  int runsScale = 1;
+  RunFn run;
+};
+
+BenOrConfig benOr(std::size_t n, Tick minDelay, Tick maxDelay) {
+  BenOrConfig config;
+  config.n = n;
+  config.inputs.resize(n);
+  for (std::size_t i = 0; i < n; ++i) config.inputs[i] = Value(i % 2);
+  config.mode = BenOrConfig::Mode::kDecomposed;
+  // The local coin needs 2^Theta(n) rounds on split inputs, so the n=25
+  // cells use the common coin: convergence in O(1) rounds keeps the cell a
+  // pure fan-out workload instead of a coin-flip lottery.
+  config.reconciliator = n > 8 ? BenOrConfig::Reconciliator::kCommonCoin
+                               : BenOrConfig::Reconciliator::kLocalCoin;
+  config.minDelay = minDelay;
+  config.maxDelay = maxDelay;
+  return config;
+}
+
+std::vector<Scenario> scenarios() {
+  std::vector<Scenario> all;
+  all.push_back({"benor_n5_async", "Ben-Or n=5, delay 1..10", 20,
+                 [](std::uint64_t seed) {
+                   auto config = benOr(5, 1, 10);
+                   config.seed = seed;
+                   const auto r = runBenOr(config);
+                   return CellResult{r.eventsProcessed, r.allDecided ? 1u : 0u};
+                 }});
+  // The ISSUE's headline cell: unit delays make every exchange a synchronous
+  // wave, so the run is one broadcast fan-out after another — the pure
+  // fan-out + queue hot path.
+  all.push_back({"benor_n25_lockstep", "Ben-Or n=25, unit delay (lockstep)", 2,
+                 [](std::uint64_t seed) {
+                   auto config = benOr(25, 1, 1);
+                   config.seed = seed;
+                   const auto r = runBenOr(config);
+                   return CellResult{r.eventsProcessed, r.allDecided ? 1u : 0u};
+                 }});
+  all.push_back({"benor_n25_async", "Ben-Or n=25, delay 1..10", 2,
+                 [](std::uint64_t seed) {
+                   auto config = benOr(25, 1, 10);
+                   config.seed = seed;
+                   const auto r = runBenOr(config);
+                   return CellResult{r.eventsProcessed, r.allDecided ? 1u : 0u};
+                 }});
+  all.push_back({"phaseking_n25", "Phase-King n=25, f=t=8 equivocators", 2,
+                 [](std::uint64_t seed) {
+                   PhaseKingConfig config;
+                   config.n = 25;
+                   config.byzantineCount = 8;
+                   config.seed = seed;
+                   const auto r = runPhaseKing(config);
+                   return CellResult{r.eventsProcessed, r.allDecided ? 1u : 0u};
+                 }});
+  all.push_back({"raft_n5", "Raft n=5, delay 1..5, no faults", 40,
+                 [](std::uint64_t seed) {
+                   RaftScenarioConfig config;
+                   config.n = 5;
+                   config.seed = seed;
+                   const auto r = runRaft(config);
+                   return CellResult{r.eventsProcessed, r.allDecided ? 1u : 0u};
+                 }});
+  all.push_back({"raft_n9_faultmix", "Raft n=9, 5% drop + 5% duplicate", 25,
+                 [](std::uint64_t seed) {
+                   RaftScenarioConfig config;
+                   config.n = 9;
+                   config.dropProbability = 0.05;
+                   config.duplicateProbability = 0.05;
+                   config.seed = seed;
+                   const auto r = runRaft(config);
+                   return CellResult{r.eventsProcessed, r.allDecided ? 1u : 0u};
+                 }});
+  return all;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Bench bench(argc, argv, "simcore");
+  const int kRuns = bench.trials(40);
+
+  bench.banner(
+      "E19: simulator core throughput (events/sec, ns/event)",
+      "The scheduler hot path — refcounted payload fan-out, type-tag "
+      "dispatch, calendar event queue — measured end to end through the "
+      "scenario runners. Timings are wall-clock (machine-dependent); the "
+      "trajectory in BENCH_simcore.json tracks them across commits.");
+  {
+    Table table({"scenario", "runs", "events", "ms total", "events/sec",
+                 "ns/event"});
+    for (const Scenario& scenario : scenarios()) {
+      const int cellRuns = kRuns * scenario.runsScale;
+      std::uint64_t events = 0;
+      std::uint64_t decided = 0;
+      std::chrono::nanoseconds elapsed{0};
+      for (int run = 0; run < cellRuns; ++run) {
+        const std::uint64_t seed = 19'000 + static_cast<std::uint64_t>(run);
+        const auto start = std::chrono::steady_clock::now();
+        const CellResult cell = scenario.run(seed);
+        elapsed += std::chrono::steady_clock::now() - start;
+        events += cell.events;
+        decided += cell.decided;
+      }
+      bench.require(decided == static_cast<std::uint64_t>(cellRuns),
+                    scenario.key + " all runs decide");
+      const double ns = static_cast<double>(elapsed.count());
+      const double eventsPerSec =
+          ns > 0 ? static_cast<double>(events) * 1e9 / ns : 0.0;
+      const double nsPerEvent =
+          events > 0 ? ns / static_cast<double>(events) : 0.0;
+      obs::metrics().setGauge("simcore_events_per_sec", eventsPerSec,
+                              {{"scenario", scenario.key}});
+      obs::metrics().setGauge("simcore_ns_per_event", nsPerEvent,
+                              {{"scenario", scenario.key}});
+      table.addRow({scenario.describe, Table::cell(std::uint64_t(cellRuns)),
+                    Table::cell(events), Table::cell(ns / 1e6, 1),
+                    Table::cell(eventsPerSec, 0), Table::cell(nsPerEvent, 1)});
+    }
+    bench.emit(table);
+    bench.note("scenario keys (trajectory/gauge labels): benor_n5_async, "
+               "benor_n25_lockstep, benor_n25_async, phaseking_n25, raft_n5, "
+               "raft_n9_faultmix");
+  }
+  return bench.finish();
+}

@@ -22,7 +22,7 @@ void ByzantineBenOrVac::invoke(ObjectContext& ctx, Value v) {
   input_ = v;
   proposalSeen_.assign(ctx.processCount(), false);
   reportSeen_.assign(ctx.processCount(), false);
-  ctx.broadcast(ProposalMessage(v));
+  ctx.fanout(makeMessage<ProposalMessage>(v));
 }
 
 void ByzantineBenOrVac::onMessage(ObjectContext& ctx, ProcessId from,
@@ -59,8 +59,8 @@ void ByzantineBenOrVac::maybeFinishPhaseOne(ObjectContext& ctx) {
     // strictly more than (n+t)/2, robust to odd n+t: 2*count > n+t
     if (2 * proposalTally_[static_cast<std::size_t>(k)] > n + t_) super = k;
   }
-  ctx.broadcast(super ? ReportMessage(true, *super)
-                      : ReportMessage(false, kNoValue));
+  ctx.fanout(super ? makeMessage<ReportMessage>(true, *super)
+                   : makeMessage<ReportMessage>(false, kNoValue));
   maybeFinish();
 }
 

@@ -26,7 +26,7 @@ void MonolithicBenOr::onStart() {
 void MonolithicBenOr::enterRound(Round r) {
   round_ = r;
   tallies_.erase(tallies_.begin(), tallies_.lower_bound(r));
-  ctx().broadcast(ClassicMessage(r, /*phase=*/1, false, preference_));
+  ctx().fanout(makeMessage<ClassicMessage>(r, /*phase=*/1, false, preference_));
   tryAdvance();
 }
 
@@ -69,8 +69,11 @@ void MonolithicBenOr::tryAdvance() {
           break;
         }
       }
-      ctx().broadcast(majority ? ClassicMessage(round_, 2, true, *majority)
-                               : ClassicMessage(round_, 2, false, kNoValue));
+      ctx().fanout(majority
+                       ? makeMessage<ClassicMessage>(round_, 2, true,
+                                                     *majority)
+                       : makeMessage<ClassicMessage>(round_, 2, false,
+                                                     kNoValue));
     }
 
     if (entry.reports < n - t_) return;

@@ -53,7 +53,7 @@ std::uint64_t LotteryReconciliator::ticketOf(ProcessId who) const noexcept {
 void LotteryReconciliator::invoke(ObjectContext& ctx,
                                   const Outcome& detected) {
   seen_.assign(ctx.processCount(), false);
-  ctx.broadcast(LotteryTicketMessage(detected.value));
+  ctx.fanout(makeMessage<LotteryTicketMessage>(detected.value));
 }
 
 void LotteryReconciliator::onMessage(ObjectContext& ctx, ProcessId from,

@@ -15,7 +15,7 @@ void BenOrVac::invoke(ObjectContext& ctx, Value v) {
   invoked_ = true;
   proposalSeen_.assign(ctx.processCount(), false);
   reportSeen_.assign(ctx.processCount(), false);
-  ctx.broadcast(ProposalMessage(v));
+  ctx.fanout(makeMessage<ProposalMessage>(v));
 }
 
 void BenOrVac::onMessage(ObjectContext& ctx, ProcessId from,
@@ -56,9 +56,9 @@ void BenOrVac::maybeFinishPhaseOne(ObjectContext& ctx) {
     }
   }
   if (majority) {
-    ctx.broadcast(ReportMessage(/*ratify=*/true, *majority));
+    ctx.fanout(makeMessage<ReportMessage>(/*ratify=*/true, *majority));
   } else {
-    ctx.broadcast(ReportMessage(/*ratify=*/false, kNoValue));
+    ctx.fanout(makeMessage<ReportMessage>(/*ratify=*/false, kNoValue));
   }
   maybeFinish();
 }

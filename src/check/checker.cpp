@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <deque>
 #include <exception>
 #include <filesystem>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -21,6 +23,14 @@ const Invariant* findByName(const std::vector<const Invariant*>& invariants,
   return nullptr;
 }
 
+/// One worker's share of the configuration space, as [begin, end) index
+/// chunks. The owner pops from the front; thieves steal from the back, so
+/// an owner and a thief only contend when one chunk is left.
+struct WorkerQueue {
+  std::mutex mutex;
+  std::deque<std::pair<std::size_t, std::size_t>> chunks;
+};
+
 }  // namespace
 
 CheckReport explore(const ExplorationStrategy& strategy,
@@ -32,50 +42,94 @@ CheckReport explore(const ExplorationStrategy& strategy,
     threadCount = std::max(1u, std::thread::hardware_concurrency());
   threadCount = std::max<std::size_t>(1, std::min(threadCount, total));
 
-  std::atomic<std::size_t> nextIndex{0};
   std::atomic<std::size_t> explored{0};
   std::atomic<bool> stop{false};
   std::mutex mutex;
   std::vector<Finding> findings;
   std::exception_ptr firstError;
 
-  const auto worker = [&] {
+  // Work-stealing sweep driver. The index space is cut into chunks and
+  // dealt round-robin to per-worker deques; a worker drains its own deque
+  // from the front and, when empty, steals a chunk from a victim's back.
+  // Chunks keep a worker on consecutive configurations (similar scenario
+  // shape, so its thread-local EventQueue arena — one warm bucket ring per
+  // thread, see sim/event_queue.cpp — stays sized right), while stealing
+  // keeps the sweep balanced when some configurations run much longer than
+  // others (restart grids mix 2-tick and 200-tick downtimes). Findings are
+  // sorted by configIndex afterwards, so the report does not depend on the
+  // interleaving.
+  const std::size_t chunkSize = std::clamp<std::size_t>(
+      total / (threadCount * 16), std::size_t{1}, std::size_t{1024});
+  std::vector<WorkerQueue> queues(threadCount);
+  for (std::size_t begin = 0, dealt = 0; begin < total;
+       begin += chunkSize, ++dealt) {
+    queues[dealt % threadCount].chunks.emplace_back(
+        begin, std::min(begin + chunkSize, total));
+  }
+
+  const auto takeChunk =
+      [&](std::size_t self) -> std::optional<std::pair<std::size_t, std::size_t>> {
+    {
+      std::lock_guard<std::mutex> lock(queues[self].mutex);
+      auto& own = queues[self].chunks;
+      if (!own.empty()) {
+        auto chunk = own.front();
+        own.pop_front();
+        return chunk;
+      }
+    }
+    for (std::size_t offset = 1; offset < threadCount; ++offset) {
+      WorkerQueue& victim = queues[(self + offset) % threadCount];
+      std::lock_guard<std::mutex> lock(victim.mutex);
+      if (!victim.chunks.empty()) {
+        auto chunk = victim.chunks.back();
+        victim.chunks.pop_back();
+        return chunk;
+      }
+    }
+    return std::nullopt;
+  };
+
+  const auto worker = [&](std::size_t self) {
     while (!stop.load(std::memory_order_relaxed)) {
-      const std::size_t index =
-          nextIndex.fetch_add(1, std::memory_order_relaxed);
-      if (index >= total) break;
-      try {
-        const Scenario scenario = strategy.generate(index);
-        const RunReport report = runScenario(scenario);
-        explored.fetch_add(1, std::memory_order_relaxed);
-        for (const Invariant* invariant : invariants) {
-          auto violation = invariant->check(scenario, report);
-          if (!violation) continue;
+      const auto chunk = takeChunk(self);
+      if (!chunk) break;
+      for (std::size_t index = chunk->first; index < chunk->second; ++index) {
+        if (stop.load(std::memory_order_relaxed)) return;
+        try {
+          const Scenario scenario = strategy.generate(index);
+          const RunReport report = runScenario(scenario);
+          explored.fetch_add(1, std::memory_order_relaxed);
+          for (const Invariant* invariant : invariants) {
+            auto violation = invariant->check(scenario, report);
+            if (!violation) continue;
+            std::lock_guard<std::mutex> lock(mutex);
+            Finding finding;
+            finding.configIndex = index;
+            finding.violation = std::move(*violation);
+            finding.scenario = scenario;
+            findings.push_back(std::move(finding));
+            if (options.maxFindings > 0 &&
+                findings.size() >= options.maxFindings)
+              stop.store(true, std::memory_order_relaxed);
+            break;
+          }
+        } catch (...) {
           std::lock_guard<std::mutex> lock(mutex);
-          Finding finding;
-          finding.configIndex = index;
-          finding.violation = std::move(*violation);
-          finding.scenario = scenario;
-          findings.push_back(std::move(finding));
-          if (options.maxFindings > 0 &&
-              findings.size() >= options.maxFindings)
-            stop.store(true, std::memory_order_relaxed);
-          break;
+          if (!firstError) firstError = std::current_exception();
+          stop.store(true, std::memory_order_relaxed);
         }
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(mutex);
-        if (!firstError) firstError = std::current_exception();
-        stop.store(true, std::memory_order_relaxed);
       }
     }
   };
 
   if (threadCount <= 1) {
-    worker();
+    worker(0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(threadCount);
-    for (std::size_t i = 0; i < threadCount; ++i) pool.emplace_back(worker);
+    for (std::size_t i = 0; i < threadCount; ++i)
+      pool.emplace_back(worker, i);
     for (auto& thread : pool) thread.join();
   }
   if (firstError) std::rethrow_exception(firstError);

@@ -1,0 +1,62 @@
+#include "check/golden.hpp"
+
+#include "check/replay.hpp"
+
+namespace ooc::check {
+
+std::vector<GoldenFixture> goldenFixtures() {
+  std::vector<GoldenFixture> fixtures;
+
+  {
+    GoldenFixture f;
+    f.name = "benor-async-n5";
+    f.scenario.family = Family::kBenOr;
+    f.scenario.benOr.n = 5;
+    f.scenario.benOr.inputs = {0, 1, 0, 1, 1};
+    f.scenario.benOr.seed = 7;
+    f.scenario.benOr.mode = harness::BenOrConfig::Mode::kDecomposed;
+    fixtures.push_back(std::move(f));
+  }
+  {
+    GoldenFixture f;
+    f.name = "benor-vacfromac-n5";
+    f.scenario.family = Family::kBenOr;
+    f.scenario.benOr.n = 5;
+    f.scenario.benOr.inputs = {1, 0, 1, 0, 0};
+    f.scenario.benOr.seed = 21;
+    f.scenario.benOr.mode = harness::BenOrConfig::Mode::kVacFromTwoAc;
+    fixtures.push_back(std::move(f));
+  }
+  {
+    GoldenFixture f;
+    f.name = "phaseking-lockstep-n7";
+    f.scenario.family = Family::kPhaseKing;
+    f.scenario.phaseKing.n = 7;
+    f.scenario.phaseKing.byzantineCount = 2;
+    f.scenario.phaseKing.seed = 11;
+    fixtures.push_back(std::move(f));
+  }
+  {
+    GoldenFixture f;
+    f.name = "raft-faultmix-restart";
+    f.scenario.family = Family::kRaft;
+    f.scenario.raft.n = 5;
+    f.scenario.raft.seed = 13;
+    f.scenario.raft.dropProbability = 0.10;
+    f.scenario.raft.duplicateProbability = 0.20;
+    f.scenario.raft.restarts.push_back({1, 160, 20});
+    fixtures.push_back(std::move(f));
+  }
+  return fixtures;
+}
+
+std::string renderGolden(const GoldenFixture& fixture) {
+  CounterexampleFile file;
+  file.scenario = fixture.scenario;
+  file.invariant = "golden-fixture";
+  file.detail = fixture.name;
+  file.trace = recordRun(fixture.scenario).trace;
+  return serializeCounterexample(file);
+}
+
+}  // namespace ooc::check

@@ -23,13 +23,23 @@ class ConsensusProcess::ObjectContextImpl final : public ObjectContext {
   Rng& rng() noexcept override { return host_.ctx().rng(); }
 
   void send(ProcessId to, std::unique_ptr<Message> inner) override {
-    host_.ctx().send(to, std::make_unique<TaggedMessage>(
-                             host_.round_, host_.stage_, std::move(inner)));
+    post(to, MessagePtr(std::move(inner)));
   }
 
   void broadcast(const Message& inner) override {
-    const TaggedMessage tagged(host_.round_, host_.stage_, inner.clone());
-    host_.ctx().broadcast(tagged);
+    fanout(MessagePtr(inner.clone()));
+  }
+
+  void post(ProcessId to, MessagePtr inner) override {
+    host_.ctx().post(to, makeMessage<TaggedMessage>(host_.round_, host_.stage_,
+                                                    std::move(inner)));
+  }
+
+  void fanout(MessagePtr inner) override {
+    // One envelope, one shared inner payload, n recipients — the whole
+    // broadcast allocates exactly one TaggedMessage and zero clones.
+    host_.ctx().fanout(makeMessage<TaggedMessage>(host_.round_, host_.stage_,
+                                                  std::move(inner)));
   }
 
   TimerId setTimer(Tick delay) override { return host_.ctx().setTimer(delay); }
@@ -186,9 +196,11 @@ void ConsensusProcess::dispatch(ProcessId from, const TaggedMessage& tagged) {
       stage_ == Stage::kDrive) {
     return;
   }
-  // Future round/stage: buffer until this process gets there.
+  // Future round/stage: buffer until this process gets there. The payload
+  // is shared with the envelope (and with every other recipient buffering
+  // the same broadcast) — no copy.
   buffered_.push_back(BufferedMessage{tagged.round(), tagged.stage(), from,
-                                      tagged.inner().clone()});
+                                      tagged.innerPtr()});
 }
 
 void ConsensusProcess::replayBuffered() {

@@ -117,7 +117,8 @@ class ConsensusProcess final : public Process {
     Round round;
     Stage stage;
     ProcessId from;
-    std::unique_ptr<Message> inner;
+    /// Shared with the in-flight envelope — buffering never copies.
+    MessagePtr inner;
   };
 
   void beginRound();

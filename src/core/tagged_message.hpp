@@ -19,10 +19,12 @@ inline const char* toString(Stage s) noexcept {
   return s == Stage::kDetect ? "detect" : "drive";
 }
 
-/// (round, stage)-tagged envelope around an object's inner message.
-class TaggedMessage final : public Message {
+/// (round, stage)-tagged envelope around an object's inner message. The
+/// inner payload is shared (immutable, refcounted): cloning the envelope or
+/// buffering the payload for replay adds a ref, never a deep copy.
+class TaggedMessage final : public MessageBase<TaggedMessage> {
  public:
-  TaggedMessage(Round round, Stage stage, std::unique_ptr<Message> inner)
+  TaggedMessage(Round round, Stage stage, MessagePtr inner)
       : round_(round), stage_(stage), inner_(std::move(inner)) {
     if (!inner_) throw std::invalid_argument("inner message is required");
   }
@@ -30,10 +32,8 @@ class TaggedMessage final : public Message {
   Round round() const noexcept { return round_; }
   Stage stage() const noexcept { return stage_; }
   const Message& inner() const noexcept { return *inner_; }
-
-  std::unique_ptr<Message> clone() const override {
-    return std::make_unique<TaggedMessage>(round_, stage_, inner_->clone());
-  }
+  /// The shared inner payload — what receivers keep when they buffer.
+  const MessagePtr& innerPtr() const noexcept { return inner_; }
 
   std::string describe() const override {
     return "[r" + std::to_string(round_) + "/" + toString(stage_) + "] " +
@@ -43,7 +43,7 @@ class TaggedMessage final : public Message {
  private:
   Round round_;
   Stage stage_;
-  std::unique_ptr<Message> inner_;
+  MessagePtr inner_;
 };
 
 }  // namespace ooc

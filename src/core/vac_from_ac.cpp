@@ -7,25 +7,24 @@
 namespace ooc {
 namespace {
 
-/// Inner envelope distinguishing messages of the two sub-ACs.
-class SubMessage final : public Message {
+/// Inner envelope distinguishing messages of the two sub-ACs. The inner
+/// payload is shared: cloning the envelope or buffering it adds a ref.
+class SubMessage final : public MessageBase<SubMessage> {
  public:
-  SubMessage(int index, std::unique_ptr<Message> inner)
+  SubMessage(int index, MessagePtr inner)
       : index_(index), inner_(std::move(inner)) {}
 
   int index() const noexcept { return index_; }
   const Message& inner() const noexcept { return *inner_; }
+  const MessagePtr& innerPtr() const noexcept { return inner_; }
 
-  std::unique_ptr<Message> clone() const override {
-    return std::make_unique<SubMessage>(index_, inner_->clone());
-  }
   std::string describe() const override {
     return "ac" + std::to_string(index_) + ":" + inner_->describe();
   }
 
  private:
   int index_;
-  std::unique_ptr<Message> inner_;
+  MessagePtr inner_;
 };
 
 }  // namespace
@@ -46,11 +45,16 @@ class VacFromTwoAc::SubContext final : public ObjectContext {
   Rng& rng() noexcept override { return outer_->rng(); }
 
   void send(ProcessId to, std::unique_ptr<Message> inner) override {
-    outer_->send(to, std::make_unique<SubMessage>(index_, std::move(inner)));
+    post(to, MessagePtr(std::move(inner)));
   }
   void broadcast(const Message& inner) override {
-    const SubMessage wrapped(index_, inner.clone());
-    outer_->broadcast(wrapped);
+    fanout(MessagePtr(inner.clone()));
+  }
+  void post(ProcessId to, MessagePtr inner) override {
+    outer_->post(to, makeMessage<SubMessage>(index_, std::move(inner)));
+  }
+  void fanout(MessagePtr inner) override {
+    outer_->fanout(makeMessage<SubMessage>(index_, std::move(inner)));
   }
   TimerId setTimer(Tick delay) override { return outer_->setTimer(delay); }
   void cancelTimer(TimerId id) noexcept override { outer_->cancelTimer(id); }
@@ -90,8 +94,9 @@ void VacFromTwoAc::onMessage(ObjectContext& ctx, ProcessId from,
     if (phase_ == 1) {
       second_->onMessage(*subContext1_, from, sub->inner());
     } else {
-      // A faster peer is already in AC2; hold its message until we get there.
-      bufferedForSecond_.push_back(Buffered{from, sub->inner().clone()});
+      // A faster peer is already in AC2; hold its message until we get
+      // there — sharing the payload with the envelope, no copy.
+      bufferedForSecond_.push_back(Buffered{from, sub->innerPtr()});
     }
   }
   advance(ctx);

@@ -53,7 +53,8 @@ class VacFromTwoAc final : public AgreementDetector {
   class SubContext;
   struct Buffered {
     ProcessId from;
-    std::unique_ptr<Message> inner;
+    /// Shared with the in-flight envelope — buffering never copies.
+    MessagePtr inner;
   };
 
   void advance(ObjectContext& ctx);

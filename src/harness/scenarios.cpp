@@ -93,6 +93,9 @@ void publishSimMetrics(const Simulator& sim, const obs::Labels& base) {
   registry.addCounter("messages_delivered", sim.messagesDelivered(), base);
   registry.addCounter("messages_dropped", sim.messagesDropped(), base);
   registry.addCounter("messages_duplicated", sim.messagesDuplicated(), base);
+  // Deep payload copies made by the simulator; 0 on the post()/fanout()
+  // path, so any growth here is a copy regression on the hot path.
+  registry.addCounter("messages_cloned", sim.messagesCloned(), base);
   registry.addCounter("timers_armed", sim.timersArmed(), base);
   registry.addCounter("timers_cancelled", sim.timersCancelled(), base);
   registry.addCounter("timers_fired", sim.timersFired(), base);
@@ -225,6 +228,7 @@ BenOrResult runBenOr(const BenOrConfig& config, const RunHooks& hooks) {
   result.agreementViolated = sim.agreementViolated();
   result.validityViolated = sim.validityViolated();
   result.messagesByCorrect = sim.messagesSentByCorrect();
+  result.eventsProcessed = sim.eventsProcessed();
 
   Summary decisionRounds;
   for (ProcessId id = 0; id < config.n; ++id) {
@@ -334,6 +338,7 @@ BenOrResult runByzantineBenOr(const ByzantineBenOrConfig& config) {
   result.agreementViolated = sim.agreementViolated();
   result.validityViolated = sim.validityViolated();
   result.messagesByCorrect = sim.messagesSentByCorrect();
+  result.eventsProcessed = sim.eventsProcessed();
   Summary decisionRounds;
   for (std::size_t i = 0; i < templated.size(); ++i) {
     if (!templated[i]->decided()) continue;
@@ -458,6 +463,7 @@ PhaseKingResult runPhaseKing(const PhaseKingConfig& config,
   result.agreementViolated = sim.agreementViolated();
   result.validityViolated = sim.validityViolated();
   result.messagesByCorrect = sim.messagesSentByCorrect();
+  result.eventsProcessed = sim.eventsProcessed();
 
   for (ProcessId id = 0; id < n; ++id) {
     if (isByz[id]) continue;
@@ -553,6 +559,7 @@ RaftScenarioResult runRaft(const RaftScenarioConfig& config,
   result.agreementViolated = sim.agreementViolated();
   result.validityViolated = sim.validityViolated();
   result.messages = sim.messagesSent();
+  result.eventsProcessed = sim.eventsProcessed();
 
   result.firstDecisionTick = 0;
   bool first = true;

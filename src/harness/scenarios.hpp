@@ -129,6 +129,8 @@ struct BenOrResult {
   double meanDecisionRound = 0.0;
   Tick lastDecisionTick = 0;
   std::uint64_t messagesByCorrect = 0;
+  /// Scheduler events executed by the run (bench_simcore's work unit).
+  std::uint64_t eventsProcessed = 0;
 
   /// Per-round object audits (template modes only; empty for monolithic).
   std::vector<RoundAudit> audits;
@@ -209,6 +211,8 @@ struct PhaseKingResult {
   Round maxDecisionRound = 0;
   Tick lastDecisionTick = 0;
   std::uint64_t messagesByCorrect = 0;
+  /// Scheduler events executed by the run (bench_simcore's work unit).
+  std::uint64_t eventsProcessed = 0;
   std::vector<RoundAudit> audits;  // decomposed runs only
   bool allAuditsOk = true;
 };
@@ -264,6 +268,8 @@ struct RaftScenarioResult {
   Tick firstDecisionTick = 0;
   Tick lastDecisionTick = 0;
   std::uint64_t messages = 0;
+  /// Scheduler events executed by the run (bench_simcore's work unit).
+  std::uint64_t eventsProcessed = 0;
   std::uint64_t electionsStarted = 0;
   std::uint64_t leaderships = 0;
   std::uint64_t reconciliatorInvocations = 0;

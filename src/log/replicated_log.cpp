@@ -22,12 +22,16 @@ class ReplicatedLogNode::SlotContextImpl final : public Context {
   Rng& rng() noexcept override { return host_.ctx().rng(); }
 
   void send(ProcessId to, std::unique_ptr<Message> msg) override {
-    host_.ctx().send(to,
-                     std::make_unique<SlotMessage>(slot_, std::move(msg)));
+    post(to, MessagePtr(std::move(msg)));
   }
   void broadcast(const Message& msg) override {
-    const SlotMessage wrapped(slot_, msg.clone());
-    host_.ctx().broadcast(wrapped);
+    fanout(MessagePtr(msg.clone()));
+  }
+  void post(ProcessId to, MessagePtr msg) override {
+    host_.ctx().post(to, makeMessage<SlotMessage>(slot_, std::move(msg)));
+  }
+  void fanout(MessagePtr msg) override {
+    host_.ctx().fanout(makeMessage<SlotMessage>(slot_, std::move(msg)));
   }
   TimerId setTimer(Tick delay) override {
     const TimerId id = host_.ctx().setTimer(delay);
@@ -128,7 +132,7 @@ void ReplicatedLogNode::onMessage(ProcessId from, const Message& message) {
     return;
   }
   if (slot > slot_) {
-    buffered_[slot].emplace_back(from, slotted->inner().clone());
+    buffered_[slot].emplace_back(from, slotted->innerPtr());
   }
   // slot < slot_ with no engine: pruned, drop.
 }

@@ -33,25 +33,24 @@
 
 namespace ooc::log {
 
-/// Slot-number envelope around consensus-template traffic.
-class SlotMessage final : public Message {
+/// Slot-number envelope around consensus-template traffic. The inner
+/// payload is shared: cloning the envelope or buffering it adds a ref.
+class SlotMessage final : public MessageBase<SlotMessage> {
  public:
-  SlotMessage(std::uint64_t slot, std::unique_ptr<Message> inner)
+  SlotMessage(std::uint64_t slot, MessagePtr inner)
       : slot_(slot), inner_(std::move(inner)) {}
 
   std::uint64_t slot() const noexcept { return slot_; }
   const Message& inner() const noexcept { return *inner_; }
+  const MessagePtr& innerPtr() const noexcept { return inner_; }
 
-  std::unique_ptr<Message> clone() const override {
-    return std::make_unique<SlotMessage>(slot_, inner_->clone());
-  }
   std::string describe() const override {
     return "[slot " + std::to_string(slot_) + "] " + inner_->describe();
   }
 
  private:
   std::uint64_t slot_;
-  std::unique_ptr<Message> inner_;
+  MessagePtr inner_;
 };
 
 /// The no-op command proposed by nodes whose queue is drained. Reserved:
@@ -130,9 +129,9 @@ class ReplicatedLogNode final : public Process {
   /// Options::participateRoundsAfterDecide in ConsensusProcess).
   std::map<std::uint64_t, ActiveSlot> active_;
   std::map<TimerId, std::uint64_t> timerSlot_;
-  /// Buffered traffic for slots this node has not reached yet.
-  std::map<std::uint64_t,
-           std::vector<std::pair<ProcessId, std::unique_ptr<Message>>>>
+  /// Buffered traffic for slots this node has not reached yet; payloads
+  /// are shared with the in-flight envelopes, never copied.
+  std::map<std::uint64_t, std::vector<std::pair<ProcessId, MessagePtr>>>
       buffered_;
 };
 

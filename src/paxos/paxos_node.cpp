@@ -142,7 +142,7 @@ void PaxosNode::startBallot() {
   highestAcceptedSeen_ = 0;
   valueToPropose_ = input_;
   OOC_TRACE("paxos p", ctx().self(), " ballot ", currentBallot_);
-  ctx().broadcast(Prepare(currentBallot_));
+  ctx().fanout(makeMessage<Prepare>(currentBallot_));
 }
 
 void PaxosNode::onMessage(ProcessId from, const Message& message) {
@@ -189,7 +189,7 @@ void PaxosNode::handlePromise(ProcessId from, const Promise& msg) {
   }
   if (2 * promiseCount_ > ctx().processCount()) {
     acceptRequested_ = true;
-    ctx().broadcast(Accept(currentBallot_, valueToPropose_));
+    ctx().fanout(makeMessage<Accept>(currentBallot_, valueToPropose_));
   }
 }
 
@@ -204,7 +204,7 @@ void PaxosNode::handleAccept(ProcessId, const Accept& msg) {
   persist({kRecAccept, acceptedBallot_, encodeValue(acceptedValue_)});
   // Adopt-level knowledge: a majority-backed proposer pushed this value.
   record(Confidence::kAdopt, msg.value);
-  ctx().broadcast(Accepted(msg.ballot, msg.value));
+  ctx().fanout(makeMessage<Accepted>(msg.ballot, msg.value));
 }
 
 void PaxosNode::handleAccepted(ProcessId from, const Accepted& msg) {
@@ -239,7 +239,7 @@ void PaxosNode::learn(Value value) {
   ctx().decide(value);
   if (retryTimer_ != 0) ctx().cancelTimer(retryTimer_);
   // Short-circuit for laggards; acceptor duties continue regardless.
-  ctx().broadcast(DecidedAnnounce(value));
+  ctx().fanout(makeMessage<DecidedAnnounce>(value));
 }
 
 }  // namespace ooc::paxos

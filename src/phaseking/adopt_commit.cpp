@@ -14,7 +14,7 @@ void PhaseKingAc::invoke(ObjectContext& ctx, Value v) {
   value_ = v;
   seenExchange1_.assign(ctx.processCount(), false);
   seenExchange2_.assign(ctx.processCount(), false);
-  ctx.broadcast(ExchangeMessage(1, v));
+  ctx.fanout(makeMessage<ExchangeMessage>(1, v));
 }
 
 void PhaseKingAc::onMessage(ObjectContext&, ProcessId from,
@@ -46,7 +46,7 @@ void PhaseKingAc::onTick(ObjectContext& ctx, Tick) {
     for (Value k = 0; k <= 1; ++k) {
       if (countC_[static_cast<std::size_t>(k)] >= n - t_) value_ = k;
     }
-    ctx.broadcast(ExchangeMessage(2, value_));
+    ctx.fanout(makeMessage<ExchangeMessage>(2, value_));
     return;
   }
 

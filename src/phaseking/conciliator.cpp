@@ -15,7 +15,7 @@ KingConciliator::KingConciliator(Round round) : round_(round) {}
 void KingConciliator::invoke(ObjectContext& ctx, const Outcome& detected) {
   fallback_ = binarize(detected.value);
   if (ctx.self() == kingOf(round_, ctx.processCount())) {
-    ctx.broadcast(KingMessage(binarize(detected.value)));
+    ctx.fanout(makeMessage<KingMessage>(binarize(detected.value)));
   }
 }
 

@@ -27,7 +27,7 @@ void MonolithicPhaseKing::beginPhase() {
   countC_ = {};
   countD_ = {};
   kingValueSeen_ = false;
-  ctx().broadcast(ClassicPkMessage(phase_, 1, value_));
+  ctx().fanout(makeMessage<ClassicPkMessage>(phase_, 1, value_));
 }
 
 void MonolithicPhaseKing::onMessage(ProcessId from, const Message& message) {
@@ -69,7 +69,7 @@ void MonolithicPhaseKing::onTick(Tick) {
       value_ = 2;
       for (Value k = 0; k <= 1; ++k)
         if (countC_[static_cast<std::size_t>(k)] >= n - t_) value_ = k;
-      ctx().broadcast(ClassicPkMessage(phase_, 2, value_));
+      ctx().fanout(makeMessage<ClassicPkMessage>(phase_, 2, value_));
       slot_ = 1;
       return;
     }
@@ -77,7 +77,7 @@ void MonolithicPhaseKing::onTick(Tick) {
       for (Value k = 2; k >= 0; --k)
         if (countD_[static_cast<std::size_t>(k)] > t_) value_ = k;
       if (ctx().self() == (phase_ - 1) % n)
-        ctx().broadcast(ClassicPkMessage(phase_, 3, binarize(value_)));
+        ctx().fanout(makeMessage<ClassicPkMessage>(phase_, 3, binarize(value_)));
       slot_ = 2;
       return;
     }

@@ -18,7 +18,7 @@ void PhaseQueenAc::invoke(ObjectContext& ctx, Value v) {
   if (4 * t_ >= ctx.processCount())
     throw std::invalid_argument("Phase-Queen requires 4t < n");
   seen_.assign(ctx.processCount(), false);
-  ctx.broadcast(ExchangeMessage(1, binarize(v)));
+  ctx.fanout(makeMessage<ExchangeMessage>(1, binarize(v)));
 }
 
 void PhaseQueenAc::onMessage(ObjectContext&, ProcessId from,
@@ -51,7 +51,7 @@ QueenConciliator::QueenConciliator(Round round) : round_(round) {}
 void QueenConciliator::invoke(ObjectContext& ctx, const Outcome& detected) {
   fallback_ = binarize(detected.value);
   if (ctx.self() == queenOf(round_, ctx.processCount()))
-    ctx.broadcast(KingMessage(binarize(detected.value)));
+    ctx.fanout(makeMessage<KingMessage>(binarize(detected.value)));
 }
 
 void QueenConciliator::onMessage(ObjectContext& ctx, ProcessId from,

@@ -13,7 +13,7 @@ void DecentralizedRaftVac::invoke(ObjectContext& ctx, Value v) {
   input_ = v;
   proposalSeen_.assign(ctx.processCount(), false);
   commitSeen_.assign(ctx.processCount(), false);
-  ctx.broadcast(DecProposeMessage(v));
+  ctx.fanout(makeMessage<DecProposeMessage>(v));
 }
 
 void DecentralizedRaftVac::onMessage(ObjectContext& ctx, ProcessId from,
@@ -53,8 +53,8 @@ void DecentralizedRaftVac::maybeFinishProposals(ObjectContext& ctx) {
       break;
     }
   }
-  ctx.broadcast(majority ? DecCommitMessage(true, *majority)
-                         : DecCommitMessage(false, kNoValue));
+  ctx.fanout(majority ? makeMessage<DecCommitMessage>(true, *majority)
+                      : makeMessage<DecCommitMessage>(false, kNoValue));
   maybeFinish();
 }
 

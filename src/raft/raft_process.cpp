@@ -231,11 +231,12 @@ void RaftProcess::becomeCandidate() {
     becomeLeader();
     return;
   }
-  const RequestVote request(currentTerm_, ctx().self(), lastLogIndex(),
-                            lastLogTerm());
+  // One shared RequestVote for the whole electorate; each post adds a ref.
+  const auto request = makeMessage<RequestVote>(currentTerm_, ctx().self(),
+                                                lastLogIndex(), lastLogTerm());
   for (ProcessId peer = 0; peer < ctx().processCount(); ++peer) {
     if (peer == ctx().self()) continue;
-    ctx().send(peer, request.clone());
+    ctx().post(peer, request);
   }
 }
 

@@ -1,0 +1,113 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ooc {
+namespace {
+
+/// std::push_heap builds a max-heap; invert to get earliest-first.
+struct OverflowOrder {
+  bool operator()(const SimEvent& a, const SimEvent& b) const noexcept {
+    if (a.at != b.at) return a.at > b.at;
+    if (a.phase != b.phase) return a.phase > b.phase;
+    return a.seq > b.seq;
+  }
+};
+
+/// Thread-local pool of warm bucket rings. A Simulator (and therefore an
+/// EventQueue) is confined to one thread for its lifetime, so checkout
+/// needs no locking; a checker worker thread hands one ring from run to
+/// run and keeps the lane capacities hot across the whole sweep.
+struct Arena {
+  std::vector<std::vector<EventQueue::Bucket>> rings;
+};
+
+Arena& arena() noexcept {
+  thread_local Arena instance;
+  return instance;
+}
+
+}  // namespace
+
+EventQueue::EventQueue() {
+  auto& pool = arena().rings;
+  if (!pool.empty()) {
+    ring_ = std::move(pool.back());
+    pool.pop_back();
+  } else {
+    ring_.resize(kWindow);
+  }
+}
+
+EventQueue::~EventQueue() {
+  for (Bucket& bucket : ring_) bucket.reset();  // keeps lane capacity
+  auto& pool = arena().rings;
+  // A handful of live queues per thread is the realistic maximum (nested
+  // simulations do not exist); cap the pool so pathological use cannot
+  // hoard memory.
+  if (pool.size() < 4) pool.push_back(std::move(ring_));
+}
+
+void EventQueue::drainThreadArena() noexcept { arena().rings.clear(); }
+
+void EventQueue::push(SimEvent event) {
+  event.seq = nextSeq_++;
+  if (event.at < cursor_) event.at = cursor_;
+  if (event.at - cursor_ < kWindow) {
+    Bucket& bucket = ring_[event.at & kMask];
+    bucket.lanes[event.phase].push_back(std::move(event));
+    ++ringCount_;
+  } else {
+    overflow_.push_back(std::move(event));
+    std::push_heap(overflow_.begin(), overflow_.end(), OverflowOrder{});
+  }
+  ++size_;
+}
+
+bool EventQueue::pop(SimEvent& out) {
+  if (size_ == 0) return false;
+  for (;;) {
+    if (ringCount_ == 0) {
+      // Everything left is beyond the window: jump the cursor to the
+      // overflow's minimum tick instead of walking empty buckets. The
+      // current bucket is drained but not yet reset (its last event was
+      // popped on the previous call); reset it before the jump so no
+      // stale drain positions survive.
+      ring_[cursor_ & kMask].reset();
+      cursor_ = overflow_.front().at;
+      refill();
+      continue;
+    }
+    Bucket& bucket = ring_[cursor_ & kMask];
+    // Normal lane strictly before the barrier lane — and re-checked after
+    // every pop, so normal events appended while the barrier of the same
+    // tick executes (onTick handlers sending with delay 0 clamped to the
+    // cursor) are drained before any later barrier entry, exactly like
+    // the old heap's (tick, phase, seq) order.
+    for (int lane = 0; lane < 2; ++lane) {
+      if (bucket.next[lane] < bucket.lanes[lane].size()) {
+        out = std::move(bucket.lanes[lane][bucket.next[lane]++]);
+        --ringCount_;
+        --size_;
+        return true;
+      }
+    }
+    bucket.reset();
+    ++cursor_;
+    refill();
+  }
+}
+
+void EventQueue::refill() {
+  while (!overflow_.empty() && overflow_.front().at - cursor_ < kWindow) {
+    std::pop_heap(overflow_.begin(), overflow_.end(), OverflowOrder{});
+    SimEvent event = std::move(overflow_.back());
+    overflow_.pop_back();
+    Bucket& bucket = ring_[event.at & kMask];
+    bucket.lanes[event.phase].push_back(std::move(event));
+    ++ringCount_;
+  }
+}
+
+}  // namespace ooc

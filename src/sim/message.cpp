@@ -1,0 +1,12 @@
+#include "sim/message.hpp"
+
+#include <atomic>
+
+namespace ooc::detail {
+
+MessageTag nextMessageTag() noexcept {
+  static std::atomic<MessageTag> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace ooc::detail

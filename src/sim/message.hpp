@@ -1,44 +1,104 @@
 // Message abstraction for the simulated message-passing network.
 //
 // Protocol messages are ordinary structs deriving from Message via the CRTP
-// helper MessageBase, which supplies cloning (needed for broadcast fan-out
-// and duplication faults). Receivers downcast with Message::as<T>() — a
-// checked dynamic_cast — and must treat every field as untrusted, since a
+// helper MessageBase, which supplies cloning and a static type tag.
+// Receivers downcast with Message::as<T>() — an exact-type tag compare, not
+// a dynamic_cast — and must treat every field as untrusted, since a
 // Byzantine sender can put anything in them.
+//
+// Payload ownership: in-flight messages are refcounted and immutable
+// (MessagePtr = shared_ptr<const Message>), so a broadcast or a network
+// duplication fault shares one payload across every delivery instead of
+// deep-copying per recipient. clone() remains the copy-on-write escape
+// hatch for anything that needs to derive a mutated payload (e.g. a
+// corruption fault): copy, mutate the copy, share the copy.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 
 namespace ooc {
 
+class Message;
+
+/// Refcounted immutable payload: how messages travel through the
+/// simulator. A std::unique_ptr<Derived> converts implicitly, so
+/// `post(to, std::make_unique<T>(...))` works unchanged.
+using MessagePtr = std::shared_ptr<const Message>;
+
+/// A message type's identity, assigned on first use (see tagOf).
+using MessageTag = std::uint32_t;
+
+namespace detail {
+/// Hands out process-unique tags; thread-safe (the checker's sweep workers
+/// run simulations concurrently). Assignment order depends on which type is
+/// seen first and is never serialized or compared across runs, so it cannot
+/// affect determinism.
+MessageTag nextMessageTag() noexcept;
+}  // namespace detail
+
+/// The tag of concrete message type T (stable for the process lifetime).
+template <typename T>
+MessageTag tagOf() noexcept {
+  static const MessageTag tag = detail::nextMessageTag();
+  return tag;
+}
+
 class Message {
  public:
-  Message() = default;
   Message(const Message&) = default;
   Message& operator=(const Message&) = default;
   virtual ~Message() = default;
 
-  /// Deep copy; used by broadcast and by duplication faults.
+  /// Deep copy — the copy-on-write escape hatch; the delivery fan-out no
+  /// longer calls this (payloads are shared).
   virtual std::unique_ptr<Message> clone() const = 0;
 
-  /// Human-readable rendering for traces and logs.
+  /// Human-readable rendering for traces and logs. Built lazily: the
+  /// simulator only calls this when a log sink or an observer opted in
+  /// (ScheduleObserver::wantsMessageText).
   virtual std::string describe() const = 0;
 
+  MessageTag tag() const noexcept { return tag_; }
+
   /// Checked downcast; returns nullptr when the payload is another type.
+  /// Matches the exact concrete type only (every protocol message is a
+  /// final class), via a tag compare instead of a dynamic_cast.
   template <typename T>
   const T* as() const noexcept {
-    return dynamic_cast<const T*>(this);
+    return tag_ == tagOf<T>() ? static_cast<const T*>(this) : nullptr;
   }
+
+ protected:
+  /// Concrete types get their tag through MessageBase.
+  explicit Message(MessageTag tag) noexcept : tag_(tag) {}
+
+ private:
+  MessageTag tag_;
 };
 
-/// CRTP base implementing clone() for a concrete message type.
+/// CRTP base implementing clone() and the type tag for a concrete message
+/// type. Every concrete message must derive from this (directly or via
+/// `class M final : public MessageBase<M>`), so that as<M>() can resolve by
+/// tag.
 template <typename Derived>
 class MessageBase : public Message {
  public:
+  MessageBase() noexcept : Message(tagOf<Derived>()) {}
+
   std::unique_ptr<Message> clone() const override {
     return std::make_unique<Derived>(static_cast<const Derived&>(*this));
   }
 };
+
+/// Builds a shared, immutable payload in place — the zero-copy counterpart
+/// of std::make_unique for fan-out call sites:
+///   ctx.fanout(makeMessage<ProposalMessage>(round, value));
+template <typename T, typename... Args>
+std::shared_ptr<const T> makeMessage(Args&&... args) {
+  return std::make_shared<const T>(std::forward<Args>(args)...);
+}
 
 }  // namespace ooc

@@ -31,6 +31,19 @@ class Context {
   /// paper's "send <v> to all".
   virtual void broadcast(const Message& msg) = 0;
 
+  /// Shared-payload unicast: the simulator enqueues `msg` without copying
+  /// (a unique_ptr<Derived> converts to MessagePtr implicitly, so existing
+  /// make_unique call sites work here too). The default shim clones and
+  /// forwards to send() so hand-written test contexts that only implement
+  /// the legacy pair keep working; real contexts override it.
+  virtual void post(ProcessId to, MessagePtr msg) { send(to, msg->clone()); }
+
+  /// Shared-payload broadcast: one refcounted payload reaches every
+  /// process, including the sender — zero per-recipient copies on the
+  /// non-fault path. Default shim forwards to the cloning broadcast() for
+  /// legacy contexts; real contexts override.
+  virtual void fanout(MessagePtr msg) { broadcast(*msg); }
+
   /// Arms a one-shot timer firing after `delay` ticks (>= 1).
   virtual TimerId setTimer(Tick delay) = 0;
   virtual void cancelTimer(TimerId id) noexcept = 0;

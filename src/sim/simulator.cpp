@@ -9,52 +9,6 @@
 namespace ooc {
 
 // ---------------------------------------------------------------------------
-// Events
-
-struct Simulator::Event {
-  enum class Kind { kStart, kDeliver, kTimer, kControl, kBarrier, kCrash,
-                    kRestart };
-
-  Tick at = 0;
-  // Barriers sort after all normal events of the same tick.
-  int phase = 0;
-  std::uint64_t seq = 0;
-  Kind kind = Kind::kControl;
-
-  ProcessId target = 0;
-  ProcessId from = 0;
-  std::unique_ptr<Message> message;
-  TimerId timer = 0;
-  std::function<void()> action;
-  /// For kDeliver: the target's incarnation at send time. A mismatch at
-  /// delivery means the target restarted in between — the message belongs
-  /// to its previous life and is discarded as stale.
-  std::uint32_t targetIncarnation = 0;
-};
-
-struct Simulator::EventOrder {
-  // std::push_heap builds a max-heap; invert to get earliest-first.
-  bool operator()(const Event& a, const Event& b) const noexcept {
-    if (a.at != b.at) return a.at > b.at;
-    if (a.phase != b.phase) return a.phase > b.phase;
-    return a.seq > b.seq;
-  }
-};
-
-void Simulator::pushEvent(Event event) {
-  event.seq = nextSeq_++;
-  heap_.push_back(std::move(event));
-  std::push_heap(heap_.begin(), heap_.end(), EventOrder{});
-}
-
-Simulator::Event Simulator::popEvent() {
-  std::pop_heap(heap_.begin(), heap_.end(), EventOrder{});
-  Event event = std::move(heap_.back());
-  heap_.pop_back();
-  return event;
-}
-
-// ---------------------------------------------------------------------------
 // Context implementation
 
 class Simulator::ContextImpl final : public Context {
@@ -69,12 +23,26 @@ class Simulator::ContextImpl final : public Context {
   Rng& rng() noexcept override { return sim_.processes_[id_].rng; }
 
   void send(ProcessId to, std::unique_ptr<Message> msg) override {
+    // Ownership transfer, no copy: the unique payload becomes the shared
+    // in-flight payload.
+    sim_.deliverSend(id_, to, MessagePtr(std::move(msg)));
+  }
+
+  void post(ProcessId to, MessagePtr msg) override {
     sim_.deliverSend(id_, to, std::move(msg));
   }
 
   void broadcast(const Message& msg) override {
+    // Legacy copy-in broadcast: the caller kept ownership, so exactly one
+    // clone is taken (counted) and then shared across all recipients. The
+    // fanout() path does zero.
+    ++sim_.messagesCloned_;
+    fanout(MessagePtr(msg.clone()));
+  }
+
+  void fanout(MessagePtr msg) override {
     for (ProcessId to = 0; to < sim_.processes_.size(); ++to)
-      sim_.deliverSend(id_, to, msg.clone());
+      sim_.deliverSend(id_, to, msg);
   }
 
   TimerId setTimer(Tick delay) override { return sim_.armTimer(id_, delay); }
@@ -137,24 +105,27 @@ void Simulator::crashAt(ProcessId id, Tick tick) {
 void Simulator::restartAt(ProcessId id, Tick crashTick, Tick downtime) {
   if (id >= processes_.size())
     throw std::out_of_range("restartAt: unknown process");
-  Event crash;
+  SimEvent crash;
   crash.at = crashTick;
-  crash.kind = Event::Kind::kCrash;
+  crash.kind = SimEvent::Kind::kCrash;
   crash.target = id;
-  pushEvent(std::move(crash));
-  Event restart;
+  queue_.push(std::move(crash));
+  SimEvent restart;
   restart.at = crashTick + std::max<Tick>(1, downtime);
-  restart.kind = Event::Kind::kRestart;
+  restart.kind = SimEvent::Kind::kRestart;
   restart.target = id;
-  pushEvent(std::move(restart));
+  queue_.push(std::move(restart));
 }
 
 void Simulator::schedule(Tick tick, std::function<void()> action) {
-  Event event;
+  SimEvent event;
   event.at = tick;
-  event.kind = Event::Kind::kControl;
-  event.action = std::move(action);
-  pushEvent(std::move(event));
+  event.kind = SimEvent::Kind::kControl;
+  // The action body lives in controlActions_; the event just carries its
+  // index (in the timer field) so SimEvent stays a flat value type.
+  event.timer = static_cast<TimerId>(controlActions_.size());
+  controlActions_.push_back(std::move(action));
+  queue_.push(std::move(event));
 }
 
 void Simulator::setStopPredicate(
@@ -176,30 +147,31 @@ void Simulator::run() {
   started_ = true;
 
   for (ProcessId id = 0; id < processes_.size(); ++id) {
-    Event event;
+    SimEvent event;
     event.at = 0;
-    event.kind = Event::Kind::kStart;
+    event.kind = SimEvent::Kind::kStart;
     event.target = id;
-    pushEvent(std::move(event));
+    queue_.push(std::move(event));
   }
   if (config_.lockstep) {
     // First barrier fires at tick 1: no message can arrive at tick 0, and
     // objects invoked during onStart must not see a barrier before their
     // first messages (their exchange calendar starts at the next tick).
-    Event barrier;
+    SimEvent barrier;
     barrier.at = 1;
     barrier.phase = 1;
-    barrier.kind = Event::Kind::kBarrier;
-    pushEvent(std::move(barrier));
+    barrier.kind = SimEvent::Kind::kBarrier;
+    queue_.push(std::move(barrier));
   }
 
-  while (!heap_.empty()) {
+  SimEvent event;
+  while (!queue_.empty()) {
     if (shouldStop()) return;
     if (eventsProcessed_ >= config_.maxEvents) {
       hitCap_ = true;
       return;
     }
-    Event event = popEvent();
+    queue_.pop(event);
     if (event.at > config_.maxTicks) {
       hitCap_ = true;
       return;
@@ -209,12 +181,12 @@ void Simulator::run() {
     if (observer_) observe(event);
 
     switch (event.kind) {
-      case Event::Kind::kStart: {
+      case SimEvent::Kind::kStart: {
         Slot& slot = processes_[event.target];
         if (!slot.crashed) slot.process->onStart();
         break;
       }
-      case Event::Kind::kDeliver: {
+      case SimEvent::Kind::kDeliver: {
         Slot& slot = processes_[event.target];
         if (!slot.crashed) {
           if (event.targetIncarnation != slot.incarnation) {
@@ -230,28 +202,27 @@ void Simulator::run() {
         }
         break;
       }
-      case Event::Kind::kTimer: {
-        // An id absent from timerOwner_ means the timer was cancelled (ids
-        // are never reused); the heap entry is simply dropped here, so no
-        // tombstone bookkeeping can accumulate.
-        const auto owner = timerOwner_.find(event.timer);
-        if (owner == timerOwner_.end()) break;
-        const ProcessId id = owner->second;
-        timerOwner_.erase(owner);
+      case SimEvent::Kind::kTimer: {
+        // A released slot (kNoTimerOwner) means the timer was cancelled —
+        // ids are never reused; the queue entry is simply dropped here, so
+        // no tombstone bookkeeping can accumulate.
+        const ProcessId owner = timerOwnerOf(event.timer);
+        if (owner == kNoTimerOwner) break;
+        releaseTimer(event.timer);
         ++timersFired_;
-        Slot& slot = processes_[id];
+        Slot& slot = processes_[owner];
         if (!slot.crashed) slot.process->onTimer(event.timer);
         break;
       }
-      case Event::Kind::kControl:
-        event.action();
+      case SimEvent::Kind::kControl:
+        controlActions_[static_cast<std::size_t>(event.timer)]();
         break;
-      case Event::Kind::kCrash: {
+      case SimEvent::Kind::kCrash: {
         Slot& slot = processes_[event.target];
         if (!slot.crashed) {
           slot.crashed = true;
           // Stale timers must not survive into the next incarnation: purge
-          // every armed timer this process owns (its heap entries become
+          // every armed timer this process owns (its queue entries become
           // inert, exactly like cancellation).
           purgeTimersOf(event.target);
           slot.process->onCrash();
@@ -259,7 +230,7 @@ void Simulator::run() {
         }
         break;
       }
-      case Event::Kind::kRestart: {
+      case SimEvent::Kind::kRestart: {
         Slot& slot = processes_[event.target];
         if (slot.crashed) {
           slot.crashed = false;
@@ -271,22 +242,24 @@ void Simulator::run() {
         }
         break;
       }
-      case Event::Kind::kBarrier: {
+      case SimEvent::Kind::kBarrier: {
         for (Slot& slot : processes_)
           if (!slot.crashed) slot.process->onTick(now_);
-        Event barrier;
+        SimEvent barrier;
         barrier.at = now_ + 1;
         barrier.phase = 1;
-        barrier.kind = Event::Kind::kBarrier;
-        pushEvent(std::move(barrier));
+        barrier.kind = SimEvent::Kind::kBarrier;
+        queue_.push(std::move(barrier));
         break;
       }
     }
+    // Drop the payload ref before the next pop so a delivered message whose
+    // last alias this was is freed now, not at the next delivery.
+    event.message.reset();
   }
 }
 
-void Simulator::deliverSend(ProcessId from, ProcessId to,
-                            std::unique_ptr<Message> msg) {
+void Simulator::deliverSend(ProcessId from, ProcessId to, MessagePtr msg) {
   if (to >= processes_.size())
     throw std::out_of_range("send to unknown process");
   if (processes_[from].crashed) return;
@@ -308,83 +281,139 @@ void Simulator::deliverSend(ProcessId from, ProcessId to,
   messagesDuplicated_ += scratchDelays_.size() - 1;
 
   for (std::size_t i = 0; i < scratchDelays_.size(); ++i) {
-    Event event;
+    SimEvent event;
     event.at = now_ + std::max<Tick>(1, scratchDelays_[i]);
-    event.kind = Event::Kind::kDeliver;
+    event.kind = SimEvent::Kind::kDeliver;
     event.target = to;
     event.from = from;
     event.targetIncarnation = processes_[to].incarnation;
-    event.message =
-        i + 1 < scratchDelays_.size() ? msg->clone() : std::move(msg);
-    pushEvent(std::move(event));
+    // Duplication-fault copies alias the payload: an extra delivery is an
+    // extra ref, never a deep copy.
+    event.message = i + 1 < scratchDelays_.size() ? msg : std::move(msg);
+    queue_.push(std::move(event));
   }
 }
 
-void Simulator::observe(const Event& event) {
+void Simulator::observe(const SimEvent& event) {
   TraceEvent out;
   out.at = event.at;
   switch (event.kind) {
-    case Event::Kind::kStart:
+    case SimEvent::Kind::kStart:
       out.kind = TraceEvent::Kind::kStart;
       out.a = event.target;
       break;
-    case Event::Kind::kDeliver:
+    case SimEvent::Kind::kDeliver:
       out.kind = TraceEvent::Kind::kDeliver;
       out.a = event.target;
       out.b = event.from;
       break;
-    case Event::Kind::kTimer: {
+    case SimEvent::Kind::kTimer:
       out.kind = TraceEvent::Kind::kTimer;
-      const auto owner = timerOwner_.find(event.timer);
-      out.a = owner == timerOwner_.end() ? kNoTraceProcess : owner->second;
+      // kNoTimerOwner and kNoTraceProcess are the same sentinel value, so a
+      // cancelled timer maps straight through.
+      out.a = timerOwnerOf(event.timer);
       out.aux = event.timer;
       break;
-    }
-    case Event::Kind::kControl:
+    case SimEvent::Kind::kControl:
       out.kind = TraceEvent::Kind::kControl;
       break;
-    case Event::Kind::kCrash:
+    case SimEvent::Kind::kCrash:
       out.kind = TraceEvent::Kind::kCrash;
       out.a = event.target;
       break;
-    case Event::Kind::kRestart:
+    case SimEvent::Kind::kRestart:
       out.kind = TraceEvent::Kind::kRestart;
       out.a = event.target;
       // The incarnation the process is about to enter (bumped when the
       // event executes, right after this observation).
       out.aux = processes_[event.target].incarnation + 1;
       break;
-    case Event::Kind::kBarrier:
+    case SimEvent::Kind::kBarrier:
       out.kind = TraceEvent::Kind::kBarrier;
       break;
   }
   observer_->onEvent(out);
+  // Payload text is rendered only on demand: describe() allocates and
+  // formats, which the hot path skips entirely unless this observer opted
+  // in (trace recording and the checker do not).
+  if (event.kind == SimEvent::Kind::kDeliver && observer_->wantsMessageText())
+    observer_->onMessageText(event.message->describe());
 }
 
 TimerId Simulator::armTimer(ProcessId id, Tick delay) {
   const TimerId timer = nextTimer_++;
   ++timersArmed_;
-  timerOwner_.emplace(timer, id);
-  Event event;
+  // Invariant: timerBase_ + timerOwner_.size() == nextTimer_ - 1 held on
+  // entry, so the new timer's slot is exactly the back of the table.
+  timerOwner_.push_back(id);
+  ++pendingTimers_;
+  SimEvent event;
   event.at = now_ + std::max<Tick>(1, delay);
-  event.kind = Event::Kind::kTimer;
+  event.kind = SimEvent::Kind::kTimer;
   event.timer = timer;
-  pushEvent(std::move(event));
+  queue_.push(std::move(event));
   return timer;
 }
 
+ProcessId Simulator::timerOwnerOf(TimerId id) const noexcept {
+  if (id < timerBase_) return kNoTimerOwner;
+  const auto index = static_cast<std::size_t>(id - timerBase_);
+  return index < timerOwner_.size() ? timerOwner_[index] : kNoTimerOwner;
+}
+
+void Simulator::releaseTimer(TimerId id) noexcept {
+  const auto index = static_cast<std::size_t>(id - timerBase_);
+  timerOwner_[index] = kNoTimerOwner;
+  --pendingTimers_;
+  if (pendingTimers_ == 0) {
+    // Whole window dead: restart it empty at the next id.
+    timerBase_ += timerOwner_.size();
+    timerOwner_.clear();
+    deadPrefix_ = 0;
+    return;
+  }
+  if (index == deadPrefix_) {
+    do {
+      ++deadPrefix_;
+    } while (deadPrefix_ < timerOwner_.size() &&
+             timerOwner_[deadPrefix_] == kNoTimerOwner);
+    // Trim in batches once the dead prefix dominates, so the trim's O(live)
+    // move amortizes to O(1) per release and the table tracks the live id
+    // span instead of the run's total timer churn.
+    if (deadPrefix_ >= 512 && deadPrefix_ >= timerOwner_.size() / 2) {
+      timerOwner_.erase(timerOwner_.begin(),
+                        timerOwner_.begin() +
+                            static_cast<std::ptrdiff_t>(deadPrefix_));
+      timerBase_ += deadPrefix_;
+      deadPrefix_ = 0;
+    }
+  }
+}
+
 void Simulator::disarmTimer(TimerId id) noexcept {
-  timersCancelled_ += timerOwner_.erase(id);
+  if (timerOwnerOf(id) == kNoTimerOwner) return;
+  releaseTimer(id);
+  ++timersCancelled_;
 }
 
 void Simulator::purgeTimersOf(ProcessId id) noexcept {
-  for (auto it = timerOwner_.begin(); it != timerOwner_.end();) {
-    if (it->second == id) {
-      it = timerOwner_.erase(it);
+  // Cold path (crash handling): mark in place, compact once at the end to
+  // keep this loop safe against releaseTimer's batched trims.
+  for (std::size_t i = deadPrefix_; i < timerOwner_.size(); ++i) {
+    if (timerOwner_[i] == id) {
+      timerOwner_[i] = kNoTimerOwner;
+      --pendingTimers_;
       ++timersPurgedOnCrash_;
-    } else {
-      ++it;
     }
+  }
+  if (pendingTimers_ == 0) {
+    timerBase_ += timerOwner_.size();
+    timerOwner_.clear();
+    deadPrefix_ = 0;
+  } else {
+    while (deadPrefix_ < timerOwner_.size() &&
+           timerOwner_[deadPrefix_] == kNoTimerOwner)
+      ++deadPrefix_;
   }
 }
 

@@ -11,14 +11,21 @@
 // decisions through Context::decide, and the simulator checks agreement and
 // validity online and provides the customary "all correct processes have
 // decided" stop condition.
+//
+// Hot-path layout (see DESIGN.md §8): events live in a tick-bucketed
+// calendar queue (sim/event_queue.hpp) instead of a binary heap, payloads
+// are refcounted and shared across fan-out and duplication (sim/message.hpp)
+// so the non-fault delivery path performs zero message copies, timer
+// ownership is a dense windowed table instead of a hash map, and trace text
+// (Message::describe) is rendered only for observers that opted in.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "sim/event_queue.hpp"
 #include "sim/network.hpp"
 #include "sim/process.hpp"
 #include "sim/trace.hpp"
@@ -85,7 +92,8 @@ class Simulator final {
 
   /// Attaches a scheduler observer (non-owning; must outlive the run): every
   /// executed event and every reported decision is mirrored to it in
-  /// deterministic execution order. Used for trace record/replay.
+  /// deterministic execution order. Used for trace record/replay. Observers
+  /// wanting rendered payload text opt in via wantsMessageText().
   void setScheduleObserver(ScheduleObserver* observer) noexcept {
     observer_ = observer;
   }
@@ -116,10 +124,17 @@ class Simulator final {
   }
   /// Sends whose network plan produced no delivery (loss or partition).
   std::uint64_t messagesDropped() const noexcept { return messagesDropped_; }
-  /// Extra delivery copies beyond the first (network duplication).
+  /// Extra delivery copies beyond the first (network duplication). The
+  /// copies share one payload — duplication adds refs, not clones.
   std::uint64_t messagesDuplicated() const noexcept {
     return messagesDuplicated_;
   }
+  /// Deep payload copies performed by the simulator. Zero on the modern
+  /// post()/fanout() path; the legacy Context::broadcast(const Message&)
+  /// shim clones its argument exactly once per call. A regression that
+  /// reintroduces per-recipient copying shows up here first (asserted by
+  /// tests/simcore_perf_test.cpp).
+  std::uint64_t messagesCloned() const noexcept { return messagesCloned_; }
   std::uint64_t eventsProcessed() const noexcept { return eventsProcessed_; }
   // Timer churn: armed counts every setTimer, cancelled every disarm of a
   // still-armed timer, fired every timer event that reached its owner.
@@ -141,8 +156,8 @@ class Simulator final {
   std::uint32_t incarnation(ProcessId id) const;
   /// Number of currently armed (not yet fired or cancelled) timers. Must
   /// stay bounded on long runs: disarming releases the bookkeeping
-  /// immediately (the heap entry is dropped lazily when its tick arrives).
-  std::size_t pendingTimerCount() const noexcept { return timerOwner_.size(); }
+  /// immediately (the queue entry is dropped lazily when its tick arrives).
+  std::size_t pendingTimerCount() const noexcept { return pendingTimers_; }
 
   /// The network model, for runtime reconfiguration from schedule() hooks.
   NetworkModel& network() noexcept { return *network_; }
@@ -155,18 +170,18 @@ class Simulator final {
 
  private:
   class ContextImpl;
-  struct Event;
-  struct EventOrder;
 
-  void pushEvent(Event event);
-  Event popEvent();
-  void observe(const Event& event);
-  void deliverSend(ProcessId from, ProcessId to,
-                   std::unique_ptr<Message> msg);
+  void observe(const SimEvent& event);
+  void deliverSend(ProcessId from, ProcessId to, MessagePtr msg);
   void recordDecision(ProcessId id, Value v);
   TimerId armTimer(ProcessId id, Tick delay);
   void disarmTimer(TimerId id) noexcept;
   void purgeTimersOf(ProcessId id) noexcept;
+  /// Owner of an armed timer, or kNoTimerOwner if fired/cancelled/unknown.
+  ProcessId timerOwnerOf(TimerId id) const noexcept;
+  /// Releases a timer slot (fire or cancel) and compacts the table when the
+  /// window has gone fully or mostly dead.
+  void releaseTimer(TimerId id) noexcept;
   bool shouldStop() const;
 
   SimConfig config_;
@@ -184,14 +199,28 @@ class Simulator final {
   };
   std::vector<Slot> processes_;
 
-  std::vector<Event> heap_;  // binary heap ordered by EventOrder
-  std::uint64_t nextSeq_ = 0;
+  EventQueue queue_;
+  /// Control-action bodies, referenced by index from kControl events so the
+  /// event layout stays a flat value type (no std::function per event).
+  /// Append-only for the run's duration; runs are finite.
+  std::vector<std::function<void()>> controlActions_;
+
   std::uint64_t nextTimer_ = 1;
-  /// Owner of every armed timer. A timer event whose id is no longer here
-  /// was cancelled (timer ids are never reused, and each id gets exactly one
-  /// heap event), so cancellation needs no separate tombstone set — the set
-  /// of armed timers stays bounded however many timers a run churns.
-  std::unordered_map<TimerId, ProcessId> timerOwner_;
+  /// Sentinel in timerOwner_ for slots whose timer fired or was cancelled.
+  static constexpr ProcessId kNoTimerOwner = static_cast<ProcessId>(-1);
+  /// Owner of every armed timer, as a dense window over timer ids: slot
+  /// `id - timerBase_` holds the owner, kNoTimerOwner once released. Timer
+  /// ids are never reused and each id gets exactly one queue event, so a
+  /// released slot doubles as the cancellation tombstone. The window is
+  /// compacted as leading slots die (releaseTimer), so it stays bounded by
+  /// the armed-timer churn, like the hash map it replaces — minus the
+  /// hashing on the hot path.
+  std::vector<ProcessId> timerOwner_;
+  TimerId timerBase_ = 1;
+  /// Slots [0, deadPrefix_) of timerOwner_ are all released; advanced as
+  /// front timers die and trimmed off in batches (amortized O(1)).
+  std::size_t deadPrefix_ = 0;
+  std::size_t pendingTimers_ = 0;
 
   Tick now_ = 0;
   bool started_ = false;
@@ -207,6 +236,7 @@ class Simulator final {
   std::uint64_t messagesDelivered_ = 0;
   std::uint64_t messagesDropped_ = 0;
   std::uint64_t messagesDuplicated_ = 0;
+  std::uint64_t messagesCloned_ = 0;
   std::uint64_t eventsProcessed_ = 0;
   std::uint64_t timersArmed_ = 0;
   std::uint64_t timersCancelled_ = 0;

@@ -75,6 +75,16 @@ class ScheduleObserver {
  public:
   virtual ~ScheduleObserver() = default;
   virtual void onEvent(const TraceEvent& event) = 0;
+
+  /// Opt-in to human-readable payload text. Message::describe() builds a
+  /// string per delivery, which the hot path cannot afford — so the
+  /// simulator renders it only when an attached observer returns true here
+  /// (it is queried once per delivery, before describe() is called).
+  virtual bool wantsMessageText() const noexcept { return false; }
+
+  /// Delivered right after the kDeliver onEvent() it annotates, only when
+  /// wantsMessageText() — carries Message::describe() of the payload.
+  virtual void onMessageText(const std::string& /*text*/) {}
 };
 
 /// Observer that appends every event to a Trace.

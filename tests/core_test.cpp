@@ -243,7 +243,7 @@ TEST(ConsensusTemplate, DecidersKeepParticipating) {
   EXPECT_FALSE(sim.agreementViolated());
 }
 
-TEST(TaggedMessage, CloneIsDeep) {
+TEST(TaggedMessage, CloneCopiesEnvelopeAndSharesImmutableInner) {
   TaggedMessage msg(3, Stage::kDrive, std::make_unique<EchoMsg>(9));
   auto copy = msg.clone();
   const auto* typed = copy->as<TaggedMessage>();
@@ -251,7 +251,11 @@ TEST(TaggedMessage, CloneIsDeep) {
   EXPECT_EQ(typed->round(), 3u);
   EXPECT_EQ(typed->stage(), Stage::kDrive);
   EXPECT_EQ(typed->inner().as<EchoMsg>()->v, 9);
-  EXPECT_NE(&typed->inner(), &msg.inner());
+  // Payloads are immutable and refcounted: cloning the envelope shares the
+  // inner message instead of deep-copying it (the zero-clone fan-out
+  // invariant; see sim/message.hpp).
+  EXPECT_EQ(&typed->inner(), &msg.inner());
+  EXPECT_EQ(typed->innerPtr(), msg.innerPtr());
 }
 
 TEST(TaggedMessage, RejectsNullInner) {

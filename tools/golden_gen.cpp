@@ -1,0 +1,29 @@
+// Regenerates the golden determinism artifacts under tests/golden/ (see
+// src/check/golden.hpp). Run after an INTENDED schedule or serialization
+// change, then review the diff:
+//
+//   build/tools/golden_gen tests/golden
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "check/golden.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: golden_gen <output-dir>\n");
+    return 2;
+  }
+  const std::string dir = argv[1];
+  for (const auto& fixture : ooc::check::goldenFixtures()) {
+    const std::string path = dir + "/" + fixture.name + ".golden";
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "golden_gen: cannot write '%s'\n", path.c_str());
+      return 2;
+    }
+    out << ooc::check::renderGolden(fixture);
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}
