@@ -1,9 +1,11 @@
 // E1 + E2 — Ben-Or decomposition faithfulness and input-bias sensitivity.
 //
 // E1: rounds-to-decide and message cost vs n, decomposed (VAC+reconciliator
-//     under the template) against the monolithic classic implementation.
-//     Claim (paper §4.2): the decomposition is behaviour-preserving, so the
-//     two columns must match in shape (same growth, same order).
+//     under the template, run as the "benor-vac+local-coin" composition)
+//     against the monolithic classic implementation (the one mode with no
+//     composition spelling). Claim (paper §4.2): the decomposition is
+//     behaviour-preserving, so the two columns must match in shape (same
+//     growth, same order).
 // E2: rounds vs the fraction of processes proposing 1. Convergence (§2)
 //     pins the endpoints at exactly one round; the worst case must sit at
 //     the balanced midpoint.
@@ -12,6 +14,7 @@
 #include <algorithm>
 
 #include "bench/bench_common.hpp"
+#include "compose/composition.hpp"
 #include "harness/scenarios.hpp"
 
 using namespace ooc;
@@ -31,6 +34,32 @@ std::vector<Value> biasedInputs(std::size_t n, double fractionOnes) {
   return spread;
 }
 
+/// The monolithic baseline predates the registry, so its cell still runs
+/// through the legacy config path.
+CellStats runMonolithicTrials(std::size_t n, int runs,
+                              std::uint64_t seedBase) {
+  CellStats stats;
+  stats.runs = runs;
+  for (int run = 0; run < runs; ++run) {
+    BenOrConfig config;
+    config.n = n;
+    config.inputs = biasedInputs(n, 0.5);
+    config.seed = seedBase + static_cast<std::uint64_t>(run);
+    config.t = std::max<std::size_t>(1, n / 8);
+    config.mode = BenOrConfig::Mode::kMonolithic;
+    const auto result = runBenOr(config);
+    stats.agreementOk = stats.agreementOk && !result.agreementViolated;
+    stats.validityOk = stats.validityOk && !result.validityViolated;
+    if (result.allDecided) {
+      ++stats.decided;
+      stats.rounds.add(result.meanDecisionRound);
+    }
+    stats.messages.add(static_cast<double>(result.messagesByCorrect) /
+                       static_cast<double>(n));
+  }
+  return stats;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -45,30 +74,30 @@ int main(int argc, char** argv) {
                  "mean msgs/proc", "runs"});
     for (std::size_t n : {4, 8, 16, 32, 64}) {
       for (const bool monolithic : {false, true}) {
-        Summary rounds, messages;
-        for (int run = 0; run < kRuns; ++run) {
-          BenOrConfig config;
-          config.n = n;
-          config.inputs = biasedInputs(n, 0.5);
-          config.seed = 10'000 + static_cast<std::uint64_t>(run);
-          config.t = std::max<std::size_t>(1, n / 8);
-          config.mode = monolithic ? BenOrConfig::Mode::kMonolithic
-                                   : BenOrConfig::Mode::kDecomposed;
-          const auto result = runBenOr(config);
-          bench.require(result.allDecided && !result.agreementViolated &&
-                              !result.validityViolated,
-                          "benor consensus n=" + std::to_string(n));
-          if (!monolithic)
-            bench.require(result.allAuditsOk, "object contracts");
-          rounds.add(result.meanDecisionRound);
-          messages.add(static_cast<double>(result.messagesByCorrect) /
-                       static_cast<double>(n));
+        CellStats stats;
+        if (monolithic) {
+          stats = runMonolithicTrials(n, kRuns, 10'000);
+        } else {
+          compose::Composition composition;
+          composition.detector = "benor-vac";
+          composition.driver = "local-coin";
+          composition.n = n;
+          composition.inputs = biasedInputs(n, 0.5);
+          composition.t = std::max<std::size_t>(1, n / 8);
+          stats = runCompositionTrials(composition, kRuns, 10'000);
+          bench.require(stats.auditsOk, "object contracts");
         }
+        bench.require(stats.decided == kRuns && stats.agreementOk &&
+                          stats.validityOk,
+                        "benor consensus n=" + std::to_string(n));
         table.addRow({Table::cell(std::uint64_t{n}),
                       monolithic ? "monolithic" : "decomposed",
-                      Table::cell(rounds.mean()), Table::cell(rounds.median()),
-                      Table::cell(rounds.p95()), Table::cell(rounds.max()),
-                      Table::cell(messages.mean(), 0), Table::cell(kRuns)});
+                      Table::cell(stats.rounds.mean()),
+                      Table::cell(stats.rounds.median()),
+                      Table::cell(stats.rounds.p95()),
+                      Table::cell(stats.rounds.max()),
+                      Table::cell(stats.messages.mean(), 0),
+                      Table::cell(kRuns)});
       }
     }
     bench.emit(table);
@@ -81,20 +110,20 @@ int main(int argc, char** argv) {
     Table table({"fraction proposing 1", "mean rounds", "p95", "max"});
     for (const double fraction :
          {0.0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0}) {
-      Summary rounds;
-      for (int run = 0; run < kRuns; ++run) {
-        BenOrConfig config;
-        config.n = 16;
-        config.inputs = biasedInputs(16, fraction);
-        config.seed = 20'000 + static_cast<std::uint64_t>(run);
-        config.t = 2;
-        const auto result = runBenOr(config);
-        bench.require(result.allDecided && !result.agreementViolated,
-                        "benor consensus (bias sweep)");
-        rounds.add(result.meanDecisionRound);
-      }
-      table.addRow({Table::cell(fraction, 3), Table::cell(rounds.mean()),
-                    Table::cell(rounds.p95()), Table::cell(rounds.max())});
+      compose::Composition composition;
+      composition.detector = "benor-vac";
+      composition.driver = "local-coin";
+      composition.n = 16;
+      composition.inputs = biasedInputs(16, fraction);
+      composition.t = 2;
+      const CellStats stats =
+          runCompositionTrials(composition, kRuns, 20'000);
+      bench.require(stats.decided == kRuns && stats.agreementOk,
+                      "benor consensus (bias sweep)");
+      table.addRow({Table::cell(fraction, 3),
+                    Table::cell(stats.rounds.mean()),
+                    Table::cell(stats.rounds.p95()),
+                    Table::cell(stats.rounds.max())});
     }
     bench.emit(table);
   }

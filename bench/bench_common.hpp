@@ -35,12 +35,60 @@
 #include <string>
 #include <vector>
 
+#include "compose/run.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_id.hpp"
 #include "util/stats.hpp"
 
 namespace ooc::bench {
+
+/// The balanced-split input pattern every sweep uses: 0,1,0,1,...
+inline std::vector<Value> alternatingInputs(std::size_t n) {
+  std::vector<Value> inputs(n);
+  for (std::size_t i = 0; i < n; ++i)
+    inputs[i] = static_cast<Value>(i % 2);
+  return inputs;
+}
+
+/// Aggregate of one experiment cell: `runs` seeded executions of a single
+/// composition. Round/message statistics plus the property flags the
+/// benches assert via Bench::require.
+struct CellStats {
+  int runs = 0;
+  int decided = 0;  ///< runs where every correct process decided
+  int decidedInFirstRound = 0;  ///< decided runs with max round 1
+  bool agreementOk = true;
+  bool validityOk = true;
+  bool auditsOk = true;
+  Summary rounds;    ///< mean decision round, decided runs only
+  Summary messages;  ///< messages by correct processes, per process
+};
+
+/// Runs `composition` under seeds seedBase, seedBase+1, ... — the
+/// scenario-setup loop every experiment binary used to hand-roll. The
+/// composition names the detector × driver pairing; everything else
+/// (inputs, t, crash schedule) rides along on the spec.
+inline CellStats runCompositionTrials(compose::Composition composition,
+                                      int runs, std::uint64_t seedBase) {
+  CellStats stats;
+  stats.runs = runs;
+  for (int run = 0; run < runs; ++run) {
+    composition.seed = seedBase + static_cast<std::uint64_t>(run);
+    const auto result = compose::runComposition(composition);
+    stats.agreementOk = stats.agreementOk && !result.agreementViolated;
+    stats.validityOk = stats.validityOk && !result.validityViolated;
+    stats.auditsOk = stats.auditsOk && result.allAuditsOk;
+    if (result.allDecided) {
+      ++stats.decided;
+      if (result.maxDecisionRound == 1) ++stats.decidedInFirstRound;
+      stats.rounds.add(result.meanDecisionRound);
+    }
+    stats.messages.add(static_cast<double>(result.messagesByCorrect) /
+                       static_cast<double>(composition.n));
+  }
+  return stats;
+}
 
 class Bench {
  public:

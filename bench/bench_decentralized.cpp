@@ -6,15 +6,14 @@
 // both VACs under the identical template and reconciliator across a seed
 // batch and compare the full distribution of rounds-to-decide, message
 // cost, and outcome mix. Expected shape: statistically indistinguishable
-// columns.
+// columns. The two arms differ only in the Composition's detector name.
 #include <algorithm>
 
 #include "bench/bench_common.hpp"
-#include "harness/scenarios.hpp"
+#include "compose/composition.hpp"
 
 using namespace ooc;
 using namespace ooc::bench;
-using harness::BenOrConfig;
 
 int main(int argc, char** argv) {
   Bench bench(argc, argv, "decentralized");
@@ -28,33 +27,27 @@ int main(int argc, char** argv) {
                "mean msgs/proc", "commit-in-1 %"});
   for (std::size_t n : {4, 8, 16}) {
     for (const bool decentralized : {false, true}) {
-      Summary rounds, messages;
-      int firstRoundCommits = 0;
-      for (int run = 0; run < kRuns; ++run) {
-        BenOrConfig config;
-        config.n = n;
-        config.inputs.resize(n);
-        for (std::size_t i = 0; i < n; ++i)
-          config.inputs[i] = static_cast<Value>(i % 2);
-        config.seed = 170'000 + static_cast<std::uint64_t>(run);
-        config.t = std::max<std::size_t>(1, n / 4);
-        config.mode = decentralized ? BenOrConfig::Mode::kDecentralizedVac
-                                    : BenOrConfig::Mode::kDecomposed;
-        const auto result = runBenOr(config);
-        bench.require(result.allDecided && !result.agreementViolated &&
-                            result.allAuditsOk,
-                        "consensus + contracts");
-        rounds.add(result.meanDecisionRound);
-        messages.add(static_cast<double>(result.messagesByCorrect) /
-                     static_cast<double>(n));
-        firstRoundCommits += result.maxDecisionRound == 1 ? 1 : 0;
-      }
+      compose::Composition composition;
+      composition.detector =
+          decentralized ? "decentralized-vac" : "benor-vac";
+      composition.driver = "local-coin";
+      composition.n = n;
+      composition.inputs = alternatingInputs(n);
+      composition.t = std::max<std::size_t>(1, n / 4);
+      const CellStats stats =
+          runCompositionTrials(composition, kRuns, 170'000);
+      bench.require(stats.decided == kRuns && stats.agreementOk &&
+                        stats.auditsOk,
+                      "consensus + contracts");
       table.addRow({Table::cell(std::uint64_t{n}),
                     decentralized ? "decentralized-raft" : "benor-vac",
-                    Table::cell(rounds.mean()), Table::cell(rounds.median()),
-                    Table::cell(rounds.p95()), Table::cell(rounds.max()),
-                    Table::cell(messages.mean(), 0),
-                    Table::cell(100.0 * firstRoundCommits / kRuns, 1)});
+                    Table::cell(stats.rounds.mean()),
+                    Table::cell(stats.rounds.median()),
+                    Table::cell(stats.rounds.p95()),
+                    Table::cell(stats.rounds.max()),
+                    Table::cell(stats.messages.mean(), 0),
+                    Table::cell(100.0 * stats.decidedInFirstRound / kRuns,
+                                1)});
     }
   }
   bench.emit(table);

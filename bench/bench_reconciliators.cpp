@@ -8,15 +8,16 @@
 //                                    stall forever.
 // The paper's conclusion that the reconciliator "in some cases is only a
 // procedure that flips a coin" is made concrete by how much the choice of
-// that procedure alone moves the numbers.
+// that procedure alone moves the numbers. Each cell is literally the same
+// Composition spec with a different driver name.
 #include <algorithm>
+#include <string>
 
 #include "bench/bench_common.hpp"
-#include "harness/scenarios.hpp"
+#include "compose/composition.hpp"
 
 using namespace ooc;
 using namespace ooc::bench;
-using harness::BenOrConfig;
 
 int main(int argc, char** argv) {
   Bench bench(argc, argv, "reconciliators");
@@ -28,56 +29,44 @@ int main(int argc, char** argv) {
          "(keep-value) removes termination.");
   Table table({"n", "reconciliator", "decided %", "mean rounds",
                "p95 rounds", "max rounds"});
-  struct Choice {
-    const char* name;
-    BenOrConfig::Reconciliator reconciliator;
-  };
   for (std::size_t n : {4, 8, 16, 32}) {
-    for (const Choice choice :
-         {Choice{"local-coin", BenOrConfig::Reconciliator::kLocalCoin},
-          Choice{"common-coin", BenOrConfig::Reconciliator::kCommonCoin},
-          Choice{"biased-0.8", BenOrConfig::Reconciliator::kBiasedCoin},
-          Choice{"keep-value", BenOrConfig::Reconciliator::kKeepValue}}) {
-      Summary rounds;
-      int decided = 0;
-      const bool isControl =
-          choice.reconciliator == BenOrConfig::Reconciliator::kKeepValue;
-      for (int run = 0; run < kRuns; ++run) {
-        BenOrConfig config;
-        config.n = n;
-        config.inputs.resize(n);
-        for (std::size_t i = 0; i < n; ++i)
-          config.inputs[i] = static_cast<Value>(i % 2);
-        config.seed = 140'000 + static_cast<std::uint64_t>(run);
-        config.t = std::max<std::size_t>(1, n / 8);
-        config.reconciliator = choice.reconciliator;
-        config.bias = 0.8;
-        if (isControl) {
-          config.maxRounds = 40;  // it will spin; cap the work
-          config.maxTicks = 300'000;
-        }
-        const auto result = runBenOr(config);
-        bench.require(!result.agreementViolated && !result.validityViolated,
-                        "safety");
-        if (!isControl) {
-          bench.require(result.allDecided, "liveness with reconciliation");
-          bench.require(result.allAuditsOk, "contracts");
-        }
-        if (result.allDecided) {
-          ++decided;
-          rounds.add(result.meanDecisionRound);
-        }
-      }
+    for (const std::string driver :
+         {"local-coin", "common-coin", "biased-coin", "keep-value"}) {
+      const bool isControl = driver == "keep-value";
+      compose::Composition composition;
+      composition.detector = "benor-vac";
+      composition.driver = driver;
+      composition.n = n;
+      composition.inputs = alternatingInputs(n);
+      composition.t = std::max<std::size_t>(1, n / 8);
+      composition.bias = 0.8;
       if (isControl) {
+        composition.maxRounds = 40;  // it will spin; cap the work
+        composition.maxTicks = 300'000;
+      }
+      const CellStats stats =
+          runCompositionTrials(composition, kRuns, 140'000);
+      bench.require(stats.agreementOk && stats.validityOk, "safety");
+      if (!isControl) {
+        bench.require(stats.decided == kRuns,
+                        "liveness with reconciliation");
+        bench.require(stats.auditsOk, "contracts");
+      } else {
         // Balanced inputs with an even split can never produce a majority:
         // keep-value must stall in every run (that is the point).
-        bench.require(decided == 0, "keep-value control must stall");
+        bench.require(stats.decided == 0, "keep-value control must stall");
       }
-      table.addRow({Table::cell(std::uint64_t{n}), choice.name,
-                    Table::cell(100.0 * decided / kRuns, 1),
-                    rounds.empty() ? "-" : Table::cell(rounds.mean()),
-                    rounds.empty() ? "-" : Table::cell(rounds.p95()),
-                    rounds.empty() ? "-" : Table::cell(rounds.max(), 0)});
+      const std::string label =
+          driver == "biased-coin" ? "biased-0.8" : driver;
+      table.addRow({Table::cell(std::uint64_t{n}), label,
+                    Table::cell(100.0 * stats.decided / kRuns, 1),
+                    stats.rounds.empty() ? "-"
+                                         : Table::cell(stats.rounds.mean()),
+                    stats.rounds.empty() ? "-"
+                                         : Table::cell(stats.rounds.p95()),
+                    stats.rounds.empty()
+                        ? "-"
+                        : Table::cell(stats.rounds.max(), 0)});
     }
   }
   bench.emit(table);

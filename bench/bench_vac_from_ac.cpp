@@ -4,15 +4,16 @@
 // slightly weaker). We run the construction — AC := downgraded Ben-Or VAC,
 // VAC' := VacFromTwoAc(AC, AC) — against the native Ben-Or VAC in the same
 // template and measure the price: message cost roughly doubles per round
-// while correctness and round counts stay in the same regime.
+// while correctness and round counts stay in the same regime. Both arms
+// are registry names ("vac-from-two-ac" vs "benor-vac") under the same
+// driver.
 #include <algorithm>
 
 #include "bench/bench_common.hpp"
-#include "harness/scenarios.hpp"
+#include "compose/composition.hpp"
 
 using namespace ooc;
 using namespace ooc::bench;
-using harness::BenOrConfig;
 
 int main(int argc, char** argv) {
   Bench bench(argc, argv, "vac_from_ac");
@@ -27,32 +28,25 @@ int main(int argc, char** argv) {
   for (std::size_t n : {4, 8, 16, 32}) {
     double nativeMsgs = 0;
     for (const bool synthesized : {false, true}) {
-      Summary rounds, messages;
-      for (int run = 0; run < kRuns; ++run) {
-        BenOrConfig config;
-        config.n = n;
-        config.inputs.resize(n);
-        for (std::size_t i = 0; i < n; ++i)
-          config.inputs[i] = static_cast<Value>(i % 2);
-        config.seed = 120'000 + static_cast<std::uint64_t>(run);
-        config.t = std::max<std::size_t>(1, n / 8);
-        config.mode = synthesized ? BenOrConfig::Mode::kVacFromTwoAc
-                                  : BenOrConfig::Mode::kDecomposed;
-        const auto result = runBenOr(config);
-        bench.require(result.allDecided && !result.agreementViolated &&
-                            !result.validityViolated && result.allAuditsOk,
-                        "consensus + contracts");
-        rounds.add(result.meanDecisionRound);
-        messages.add(static_cast<double>(result.messagesByCorrect) /
-                     static_cast<double>(n));
-      }
-      if (!synthesized) nativeMsgs = messages.mean();
+      compose::Composition composition;
+      composition.detector = synthesized ? "vac-from-two-ac" : "benor-vac";
+      composition.driver = "local-coin";
+      composition.n = n;
+      composition.inputs = alternatingInputs(n);
+      composition.t = std::max<std::size_t>(1, n / 8);
+      const CellStats stats =
+          runCompositionTrials(composition, kRuns, 120'000);
+      bench.require(stats.decided == kRuns && stats.agreementOk &&
+                        stats.validityOk && stats.auditsOk,
+                      "consensus + contracts");
+      if (!synthesized) nativeMsgs = stats.messages.mean();
       table.addRow(
           {Table::cell(std::uint64_t{n}),
            synthesized ? "vac-from-2ac" : "native benor-vac",
-           Table::cell(rounds.mean()), Table::cell(rounds.p95()),
-           Table::cell(messages.mean(), 0),
-           synthesized ? Table::cell(messages.mean() / nativeMsgs, 2) : "1.00"});
+           Table::cell(stats.rounds.mean()), Table::cell(stats.rounds.p95()),
+           Table::cell(stats.messages.mean(), 0),
+           synthesized ? Table::cell(stats.messages.mean() / nativeMsgs, 2)
+                       : "1.00"});
     }
   }
   bench.emit(table);

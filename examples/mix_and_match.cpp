@@ -1,6 +1,7 @@
 // The object-oriented payoff: swap detectors and reconciliators inside the
 // SAME template and compare behaviour — no algorithm rewrites, just
-// different objects (paper §3, §6).
+// different object names resolved through the composition registry
+// (paper §3, §6).
 //
 // Detectors:      Ben-Or VAC | VAC-from-2xAC (§5) | decentralized-Raft VAC
 // Reconciliators: local coin | common coin | biased coin
@@ -11,57 +12,46 @@
 #include <string>
 #include <vector>
 
-#include "harness/scenarios.hpp"
+#include "compose/composition.hpp"
+#include "compose/registry.hpp"
+#include "compose/run.hpp"
 #include "util/stats.hpp"
 
 int main(int argc, char** argv) {
   using namespace ooc;
-  using harness::BenOrConfig;
 
   const int runs = argc > 1 ? std::atoi(argv[1]) : 40;
 
-  struct DetectorChoice {
-    const char* name;
-    BenOrConfig::Mode mode;
-  };
-  struct ReconChoice {
-    const char* name;
-    BenOrConfig::Reconciliator reconciliator;
-  };
-  const std::vector<DetectorChoice> detectors = {
-      {"benor-vac", BenOrConfig::Mode::kDecomposed},
-      {"vac-from-2ac", BenOrConfig::Mode::kVacFromTwoAc},
-      {"decentralized-raft", BenOrConfig::Mode::kDecentralizedVac},
-  };
-  const std::vector<ReconChoice> recons = {
-      {"local-coin", BenOrConfig::Reconciliator::kLocalCoin},
-      {"common-coin", BenOrConfig::Reconciliator::kCommonCoin},
-      {"biased-coin(0.8)", BenOrConfig::Reconciliator::kBiasedCoin},
-  };
+  const std::vector<std::string> detectors = {
+      "benor-vac", "vac-from-two-ac", "decentralized-vac"};
+  const std::vector<std::string> drivers = {
+      "local-coin", "common-coin", "biased-coin"};
 
   std::printf("n=8 split inputs, %d seeded runs per combination\n\n", runs);
   Table table({"detector", "reconciliator", "mean rounds", "p95 rounds",
                "mean msgs", "all ok"});
 
-  for (const auto& detector : detectors) {
-    for (const auto& recon : recons) {
+  for (const std::string& detector : detectors) {
+    for (const std::string& driver : drivers) {
       Summary rounds, messages;
       bool allOk = true;
       for (int run = 0; run < runs; ++run) {
-        BenOrConfig config;
-        config.n = 8;
-        config.inputs = {0, 1, 0, 1, 0, 1, 0, 1};
-        config.seed = 1000 + static_cast<std::uint64_t>(run);
-        config.mode = detector.mode;
-        config.reconciliator = recon.reconciliator;
-        config.bias = 0.8;
-        const auto result = runBenOr(config);
+        compose::Composition composition;
+        composition.detector = detector;
+        composition.driver = driver;
+        composition.n = 8;
+        composition.inputs = {0, 1, 0, 1, 0, 1, 0, 1};
+        composition.seed = 1000 + static_cast<std::uint64_t>(run);
+        composition.bias = 0.8;
+        const auto result = compose::runComposition(composition);
         allOk = allOk && result.allDecided && !result.agreementViolated &&
                 !result.validityViolated && result.allAuditsOk;
         rounds.add(result.meanDecisionRound);
         messages.add(static_cast<double>(result.messagesByCorrect));
       }
-      table.addRow({detector.name, recon.name, Table::cell(rounds.mean()),
+      const std::string label =
+          driver == "biased-coin" ? "biased-coin(0.8)" : driver;
+      table.addRow({detector, label, Table::cell(rounds.mean()),
                     Table::cell(rounds.p95()), Table::cell(messages.mean(), 0),
                     allOk ? "yes" : "NO"});
     }
@@ -69,6 +59,14 @@ int main(int argc, char** argv) {
   std::printf("%s\n", table.render().c_str());
   std::printf("Every cell is the same template code — only the plugged-in\n"
               "objects differ. That interchangeability is the paper's "
-              "thesis.\n");
+              "thesis.\n\n");
+
+  // The registry also knows which pairings are NOT algorithms: ask it why
+  // an adopt-commit detector cannot drive the reconciliator template.
+  if (const auto diagnostic = compose::registry().validatePairing(
+          "phaseking-ac", "local-coin")) {
+    std::printf("And the pairings the paper rules out stay ruled out:\n"
+                "  %s\n", diagnostic->c_str());
+  }
   return 0;
 }

@@ -87,6 +87,22 @@ if [ "$JSON" = 1 ]; then
   echo "wrote $(ls "$OUT" | wc -l) files to $OUT/ (trajectory: $trajectory)"
 fi
 
+# E20: the composition matrix. Every registered detector × driver pairing
+# either runs clean under runComposition() or is rejected with a capability
+# diagnostic; a safety violation in any valid cell fails the script, same
+# as a bench verdict. Writes ooc.matrix.v1 next to the bench JSON.
+cmake --build build -j --target compose >/dev/null
+echo "## compose (E20 matrix) $QUICK"
+matrix_flag=""
+[ "$JSON" = 1 ] && matrix_flag="--json $OUT/BENCH_matrix.json"
+status=0
+# shellcheck disable=SC2086  # flags are intentionally word-split
+build/tools/compose $QUICK $matrix_flag || status=$?
+if [ "$status" -ne 0 ]; then
+  failures=$((failures + 1))
+  echo "!! compose matrix exited $status" >&2
+fi
+
 # Simulator-core throughput trajectory: append this run's events/sec gauges
 # (per scenario, from bench_simcore) to the committed BENCH_simcore.json so
 # the hot path's speed is tracked commit over commit, and warn when any

@@ -47,6 +47,19 @@ std::vector<GoldenFixture> goldenFixtures() {
     f.scenario.raft.restarts.push_back({1, 160, 20});
     fixtures.push_back(std::move(f));
   }
+  {
+    // A registry pairing with no legacy config spelling: the timer
+    // reconciliator only exists as a composition.
+    GoldenFixture f;
+    f.name = "compose-timer-n5";
+    f.scenario.family = Family::kCompose;
+    f.scenario.compose.detector = "benor-vac";
+    f.scenario.compose.driver = "timer";
+    f.scenario.compose.n = 5;
+    f.scenario.compose.inputs = {0, 1, 0, 1, 1};
+    f.scenario.compose.seed = 17;
+    fixtures.push_back(std::move(f));
+  }
   return fixtures;
 }
 

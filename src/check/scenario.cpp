@@ -3,6 +3,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "compose/run.hpp"
 #include "harness/serialize.hpp"
 
 namespace ooc::check {
@@ -12,6 +13,7 @@ const char* toString(Family family) noexcept {
     case Family::kBenOr: return "benor";
     case Family::kPhaseKing: return "phaseking";
     case Family::kRaft: return "raft";
+    case Family::kCompose: return "compose";
   }
   return "?";
 }
@@ -20,6 +22,7 @@ Family parseFamily(const std::string& name) {
   if (name == "benor") return Family::kBenOr;
   if (name == "phaseking") return Family::kPhaseKing;
   if (name == "raft") return Family::kRaft;
+  if (name == "compose") return Family::kCompose;
   throw std::runtime_error("unknown scenario family '" + name + "'");
 }
 
@@ -28,6 +31,7 @@ std::uint64_t Scenario::seed() const noexcept {
     case Family::kBenOr: return benOr.seed;
     case Family::kPhaseKing: return phaseKing.seed;
     case Family::kRaft: return raft.seed;
+    case Family::kCompose: return compose.seed;
   }
   return 0;
 }
@@ -37,6 +41,7 @@ void Scenario::setSeed(std::uint64_t seed) noexcept {
     case Family::kBenOr: benOr.seed = seed; break;
     case Family::kPhaseKing: phaseKing.seed = seed; break;
     case Family::kRaft: raft.seed = seed; break;
+    case Family::kCompose: compose.seed = seed; break;
   }
 }
 
@@ -45,6 +50,7 @@ std::size_t Scenario::processCount() const noexcept {
     case Family::kBenOr: return benOr.n;
     case Family::kPhaseKing: return phaseKing.n;
     case Family::kRaft: return raft.n;
+    case Family::kCompose: return compose.n;
   }
   return 0;
 }
@@ -94,6 +100,20 @@ RunReport runScenario(const Scenario& scenario,
       report.commitRegressionDetail = result.commitRegressionDetail;
       break;
     }
+    case Family::kCompose: {
+      const auto result =
+          compose::runComposition(scenario.compose, hooks);
+      report.allDecided = result.allDecided;
+      report.agreementViolated = result.agreementViolated;
+      report.validityViolated = result.validityViolated;
+      report.decidedValue = result.decidedValue;
+      report.messages = result.messagesByCorrect;
+      report.audits = result.audits;
+      report.allAuditsOk = result.allAuditsOk;
+      report.adoptOutcomesTotal = result.adoptOutcomesTotal;
+      report.adoptMismatchWitnesses = result.adoptMismatchWitnesses;
+      break;
+    }
   }
   return report;
 }
@@ -105,6 +125,8 @@ std::string serialize(const Scenario& scenario) {
     case Family::kPhaseKing:
       return out + harness::serialize(scenario.phaseKing);
     case Family::kRaft: return out + harness::serialize(scenario.raft);
+    case Family::kCompose:
+      return out + compose::serialize(scenario.compose);
   }
   return out;
 }
@@ -128,6 +150,11 @@ Scenario parseScenario(const std::string& text) {
       break;
     case Family::kRaft:
       scenario.raft = harness::parseRaftConfig(rest);
+      break;
+    case Family::kCompose:
+      // parseComposition ends by resolving against the registry, so a
+      // rejected pairing fails here with the same diagnostic as the CLI.
+      scenario.compose = compose::parseComposition(rest);
       break;
   }
   return scenario;
@@ -172,6 +199,15 @@ std::string describe(const Scenario& scenario) {
       }
       if (scenario.raft.adversary.enabled())
         os << " adversary-budget=" << scenario.raft.adversary.extraDelayMax;
+      break;
+    case Family::kCompose:
+      os << " detector=" << scenario.compose.detector
+         << " driver=" << scenario.compose.driver
+         << " byzantine=" << scenario.compose.byzantineCount
+         << " crashes=" << scenario.compose.crashes.size();
+      if (scenario.compose.adversary.enabled())
+        os << " adversary-budget="
+           << scenario.compose.adversary.extraDelayMax;
       break;
   }
   return os.str();

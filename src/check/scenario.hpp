@@ -11,18 +11,22 @@
 
 namespace ooc::check {
 
-enum class Family { kBenOr, kPhaseKing, kRaft };
+enum class Family { kBenOr, kPhaseKing, kRaft, kCompose };
 
 const char* toString(Family family) noexcept;
 Family parseFamily(const std::string& name);
 
 /// One fully specified run configuration of any scenario family. Only the
-/// member selected by `family` is meaningful.
+/// member selected by `family` is meaningful. kCompose covers any
+/// registered detector × driver pairing directly (the legacy families are
+/// the pairings that predate the registry, kept for their serialized
+/// counterexamples and monolithic baselines).
 struct Scenario {
   Family family = Family::kBenOr;
   harness::BenOrConfig benOr;
   harness::PhaseKingConfig phaseKing;
   harness::RaftScenarioConfig raft;
+  compose::Composition compose;
 
   std::uint64_t seed() const noexcept;
   void setSeed(std::uint64_t seed) noexcept;

@@ -39,12 +39,14 @@ void eachCrashReduction(const Scenario& base, const Config& config,
 
 void eachAdversaryReduction(const Scenario& base,
                             const harness::AdversaryOptions& adversary,
-                            std::vector<Scenario>& out, bool raft) {
+                            std::vector<Scenario>& out, Family family) {
   if (!adversary.enabled()) return;
   const auto set = [&](Tick budget) {
     Scenario candidate = base;
-    auto& target =
-        raft ? candidate.raft.adversary : candidate.benOr.adversary;
+    auto& target = family == Family::kRaft ? candidate.raft.adversary
+                   : family == Family::kCompose
+                       ? candidate.compose.adversary
+                       : candidate.benOr.adversary;
     target.extraDelayMax = budget;
     out.push_back(std::move(candidate));
   };
@@ -63,6 +65,7 @@ void eachInputSimplification(const Scenario& base,
       case Family::kBenOr: target = &candidate.benOr.inputs; break;
       case Family::kPhaseKing: target = &candidate.phaseKing.inputs; break;
       case Family::kRaft: target = &candidate.raft.inputs; break;
+      case Family::kCompose: target = &candidate.compose.inputs; break;
     }
     std::fill(target->begin(), target->end(), v);
     out.push_back(std::move(candidate));
@@ -96,7 +99,7 @@ std::vector<Scenario> reductions(const Scenario& base) {
           out.push_back(std::move(candidate));
         }
       }
-      eachAdversaryReduction(base, config.adversary, out, false);
+      eachAdversaryReduction(base, config.adversary, out, Family::kBenOr);
       eachInputSimplification(base, config.inputs, out, Family::kBenOr);
       break;
     }
@@ -180,8 +183,40 @@ std::vector<Scenario> reductions(const Scenario& base) {
         candidate.raft.maxDelay = config.minDelay;
         out.push_back(std::move(candidate));
       }
-      eachAdversaryReduction(base, config.adversary, out, true);
+      eachAdversaryReduction(base, config.adversary, out, Family::kRaft);
       eachInputSimplification(base, config.inputs, out, Family::kRaft);
+      break;
+    }
+    case Family::kCompose: {
+      const auto& config = base.compose;
+      eachCrashReduction(base, config, &Scenario::compose, out);
+      if (config.byzantineCount > 0) {
+        Scenario candidate = base;
+        --candidate.compose.byzantineCount;
+        out.push_back(std::move(candidate));
+      }
+      if (config.n > 4) {
+        Scenario candidate = base;
+        auto& c = candidate.compose;
+        --c.n;
+        c.t.reset();  // recompute the default threshold for the new n
+        if (c.byzantineCount >= c.n) c.byzantineCount = c.n - 1;
+        dropCrashesAbove(c.crashes, c.n);
+        out.push_back(std::move(candidate));
+      }
+      if (config.maxDelay > config.minDelay) {
+        Scenario candidate = base;
+        candidate.compose.maxDelay = config.minDelay;
+        out.push_back(std::move(candidate));
+        const Tick mid = (config.minDelay + config.maxDelay) / 2;
+        if (mid != config.minDelay && mid != config.maxDelay) {
+          candidate = base;
+          candidate.compose.maxDelay = mid;
+          out.push_back(std::move(candidate));
+        }
+      }
+      eachAdversaryReduction(base, config.adversary, out, Family::kCompose);
+      eachInputSimplification(base, config.inputs, out, Family::kCompose);
       break;
     }
   }

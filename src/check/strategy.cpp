@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "compose/registry.hpp"
 #include "util/rng.hpp"
 
 namespace ooc::check {
@@ -102,6 +103,37 @@ Scenario RandomWalkStrategy::generate(std::size_t index) const {
         config.maxDelay = config.minDelay + meta.below(8);
       break;
     }
+    case Family::kCompose: {
+      auto& config = scenario.compose;
+      const auto& capability =
+          compose::registry().detector(config.detector).capability;
+      const bool lockstep =
+          capability.mode == compose::InvocationMode::kLockstep;
+      if (capability.faultModel == compose::FaultModel::kCrash) {
+        if (options_.randomizeCrashes || options_.randomizeInputs) {
+          config.n = pickCount();
+          config.t.reset();  // recompute the default budget for the new n
+        }
+        if (options_.randomizeCrashes) {
+          config.crashes = randomCrashes(
+              config.n, (config.n - 1) / capability.tDivisor,
+              options_.crashTickMax, meta);
+        }
+      } else if (options_.randomizeCrashes) {
+        // Fault-schedule freedom for Byzantine detectors: vary the planted
+        // count (within the tolerance) and where the attackers sit.
+        const std::size_t t = config.t.value_or(
+            config.n == 0 ? 0 : (config.n - 1) / capability.tDivisor);
+        config.byzantineCount = meta.below(t + 1);
+        config.placement = static_cast<compose::Placement>(meta.below(3));
+      }
+      if (options_.randomizeInputs)
+        config.inputs =
+            randomBinaryInputs(config.n - config.byzantineCount, meta);
+      if (options_.randomizeDelays && !lockstep)
+        config.maxDelay = config.minDelay + meta.below(30);
+      break;
+    }
   }
   return scenario;
 }
@@ -111,7 +143,10 @@ Scenario RandomWalkStrategy::generate(std::size_t index) const {
 
 DelayBoundStrategy::DelayBoundStrategy(Scenario base, Options options)
     : base_(std::move(base)), options_(std::move(options)) {
-  if (base_.family == Family::kPhaseKing)
+  if (base_.family == Family::kPhaseKing ||
+      (base_.family == Family::kCompose &&
+       compose::registry().detector(base_.compose.detector).capability.mode ==
+           compose::InvocationMode::kLockstep))
     throw std::invalid_argument(
         "delay-bound exploration needs an asynchronous family");
   if (options_.budgets.empty() || options_.adversarySeedsPerBudget == 0)
@@ -128,6 +163,8 @@ Scenario DelayBoundStrategy::generate(std::size_t index) const {
   adversary.perturbProbability = options_.perturbProbability;
   if (scenario.family == Family::kBenOr)
     scenario.benOr.adversary = adversary;
+  else if (scenario.family == Family::kCompose)
+    scenario.compose.adversary = adversary;
   else
     scenario.raft.adversary = adversary;
   return scenario;
@@ -138,7 +175,11 @@ Scenario DelayBoundStrategy::generate(std::size_t index) const {
 
 CrashScheduleStrategy::CrashScheduleStrategy(Scenario base, Options options)
     : base_(std::move(base)), options_(std::move(options)) {
-  if (base_.family == Family::kPhaseKing)
+  if (base_.family == Family::kPhaseKing ||
+      (base_.family == Family::kCompose &&
+       compose::registry()
+               .detector(base_.compose.detector)
+               .capability.faultModel == compose::FaultModel::kByzantine))
     throw std::invalid_argument(
         "crash-schedule enumeration applies to crash-fault families");
   if (options_.tickGrid.empty())
@@ -195,6 +236,8 @@ Scenario CrashScheduleStrategy::generate(std::size_t index) const {
   Scenario scenario = base_;
   if (scenario.family == Family::kBenOr)
     scenario.benOr.crashes = std::move(crashes);
+  else if (scenario.family == Family::kCompose)
+    scenario.compose.crashes = std::move(crashes);
   else
     scenario.raft.crashes = std::move(crashes);
   return scenario;

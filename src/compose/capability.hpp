@@ -1,0 +1,75 @@
+// Capability descriptors for registered consensus objects (paper §3-§5).
+//
+// The paper's thesis is that a consensus algorithm is a *composition*: an
+// agreement detector (AC or VAC) paired with a driver (conciliator or
+// reconciliator) under the generic template. Not every pairing is an
+// algorithm, though — §5 proves the two directions are asymmetric:
+//
+//  * An AC detector under the reconciliator template (Algorithm 1) is
+//    UNSOUND: the template decides on adopt-level confidence, and adopt
+//    values may disagree across processes, so "deciding on adopt" breaks
+//    agreement. The registry rejects this pairing outright.
+//  * A VAC detector under the conciliator template (Algorithm 2) is
+//    type-incoherent: the template has no vacillate arm (and asserts it
+//    never sees one). The sound route is to downgrade the detector first
+//    (AcFromVac merges vacillate into adopt), which the registry suggests
+//    in its diagnostic.
+//
+// Beyond the confidence-level argument, descriptors capture two orthogonal
+// execution constraints: the invocation mode (lockstep exchanges vs
+// asynchronous message passing) and the fault model the object's quorum
+// arithmetic assumes. A Byzantine-model detector paired with a driver
+// whose waits trust every sender would silently lose its tolerance, so
+// those pairings are rejected too.
+#pragma once
+
+#include <cstddef>
+
+namespace ooc::compose {
+
+/// Confidence levels the detector can return (paper §3): an adopt-commit
+/// object never vacillates; a vacillate-adopt-commit object may.
+enum class DetectorClass { kAdoptCommit, kVacillateAdoptCommit };
+
+/// Which template arm the driver implements. A conciliator (Algorithm 2)
+/// supplies the value used on adopt; a reconciliator (Algorithm 1) supplies
+/// the value used on vacillate.
+enum class DriverClass { kConciliator, kReconciliator };
+
+/// Fault model the object's thresholds are engineered for.
+enum class FaultModel { kCrash, kByzantine };
+
+/// How the object exchanges messages: synchronous lockstep barriers, plain
+/// asynchronous delivery, or either (drivers that never touch the network).
+enum class InvocationMode { kLockstep, kAsync, kAny };
+
+const char* toString(DetectorClass detectorClass) noexcept;
+const char* toString(DriverClass driverClass) noexcept;
+const char* toString(FaultModel model) noexcept;
+const char* toString(InvocationMode mode) noexcept;
+
+/// What a registered detector is, independent of any run configuration.
+struct DetectorCapability {
+  DetectorClass detectorClass = DetectorClass::kVacillateAdoptCommit;
+  FaultModel faultModel = FaultModel::kCrash;
+  InvocationMode mode = InvocationMode::kAsync;
+  /// Default protocol parameter t = floor((n-1)/tDivisor) when the
+  /// composition leaves t unset (2 for crash quorums, 3 for Phase-King,
+  /// 4 for Phase-Queen, 5 for Byzantine Ben-Or).
+  std::size_t tDivisor = 2;
+};
+
+/// What a registered driver is.
+struct DriverCapability {
+  DriverClass driverClass = DriverClass::kReconciliator;
+  InvocationMode mode = InvocationMode::kAny;
+  /// Whether the driver's waits stay correct when some invokers are
+  /// Byzantine (purely local drivers trivially qualify; quorum- or
+  /// timer-waiting drivers that count every sender do not).
+  bool toleratesByzantine = true;
+  /// Whether every process must join the drive wave each round (quorum
+  /// drivers such as the lottery); lowered to alwaysRunDriver.
+  bool requiresEveryProcess = false;
+};
+
+}  // namespace ooc::compose

@@ -1,0 +1,18 @@
+// Test-only fault injection: deliberately broken object implementations
+// planted behind Composition::fault so the model checker (src/check/) can
+// prove it detects, shrinks, and replays real contract violations. Nothing
+// here is reachable unless a configuration explicitly asks for a fault.
+#pragma once
+
+#include "compose/hooks.hpp"
+#include "core/objects.hpp"
+
+namespace ooc::compose {
+
+/// Wraps a detector factory according to the configured fault. kNone
+/// returns the factory unchanged; kVacAdoptFlip makes odd-id processes flip
+/// the value of every adopt-level outcome (0 <-> 1), which breaks VAC
+/// coherence over vacillate & adopt and, downstream, can break agreement.
+DetectorFactory plantFault(DetectorFactory inner, PlantedFault fault);
+
+}  // namespace ooc::compose

@@ -1,0 +1,88 @@
+#include "compose/kv.hpp"
+
+#include <stdexcept>
+
+#include "obs/run_id.hpp"
+
+namespace ooc::compose {
+
+std::string configRunId(const std::string& serialized) {
+  // Hash only the key=value payload: `#` comment lines (including a prior
+  // stamp) are skipped, so hashing a stamped file reproduces the stamp.
+  std::uint64_t hash = obs::kFnvOffsetBasis;
+  std::istringstream in(serialized);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    hash = obs::fnv1a(line, hash);
+    hash = obs::fnv1a("\n", hash);
+  }
+  return obs::toHex(hash);
+}
+
+std::string stampRunId(const std::string& body) {
+  return "# run-id=" + configRunId(body) + "\n" + body;
+}
+
+KvReader::KvReader(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos)
+      throw std::runtime_error("config: malformed line '" + line + "'");
+    entries_[line.substr(0, eq)].push_back(line.substr(eq + 1));
+  }
+}
+
+std::string KvReader::get(const std::string& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end())
+    throw std::runtime_error("config: missing key '" + key + "'");
+  return it->second.front();
+}
+
+const std::vector<std::string>& KvReader::getAll(const std::string& key) const {
+  static const std::vector<std::string> kEmpty;
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? kEmpty : it->second;
+}
+
+std::vector<Value> KvReader::getValues(const std::string& key) const {
+  std::vector<Value> values;
+  const std::string joined = get(key, "");
+  std::istringstream in(joined);
+  std::string token;
+  while (std::getline(in, token, ','))
+    if (!token.empty()) values.push_back(std::stoll(token));
+  return values;
+}
+
+std::string crashEntry(const std::pair<ProcessId, Tick>& crash) {
+  return std::to_string(crash.first) + "@" + std::to_string(crash.second);
+}
+
+std::pair<ProcessId, Tick> parseCrash(const std::string& entry) {
+  const auto at = entry.find('@');
+  if (at == std::string::npos)
+    throw std::runtime_error("config: malformed crash '" + entry + "'");
+  return {static_cast<ProcessId>(std::stoul(entry.substr(0, at))),
+          static_cast<Tick>(std::stoull(entry.substr(at + 1)))};
+}
+
+void putAdversary(KvWriter& kv, const AdversaryOptions& adversary) {
+  kv.put("adversary-budget", adversary.extraDelayMax);
+  kv.put("adversary-prob", adversary.perturbProbability);
+  kv.put("adversary-seed", adversary.seed);
+}
+
+AdversaryOptions getAdversary(const KvReader& kv) {
+  AdversaryOptions adversary;
+  adversary.extraDelayMax = kv.getU64("adversary-budget", 0);
+  adversary.perturbProbability = kv.getDouble("adversary-prob", 1.0);
+  adversary.seed = kv.getU64("adversary-seed", 1);
+  return adversary;
+}
+
+}  // namespace ooc::compose

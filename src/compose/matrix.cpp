@@ -1,0 +1,141 @@
+#include "compose/matrix.hpp"
+
+#include <algorithm>
+
+#include "compose/run.hpp"
+#include "obs/json.hpp"
+#include "util/stats.hpp"
+
+namespace ooc::compose {
+namespace {
+
+/// Per-detector base configuration: modest sizes so the full matrix stays
+/// CI-cheap, split inputs so termination is earned by the driver (unanimous
+/// starts commit in round 1 and would test nothing), and caps tight enough
+/// that the keep-value control (which may legitimately never decide) exits
+/// by bound rather than by wall clock.
+Composition cellBase(const std::string& detectorName,
+                     const std::string& driverName) {
+  Composition composition;
+  composition.detector = detectorName;
+  composition.driver = driverName;
+  composition.maxRounds = 200;
+  composition.maxTicks = 200'000;
+  const auto& capability = registry().detector(detectorName).capability;
+  if (capability.faultModel == FaultModel::kByzantine) {
+    composition.byzantineStrategy = "equivocate";
+    if (capability.mode == InvocationMode::kLockstep) {
+      // Phase-King wants 3t < n, Phase-Queen 4t < n; f = t = 2 exercises
+      // the full tolerance. Front placement: hostile first reigns.
+      composition.n = capability.tDivisor == 3 ? 7 : 9;
+      composition.byzantineCount = 2;
+      composition.placement = Placement::kFront;
+    } else {
+      // Byzantine Ben-Or: n > 5t with t = f = 2 attackers at the back,
+      // like the legacy ByzantineBenOrConfig default.
+      composition.n = 11;
+      composition.byzantineCount = 2;
+      composition.placement = Placement::kBack;
+    }
+  } else {
+    composition.n = 5;
+    composition.inputs = {0, 1, 0, 1, 1};
+  }
+  return composition;
+}
+
+}  // namespace
+
+MatrixReport runMatrix(const MatrixOptions& options) {
+  const int runsPerCell = options.quick ? 5 : options.runsPerCell;
+  Registry& reg = registry();
+  MatrixReport report;
+  report.detectors = reg.detectorNames();
+  report.drivers = reg.driverNames();
+
+  for (const std::string& detectorName : report.detectors) {
+    for (const std::string& driverName : report.drivers) {
+      MatrixCell cell;
+      cell.detector = detectorName;
+      cell.driver = driverName;
+      if (const auto diagnostic =
+              reg.validatePairing(detectorName, driverName)) {
+        cell.diagnostic = *diagnostic;
+        ++report.rejectedCells;
+        report.cells.push_back(std::move(cell));
+        continue;
+      }
+      cell.valid = true;
+      ++report.validCells;
+
+      Summary rounds;
+      Summary messages;
+      for (int run = 0; run < runsPerCell; ++run) {
+        Composition composition = cellBase(detectorName, driverName);
+        composition.seed = options.seedBase + static_cast<std::uint64_t>(run);
+        const CompositionResult result = runComposition(composition);
+        ++cell.runs;
+        if (result.allDecided) {
+          ++cell.decided;
+          rounds.add(static_cast<double>(result.maxDecisionRound));
+          cell.maxRound = std::max(cell.maxRound, result.maxDecisionRound);
+        }
+        messages.add(static_cast<double>(result.messagesByCorrect));
+        if (result.agreementViolated) cell.agreementOk = false;
+        if (result.validityViolated) cell.validityOk = false;
+        if (!result.allAuditsOk) cell.auditsOk = false;
+      }
+      if (!rounds.empty()) cell.meanRounds = rounds.mean();
+      if (!messages.empty()) cell.meanMessages = messages.mean();
+      if (!cell.agreementOk || !cell.validityOk || !cell.auditsOk)
+        report.safetyOk = false;
+      report.cells.push_back(std::move(cell));
+    }
+  }
+  return report;
+}
+
+std::string matrixToJson(const MatrixReport& report,
+                         const MatrixOptions& options) {
+  obs::JsonWriter json;
+  json.beginObject();
+  json.key("schema").value("ooc.matrix.v1");
+  json.key("quick").value(options.quick);
+  json.key("runs_per_cell")
+      .value(static_cast<std::int64_t>(options.quick ? 5
+                                                     : options.runsPerCell));
+  json.key("seed_base").value(options.seedBase);
+  json.key("detectors").beginArray();
+  for (const std::string& name : report.detectors) json.value(name);
+  json.endArray();
+  json.key("drivers").beginArray();
+  for (const std::string& name : report.drivers) json.value(name);
+  json.endArray();
+  json.key("cells").beginArray();
+  for (const MatrixCell& cell : report.cells) {
+    json.beginObject();
+    json.key("detector").value(cell.detector);
+    json.key("driver").value(cell.driver);
+    json.key("valid").value(cell.valid);
+    json.key("diagnostic").value(cell.diagnostic);
+    json.key("runs").value(static_cast<std::int64_t>(cell.runs));
+    json.key("decided").value(static_cast<std::int64_t>(cell.decided));
+    json.key("agreement_ok").value(cell.agreementOk);
+    json.key("validity_ok").value(cell.validityOk);
+    json.key("audits_ok").value(cell.auditsOk);
+    json.key("mean_rounds").value(cell.meanRounds);
+    json.key("max_round").value(static_cast<std::uint64_t>(cell.maxRound));
+    json.key("mean_messages").value(cell.meanMessages);
+    json.endObject();
+  }
+  json.endArray();
+  json.key("valid_cells")
+      .value(static_cast<std::uint64_t>(report.validCells));
+  json.key("rejected_cells")
+      .value(static_cast<std::uint64_t>(report.rejectedCells));
+  json.key("safety_ok").value(report.safetyOk);
+  json.endObject();
+  return json.str();
+}
+
+}  // namespace ooc::compose

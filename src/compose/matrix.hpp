@@ -1,0 +1,61 @@
+// Experiment E20: the full detector × driver cross-product. Every pairing
+// the registry knows is either run under runComposition() — collecting
+// agreement/validity/termination and rounds-to-decide — or rejected with
+// its capability diagnostic; both outcomes land in the ooc.matrix.v1 JSON,
+// so the matrix is a machine-checkable statement of which compositions are
+// algorithms (and why the rest are not).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ooc::compose {
+
+struct MatrixOptions {
+  /// Runs per valid cell (seeds seedBase, seedBase+1, ...).
+  int runsPerCell = 20;
+  std::uint64_t seedBase = 9000;
+  bool quick = false;  // drops runsPerCell to 5
+};
+
+struct MatrixCell {
+  std::string detector;
+  std::string driver;
+  bool valid = false;
+  /// Capability diagnostic for rejected pairings; empty when valid.
+  std::string diagnostic;
+
+  int runs = 0;
+  int decided = 0;  // runs where every correct process decided
+  bool agreementOk = true;
+  bool validityOk = true;
+  bool auditsOk = true;
+  /// Mean/max decision round over decided runs (0 when none decided —
+  /// e.g. keep-value on a split start, the paper's termination
+  /// counterexample).
+  double meanRounds = 0;
+  Round maxRound = 0;
+  double meanMessages = 0;
+};
+
+struct MatrixReport {
+  std::vector<std::string> detectors;
+  std::vector<std::string> drivers;
+  std::vector<MatrixCell> cells;  // row-major: detectors × drivers
+  std::size_t validCells = 0;
+  std::size_t rejectedCells = 0;
+  /// False if any valid cell violated agreement/validity or failed audits.
+  bool safetyOk = true;
+};
+
+MatrixReport runMatrix(const MatrixOptions& options);
+
+/// Renders the report as ooc.matrix.v1 JSON (deterministic byte-for-byte
+/// for a fixed registry and options).
+std::string matrixToJson(const MatrixReport& report,
+                         const MatrixOptions& options);
+
+}  // namespace ooc::compose

@@ -1,0 +1,94 @@
+// The central object registry (the composition engine's name service).
+//
+// Every agreement detector and every driver in the library registers here
+// under a stable string name — the same names the legacy config
+// serializers already put on the wire ("local-coin", "vac-from-two-ac",
+// ...) — together with a capability descriptor (capability.hpp). A
+// Composition references objects purely by name; the registry resolves the
+// names, validates the pairing against the capability rules, and hands
+// runComposition() the factories.
+//
+// Registration is open: extensions can add objects at startup (tests
+// exercise this), and duplicate names are rejected so two objects can
+// never silently shadow each other.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compose/capability.hpp"
+#include "core/objects.hpp"
+#include "sim/process.hpp"
+
+namespace ooc::compose {
+
+/// Everything a factory may depend on, resolved from the Composition:
+/// n, the protocol parameter t, the run seed (shared-coin derivation) and
+/// the biased-coin probability.
+struct ObjectParams {
+  std::size_t n = 0;
+  std::size_t t = 0;
+  std::uint64_t seed = 1;
+  double bias = 0.5;
+};
+
+struct DetectorEntry {
+  std::string name;
+  DetectorCapability capability;
+  /// Builds the per-round detector factory for one correct process.
+  std::function<DetectorFactory(const ObjectParams&)> make;
+  /// Builds a planted attacker for one faulty slot (Byzantine-model
+  /// detectors only; null otherwise). `strategy` is the serialized
+  /// strategy name; unknown names throw.
+  std::function<std::unique_ptr<Process>(const ObjectParams&,
+                                         const std::string& strategy)>
+      makeFaulty;
+};
+
+struct DriverEntry {
+  std::string name;
+  DriverCapability capability;
+  std::function<DriverFactory(const ObjectParams&)> make;
+};
+
+class Registry {
+ public:
+  /// Both throw std::invalid_argument on a duplicate name.
+  void registerDetector(DetectorEntry entry);
+  void registerDriver(DriverEntry entry);
+
+  /// Lookup by name; throws std::invalid_argument listing the known names
+  /// when `name` is not registered.
+  const DetectorEntry& detector(const std::string& name) const;
+  const DriverEntry& driver(const std::string& name) const;
+
+  bool hasDetector(const std::string& name) const noexcept;
+  bool hasDriver(const std::string& name) const noexcept;
+
+  /// Registration order (stable across runs: builtins register in one
+  /// deterministic sequence).
+  std::vector<std::string> detectorNames() const;
+  std::vector<std::string> driverNames() const;
+
+  /// Capability check for a resolved pairing: nullopt when the composition
+  /// is an algorithm, otherwise the human-readable diagnostic (citing the
+  /// paper's §5 argument where it applies). Unknown names throw, as in
+  /// detector()/driver().
+  std::optional<std::string> validatePairing(
+      const std::string& detectorName, const std::string& driverName) const;
+
+ private:
+  std::vector<DetectorEntry> detectors_;
+  std::vector<DriverEntry> drivers_;
+};
+
+/// The process-wide registry, with the library's builtin objects
+/// registered on first use (lazily, so static initialization order and
+/// static-library dead stripping cannot lose them).
+Registry& registry();
+
+}  // namespace ooc::compose

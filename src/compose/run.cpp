@@ -1,0 +1,202 @@
+#include "compose/run.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "compose/fault.hpp"
+#include "compose/telemetry.hpp"
+#include "core/consensus_process.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace ooc::compose {
+namespace {
+
+/// Wires a TelemetrySink (when present) into a template process's options,
+/// binding the process id the simulator will assign next.
+void wireTelemetry(ConsensusProcess::Options& options, TelemetrySink* sink,
+                   ProcessId id) {
+  if (sink == nullptr) return;
+  options.onDetectorOutcome = [sink, id](Round m, const Outcome& outcome,
+                                         Tick at) {
+    sink->onDetectorOutcome(id, m, outcome, at);
+  };
+  options.onDriverValue = [sink, id](Round m, Value value, Tick at) {
+    sink->onDriverValue(id, m, value, at);
+  };
+}
+
+}  // namespace
+
+std::unique_ptr<NetworkModel> wrapAdversary(std::unique_ptr<NetworkModel> net,
+                                            const AdversaryOptions& options) {
+  if (!options.enabled()) return net;
+  DelayAdversaryNetwork::Options adv;
+  adv.seed = options.seed;
+  adv.extraDelayMax = options.extraDelayMax;
+  adv.perturbProbability = options.perturbProbability;
+  return std::make_unique<DelayAdversaryNetwork>(std::move(net), adv);
+}
+
+CompositionResult runComposition(const Composition& composition,
+                                 const RunHooks& hooks) {
+  const ResolvedComposition resolved = resolve(composition);
+  const std::size_t n = composition.n;
+  const std::size_t f = composition.byzantineCount;
+  const bool vacDetector = resolved.detector->capability.detectorClass ==
+                           DetectorClass::kVacillateAdoptCommit;
+
+  // Byzantine slots per placement. Kings rotate from id 0, so front
+  // placement gives the adversary the first reigns (the hard case).
+  std::vector<bool> isByz(n, false);
+  switch (composition.placement) {
+    case Placement::kFront:
+      for (std::size_t i = 0; i < f; ++i) isByz[i] = true;
+      break;
+    case Placement::kBack:
+      for (std::size_t i = 0; i < f; ++i) isByz[n - 1 - i] = true;
+      break;
+    case Placement::kSpread:
+      for (std::size_t i = 0; i < f; ++i) isByz[(i * n) / f] = true;
+      break;
+  }
+
+  SimConfig simConfig;
+  simConfig.seed = composition.seed;
+  simConfig.maxTicks = composition.maxTicks;
+  simConfig.lockstep = resolved.lockstep;
+  std::unique_ptr<NetworkModel> network;
+  if (resolved.lockstep) {
+    network = std::make_unique<SynchronousNetwork>();
+  } else {
+    UniformDelayNetwork::Options net;
+    net.minDelay = composition.minDelay;
+    net.maxDelay = composition.maxDelay;
+    network = wrapAdversary(std::make_unique<UniformDelayNetwork>(net),
+                            composition.adversary);
+  }
+  // A fresh Simulator per run: every counter (messagesCloned included)
+  // starts at zero, so results never inherit a previous run's tallies.
+  Simulator sim(simConfig, std::move(network));
+  if (hooks.observer) sim.setScheduleObserver(hooks.observer);
+
+  const ObjectParams params{n, resolved.t, composition.seed, composition.bias};
+  const DetectorFactory detectorFactory =
+      plantFault(resolved.detector->make(params), composition.fault);
+  const DriverFactory driverFactory = resolved.driver->make(params);
+
+  std::vector<ConsensusProcess*> templated(n, nullptr);
+  std::vector<Value> validInputs;
+  std::size_t correctSeen = 0;
+  for (ProcessId id = 0; id < n; ++id) {
+    if (isByz[id]) {
+      sim.addProcess(resolved.detector->makeFaulty(
+                         params, composition.byzantineStrategy),
+                     /*faulty=*/true);
+      continue;
+    }
+    const Value input =
+        composition.inputs.empty()
+            ? static_cast<Value>(correctSeen % 2)
+            : composition.inputs[correctSeen % composition.inputs.size()];
+    ++correctSeen;
+    validInputs.push_back(input);
+
+    ConsensusProcess::Options options;
+    options.kind = vacDetector ? TemplateKind::kVacReconciliator
+                               : TemplateKind::kAcConciliator;
+    options.alwaysRunDriver = resolved.alwaysRunDriver;
+    options.maxRounds = composition.maxRounds;
+    if (!vacDetector) {
+      if (composition.earlyCommitDecision) {
+        options.decideOnCommit = true;  // paper-faithful, unsound corner
+      } else {
+        options.decideOnCommit = false;  // classic: fixed t+1 phases
+        options.decideAfterRound = static_cast<Round>(resolved.t + 1);
+      }
+    }
+    wireTelemetry(options, hooks.telemetry, id);
+    auto process = std::make_unique<ConsensusProcess>(
+        input, detectorFactory, driverFactory, options);
+    templated[id] = process.get();
+    sim.addProcess(std::move(process));
+  }
+
+  sim.setValidValues(validInputs);
+  for (const auto& [id, tick] : composition.crashes) sim.crashAt(id, tick);
+  sim.stopWhenAllCorrectDecided();
+  sim.run();
+
+  CompositionResult result;
+  result.allDecided = sim.allCorrectDecided();
+  result.agreementViolated = sim.agreementViolated();
+  result.validityViolated = sim.validityViolated();
+  result.messagesByCorrect = sim.messagesSentByCorrect();
+  result.eventsProcessed = sim.eventsProcessed();
+  result.messagesCloned = sim.messagesCloned();
+
+  Summary decisionRounds;
+  for (ProcessId id = 0; id < n; ++id) {
+    if (templated[id] == nullptr) continue;
+    const auto& decision = sim.decision(id);
+    if (!decision.decided) continue;
+    result.decidedValue = decision.value;
+    result.lastDecisionTick = std::max(result.lastDecisionTick, decision.at);
+    const Round round = templated[id]->decisionRound();
+    result.maxDecisionRound = std::max(result.maxDecisionRound, round);
+    decisionRounds.add(static_cast<double>(round));
+  }
+  if (!decisionRounds.empty())
+    result.meanDecisionRound = decisionRounds.mean();
+
+  if (obs::enabled()) {
+    const obs::Labels base =
+        hooks.telemetryLabels.empty()
+            ? obs::Labels{{"family", "compose"},
+                          {"detector", composition.detector},
+                          {"driver", composition.driver}}
+            : hooks.telemetryLabels;
+    publishSimMetrics(sim, base);
+    publishDecisionTicks(sim, base);
+    publishTemplateMetrics(templated, base);
+  }
+
+  // Crashed processes participated in the rounds they started (they
+  // invoked the objects with their inputs), so they belong in the audit;
+  // their unfinished rounds contribute inputs but no outcome.
+  std::vector<const ConsensusProcess*> correct;
+  for (ConsensusProcess* process : templated)
+    if (process != nullptr) correct.push_back(process);
+  AuditOptions auditOptions;
+  if (!vacDetector) {
+    auditOptions.requireAdoptValidity = false;  // the documented sentinel gap
+    // An adopt-commit detector's adopt values may disagree in commit-free
+    // rounds (the VAC-only coherence property does not apply).
+    auditOptions.checkVacillateAdoptCoherence = false;
+  }
+  result.audits = auditAllRounds(correct, auditOptions);
+  result.allAuditsOk =
+      std::all_of(result.audits.begin(), result.audits.end(),
+                  [](const RoundAudit& a) { return a.ok(); });
+
+  // §5 witnesses (E9): adopt-level outcomes whose value disagrees with
+  // the final decision.
+  if (vacDetector && result.allDecided) {
+    for (const ConsensusProcess* process : correct) {
+      for (const RoundRecord& record : process->rounds()) {
+        if (!record.detectorOutcome ||
+            record.detectorOutcome->confidence != Confidence::kAdopt) {
+          continue;
+        }
+        ++result.adoptOutcomesTotal;
+        if (record.detectorOutcome->value != result.decidedValue)
+          ++result.adoptMismatchWitnesses;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ooc::compose

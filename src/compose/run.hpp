@@ -1,0 +1,53 @@
+// The generic composition runner: one harness for every registered
+// detector × driver pairing. This replaces the per-protocol run loops that
+// used to be copy-pasted across src/harness/scenarios.cpp — the legacy
+// runBenOr/runByzantineBenOr/runPhaseKing entry points are now thin
+// adapters that lower their config structs into a Composition and call
+// runComposition(), reproducing the old schedules byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "compose/composition.hpp"
+#include "compose/hooks.hpp"
+#include "core/properties.hpp"
+#include "util/types.hpp"
+
+namespace ooc::compose {
+
+struct CompositionResult {
+  bool allDecided = false;
+  bool agreementViolated = false;
+  bool validityViolated = false;
+  Value decidedValue = kNoValue;
+  /// Highest decision round among deciders; 0 if nobody decided.
+  Round maxDecisionRound = 0;
+  double meanDecisionRound = 0.0;
+  Tick lastDecisionTick = 0;
+  std::uint64_t messagesByCorrect = 0;
+  /// Scheduler events executed by the run (bench_simcore's work unit).
+  std::uint64_t eventsProcessed = 0;
+  /// Deep payload copies made by the simulator. Zero for every in-tree
+  /// object (they all use the shared-payload post/fanout path); growth
+  /// here is a copy regression, asserted by tests/simcore_perf_test.cpp.
+  std::uint64_t messagesCloned = 0;
+
+  /// Per-round object audits over the template processes.
+  std::vector<RoundAudit> audits;
+  bool allAuditsOk = true;
+
+  /// §5 witnesses (VAC detectors, decided runs only): completed
+  /// adopt-level outcomes whose value differs from the run's decided value
+  /// (decide-on-adopt would have broken agreement).
+  std::size_t adoptOutcomesTotal = 0;
+  std::size_t adoptMismatchWitnesses = 0;
+};
+
+/// Runs one composition to the stop condition. Deterministic in
+/// (composition, seed); throws std::invalid_argument on an invalid
+/// composition (unknown names, rejected pairing, bad parameters).
+CompositionResult runComposition(const Composition& composition,
+                                 const RunHooks& hooks = {});
+
+}  // namespace ooc::compose

@@ -1,0 +1,39 @@
+// Per-run telemetry publication, shared by runComposition() and the
+// bespoke runners that remain in src/harness/ (monolithic baselines,
+// Raft): one flush per run, guarded by obs::enabled() so a
+// disabled-telemetry sweep pays one relaxed atomic load per run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/consensus_process.hpp"
+#include "obs/metrics.hpp"
+#include "util/types.hpp"
+
+namespace ooc {
+class Simulator;
+}
+
+namespace ooc::compose {
+
+/// Bounds the `round` label cardinality: long runs (Ben-Or can take
+/// hundreds of rounds on adversarial seeds) collapse into one tail label.
+std::string roundLabel(Round m);
+
+obs::Labels withLabel(obs::Labels base, const char* key, std::string value);
+
+/// Simulator/network counters, flushed once per run under `base` labels.
+void publishSimMetrics(const Simulator& sim, const obs::Labels& base);
+
+/// Decision latency in simulated ticks, one sample per decided process.
+void publishDecisionTicks(const Simulator& sim, const obs::Labels& base);
+
+/// Per-round object telemetry of template processes: VAC/AC confidence
+/// transition counts keyed by (confidence, round), driver invocation
+/// counts, and the rounds-to-decide distribution. Null entries (Byzantine
+/// slots) are skipped.
+void publishTemplateMetrics(const std::vector<ConsensusProcess*>& processes,
+                            const obs::Labels& base);
+
+}  // namespace ooc::compose

@@ -1,0 +1,58 @@
+#include "compose/timer_reconciliator.hpp"
+
+#include <memory>
+
+namespace ooc::compose {
+namespace {
+
+/// A firing invoker's spokesman claim, trusted verbatim by every peer.
+struct TimerClaim final : MessageBase<TimerClaim> {
+  explicit TimerClaim(Value value = kNoValue) : value(value) {}
+  Value value;
+  std::string describe() const override {
+    return "timer-claim(" + std::to_string(value) + ")";
+  }
+};
+
+}  // namespace
+
+TimerReconciliator::TimerReconciliator(Tick timeoutMin, Tick timeoutSpread)
+    : timeoutMin_(timeoutMin), timeoutSpread_(timeoutSpread) {}
+
+void TimerReconciliator::invoke(ObjectContext& ctx, const Outcome& detected) {
+  invoked_ = true;
+  own_ = detected.value;
+  if (claimed_) {  // a claim raced ahead of our invocation
+    value_ = *claimed_;
+    return;
+  }
+  const Tick spread = timeoutSpread_ == 0 ? 1 : timeoutSpread_;
+  timer_ = ctx.setTimer(timeoutMin_ + ctx.rng().below(spread));
+}
+
+void TimerReconciliator::onMessage(ObjectContext& ctx, ProcessId /*from*/,
+                                   const Message& inner) {
+  const auto* claim = inner.as<TimerClaim>();
+  if (claim == nullptr || claimed_) return;
+  claimed_ = claim->value;
+  if (invoked_ && !value_) {
+    if (timer_) ctx.cancelTimer(*timer_);
+    timer_.reset();
+    value_ = *claimed_;
+  }
+}
+
+void TimerReconciliator::onTimer(ObjectContext& ctx, TimerId id) {
+  if (!timer_ || *timer_ != id || value_) return;
+  timer_.reset();
+  ctx.fanout(makeMessage<TimerClaim>(own_));
+  value_ = own_;
+}
+
+DriverFactory TimerReconciliator::factory(Tick timeoutMin, Tick timeoutSpread) {
+  return [timeoutMin, timeoutSpread](Round) {
+    return std::make_unique<TimerReconciliator>(timeoutMin, timeoutSpread);
+  };
+}
+
+}  // namespace ooc::compose

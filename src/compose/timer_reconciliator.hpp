@@ -1,0 +1,51 @@
+// Timer-based reconciliator: the Raft idea (randomized timeouts elect a
+// spokesman) packaged as a standalone driver object, slot-compatible with
+// the coin reconciliators of the Ben-Or family (paper §4.3's remark that
+// Raft's leader election is "just another" agreement-shaking gadget).
+//
+// Each invoker arms a timer with an independent pseudo-random timeout. The
+// first process whose timer fires claims its own value with a fanout; any
+// invoker that hears a claim before its own timer fires cancels the timer
+// and returns the claimant's value. Validity holds (every returned value is
+// an invoker's input); weak agreement holds with probability 1: whenever
+// the uniquely minimal timeout undercuts every peer's by more than the
+// network's delay bound — which has constant probability per round — every
+// invoker returns the same claim.
+//
+// Crash-model only: a Byzantine process could claim a fabricated value (the
+// claim is trusted verbatim), so the registry refuses to pair this driver
+// with Byzantine-model detectors. Asynchronous only: lockstep runs have no
+// delay spread for the timeouts to race against.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/objects.hpp"
+
+namespace ooc::compose {
+
+class TimerReconciliator final : public Driver {
+ public:
+  /// Timeouts are drawn uniformly from [timeoutMin, timeoutMin + spread).
+  TimerReconciliator(Tick timeoutMin, Tick timeoutSpread);
+
+  void invoke(ObjectContext& ctx, const Outcome& detected) override;
+  void onMessage(ObjectContext& ctx, ProcessId from,
+                 const Message& inner) override;
+  void onTimer(ObjectContext& ctx, TimerId id) override;
+  std::optional<Value> result() const override { return value_; }
+
+  static DriverFactory factory(Tick timeoutMin, Tick timeoutSpread);
+
+ private:
+  Tick timeoutMin_;
+  Tick timeoutSpread_;
+  Value own_ = kNoValue;
+  bool invoked_ = false;
+  std::optional<TimerId> timer_;
+  std::optional<Value> claimed_;  // first claim heard (possibly pre-invoke)
+  std::optional<Value> value_;
+};
+
+}  // namespace ooc::compose

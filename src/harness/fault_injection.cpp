@@ -1,60 +1,21 @@
 #include "harness/fault_injection.hpp"
 
-#include <memory>
 #include <utility>
 
+#include "compose/fault.hpp"
+
 namespace ooc::harness {
-namespace {
-
-/// Forwards everything to the wrapped detector, but flips the value of
-/// adopt-level outcomes on odd-id processes. The flipped value feeds both
-/// the round audit (via RoundRecord) and the consensus template itself
-/// (v <- sigma on adopt), so the planted bug propagates like a real one.
-class AdoptFlipDetector final : public AgreementDetector {
- public:
-  explicit AdoptFlipDetector(std::unique_ptr<AgreementDetector> inner)
-      : inner_(std::move(inner)) {}
-
-  void invoke(ObjectContext& ctx, Value v) override {
-    active_ = ctx.self() % 2 == 1;
-    inner_->invoke(ctx, v);
-  }
-
-  void onMessage(ObjectContext& ctx, ProcessId from,
-                 const Message& inner) override {
-    inner_->onMessage(ctx, from, inner);
-  }
-
-  void onTick(ObjectContext& ctx, Tick tick) override {
-    inner_->onTick(ctx, tick);
-  }
-
-  void onTimer(ObjectContext& ctx, TimerId id) override {
-    inner_->onTimer(ctx, id);
-  }
-
-  std::optional<Outcome> result() const override {
-    auto outcome = inner_->result();
-    if (outcome && active_ && outcome->confidence == Confidence::kAdopt)
-      outcome->value = outcome->value == 0 ? 1 : 0;
-    return outcome;
-  }
-
- private:
-  std::unique_ptr<AgreementDetector> inner_;
-  bool active_ = false;
-};
-
-}  // namespace
 
 DetectorFactory injectFault(DetectorFactory inner, BenOrConfig::Fault fault) {
+  // The fault wrappers themselves live with the composition engine
+  // (compose/fault.cpp); this shim just maps the legacy enum.
   switch (fault) {
     case BenOrConfig::Fault::kNone:
-      return inner;
+      return compose::plantFault(std::move(inner),
+                                 compose::PlantedFault::kNone);
     case BenOrConfig::Fault::kVacAdoptFlip:
-      return [inner = std::move(inner)](Round m) {
-        return std::make_unique<AdoptFlipDetector>(inner(m));
-      };
+      return compose::plantFault(std::move(inner),
+                                 compose::PlantedFault::kVacAdoptFlip);
   }
   return inner;
 }

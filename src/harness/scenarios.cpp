@@ -7,176 +7,82 @@
 #include <unordered_map>
 
 #include "benor/async_byzantine.hpp"
-#include "harness/fault_injection.hpp"
-#include "benor/byzantine_vac.hpp"
 #include "benor/monolithic.hpp"
-#include "benor/reconciliators.hpp"
-#include "benor/vac.hpp"
-#include "core/consensus_process.hpp"
-#include "core/vac_from_ac.hpp"
+#include "compose/run.hpp"
+#include "compose/telemetry.hpp"
 #include "harness/serialize.hpp"
 #include "obs/metrics.hpp"
-#include "phaseking/adopt_commit.hpp"
-#include "phaseking/conciliator.hpp"
 #include "phaseking/monolithic.hpp"
-#include "phaseking/queen.hpp"
 #include "raft/consensus.hpp"
-#include "raft/decentralized.hpp"
 #include "sim/simulator.hpp"
 #include "util/stats.hpp"
 
 namespace ooc::harness {
 namespace {
 
-DriverFactory makeReconciliator(const BenOrConfig& config) {
-  switch (config.reconciliator) {
-    case BenOrConfig::Reconciliator::kLocalCoin:
-      return benor::CoinReconciliator::factory();
-    case BenOrConfig::Reconciliator::kCommonCoin:
-      // The shared coin is derived from the run seed: common to all
-      // processes, independent across rounds and across runs.
-      return benor::CommonCoinReconciliator::factory(config.seed ^
-                                                     0x5EEDC01Dull);
-    case BenOrConfig::Reconciliator::kBiasedCoin:
-      return benor::BiasedCoinReconciliator::factory(config.bias);
-    case BenOrConfig::Reconciliator::kKeepValue:
-      return benor::KeepValueReconciliator::factory();
-    case BenOrConfig::Reconciliator::kLottery: {
-      const std::size_t t =
-          config.t.value_or(config.n == 0 ? 0 : (config.n - 1) / 2);
-      return benor::LotteryReconciliator::factory(t,
-                                                  config.seed ^ 0x107734ull);
-    }
-  }
-  throw std::logic_error("unknown reconciliator");
-}
+// The per-protocol run loops that used to live here merged into
+// compose::runComposition(); the entry points below lower their configs
+// into a Composition and delegate. Only the monolithic baselines (no
+// detector/driver split to compose) and Raft (leader-driven, with
+// restarts/partitions/WAL instrumentation) keep bespoke loops, built on
+// the shared telemetry helpers re-exported by compose/telemetry.hpp.
+using compose::publishDecisionTicks;
+using compose::publishSimMetrics;
+using compose::publishTemplateMetrics;
+using compose::roundLabel;
+using compose::withLabel;
+using compose::wrapAdversary;
 
-DetectorFactory makeBenOrDetector(const BenOrConfig& config, std::size_t t) {
-  switch (config.mode) {
-    case BenOrConfig::Mode::kDecomposed:
-      return benor::BenOrVac::factory(t);
-    case BenOrConfig::Mode::kVacFromTwoAc:
-      // AC obtained by downgrading Ben-Or's VAC (vacillate -> adopt), then
-      // VAC re-synthesized from two such ACs: the §5 constructions stacked.
-      return VacFromTwoAc::liftFactory(
-          AcFromVac::liftFactory(benor::BenOrVac::factory(t)));
-    case BenOrConfig::Mode::kDecentralizedVac:
-      return raft::DecentralizedRaftVac::factory(t);
+const char* detectorName(BenOrConfig::Mode mode) {
+  switch (mode) {
+    case BenOrConfig::Mode::kDecomposed: return "benor-vac";
+    case BenOrConfig::Mode::kVacFromTwoAc: return "vac-from-two-ac";
+    case BenOrConfig::Mode::kDecentralizedVac: return "decentralized-vac";
     case BenOrConfig::Mode::kMonolithic:
       throw std::logic_error("monolithic mode has no detector");
   }
   throw std::logic_error("unknown mode");
 }
 
-// ---------------------------------------------------------------------------
-// Telemetry publication (src/obs/): one flush per run, guarded by
-// obs::enabled() so a disabled-telemetry sweep pays one relaxed atomic
-// load per run.
-
-/// Bounds the `round` label cardinality: long runs (Ben-Or can take
-/// hundreds of rounds on adversarial seeds) collapse into one tail label.
-std::string roundLabel(Round m) {
-  return m <= 32 ? std::to_string(m) : std::string("33+");
-}
-
-obs::Labels withLabel(obs::Labels base, const char* key, std::string value) {
-  base.emplace_back(key, std::move(value));
-  return base;
-}
-
-/// Simulator/network counters, flushed once per run under `base` labels.
-void publishSimMetrics(const Simulator& sim, const obs::Labels& base) {
-  auto& registry = obs::metrics();
-  registry.addCounter("runs", 1, base);
-  registry.addCounter("events_executed", sim.eventsProcessed(), base);
-  registry.addCounter("messages_sent", sim.messagesSent(), base);
-  registry.addCounter("messages_delivered", sim.messagesDelivered(), base);
-  registry.addCounter("messages_dropped", sim.messagesDropped(), base);
-  registry.addCounter("messages_duplicated", sim.messagesDuplicated(), base);
-  // Deep payload copies made by the simulator; 0 on the post()/fanout()
-  // path, so any growth here is a copy regression on the hot path.
-  registry.addCounter("messages_cloned", sim.messagesCloned(), base);
-  registry.addCounter("timers_armed", sim.timersArmed(), base);
-  registry.addCounter("timers_cancelled", sim.timersCancelled(), base);
-  registry.addCounter("timers_fired", sim.timersFired(), base);
-  registry.addCounter("restarts", sim.restarts(), base);
-  registry.addCounter("messages_dropped_stale", sim.messagesDroppedStale(),
-                      base);
-  registry.addCounter("timers_purged_on_crash", sim.timersPurgedOnCrash(),
-                      base);
-}
-
-/// Decision latency in simulated ticks, one sample per decided process.
-void publishDecisionTicks(const Simulator& sim, const obs::Labels& base) {
-  auto& registry = obs::metrics();
-  for (ProcessId id = 0; id < sim.processCount(); ++id) {
-    if (sim.faulty(id)) continue;
-    const auto& decision = sim.decision(id);
-    if (decision.decided)
-      registry.observe("ticks_to_decide", static_cast<double>(decision.at),
-                       base);
+const char* driverName(BenOrConfig::Reconciliator reconciliator) {
+  switch (reconciliator) {
+    case BenOrConfig::Reconciliator::kLocalCoin: return "local-coin";
+    case BenOrConfig::Reconciliator::kCommonCoin: return "common-coin";
+    case BenOrConfig::Reconciliator::kBiasedCoin: return "biased-coin";
+    case BenOrConfig::Reconciliator::kKeepValue: return "keep-value";
+    case BenOrConfig::Reconciliator::kLottery: return "lottery";
   }
+  throw std::logic_error("unknown reconciliator");
 }
 
-/// Per-round object telemetry of template processes: VAC/AC confidence
-/// transition counts keyed by (confidence, round), driver invocation
-/// counts, and the rounds-to-decide distribution. Null entries (Byzantine
-/// slots) are skipped.
-void publishTemplateMetrics(const std::vector<ConsensusProcess*>& processes,
-                            const obs::Labels& base) {
-  auto& registry = obs::metrics();
-  for (const ConsensusProcess* process : processes) {
-    if (process == nullptr) continue;
-    Round m = 0;
-    for (const RoundRecord& record : process->rounds()) {
-      ++m;
-      if (record.detectorOutcome) {
-        registry.addCounter(
-            "confidence_transitions", 1,
-            withLabel(withLabel(base, "confidence",
-                                toString(record.detectorOutcome->confidence)),
-                      "round", roundLabel(m)));
-      }
-      if (record.driverValue)
-        registry.addCounter("driver_invocations", 1,
-                            withLabel(base, "round", roundLabel(m)));
-    }
-    if (process->decided())
-      registry.observe("rounds_to_decide",
-                       static_cast<double>(process->decisionRound()), base);
-  }
+compose::PlantedFault lowerFault(BenOrConfig::Fault fault) {
+  return fault == BenOrConfig::Fault::kVacAdoptFlip
+             ? compose::PlantedFault::kVacAdoptFlip
+             : compose::PlantedFault::kNone;
 }
 
-/// Wires a TelemetrySink (when present) into a template process's options,
-/// binding the process id the simulator will assign next.
-void wireTelemetry(ConsensusProcess::Options& options, TelemetrySink* sink,
-                   ProcessId id) {
-  if (sink == nullptr) return;
-  options.onDetectorOutcome = [sink, id](Round m, const Outcome& outcome,
-                                         Tick at) {
-    sink->onDetectorOutcome(id, m, outcome, at);
-  };
-  options.onDriverValue = [sink, id](Round m, Value value, Tick at) {
-    sink->onDriverValue(id, m, value, at);
-  };
+BenOrResult fromComposition(const compose::CompositionResult& run) {
+  BenOrResult result;
+  result.allDecided = run.allDecided;
+  result.agreementViolated = run.agreementViolated;
+  result.validityViolated = run.validityViolated;
+  result.decidedValue = run.decidedValue;
+  result.maxDecisionRound = run.maxDecisionRound;
+  result.meanDecisionRound = run.meanDecisionRound;
+  result.lastDecisionTick = run.lastDecisionTick;
+  result.messagesByCorrect = run.messagesByCorrect;
+  result.eventsProcessed = run.eventsProcessed;
+  result.audits = run.audits;
+  result.allAuditsOk = run.allAuditsOk;
+  result.adoptOutcomesTotal = run.adoptOutcomesTotal;
+  result.adoptMismatchWitnesses = run.adoptMismatchWitnesses;
+  return result;
 }
 
-/// Applies the configured message-reordering adversary, if any.
-std::unique_ptr<NetworkModel> wrapAdversary(std::unique_ptr<NetworkModel> net,
-                                            const AdversaryOptions& options) {
-  if (!options.enabled()) return net;
-  DelayAdversaryNetwork::Options adv;
-  adv.seed = options.seed;
-  adv.extraDelayMax = options.extraDelayMax;
-  adv.perturbProbability = options.perturbProbability;
-  return std::make_unique<DelayAdversaryNetwork>(std::move(net), adv);
-}
-
-}  // namespace
-
-BenOrResult runBenOr(const BenOrConfig& config, const RunHooks& hooks) {
-  if (config.inputs.size() != config.n)
-    throw std::invalid_argument("inputs must have size n");
+/// Classic monolithic Ben-Or: no detector/driver split, so no Composition —
+/// the baseline keeps its own loop.
+BenOrResult runMonolithicBenOr(const BenOrConfig& config,
+                               const RunHooks& hooks) {
   const std::size_t t =
       config.t.value_or(config.n == 0 ? 0 : (config.n - 1) / 2);
 
@@ -191,31 +97,12 @@ BenOrResult runBenOr(const BenOrConfig& config, const RunHooks& hooks) {
                               config.adversary));
   if (hooks.observer) sim.setScheduleObserver(hooks.observer);
 
-  std::vector<ConsensusProcess*> templated;
   std::vector<benor::MonolithicBenOr*> classic;
-
   for (ProcessId id = 0; id < config.n; ++id) {
-    if (config.mode == BenOrConfig::Mode::kMonolithic) {
-      auto process = std::make_unique<benor::MonolithicBenOr>(
-          config.inputs[id], t, config.maxRounds);
-      classic.push_back(process.get());
-      sim.addProcess(std::move(process));
-    } else {
-      ConsensusProcess::Options options;
-      options.kind = TemplateKind::kVacReconciliator;
-      options.maxRounds = config.maxRounds;
-      // The lottery is a quorum-waiting driver: everyone must join the
-      // drive wave each round (see LotteryReconciliator).
-      options.alwaysRunDriver =
-          config.reconciliator == BenOrConfig::Reconciliator::kLottery;
-      wireTelemetry(options, hooks.telemetry, id);
-      auto process = std::make_unique<ConsensusProcess>(
-          config.inputs[id],
-          injectFault(makeBenOrDetector(config, t), config.fault),
-          makeReconciliator(config), options);
-      templated.push_back(process.get());
-      sim.addProcess(std::move(process));
-    }
+    auto process = std::make_unique<benor::MonolithicBenOr>(
+        config.inputs[id], t, config.maxRounds);
+    classic.push_back(process.get());
+    sim.addProcess(std::move(process));
   }
 
   sim.setValidValues(config.inputs);
@@ -236,10 +123,7 @@ BenOrResult runBenOr(const BenOrConfig& config, const RunHooks& hooks) {
     if (!decision.decided) continue;
     result.decidedValue = decision.value;
     result.lastDecisionTick = std::max(result.lastDecisionTick, decision.at);
-    const Round round =
-        config.mode == BenOrConfig::Mode::kMonolithic
-            ? classic[id]->decisionRound()
-            : templated[id]->decisionRound();
+    const Round round = classic[id]->decisionRound();
     result.maxDecisionRound = std::max(result.maxDecisionRound, round);
     decisionRounds.add(static_cast<double>(round));
   }
@@ -251,135 +135,24 @@ BenOrResult runBenOr(const BenOrConfig& config, const RunHooks& hooks) {
                               {"mode", toString(config.mode)}};
     publishSimMetrics(sim, base);
     publishDecisionTicks(sim, base);
-    publishTemplateMetrics(templated, base);
-    if (config.mode == BenOrConfig::Mode::kMonolithic) {
-      for (const benor::MonolithicBenOr* process : classic)
-        if (process->decided())
-          obs::metrics().observe(
-              "rounds_to_decide",
-              static_cast<double>(process->decisionRound()), base);
-    }
-  }
-
-  if (config.mode != BenOrConfig::Mode::kMonolithic) {
-    // Crashed processes participated in the rounds they started (they
-    // invoked the objects with their inputs), so they belong in the audit;
-    // their unfinished rounds contribute inputs but no outcome.
-    std::vector<const ConsensusProcess*> correct(templated.begin(),
-                                                 templated.end());
-    result.audits = auditAllRounds(correct);
-    result.allAuditsOk =
-        std::all_of(result.audits.begin(), result.audits.end(),
-                    [](const RoundAudit& a) { return a.ok(); });
-
-    // §5 witnesses (E9): adopt-level outcomes whose value disagrees with
-    // the final decision.
-    if (result.allDecided) {
-      for (const ConsensusProcess* process : correct) {
-        for (const RoundRecord& record : process->rounds()) {
-          if (!record.detectorOutcome ||
-              record.detectorOutcome->confidence != Confidence::kAdopt) {
-            continue;
-          }
-          ++result.adoptOutcomesTotal;
-          if (record.detectorOutcome->value != result.decidedValue)
-            ++result.adoptMismatchWitnesses;
-        }
-      }
-    }
+    for (const benor::MonolithicBenOr* process : classic)
+      if (process->decided())
+        obs::metrics().observe("rounds_to_decide",
+                               static_cast<double>(process->decisionRound()),
+                               base);
   }
   return result;
 }
 
-BenOrResult runByzantineBenOr(const ByzantineBenOrConfig& config) {
+/// Classic monolithic Phase-King baseline (Byzantine peers speak the
+/// classic wire format).
+PhaseKingResult runMonolithicPhaseKing(const PhaseKingConfig& config,
+                                       const RunHooks& hooks) {
   const std::size_t n = config.n;
   const std::size_t f = config.byzantineCount;
+  const std::size_t t = config.t.value_or(n == 0 ? 0 : (n - 1) / 3);
   if (f > n) throw std::invalid_argument("more Byzantine than processes");
-  const std::size_t t = config.t.value_or(n == 0 ? 0 : (n - 1) / 5);
 
-  SimConfig simConfig;
-  simConfig.seed = config.seed;
-  simConfig.maxTicks = config.maxTicks;
-  UniformDelayNetwork::Options net;
-  net.minDelay = config.minDelay;
-  net.maxDelay = config.maxDelay;
-  Simulator sim(simConfig, std::make_unique<UniformDelayNetwork>(net));
-
-  std::vector<ConsensusProcess*> templated;
-  std::vector<Value> validInputs;
-  std::size_t correctSeen = 0;
-  for (ProcessId id = 0; id < n; ++id) {
-    if (id >= n - f) {  // attackers at the back
-      sim.addProcess(
-          std::make_unique<benor::AsyncByzantine>(
-              static_cast<benor::AsyncByzantineStrategy>(config.strategy)),
-          /*faulty=*/true);
-      continue;
-    }
-    const Value input =
-        config.inputs[correctSeen++ % config.inputs.size()];
-    validInputs.push_back(input);
-    ConsensusProcess::Options options;
-    options.kind = TemplateKind::kVacReconciliator;
-    options.maxRounds = config.maxRounds;
-    auto process = std::make_unique<ConsensusProcess>(
-        input, benor::ByzantineBenOrVac::factory(t),
-        benor::CoinReconciliator::factory(), options);
-    templated.push_back(process.get());
-    sim.addProcess(std::move(process));
-  }
-
-  sim.setValidValues(validInputs);
-  sim.stopWhenAllCorrectDecided();
-  sim.run();
-
-  BenOrResult result;
-  result.allDecided = sim.allCorrectDecided();
-  result.agreementViolated = sim.agreementViolated();
-  result.validityViolated = sim.validityViolated();
-  result.messagesByCorrect = sim.messagesSentByCorrect();
-  result.eventsProcessed = sim.eventsProcessed();
-  Summary decisionRounds;
-  for (std::size_t i = 0; i < templated.size(); ++i) {
-    if (!templated[i]->decided()) continue;
-    result.decidedValue = templated[i]->decisionValue();
-    result.maxDecisionRound =
-        std::max(result.maxDecisionRound, templated[i]->decisionRound());
-    decisionRounds.add(static_cast<double>(templated[i]->decisionRound()));
-  }
-  if (!decisionRounds.empty())
-    result.meanDecisionRound = decisionRounds.mean();
-
-  if (obs::enabled()) {
-    const obs::Labels base = {{"family", "benor-byzantine"}};
-    publishSimMetrics(sim, base);
-    publishDecisionTicks(sim, base);
-    publishTemplateMetrics(templated, base);
-  }
-
-  std::vector<const ConsensusProcess*> correct(templated.begin(),
-                                               templated.end());
-  result.audits = auditAllRounds(correct);
-  result.allAuditsOk =
-      std::all_of(result.audits.begin(), result.audits.end(),
-                  [](const RoundAudit& a) { return a.ok(); });
-  return result;
-}
-
-// ---------------------------------------------------------------------------
-
-PhaseKingResult runPhaseKing(const PhaseKingConfig& config,
-                             const RunHooks& hooks) {
-  const bool queen = config.algorithm == PhaseKingConfig::Algorithm::kQueen;
-  const std::size_t n = config.n;
-  const std::size_t f = config.byzantineCount;
-  const std::size_t t =
-      config.t.value_or(n == 0 ? 0 : (n - 1) / (queen ? 4 : 3));
-  if (f > n) throw std::invalid_argument("more Byzantine than processes");
-  if (queen && config.monolithic)
-    throw std::invalid_argument("Phase-Queen has no monolithic baseline");
-
-  // Choose Byzantine ids per placement.
   std::vector<bool> isByz(n, false);
   switch (config.placement) {
     case PhaseKingConfig::Placement::kFront:
@@ -400,24 +173,14 @@ PhaseKingResult runPhaseKing(const PhaseKingConfig& config,
   Simulator sim(simConfig, std::make_unique<SynchronousNetwork>());
   if (hooks.observer) sim.setScheduleObserver(hooks.observer);
 
-  std::vector<ConsensusProcess*> templated(n, nullptr);
   std::vector<Value> validInputs;
   std::size_t correctSeen = 0;
-
   for (ProcessId id = 0; id < n; ++id) {
     if (isByz[id]) {
-      if (queen) {
-        sim.addProcess(
-            std::make_unique<phaseking::PhaseQueenByzantine>(config.strategy),
-            /*faulty=*/true);
-      } else {
-        const auto wire =
-            config.monolithic ? phaseking::PhaseKingByzantine::Wire::kClassic
-                              : phaseking::PhaseKingByzantine::Wire::kTemplate;
-        sim.addProcess(std::make_unique<phaseking::PhaseKingByzantine>(
-                           config.strategy, wire),
-                       /*faulty=*/true);
-      }
+      sim.addProcess(std::make_unique<phaseking::PhaseKingByzantine>(
+                         config.strategy,
+                         phaseking::PhaseKingByzantine::Wire::kClassic),
+                     /*faulty=*/true);
       continue;
     }
     const Value input =
@@ -426,32 +189,7 @@ PhaseKingResult runPhaseKing(const PhaseKingConfig& config,
             : config.inputs[correctSeen % config.inputs.size()];
     ++correctSeen;
     validInputs.push_back(input);
-
-    if (config.monolithic) {
-      sim.addProcess(
-          std::make_unique<phaseking::MonolithicPhaseKing>(input, t));
-    } else {
-      ConsensusProcess::Options options;
-      options.kind = TemplateKind::kAcConciliator;
-      options.alwaysRunDriver = true;  // lockstep: king phase every round
-      options.maxRounds = config.maxRounds;
-      if (config.earlyCommitDecision) {
-        options.decideOnCommit = true;  // paper-faithful, unsound corner
-      } else {
-        options.decideOnCommit = false;  // classic: fixed t+1 phases
-        options.decideAfterRound = static_cast<Round>(t + 1);
-      }
-      wireTelemetry(options, hooks.telemetry, id);
-      auto process = std::make_unique<ConsensusProcess>(
-          input,
-          queen ? phaseking::PhaseQueenAc::factory(t)
-                : phaseking::PhaseKingAc::factory(t),
-          queen ? phaseking::QueenConciliator::factory()
-                : phaseking::KingConciliator::factory(),
-          options);
-      templated[id] = process.get();
-      sim.addProcess(std::move(process));
-    }
+    sim.addProcess(std::make_unique<phaseking::MonolithicPhaseKing>(input, t));
   }
 
   sim.setValidValues(validInputs);
@@ -464,43 +202,142 @@ PhaseKingResult runPhaseKing(const PhaseKingConfig& config,
   result.validityViolated = sim.validityViolated();
   result.messagesByCorrect = sim.messagesSentByCorrect();
   result.eventsProcessed = sim.eventsProcessed();
-
   for (ProcessId id = 0; id < n; ++id) {
     if (isByz[id]) continue;
     const auto& decision = sim.decision(id);
     if (!decision.decided) continue;
     result.decidedValue = decision.value;
     result.lastDecisionTick = std::max(result.lastDecisionTick, decision.at);
-    if (!config.monolithic) {
-      result.maxDecisionRound =
-          std::max(result.maxDecisionRound, templated[id]->decisionRound());
-    }
   }
 
   if (obs::enabled()) {
-    const obs::Labels base = {
-        {"family", "phaseking"},
-        {"algorithm", queen ? "queen" : "king"},
-        {"mode", config.monolithic ? "monolithic" : "decomposed"}};
+    const obs::Labels base = {{"family", "phaseking"},
+                              {"algorithm", "king"},
+                              {"mode", "monolithic"}};
     publishSimMetrics(sim, base);
     publishDecisionTicks(sim, base);
-    publishTemplateMetrics(templated, base);
   }
+  return result;
+}
 
-  if (!config.monolithic) {
-    std::vector<const ConsensusProcess*> correct;
-    for (ProcessId id = 0; id < n; ++id)
-      if (!isByz[id]) correct.push_back(templated[id]);
-    AuditOptions auditOptions;
-    auditOptions.requireAdoptValidity = false;  // the documented sentinel gap
-    // Phase-King's detector is an adopt-commit object: adopt values may
-    // disagree in commit-free rounds (VAC-only property does not apply).
-    auditOptions.checkVacillateAdoptCoherence = false;
-    result.audits = auditAllRounds(correct, auditOptions);
-    result.allAuditsOk =
-        std::all_of(result.audits.begin(), result.audits.end(),
-                    [](const RoundAudit& a) { return a.ok(); });
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Legacy-config lowering
+
+compose::Composition toComposition(const BenOrConfig& config) {
+  if (config.inputs.size() != config.n)
+    throw std::invalid_argument("inputs must have size n");
+  compose::Composition composition;
+  composition.detector = detectorName(config.mode);
+  composition.driver = driverName(config.reconciliator);
+  composition.n = config.n;
+  composition.t = config.t;
+  composition.inputs = config.inputs;
+  composition.seed = config.seed;
+  composition.bias = config.bias;
+  composition.crashes = config.crashes;
+  composition.minDelay = config.minDelay;
+  composition.maxDelay = config.maxDelay;
+  composition.maxRounds = config.maxRounds;
+  composition.maxTicks = config.maxTicks;
+  composition.adversary = config.adversary;
+  composition.fault = lowerFault(config.fault);
+  return composition;
+}
+
+compose::Composition toComposition(const ByzantineBenOrConfig& config) {
+  compose::Composition composition;
+  composition.detector = "byzantine-benor-vac";
+  composition.driver = "local-coin";
+  composition.n = config.n;
+  composition.t = config.t;
+  composition.byzantineCount = config.byzantineCount;
+  composition.byzantineStrategy = benor::toString(
+      static_cast<benor::AsyncByzantineStrategy>(config.strategy));
+  composition.placement = compose::Placement::kBack;
+  composition.inputs = config.inputs;
+  composition.seed = config.seed;
+  composition.minDelay = config.minDelay;
+  composition.maxDelay = config.maxDelay;
+  composition.maxRounds = config.maxRounds;
+  composition.maxTicks = config.maxTicks;
+  return composition;
+}
+
+compose::Composition toComposition(const PhaseKingConfig& config) {
+  const bool queen = config.algorithm == PhaseKingConfig::Algorithm::kQueen;
+  if (config.monolithic)
+    throw std::invalid_argument(
+        "monolithic Phase-King has no detector/driver decomposition");
+  compose::Composition composition;
+  composition.detector = queen ? "phasequeen-ac" : "phaseking-ac";
+  composition.driver = queen ? "queen-conciliator" : "king-conciliator";
+  composition.n = config.n;
+  composition.t = config.t;
+  composition.byzantineCount = config.byzantineCount;
+  composition.byzantineStrategy = phaseking::toString(config.strategy);
+  composition.placement = config.placement;
+  composition.inputs = config.inputs;
+  composition.earlyCommitDecision = config.earlyCommitDecision;
+  composition.seed = config.seed;
+  composition.maxRounds = config.maxRounds;
+  composition.maxTicks = config.maxTicks;
+  return composition;
+}
+
+// ---------------------------------------------------------------------------
+
+BenOrResult runBenOr(const BenOrConfig& config, const RunHooks& hooks) {
+  if (config.mode == BenOrConfig::Mode::kMonolithic) {
+    if (config.inputs.size() != config.n)
+      throw std::invalid_argument("inputs must have size n");
+    return runMonolithicBenOr(config, hooks);
   }
+  const compose::Composition composition = toComposition(config);
+  RunHooks lowered = hooks;
+  if (lowered.telemetryLabels.empty())
+    lowered.telemetryLabels = {{"family", "benor"},
+                               {"mode", toString(config.mode)}};
+  return fromComposition(compose::runComposition(composition, lowered));
+}
+
+BenOrResult runByzantineBenOr(const ByzantineBenOrConfig& config) {
+  RunHooks hooks;
+  hooks.telemetryLabels = {{"family", "benor-byzantine"}};
+  return fromComposition(
+      compose::runComposition(toComposition(config), hooks));
+}
+
+// ---------------------------------------------------------------------------
+
+PhaseKingResult runPhaseKing(const PhaseKingConfig& config,
+                             const RunHooks& hooks) {
+  const bool queen = config.algorithm == PhaseKingConfig::Algorithm::kQueen;
+  if (queen && config.monolithic)
+    throw std::invalid_argument("Phase-Queen has no monolithic baseline");
+  if (config.monolithic) return runMonolithicPhaseKing(config, hooks);
+
+  const compose::Composition composition = toComposition(config);
+  RunHooks lowered = hooks;
+  if (lowered.telemetryLabels.empty())
+    lowered.telemetryLabels = {{"family", "phaseking"},
+                               {"algorithm", queen ? "queen" : "king"},
+                               {"mode", "decomposed"}};
+  const compose::CompositionResult run =
+      compose::runComposition(composition, lowered);
+
+  PhaseKingResult result;
+  result.allDecided = run.allDecided;
+  result.agreementViolated = run.agreementViolated;
+  result.validityViolated = run.validityViolated;
+  result.decidedValue = run.decidedValue;
+  result.maxDecisionRound = run.maxDecisionRound;
+  result.lastDecisionTick = run.lastDecisionTick;
+  result.messagesByCorrect = run.messagesByCorrect;
+  result.eventsProcessed = run.eventsProcessed;
+  result.audits = run.audits;
+  result.allAuditsOk = run.allAuditsOk;
   return result;
 }
 

@@ -12,55 +12,22 @@
 #include <utility>
 #include <vector>
 
+#include "compose/composition.hpp"
+#include "compose/hooks.hpp"
 #include "core/properties.hpp"
 #include "phaseking/byzantine.hpp"
 #include "raft/types.hpp"
 #include "util/types.hpp"
 
-namespace ooc {
-class ScheduleObserver;
-}
-
 namespace ooc::harness {
 
-/// Rich protocol-event tap: receives the object-level moments the schedule
-/// trace cannot see — detector outcomes (confidence transitions) and driver
-/// returns, with their simulated tick. Implemented by the trace_view
-/// timeline renderer and metric collectors. Observation only: sinks must
-/// not influence the run.
-class TelemetrySink {
- public:
-  virtual ~TelemetrySink() = default;
-  /// Round `round`'s detector invocation returned `outcome` at `process`.
-  /// For Raft the "round" is the term of the confidence transition.
-  virtual void onDetectorOutcome(ProcessId process, Round round,
-                                 const Outcome& outcome, Tick at) = 0;
-  /// Round `round`'s driver (reconciliator/conciliator) returned `value`.
-  virtual void onDriverValue(ProcessId process, Round round, Value value,
-                             Tick at) = 0;
-};
-
-/// Optional instrumentation threaded through a scenario run. Not part of
-/// the serializable configuration: hooks are attached by the caller (the
-/// model checker's trace recorder/verifier, the timeline renderer) and
-/// never affect the schedule.
-struct RunHooks {
-  ScheduleObserver* observer = nullptr;
-  TelemetrySink* telemetry = nullptr;
-};
-
-/// Delay-bounded adversarial rescheduling for asynchronous scenarios: when
-/// extraDelayMax > 0 the run's network is wrapped in a DelayAdversaryNetwork
-/// that stretches each delivery by up to extraDelayMax extra ticks with
-/// probability perturbProbability. The adversary draws from its own seed so
-/// schedules can be swept while the protocol's randomness stays fixed.
-struct AdversaryOptions {
-  Tick extraDelayMax = 0;
-  double perturbProbability = 1.0;
-  std::uint64_t seed = 1;
-
-  bool enabled() const noexcept { return extraDelayMax > 0; }
-};
+// The instrumentation vocabulary (telemetry sink, run hooks, adversary
+// options) moved down into src/compose/ with the generic composition
+// runner; these aliases keep every existing harness consumer compiling
+// against the same types.
+using TelemetrySink = compose::TelemetrySink;
+using RunHooks = compose::RunHooks;
+using AdversaryOptions = compose::AdversaryOptions;
 
 // ---------------------------------------------------------------------------
 // Ben-Or family (asynchronous, crash faults, t < n/2)
@@ -185,7 +152,7 @@ struct PhaseKingConfig {
 
   /// Where the Byzantine ids sit. Kings rotate from id 0, so front
   /// placement gives the adversary the first reigns (the hard case).
-  enum class Placement { kFront, kBack, kSpread };
+  using Placement = compose::Placement;
   Placement placement = Placement::kFront;
 
   /// Inputs for correct processes, by their order among correct ids; if
@@ -219,6 +186,17 @@ struct PhaseKingResult {
 
 PhaseKingResult runPhaseKing(const PhaseKingConfig& config,
                              const RunHooks& hooks = {});
+
+// ---------------------------------------------------------------------------
+// Legacy-config lowering. Each template-mode config maps onto a registry
+// Composition; the run* entry points above are thin adapters over
+// compose::runComposition() and reproduce the historical schedules
+// byte-for-byte. Monolithic modes have no detector/driver decomposition
+// and throw std::invalid_argument here (they keep bespoke run loops).
+
+compose::Composition toComposition(const BenOrConfig& config);
+compose::Composition toComposition(const ByzantineBenOrConfig& config);
+compose::Composition toComposition(const PhaseKingConfig& config);
 
 // ---------------------------------------------------------------------------
 // Raft (asynchronous with timeouts; crashes, loss, partitions)

@@ -1,129 +1,25 @@
 #include "harness/serialize.hpp"
 
 #include <array>
-#include <limits>
 #include <sstream>
 #include <stdexcept>
-#include <unordered_map>
 #include <vector>
 
-#include "obs/run_id.hpp"
+#include "compose/kv.hpp"
 
 namespace ooc::harness {
 namespace {
 
-// Prepend the deterministic run-id stamp to a serialized config body.
-std::string stampRunId(const std::string& body) {
-  return "# run-id=" + configRunId(body) + "\n" + body;
-}
-
-// ---------------------------------------------------------------------------
-// key=value writer / reader
-
-class KvWriter {
- public:
-  void put(const std::string& key, const std::string& value) {
-    os_ << key << '=' << value << '\n';
-  }
-  void put(const std::string& key, std::uint64_t value) {
-    put(key, std::to_string(value));
-  }
-  void put(const std::string& key, double value) {
-    std::ostringstream os;
-    os.precision(std::numeric_limits<double>::max_digits10);
-    os << value;
-    put(key, os.str());
-  }
-  void putValues(const std::string& key, const std::vector<Value>& values) {
-    std::ostringstream os;
-    for (std::size_t i = 0; i < values.size(); ++i) {
-      if (i > 0) os << ',';
-      os << values[i];
-    }
-    put(key, os.str());
-  }
-
-  std::string str() const { return os_.str(); }
-
- private:
-  std::ostringstream os_;
-};
-
-class KvReader {
- public:
-  explicit KvReader(const std::string& text) {
-    std::istringstream in(text);
-    std::string line;
-    while (std::getline(in, line)) {
-      if (line.empty() || line[0] == '#') continue;
-      const auto eq = line.find('=');
-      if (eq == std::string::npos)
-        throw std::runtime_error("config: malformed line '" + line + "'");
-      entries_[line.substr(0, eq)].push_back(line.substr(eq + 1));
-    }
-  }
-
-  bool has(const std::string& key) const { return entries_.contains(key); }
-
-  std::string get(const std::string& key) const {
-    const auto it = entries_.find(key);
-    if (it == entries_.end())
-      throw std::runtime_error("config: missing key '" + key + "'");
-    return it->second.front();
-  }
-  std::string get(const std::string& key, const std::string& fallback) const {
-    return has(key) ? get(key) : fallback;
-  }
-  std::uint64_t getU64(const std::string& key, std::uint64_t fallback) const {
-    return has(key) ? std::stoull(get(key)) : fallback;
-  }
-  double getDouble(const std::string& key, double fallback) const {
-    return has(key) ? std::stod(get(key)) : fallback;
-  }
-  const std::vector<std::string>& getAll(const std::string& key) const {
-    static const std::vector<std::string> kEmpty;
-    const auto it = entries_.find(key);
-    return it == entries_.end() ? kEmpty : it->second;
-  }
-  std::vector<Value> getValues(const std::string& key) const {
-    std::vector<Value> values;
-    const std::string joined = get(key, "");
-    std::istringstream in(joined);
-    std::string token;
-    while (std::getline(in, token, ','))
-      if (!token.empty()) values.push_back(std::stoll(token));
-    return values;
-  }
-
- private:
-  std::unordered_map<std::string, std::vector<std::string>> entries_;
-};
-
-std::string crashEntry(const std::pair<ProcessId, Tick>& crash) {
-  return std::to_string(crash.first) + "@" + std::to_string(crash.second);
-}
-
-std::pair<ProcessId, Tick> parseCrash(const std::string& entry) {
-  const auto at = entry.find('@');
-  if (at == std::string::npos)
-    throw std::runtime_error("config: malformed crash '" + entry + "'");
-  return {static_cast<ProcessId>(std::stoul(entry.substr(0, at))),
-          static_cast<Tick>(std::stoull(entry.substr(at + 1)))};
-}
-
-void putAdversary(KvWriter& kv, const AdversaryOptions& adversary) {
-  kv.put("adversary-budget", adversary.extraDelayMax);
-  kv.put("adversary-prob", adversary.perturbProbability);
-  kv.put("adversary-seed", adversary.seed);
-}
-
-AdversaryOptions getAdversary(const KvReader& kv) {
-  AdversaryOptions adversary;
-  adversary.extraDelayMax = kv.getU64("adversary-budget", 0);
-  adversary.perturbProbability = kv.getDouble("adversary-prob", 1.0);
-  adversary.seed = kv.getU64("adversary-seed", 1);
-  return adversary;
-}
+// The key=value machinery (writer, reader, run-id stamping, crash/adversary
+// entries) now lives in compose/kv.hpp, shared with Composition
+// serialization; only the per-config field lists remain here.
+using compose::KvReader;
+using compose::KvWriter;
+using compose::crashEntry;
+using compose::getAdversary;
+using compose::parseCrash;
+using compose::putAdversary;
+using compose::stampRunId;
 
 template <typename Enum, std::size_t N>
 Enum parseEnum(const std::string& name, const char* what,
@@ -139,17 +35,7 @@ Enum parseEnum(const std::string& name, const char* what,
 // run identity
 
 std::string configRunId(const std::string& serialized) {
-  // Hash only the key=value payload: `#` comment lines (including a prior
-  // stamp) are skipped, so hashing a stamped file reproduces the stamp.
-  std::uint64_t hash = obs::kFnvOffsetBasis;
-  std::istringstream in(serialized);
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') continue;
-    hash = obs::fnv1a(line, hash);
-    hash = obs::fnv1a("\n", hash);
-  }
-  return obs::toHex(hash);
+  return compose::configRunId(serialized);
 }
 
 // ---------------------------------------------------------------------------
@@ -192,15 +78,6 @@ const char* toString(PhaseKingConfig::Algorithm algorithm) noexcept {
   return "?";
 }
 
-const char* toString(PhaseKingConfig::Placement placement) noexcept {
-  switch (placement) {
-    case PhaseKingConfig::Placement::kFront: return "front";
-    case PhaseKingConfig::Placement::kBack: return "back";
-    case PhaseKingConfig::Placement::kSpread: return "spread";
-  }
-  return "?";
-}
-
 BenOrConfig::Mode parseBenOrMode(const std::string& name) {
   return parseEnum(
       name, "mode",
@@ -238,16 +115,6 @@ PhaseKingConfig::Algorithm parseAlgorithm(const std::string& name) {
       std::array<std::pair<const char*, PhaseKingConfig::Algorithm>, 2>{{
           {"king", PhaseKingConfig::Algorithm::kKing},
           {"queen", PhaseKingConfig::Algorithm::kQueen},
-      }});
-}
-
-PhaseKingConfig::Placement parsePlacement(const std::string& name) {
-  return parseEnum(
-      name, "placement",
-      std::array<std::pair<const char*, PhaseKingConfig::Placement>, 3>{{
-          {"front", PhaseKingConfig::Placement::kFront},
-          {"back", PhaseKingConfig::Placement::kBack},
-          {"spread", PhaseKingConfig::Placement::kSpread},
       }});
 }
 

@@ -34,16 +34,19 @@ PhaseKingConfig parsePhaseKingConfig(const std::string& text);
 RaftScenarioConfig parseRaftConfig(const std::string& text);
 
 // Enum <-> string helpers (shared with the check CLI's flag parsing).
+// PhaseKingConfig::Placement now aliases compose::Placement, whose
+// (to|parse)String helpers live in compose/hooks.hpp; the using-declarations
+// keep harness::toString/harness::parsePlacement spelling working.
+using compose::toString;
+using compose::parsePlacement;
 const char* toString(BenOrConfig::Mode mode) noexcept;
 const char* toString(BenOrConfig::Reconciliator reconciliator) noexcept;
 const char* toString(BenOrConfig::Fault fault) noexcept;
 const char* toString(PhaseKingConfig::Algorithm algorithm) noexcept;
-const char* toString(PhaseKingConfig::Placement placement) noexcept;
 BenOrConfig::Mode parseBenOrMode(const std::string& name);
 BenOrConfig::Reconciliator parseReconciliator(const std::string& name);
 BenOrConfig::Fault parseFault(const std::string& name);
 PhaseKingConfig::Algorithm parseAlgorithm(const std::string& name);
-PhaseKingConfig::Placement parsePlacement(const std::string& name);
 phaseking::ByzantineStrategy parseByzantineStrategy(const std::string& name);
 
 }  // namespace ooc::harness

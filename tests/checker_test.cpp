@@ -15,6 +15,7 @@
 #include "check/scenario.hpp"
 #include "check/shrink.hpp"
 #include "check/strategy.hpp"
+#include "compose/registry.hpp"
 
 namespace ooc::check {
 namespace {
@@ -309,6 +310,61 @@ TEST(WitnessHunt, FindsAdoptMismatchSchedules) {
   const CheckReport report = explore(strategy, {&witness}, checker);
   EXPECT_FALSE(report.ok())
       << "no decide-on-adopt witness in 200 runs (statistically expected)";
+}
+
+// ---------------------------------------------------------------------------
+// Compose-family scenarios: serialized pairings pass through the same
+// registry gate as every other parse path.
+
+TEST(ComposeScenario, SerializedRunRoundTrips) {
+  Scenario scenario;
+  scenario.family = Family::kCompose;
+  scenario.compose.detector = "benor-vac";
+  scenario.compose.driver = "timer";
+  scenario.compose.n = 5;
+  scenario.compose.inputs = {0, 1, 0, 1, 1};
+  scenario.compose.seed = 23;
+
+  const std::string text = serialize(scenario);
+  const Scenario parsed = parseScenario(text);
+  EXPECT_EQ(serialize(parsed), text);
+
+  const auto recorded = recordRun(scenario);
+  const auto replay = replayRun(parsed, recorded.trace);
+  EXPECT_TRUE(replay.identical) << replay.divergence.value_or("");
+}
+
+TEST(ComposeScenario, RejectedPairingLoadsWithTheRegistryDiagnostic) {
+  // A scenario file can spell any pairing; loading one the registry
+  // rejects must fail with the exact diagnostic the CLI prints — the
+  // parse path ends in the same resolve() gate, not a second opinion.
+  Scenario scenario;
+  scenario.family = Family::kCompose;
+  scenario.compose.detector = "phaseking-ac";
+  scenario.compose.driver = "local-coin";
+  const std::string text = serialize(scenario);
+
+  const std::string expected = *compose::registry().validatePairing(
+      "phaseking-ac", "local-coin");
+  try {
+    parseScenario(text);
+    FAIL() << "rejected pairing parsed without a diagnostic";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_EQ(std::string(error.what()), expected);
+  }
+
+  // The same gate guards counterexample files.
+  CounterexampleFile file;
+  file.scenario = scenario;
+  file.invariant = "agreement";
+  file.detail = "hand-written";
+  const std::string serialized = serializeCounterexample(file);
+  try {
+    parseCounterexample(serialized);
+    FAIL() << "rejected pairing loaded from a counterexample file";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_EQ(std::string(error.what()), expected);
+  }
 }
 
 }  // namespace

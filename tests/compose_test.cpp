@@ -1,0 +1,319 @@
+// The composition engine: registry semantics (lookup, open registration,
+// duplicate rejection), capability validation with the paper's §5
+// diagnostics, the three Composition interchange forms (spec string,
+// key=value, JSON), and the guarantee the whole refactor rests on — the
+// legacy per-protocol entry points lower onto runComposition() without
+// moving a single scheduler event.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "benor/reconciliators.hpp"
+#include "check/replay.hpp"
+#include "check/scenario.hpp"
+#include "compose/composition.hpp"
+#include "compose/registry.hpp"
+#include "compose/run.hpp"
+#include "harness/scenarios.hpp"
+#include "sim/trace.hpp"
+
+namespace ooc {
+namespace {
+
+using compose::Composition;
+using compose::registry;
+
+std::string throwText(const std::function<void()>& f) {
+  try {
+    f();
+  } catch (const std::exception& error) {
+    return error.what();
+  }
+  return "";
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+TEST(ComposeRegistry, BuiltinsAreRegistered) {
+  auto& reg = registry();
+  for (const char* name :
+       {"benor-vac", "byzantine-benor-vac", "vac-from-two-ac",
+        "decentralized-vac", "phaseking-ac", "phasequeen-ac"}) {
+    EXPECT_TRUE(reg.hasDetector(name)) << name;
+    EXPECT_EQ(reg.detector(name).name, name);
+  }
+  for (const char* name :
+       {"local-coin", "common-coin", "biased-coin", "keep-value", "lottery",
+        "timer", "king-conciliator", "queen-conciliator"}) {
+    EXPECT_TRUE(reg.hasDriver(name)) << name;
+    EXPECT_EQ(reg.driver(name).name, name);
+  }
+}
+
+TEST(ComposeRegistry, UnknownNamesThrowListingKnownOnes) {
+  const std::string detectorError =
+      throwText([] { registry().detector("no-such-detector"); });
+  EXPECT_NE(detectorError.find("unknown detector 'no-such-detector'"),
+            std::string::npos)
+      << detectorError;
+  EXPECT_NE(detectorError.find("benor-vac"), std::string::npos)
+      << "diagnostic should list the known names: " << detectorError;
+
+  const std::string driverError =
+      throwText([] { registry().driver("no-such-driver"); });
+  EXPECT_NE(driverError.find("unknown driver 'no-such-driver'"),
+            std::string::npos)
+      << driverError;
+  EXPECT_NE(driverError.find("local-coin"), std::string::npos)
+      << driverError;
+}
+
+TEST(ComposeRegistry, DuplicateRegistrationIsRejected) {
+  compose::DetectorEntry detector;
+  detector.name = "benor-vac";  // collides with the builtin
+  EXPECT_THROW(registry().registerDetector(std::move(detector)),
+               std::invalid_argument);
+
+  compose::DriverEntry driver;
+  driver.name = "local-coin";
+  EXPECT_THROW(registry().registerDriver(std::move(driver)),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Capability validation (the paper's §5 asymmetry)
+
+TEST(ComposeCapability, AcUnderReconciliatorCitesTheInsufficiencyArgument) {
+  const auto diagnostic =
+      registry().validatePairing("phaseking-ac", "local-coin");
+  ASSERT_TRUE(diagnostic.has_value());
+  EXPECT_NE(diagnostic->find("§5"), std::string::npos) << *diagnostic;
+  EXPECT_NE(diagnostic->find("break agreement"), std::string::npos)
+      << *diagnostic;
+  // resolve(), parseSpec() and every file-parse path surface the identical
+  // text — the same gate, not a re-implementation.
+  Composition composition;
+  composition.detector = "phaseking-ac";
+  composition.driver = "local-coin";
+  EXPECT_EQ(throwText([&] { compose::resolve(composition); }), *diagnostic);
+  EXPECT_EQ(throwText([] { compose::parseSpec("phaseking-ac+local-coin"); }),
+            *diagnostic);
+}
+
+TEST(ComposeCapability, VacUnderConciliatorSuggestsTheDowngrade) {
+  const auto diagnostic =
+      registry().validatePairing("benor-vac", "king-conciliator");
+  ASSERT_TRUE(diagnostic.has_value());
+  EXPECT_NE(diagnostic->find("vacillate"), std::string::npos) << *diagnostic;
+  EXPECT_NE(diagnostic->find("AcFromVac"), std::string::npos) << *diagnostic;
+}
+
+TEST(ComposeCapability, ByzantineDetectorRejectsCrashOnlyDrivers) {
+  for (const char* driver : {"lottery", "timer"}) {
+    const auto diagnostic =
+        registry().validatePairing("byzantine-benor-vac", driver);
+    ASSERT_TRUE(diagnostic.has_value()) << driver;
+    EXPECT_NE(diagnostic->find("crash-only"), std::string::npos)
+        << *diagnostic;
+  }
+}
+
+TEST(ComposeCapability, ValidPairingsResolve) {
+  EXPECT_FALSE(registry().validatePairing("benor-vac", "local-coin"));
+  EXPECT_FALSE(registry().validatePairing("phaseking-ac", "king-conciliator"));
+  EXPECT_FALSE(registry().validatePairing("byzantine-benor-vac",
+                                          "common-coin"));
+  const auto resolved = compose::resolve(Composition{});  // the defaults
+  EXPECT_EQ(resolved.t, 2u);  // (5-1)/2
+  EXPECT_FALSE(resolved.lockstep);
+}
+
+TEST(ComposeCapability, ResolveChecksRunParameters) {
+  Composition crashWithPlants;  // crash-model detector, planted Byzantines
+  crashWithPlants.byzantineCount = 1;
+  EXPECT_NE(throwText([&] { compose::resolve(crashWithPlants); })
+                .find("crash-model"),
+            std::string::npos);
+
+  Composition lockstepWithCrashes;
+  lockstepWithCrashes.detector = "phaseking-ac";
+  lockstepWithCrashes.driver = "king-conciliator";
+  lockstepWithCrashes.n = 7;
+  lockstepWithCrashes.crashes = {{1, 10}};
+  EXPECT_NE(throwText([&] { compose::resolve(lockstepWithCrashes); })
+                .find("lockstep"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Interchange forms
+
+TEST(ComposeSpec, ParsesAndTrims) {
+  const Composition composition =
+      compose::parseSpec("  benor-vac +  timer ");
+  EXPECT_EQ(composition.detector, "benor-vac");
+  EXPECT_EQ(composition.driver, "timer");
+  EXPECT_THROW(compose::parseSpec("benor-vac"), std::invalid_argument);
+  EXPECT_THROW(compose::parseSpec("+local-coin"), std::invalid_argument);
+}
+
+Composition sampleComposition() {
+  Composition composition;
+  composition.detector = "benor-vac";
+  composition.driver = "biased-coin";
+  composition.n = 9;
+  composition.t = 3;
+  composition.inputs = {1, 0, 1};
+  composition.seed = 42;
+  composition.bias = 0.75;
+  composition.crashes = {{0, 50}, {3, 120}};
+  composition.minDelay = 2;
+  composition.maxDelay = 7;
+  composition.adversary.extraDelayMax = 4;
+  composition.adversary.perturbProbability = 0.5;
+  composition.adversary.seed = 9;
+  composition.maxRounds = 80;
+  composition.maxTicks = 60'000;
+  return composition;
+}
+
+TEST(ComposeSerialize, KeyValueRoundTrips) {
+  const Composition original = sampleComposition();
+  const std::string text = compose::serialize(original);
+  const Composition parsed = compose::parseComposition(text);
+  EXPECT_EQ(compose::serialize(parsed), text);
+  EXPECT_EQ(parsed.detector, original.detector);
+  EXPECT_EQ(parsed.driver, original.driver);
+  EXPECT_EQ(parsed.n, original.n);
+  EXPECT_EQ(parsed.t, original.t);
+  EXPECT_EQ(parsed.inputs, original.inputs);
+  EXPECT_EQ(parsed.crashes, original.crashes);
+  EXPECT_EQ(parsed.adversary.extraDelayMax, original.adversary.extraDelayMax);
+  EXPECT_EQ(parsed.bias, original.bias);
+}
+
+TEST(ComposeSerialize, JsonRoundTrips) {
+  const Composition original = sampleComposition();
+  const std::string json = compose::toJson(original);
+  const Composition parsed = compose::fromJson(json);
+  EXPECT_EQ(compose::toJson(parsed), json);
+  EXPECT_EQ(compose::serialize(parsed), compose::serialize(original));
+}
+
+TEST(ComposeSerialize, ParsePathsRejectInvalidPairingsWithTheSameText) {
+  Composition invalid;
+  invalid.detector = "phasequeen-ac";
+  invalid.driver = "keep-value";
+  const std::string expected =
+      *registry().validatePairing("phasequeen-ac", "keep-value");
+  // serialize() itself does not validate (it never runs anything), so the
+  // invalid pairing reaches the wire — and every reader rejects it there.
+  EXPECT_EQ(throwText([&] {
+              compose::parseComposition(compose::serialize(invalid));
+            }),
+            expected);
+  EXPECT_EQ(throwText([&] { compose::fromJson(compose::toJson(invalid)); }),
+            expected);
+}
+
+// ---------------------------------------------------------------------------
+// Legacy adapters: byte-identical lowering
+
+TEST(ComposeAdapters, BenOrTraceIsByteIdenticalThroughTheAdapter) {
+  check::Scenario legacy;
+  legacy.family = check::Family::kBenOr;
+  legacy.benOr.n = 5;
+  legacy.benOr.inputs = {0, 1, 0, 1, 1};
+  legacy.benOr.seed = 33;
+  legacy.benOr.mode = harness::BenOrConfig::Mode::kDecomposed;
+
+  check::Scenario direct;
+  direct.family = check::Family::kCompose;
+  direct.compose = harness::toComposition(legacy.benOr);
+
+  const auto legacyRun = check::recordRun(legacy);
+  const auto directRun = check::recordRun(direct);
+  EXPECT_TRUE(legacyRun.trace == directRun.trace)
+      << "adapter lowering moved a scheduler event";
+  EXPECT_EQ(legacyRun.report.decidedValue, directRun.report.decidedValue);
+}
+
+TEST(ComposeAdapters, PhaseKingTraceIsByteIdenticalThroughTheAdapter) {
+  check::Scenario legacy;
+  legacy.family = check::Family::kPhaseKing;
+  legacy.phaseKing.n = 7;
+  legacy.phaseKing.byzantineCount = 2;
+  legacy.phaseKing.seed = 11;
+
+  check::Scenario direct;
+  direct.family = check::Family::kCompose;
+  direct.compose = harness::toComposition(legacy.phaseKing);
+
+  const auto legacyRun = check::recordRun(legacy);
+  const auto directRun = check::recordRun(direct);
+  EXPECT_TRUE(legacyRun.trace == directRun.trace)
+      << "adapter lowering moved a scheduler event";
+  EXPECT_EQ(legacyRun.report.allDecided, directRun.report.allDecided);
+}
+
+TEST(ComposeAdapters, ByzantineBenOrMatchesItsComposition) {
+  // runByzantineBenOr takes no hooks, so equivalence is asserted on the
+  // full result instead of the trace: same deterministic engine, same
+  // numbers, down to the event count.
+  harness::ByzantineBenOrConfig config;
+  config.seed = 77;
+  const auto legacy = harness::runByzantineBenOr(config);
+  const auto direct = compose::runComposition(harness::toComposition(config));
+  EXPECT_EQ(legacy.allDecided, direct.allDecided);
+  EXPECT_EQ(legacy.decidedValue, direct.decidedValue);
+  EXPECT_EQ(legacy.maxDecisionRound, direct.maxDecisionRound);
+  EXPECT_EQ(legacy.lastDecisionTick, direct.lastDecisionTick);
+  EXPECT_EQ(legacy.messagesByCorrect, direct.messagesByCorrect);
+  EXPECT_EQ(legacy.eventsProcessed, direct.eventsProcessed);
+}
+
+TEST(ComposeAdapters, MonolithicModesHaveNoComposition) {
+  harness::BenOrConfig benOr;
+  benOr.n = 5;
+  benOr.inputs = {0, 1, 0, 1, 1};
+  benOr.mode = harness::BenOrConfig::Mode::kMonolithic;
+  EXPECT_THROW(harness::toComposition(benOr), std::logic_error);
+
+  harness::PhaseKingConfig phaseKing;
+  phaseKing.monolithic = true;
+  EXPECT_THROW(harness::toComposition(phaseKing), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Open registration (extensions can add objects at startup)
+
+TEST(ComposeRegistry, OpenRegistrationComposesWithBuiltins) {
+  auto& reg = registry();
+  if (!reg.hasDriver("test-always-one")) {
+    compose::DriverEntry driver;
+    driver.name = "test-always-one";
+    driver.capability = {compose::DriverClass::kReconciliator,
+                         compose::InvocationMode::kAny,
+                         /*toleratesByzantine=*/true,
+                         /*requiresEveryProcess=*/false};
+    driver.make = [](const compose::ObjectParams&) {
+      return benor::KeepValueReconciliator::factory();
+    };
+    reg.registerDriver(std::move(driver));
+  }
+  ASSERT_TRUE(reg.hasDriver("test-always-one"));
+  EXPECT_FALSE(reg.validatePairing("benor-vac", "test-always-one"));
+
+  Composition composition;
+  composition.driver = "test-always-one";
+  composition.inputs = {1, 1, 1, 1, 1};  // unanimous: decides in round 1
+  const auto result = compose::runComposition(composition);
+  EXPECT_TRUE(result.allDecided);
+  EXPECT_FALSE(result.agreementViolated);
+}
+
+}  // namespace
+}  // namespace ooc

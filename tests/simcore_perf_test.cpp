@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "check/golden.hpp"
+#include "compose/registry.hpp"
+#include "compose/run.hpp"
 #include "sim/message.hpp"
 #include "sim/network.hpp"
 #include "sim/process.hpp"
@@ -163,6 +165,38 @@ TEST(PayloadSharing, LegacyBroadcastClonesExactlyOncePerCall) {
   EXPECT_EQ(sim.messagesCloned(), 2u);
   EXPECT_EQ(countedConstructed, 3);
   EXPECT_EQ(sim.messagesDelivered(), 4u);
+}
+
+TEST(PayloadSharing, InTreeCompositionsNeverClonePayloads) {
+  // Every registered in-tree object uses the shared-payload post/fanout
+  // path, so the cloned-messages counter must stay zero across the whole
+  // valid detector × driver cross-product. runComposition() starts each
+  // run on a fresh Simulator, so the counter cannot carry over between
+  // cells either.
+  auto& reg = compose::registry();
+  for (const std::string& detector : reg.detectorNames()) {
+    for (const std::string& driver : reg.driverNames()) {
+      if (reg.validatePairing(detector, driver)) continue;  // rejected
+      compose::Composition composition;
+      composition.detector = detector;
+      composition.driver = driver;
+      composition.maxRounds = 200;
+      composition.maxTicks = 200'000;
+      const auto& capability = reg.detector(detector).capability;
+      if (capability.faultModel == compose::FaultModel::kByzantine) {
+        const bool lockstep =
+            capability.mode == compose::InvocationMode::kLockstep;
+        composition.n = lockstep ? (capability.tDivisor == 3 ? 7 : 9) : 11;
+        composition.byzantineCount = 2;
+      } else {
+        composition.n = 5;
+        composition.inputs = {0, 1, 0, 1, 1};
+      }
+      const auto result = compose::runComposition(composition);
+      EXPECT_EQ(result.messagesCloned, 0u)
+          << "payload copy regression in " << detector << "+" << driver;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -27,6 +27,8 @@
 #include "check/replay.hpp"
 #include "check/scenario.hpp"
 #include "check/strategy.hpp"
+#include "compose/composition.hpp"
+#include "compose/registry.hpp"
 #include "harness/scenarios.hpp"
 #include "harness/serialize.hpp"
 #include "obs/json.hpp"
@@ -38,7 +40,9 @@ using namespace ooc;
 using namespace ooc::check;
 
 struct CliOptions {
-  std::string family = "all";    // benor | phaseking | raft | all
+  std::string family = "all";  // benor | phaseking | raft | compose | all
+  std::string detector;        // --family compose: registry names
+  std::string driver;
   std::string strategy = "all";  // random | delay | crash | restart | all
   std::size_t seeds = 1000;
   std::uint64_t seedBase = 1;
@@ -61,7 +65,10 @@ struct CliOptions {
 
 void printUsage(std::ostream& os) {
   os << "usage: check [options]\n"
-        "  --family F        benor | phaseking | raft | all (default all)\n"
+        "  --family F        benor | phaseking | raft | compose | all\n"
+        "                    (default all = the legacy families)\n"
+        "  --detector D      compose only: registry detector name\n"
+        "  --driver R        compose only: registry driver name\n"
         "  --strategy S      random | delay | crash | restart | all "
         "(default all)\n"
         "  --seeds N         random-walk runs per family (default 1000)\n"
@@ -119,6 +126,17 @@ Scenario baseScenario(Family family, const CliOptions& options) {
       scenario.raft.raft.durable = true;
       scenario.raft.raft.syncBeforeReply = !options.crashBeforeSync;
       break;
+    case Family::kCompose: {
+      auto& config = scenario.compose;
+      if (!options.detector.empty()) config.detector = options.detector;
+      if (!options.driver.empty()) config.driver = options.driver;
+      if (options.n > 0) config.n = options.n;
+      if (options.maxDelay > 0) config.maxDelay = options.maxDelay;
+      config.inputs.resize(config.n);
+      for (std::size_t i = 0; i < config.n; ++i)
+        config.inputs[i] = static_cast<Value>(i % 2);
+      break;
+    }
   }
   return scenario;
 }
@@ -137,19 +155,36 @@ std::unique_ptr<ExplorationStrategy> buildStrategy(
   const bool wantRestart =
       options.strategy == "all" || options.strategy == "restart";
 
+  // Compose scenarios carry their capability descriptor in the registry:
+  // delay adversaries need an asynchronous detector, crash enumeration a
+  // crash-model one. Skip silently on "all"; an explicit --strategy still
+  // reaches the strategy constructor, which throws the diagnostic.
+  bool composeAsync = true;
+  bool composeCrashModel = true;
+  if (family == Family::kCompose) {
+    const auto& capability =
+        compose::registry().detector(base.compose.detector).capability;
+    composeAsync =
+        capability.mode != compose::InvocationMode::kLockstep;
+    composeCrashModel =
+        capability.faultModel == compose::FaultModel::kCrash;
+  }
+
   if (wantRandom) {
     RandomWalkStrategy::Options rw;
     rw.seedBase = options.seedBase;
     rw.runs = options.seeds;
     parts.push_back(std::make_unique<RandomWalkStrategy>(base, rw));
   }
-  if (wantDelay && family != Family::kPhaseKing) {
+  if (wantDelay && family != Family::kPhaseKing &&
+      (options.strategy == "delay" || composeAsync)) {
     DelayBoundStrategy::Options db;
     if (options.budget > 0) db.budgets = {options.budget};
     db.adversarySeedBase = options.seedBase;
     parts.push_back(std::make_unique<DelayBoundStrategy>(base, db));
   }
-  if (wantCrash && family != Family::kPhaseKing) {
+  if (wantCrash && family != Family::kPhaseKing &&
+      (options.strategy == "crash" || composeCrashModel)) {
     CrashScheduleStrategy::Options cs;
     cs.maxCrashes = options.maxCrashes;
     parts.push_back(std::make_unique<CrashScheduleStrategy>(base, cs));
@@ -248,6 +283,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--family") options.family = next(i);
+    else if (arg == "--detector") options.detector = next(i);
+    else if (arg == "--driver") options.driver = next(i);
     else if (arg == "--strategy") options.strategy = next(i);
     else if (arg == "--seeds") options.seeds = nextNumber(i);
     else if (arg == "--seed-base") options.seedBase = nextNumber(i);
@@ -311,6 +348,21 @@ int main(int argc, char** argv) {
   if (options.strategy == "restart" && options.family != "raft") {
     std::cerr << "check: --strategy restart needs --family raft\n";
     return 2;
+  }
+  if ((!options.detector.empty() || !options.driver.empty()) &&
+      options.family != "compose") {
+    std::cerr << "check: --detector/--driver need --family compose\n";
+    return 2;
+  }
+  if (options.family == "compose") {
+    // Reject invalid pairings before the sweep, with the same registry
+    // diagnostic a scenario-file load or compose_cli would print.
+    try {
+      compose::resolve(baseScenario(Family::kCompose, options).compose);
+    } catch (const std::exception& error) {
+      std::cerr << "check: " << error.what() << "\n";
+      return 2;
+    }
   }
 
   // Witness hunting looks for schedules where decide-on-adopt would have

@@ -1,0 +1,221 @@
+// `compose` — object-registry composition CLI (experiment E20).
+//
+// Front door to the composition engine: lists the registered detectors and
+// drivers with their capability descriptors, runs any single pairing from a
+// CLI spec string, or sweeps the full detector × driver cross-product and
+// emits the ooc.matrix.v1 JSON artifact.
+//
+//   compose --list                      # registered objects + capabilities
+//   compose --spec benor-vac+timer     # run one composition
+//   compose                             # E20: full cross-product matrix
+//   compose --quick --json matrix.json  # CI smoke: 5 runs/cell + artifact
+//
+// Exit status: 0 clean, 1 safety violation (matrix) or undecided/unsafe
+// single run, 2 usage — including rejected pairings, which print the
+// registry's capability diagnostic.
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+#include "compose/composition.hpp"
+#include "compose/matrix.hpp"
+#include "compose/registry.hpp"
+#include "compose/run.hpp"
+
+namespace {
+
+using namespace ooc;
+using namespace ooc::compose;
+
+struct CliOptions {
+  bool list = false;
+  std::string spec;
+  int runs = 0;       // 0: matrix default
+  std::uint64_t seedBase = 0;  // 0: matrix default
+  std::size_t n = 0;  // --spec only; 0 keeps the Composition default
+  std::uint64_t seed = 0;  // --spec only; 0 keeps the default
+  bool quick = false;
+  std::string jsonPath;
+};
+
+void printUsage(std::ostream& os) {
+  os << "usage: compose [options]\n"
+        "  (no mode flag)    run experiment E20: every registered\n"
+        "                    detector x driver pairing, validated against\n"
+        "                    the registry and executed when valid\n"
+        "  --list            list registered objects and capabilities\n"
+        "  --spec D+R        run one composition, e.g. benor-vac+timer\n"
+        "  --n N             process count for --spec (default 5)\n"
+        "  --seed S          seed for --spec (default 1)\n"
+        "  --runs N          matrix runs per valid cell (default 20)\n"
+        "  --seed-base S     first matrix seed (default 9000)\n"
+        "  --quick           matrix smoke mode: 5 runs per cell\n"
+        "  --json FILE       write the ooc.matrix.v1 report\n"
+        "  --help            this text\n";
+}
+
+void printList() {
+  auto& reg = registry();
+  std::cout << "detectors:\n";
+  for (const auto& name : reg.detectorNames()) {
+    const auto& entry = reg.detector(name);
+    std::cout << "  " << std::left << std::setw(20) << name
+              << toString(entry.capability.detectorClass) << ", "
+              << toString(entry.capability.faultModel) << ", "
+              << toString(entry.capability.mode)
+              << ", t=(n-1)/" << entry.capability.tDivisor << "\n";
+  }
+  std::cout << "drivers:\n";
+  for (const auto& name : reg.driverNames()) {
+    const auto& entry = reg.driver(name);
+    std::cout << "  " << std::left << std::setw(20) << name
+              << toString(entry.capability.driverClass) << ", "
+              << toString(entry.capability.mode)
+              << (entry.capability.toleratesByzantine ? ""
+                                                      : ", crash-only waits")
+              << (entry.capability.requiresEveryProcess
+                      ? ", every process drives"
+                      : "")
+              << "\n";
+  }
+}
+
+int runSpec(const CliOptions& options) {
+  Composition composition;
+  try {
+    composition = parseSpec(options.spec);
+  } catch (const std::exception& error) {
+    // Unknown names and rejected pairings land here with the registry's
+    // capability diagnostic — the same text a scenario file load prints.
+    std::cerr << "compose: " << error.what() << "\n";
+    return 2;
+  }
+  if (options.n > 0) composition.n = options.n;
+  if (options.seed > 0) composition.seed = options.seed;
+  CompositionResult result;
+  try {
+    result = runComposition(composition);
+  } catch (const std::exception& error) {
+    std::cerr << "compose: " << error.what() << "\n";
+    return 2;
+  }
+  std::cout << composition.detector << " + " << composition.driver
+            << " n=" << composition.n << " seed=" << composition.seed
+            << "\n"
+            << "  decided:    " << (result.allDecided ? "yes" : "NO") << "\n";
+  if (result.allDecided)
+    std::cout << "  value:      " << result.decidedValue << "\n"
+              << "  rounds:     max " << result.maxDecisionRound << ", mean "
+              << result.meanDecisionRound << "\n";
+  std::cout << "  agreement:  "
+            << (result.agreementViolated ? "VIOLATED" : "ok") << "\n"
+            << "  validity:   "
+            << (result.validityViolated ? "VIOLATED" : "ok") << "\n"
+            << "  audits:     " << (result.allAuditsOk ? "ok" : "FAILED")
+            << "\n"
+            << "  messages:   " << result.messagesByCorrect << "\n";
+  if (result.adoptOutcomesTotal > 0)
+    std::cout << "  s5-witness: " << result.adoptMismatchWitnesses << " of "
+              << result.adoptOutcomesTotal << " adopt outcomes\n";
+  const bool ok = result.allDecided && !result.agreementViolated &&
+                  !result.validityViolated && result.allAuditsOk;
+  return ok ? 0 : 1;
+}
+
+int runMatrixMode(const CliOptions& options) {
+  MatrixOptions matrix;
+  matrix.quick = options.quick;
+  if (options.runs > 0) matrix.runsPerCell = options.runs;
+  if (options.seedBase > 0) matrix.seedBase = options.seedBase;
+
+  const MatrixReport report = runMatrix(matrix);
+
+  std::cout << "E20 composition matrix: " << report.detectors.size()
+            << " detectors x " << report.drivers.size() << " drivers\n";
+  for (const MatrixCell& cell : report.cells) {
+    std::cout << "  " << std::left << std::setw(20) << cell.detector << " + "
+              << std::setw(16) << cell.driver;
+    if (!cell.valid) {
+      std::cout << " rejected: " << cell.diagnostic << "\n";
+      continue;
+    }
+    std::cout << " decided " << cell.decided << "/" << cell.runs;
+    if (cell.decided > 0)
+      std::cout << ", mean rounds " << std::fixed << std::setprecision(2)
+                << cell.meanRounds << std::defaultfloat
+                << std::setprecision(6);
+    if (!cell.agreementOk) std::cout << ", AGREEMENT VIOLATED";
+    if (!cell.validityOk) std::cout << ", VALIDITY VIOLATED";
+    if (!cell.auditsOk) std::cout << ", AUDITS FAILED";
+    std::cout << "\n";
+  }
+  std::cout << (report.safetyOk ? "OK" : "FAIL") << ": "
+            << report.validCells << " valid pairings, "
+            << report.rejectedCells << " rejected\n";
+
+  if (!options.jsonPath.empty()) {
+    std::ofstream out(options.jsonPath, std::ios::binary);
+    if (!out) {
+      std::cerr << "compose: cannot write '" << options.jsonPath << "'\n";
+      return 2;
+    }
+    out << matrixToJson(report, matrix) << '\n';
+  }
+  return report.safetyOk ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  const auto next = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "compose: " << argv[i] << " needs a value\n";
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  const auto nextNumber = [&](int& i) -> std::uint64_t {
+    const char* flag = argv[i];
+    const std::string value = next(i);
+    try {
+      std::size_t consumed = 0;
+      const std::uint64_t parsed = std::stoull(value, &consumed);
+      if (consumed != value.size()) throw std::invalid_argument(value);
+      return parsed;
+    } catch (const std::exception&) {
+      std::cerr << "compose: " << flag << " needs a number, got '" << value
+                << "'\n";
+      std::exit(2);
+    }
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") options.list = true;
+    else if (arg == "--spec") options.spec = next(i);
+    else if (arg == "--n") options.n = nextNumber(i);
+    else if (arg == "--seed") options.seed = nextNumber(i);
+    else if (arg == "--runs")
+      options.runs = static_cast<int>(nextNumber(i));
+    else if (arg == "--seed-base") options.seedBase = nextNumber(i);
+    else if (arg == "--quick") options.quick = true;
+    else if (arg == "--json") options.jsonPath = next(i);
+    else if (arg == "--help" || arg == "-h") {
+      printUsage(std::cout);
+      return 0;
+    } else {
+      std::cerr << "compose: unknown option '" << arg << "'\n";
+      printUsage(std::cerr);
+      return 2;
+    }
+  }
+  if (options.list) {
+    printList();
+    return 0;
+  }
+  if (!options.spec.empty()) return runSpec(options);
+  return runMatrixMode(options);
+}
