@@ -42,6 +42,7 @@ bench_reconciliators
 bench_shmem
 bench_decentralized
 bench_byzantine_benor
+bench_fd
 bench_royal_family
 bench_replicated_log
 bench_paxos
@@ -101,6 +102,21 @@ build/tools/compose $QUICK $matrix_flag || status=$?
 if [ "$status" -ne 0 ]; then
   failures=$((failures + 1))
   echo "!! compose matrix exited $status" >&2
+fi
+
+# E22: the oracle-quality matrix. Every oracle-consuming driver × registered
+# oracle × quality grid point either runs clean (safety + FD axioms) or is
+# rejected with the registry's oracle diagnostic; rejected cells land in the
+# JSON like E20's. Writes ooc.fd-matrix.v1 next to the bench JSON.
+echo "## compose --fd-matrix (E22 oracle matrix) $QUICK"
+fd_matrix_flag=""
+[ "$JSON" = 1 ] && fd_matrix_flag="--json $OUT/BENCH_fd_matrix.json"
+status=0
+# shellcheck disable=SC2086  # flags are intentionally word-split
+build/tools/compose --fd-matrix $QUICK $fd_matrix_flag || status=$?
+if [ "$status" -ne 0 ]; then
+  failures=$((failures + 1))
+  echo "!! compose fd-matrix exited $status" >&2
 fi
 
 # Simulator-core throughput trajectory: append this run's events/sec gauges

@@ -60,6 +60,26 @@ std::vector<GoldenFixture> goldenFixtures() {
     f.scenario.compose.seed = 17;
     fixtures.push_back(std::move(f));
   }
+  {
+    // An oracle-guided pairing: rotating coordinator consuming Ω over a
+    // crash schedule, with a deliberately imperfect oracle (noise until
+    // stabilization) so the golden pins the noise hashing and the
+    // suspicion-driven timer path, not just the happy claim path.
+    GoldenFixture f;
+    f.name = "fd-ct-omega-n5";
+    f.scenario.family = Family::kFd;
+    f.scenario.compose.detector = "benor-vac";
+    f.scenario.compose.driver = "ct-coordinator";
+    f.scenario.compose.oracle = "omega";
+    f.scenario.compose.oracleKnobs.completenessLag = 6;
+    f.scenario.compose.oracleKnobs.stabilizeAt = 60;
+    f.scenario.compose.oracleKnobs.noise = 0.3;
+    f.scenario.compose.n = 5;
+    f.scenario.compose.inputs = {0, 1, 0, 1, 1};
+    f.scenario.compose.crashes = {{4, 30}};
+    f.scenario.compose.seed = 23;
+    fixtures.push_back(std::move(f));
+  }
   return fixtures;
 }
 

@@ -25,8 +25,9 @@ struct GoldenFixture {
 
 /// The pinned fixtures, chosen to cover the scheduler's hot paths:
 /// broadcast fan-out (Ben-Or decomposed), nested envelopes (VAC-from-2AC),
-/// lockstep barrier ordering (Phase-King), and duplication faults plus
-/// crash-restart staleness on shared payloads (Raft fault mix).
+/// lockstep barrier ordering (Phase-King), duplication faults plus
+/// crash-restart staleness on shared payloads (Raft fault mix), and the
+/// oracle role (rotating coordinator over a noisy Ω on a crash schedule).
 std::vector<GoldenFixture> goldenFixtures();
 
 /// The byte-stable artifact of a fixture: the serialized counterexample

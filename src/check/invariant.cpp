@@ -64,6 +64,24 @@ std::optional<Violation> CommitRegressionInvariant::check(
   return Violation{name(), report.commitRegressionDetail};
 }
 
+std::optional<Violation> FdCompletenessInvariant::check(
+    const Scenario&, const RunReport& report) const {
+  if (!report.hasOracle || report.fdCompletenessOk) return std::nullopt;
+  return Violation{name(), report.fdCompletenessDetail};
+}
+
+std::optional<Violation> FdAccuracyInvariant::check(
+    const Scenario&, const RunReport& report) const {
+  if (!report.hasOracle || report.fdAccuracyOk) return std::nullopt;
+  return Violation{name(), report.fdAccuracyDetail};
+}
+
+std::optional<Violation> FdConvergenceInvariant::check(
+    const Scenario&, const RunReport& report) const {
+  if (!report.hasOracle || report.fdConvergenceOk) return std::nullopt;
+  return Violation{name(), report.fdConvergenceDetail};
+}
+
 std::optional<Violation> AdoptWitnessInvariant::check(
     const Scenario&, const RunReport& report) const {
   if (report.adoptMismatchWitnesses == 0) return std::nullopt;
@@ -82,8 +100,14 @@ std::vector<std::unique_ptr<Invariant>> safetySuite(bool requireTermination) {
   suite.push_back(std::make_unique<RaftConfidenceInvariant>());
   suite.push_back(std::make_unique<VoteAmnesiaInvariant>());
   suite.push_back(std::make_unique<CommitRegressionInvariant>());
-  if (requireTermination)
+  suite.push_back(std::make_unique<FdCompletenessInvariant>());
+  suite.push_back(std::make_unique<FdAccuracyInvariant>());
+  if (requireTermination) {
+    // Convergence is the oracle's liveness promise — like termination, it
+    // is only demanded of sweeps that expect runs to finish.
+    suite.push_back(std::make_unique<FdConvergenceInvariant>());
     suite.push_back(std::make_unique<TerminationInvariant>());
+  }
   return suite;
 }
 

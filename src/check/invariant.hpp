@@ -95,6 +95,38 @@ class CommitRegressionInvariant final : public Invariant {
                                  const RunReport& report) const override;
 };
 
+/// FD strong completeness: at the audit horizon, every correct process
+/// suspects every terminally-crashed process. Vacuous for runs without an
+/// oracle.
+class FdCompletenessInvariant final : public Invariant {
+ public:
+  const char* name() const noexcept override { return "fd-completeness"; }
+  std::optional<Violation> check(const Scenario&,
+                                 const RunReport& report) const override;
+};
+
+/// FD accuracy: P never suspects a not-yet-failed process; ◇S/Ω never
+/// suspect a correct process after their advertised stabilization bound.
+/// Catches the lying oracle (oracle-lie), whose advertised bound precedes
+/// its actual noise window.
+class FdAccuracyInvariant final : public Invariant {
+ public:
+  const char* name() const noexcept override { return "fd-accuracy"; }
+  std::optional<Violation> check(const Scenario&,
+                                 const RunReport& report) const override;
+};
+
+/// Ω convergence: from the stabilization bound on, all correct processes
+/// trust one common correct leader — and the bound itself lands inside
+/// the run's tick budget. A deliberately-slow oracle (stabilize-at past
+/// max-ticks) fails here: the liveness counterexample.
+class FdConvergenceInvariant final : public Invariant {
+ public:
+  const char* name() const noexcept override { return "fd-convergence"; }
+  std::optional<Violation> check(const Scenario&,
+                                 const RunReport& report) const override;
+};
+
 /// §5 witness hunter: fires when a run contains a completed adopt-level
 /// outcome whose value differs from the run's decision — a schedule proving
 /// that "decide on adopt" would have broken agreement. This is not a bug in
@@ -109,7 +141,9 @@ class AdoptWitnessInvariant final : public Invariant {
 
 /// The standard safety suite: agreement, validity, coherence audits, Raft
 /// confidence, the crash-recovery durability monitors (vote amnesia,
-/// committed-entry regression), and (optionally) termination.
+/// committed-entry regression), the FD-axiom monitors (completeness,
+/// accuracy always; convergence only with requireTermination, since it is
+/// the oracle's liveness promise), and (optionally) termination.
 std::vector<std::unique_ptr<Invariant>> safetySuite(
     bool requireTermination = true);
 

@@ -14,6 +14,7 @@ const char* toString(Family family) noexcept {
     case Family::kPhaseKing: return "phaseking";
     case Family::kRaft: return "raft";
     case Family::kCompose: return "compose";
+    case Family::kFd: return "fd";
   }
   return "?";
 }
@@ -23,6 +24,7 @@ Family parseFamily(const std::string& name) {
   if (name == "phaseking") return Family::kPhaseKing;
   if (name == "raft") return Family::kRaft;
   if (name == "compose") return Family::kCompose;
+  if (name == "fd") return Family::kFd;
   throw std::runtime_error("unknown scenario family '" + name + "'");
 }
 
@@ -31,7 +33,8 @@ std::uint64_t Scenario::seed() const noexcept {
     case Family::kBenOr: return benOr.seed;
     case Family::kPhaseKing: return phaseKing.seed;
     case Family::kRaft: return raft.seed;
-    case Family::kCompose: return compose.seed;
+    case Family::kCompose:
+    case Family::kFd: return compose.seed;
   }
   return 0;
 }
@@ -41,7 +44,8 @@ void Scenario::setSeed(std::uint64_t seed) noexcept {
     case Family::kBenOr: benOr.seed = seed; break;
     case Family::kPhaseKing: phaseKing.seed = seed; break;
     case Family::kRaft: raft.seed = seed; break;
-    case Family::kCompose: compose.seed = seed; break;
+    case Family::kCompose:
+    case Family::kFd: compose.seed = seed; break;
   }
 }
 
@@ -50,7 +54,8 @@ std::size_t Scenario::processCount() const noexcept {
     case Family::kBenOr: return benOr.n;
     case Family::kPhaseKing: return phaseKing.n;
     case Family::kRaft: return raft.n;
-    case Family::kCompose: return compose.n;
+    case Family::kCompose:
+    case Family::kFd: return compose.n;
   }
   return 0;
 }
@@ -100,7 +105,8 @@ RunReport runScenario(const Scenario& scenario,
       report.commitRegressionDetail = result.commitRegressionDetail;
       break;
     }
-    case Family::kCompose: {
+    case Family::kCompose:
+    case Family::kFd: {
       const auto result =
           compose::runComposition(scenario.compose, hooks);
       report.allDecided = result.allDecided;
@@ -112,6 +118,16 @@ RunReport runScenario(const Scenario& scenario,
       report.allAuditsOk = result.allAuditsOk;
       report.adoptOutcomesTotal = result.adoptOutcomesTotal;
       report.adoptMismatchWitnesses = result.adoptMismatchWitnesses;
+      if (result.oracleAudit) {
+        const fd::OracleAudit& audit = *result.oracleAudit;
+        report.hasOracle = true;
+        report.fdCompletenessOk = audit.completenessOk;
+        report.fdCompletenessDetail = audit.completenessDetail;
+        report.fdAccuracyOk = audit.accuracyOk;
+        report.fdAccuracyDetail = audit.accuracyDetail;
+        report.fdConvergenceOk = audit.convergenceOk;
+        report.fdConvergenceDetail = audit.convergenceDetail;
+      }
       break;
     }
   }
@@ -126,6 +142,7 @@ std::string serialize(const Scenario& scenario) {
       return out + harness::serialize(scenario.phaseKing);
     case Family::kRaft: return out + harness::serialize(scenario.raft);
     case Family::kCompose:
+    case Family::kFd:
       return out + compose::serialize(scenario.compose);
   }
   return out;
@@ -152,8 +169,10 @@ Scenario parseScenario(const std::string& text) {
       scenario.raft = harness::parseRaftConfig(rest);
       break;
     case Family::kCompose:
+    case Family::kFd:
       // parseComposition ends by resolving against the registry, so a
-      // rejected pairing fails here with the same diagnostic as the CLI.
+      // rejected pairing (or incoherent oracle attachment) fails here
+      // with the same diagnostic as the CLI.
       scenario.compose = compose::parseComposition(rest);
       break;
   }
@@ -201,9 +220,14 @@ std::string describe(const Scenario& scenario) {
         os << " adversary-budget=" << scenario.raft.adversary.extraDelayMax;
       break;
     case Family::kCompose:
+    case Family::kFd:
       os << " detector=" << scenario.compose.detector
-         << " driver=" << scenario.compose.driver
-         << " byzantine=" << scenario.compose.byzantineCount
+         << " driver=" << scenario.compose.driver;
+      if (!scenario.compose.oracle.empty())
+        os << " oracle=" << scenario.compose.oracle
+           << " stabilize-at=" << scenario.compose.oracleKnobs.stabilizeAt
+           << " noise=" << scenario.compose.oracleKnobs.noise;
+      os << " byzantine=" << scenario.compose.byzantineCount
          << " crashes=" << scenario.compose.crashes.size();
       if (scenario.compose.adversary.enabled())
         os << " adversary-budget="

@@ -11,7 +11,7 @@
 
 namespace ooc::check {
 
-enum class Family { kBenOr, kPhaseKing, kRaft, kCompose };
+enum class Family { kBenOr, kPhaseKing, kRaft, kCompose, kFd };
 
 const char* toString(Family family) noexcept;
 Family parseFamily(const std::string& name);
@@ -20,7 +20,10 @@ Family parseFamily(const std::string& name);
 /// member selected by `family` is meaningful. kCompose covers any
 /// registered detector × driver pairing directly (the legacy families are
 /// the pairings that predate the registry, kept for their serialized
-/// counterexamples and monolithic baselines).
+/// counterexamples and monolithic baselines). kFd shares the compose
+/// member — it is the oracle-guided corner of the composition space, split
+/// out as its own family so the oracle-quality strategy and the FD-axiom
+/// invariants have a home of their own.
 struct Scenario {
   Family family = Family::kBenOr;
   harness::BenOrConfig benOr;
@@ -64,6 +67,16 @@ struct RunReport {
   std::string voteAmnesiaDetail;
   bool commitRegression = false;
   std::string commitRegressionDetail;
+
+  /// Failure-detector axiom audit (oracle-guided compositions only;
+  /// hasOracle false — and the checks vacuously true — elsewhere).
+  bool hasOracle = false;
+  bool fdCompletenessOk = true;
+  std::string fdCompletenessDetail;
+  bool fdAccuracyOk = true;
+  std::string fdAccuracyDetail;
+  bool fdConvergenceOk = true;
+  std::string fdConvergenceDetail;
 };
 
 /// Runs the scenario to completion (one deterministic Simulator per call;

@@ -44,7 +44,7 @@ void eachAdversaryReduction(const Scenario& base,
   const auto set = [&](Tick budget) {
     Scenario candidate = base;
     auto& target = family == Family::kRaft ? candidate.raft.adversary
-                   : family == Family::kCompose
+                   : family == Family::kCompose || family == Family::kFd
                        ? candidate.compose.adversary
                        : candidate.benOr.adversary;
     target.extraDelayMax = budget;
@@ -65,7 +65,8 @@ void eachInputSimplification(const Scenario& base,
       case Family::kBenOr: target = &candidate.benOr.inputs; break;
       case Family::kPhaseKing: target = &candidate.phaseKing.inputs; break;
       case Family::kRaft: target = &candidate.raft.inputs; break;
-      case Family::kCompose: target = &candidate.compose.inputs; break;
+      case Family::kCompose:
+      case Family::kFd: target = &candidate.compose.inputs; break;
     }
     std::fill(target->begin(), target->end(), v);
     out.push_back(std::move(candidate));
@@ -187,9 +188,32 @@ std::vector<Scenario> reductions(const Scenario& base) {
       eachInputSimplification(base, config.inputs, out, Family::kRaft);
       break;
     }
-    case Family::kCompose: {
+    case Family::kCompose:
+    case Family::kFd: {
       const auto& config = base.compose;
       eachCrashReduction(base, config, &Scenario::compose, out);
+      // Oracle-quality reductions: a counterexample that survives with a
+      // quieter/faster oracle is a stronger counterexample.
+      if (!config.oracle.empty()) {
+        if (config.oracleKnobs.noise > 0.0) {
+          Scenario candidate = base;
+          candidate.compose.oracleKnobs.noise = 0.0;
+          out.push_back(std::move(candidate));
+        }
+        if (config.oracleKnobs.stabilizeAt > 0) {
+          Scenario candidate = base;
+          candidate.compose.oracleKnobs.stabilizeAt = 0;
+          out.push_back(std::move(candidate));
+          candidate = base;
+          candidate.compose.oracleKnobs.stabilizeAt /= 2;
+          out.push_back(std::move(candidate));
+        }
+        if (config.oracleKnobs.completenessLag > 1) {
+          Scenario candidate = base;
+          candidate.compose.oracleKnobs.completenessLag /= 2;
+          out.push_back(std::move(candidate));
+        }
+      }
       if (config.byzantineCount > 0) {
         Scenario candidate = base;
         --candidate.compose.byzantineCount;

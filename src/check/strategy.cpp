@@ -103,7 +103,8 @@ Scenario RandomWalkStrategy::generate(std::size_t index) const {
         config.maxDelay = config.minDelay + meta.below(8);
       break;
     }
-    case Family::kCompose: {
+    case Family::kCompose:
+    case Family::kFd: {
       auto& config = scenario.compose;
       const auto& capability =
           compose::registry().detector(config.detector).capability;
@@ -144,7 +145,7 @@ Scenario RandomWalkStrategy::generate(std::size_t index) const {
 DelayBoundStrategy::DelayBoundStrategy(Scenario base, Options options)
     : base_(std::move(base)), options_(std::move(options)) {
   if (base_.family == Family::kPhaseKing ||
-      (base_.family == Family::kCompose &&
+      ((base_.family == Family::kCompose || base_.family == Family::kFd) &&
        compose::registry().detector(base_.compose.detector).capability.mode ==
            compose::InvocationMode::kLockstep))
     throw std::invalid_argument(
@@ -163,7 +164,8 @@ Scenario DelayBoundStrategy::generate(std::size_t index) const {
   adversary.perturbProbability = options_.perturbProbability;
   if (scenario.family == Family::kBenOr)
     scenario.benOr.adversary = adversary;
-  else if (scenario.family == Family::kCompose)
+  else if (scenario.family == Family::kCompose ||
+           scenario.family == Family::kFd)
     scenario.compose.adversary = adversary;
   else
     scenario.raft.adversary = adversary;
@@ -176,7 +178,7 @@ Scenario DelayBoundStrategy::generate(std::size_t index) const {
 CrashScheduleStrategy::CrashScheduleStrategy(Scenario base, Options options)
     : base_(std::move(base)), options_(std::move(options)) {
   if (base_.family == Family::kPhaseKing ||
-      (base_.family == Family::kCompose &&
+      ((base_.family == Family::kCompose || base_.family == Family::kFd) &&
        compose::registry()
                .detector(base_.compose.detector)
                .capability.faultModel == compose::FaultModel::kByzantine))
@@ -236,7 +238,8 @@ Scenario CrashScheduleStrategy::generate(std::size_t index) const {
   Scenario scenario = base_;
   if (scenario.family == Family::kBenOr)
     scenario.benOr.crashes = std::move(crashes);
-  else if (scenario.family == Family::kCompose)
+  else if (scenario.family == Family::kCompose ||
+           scenario.family == Family::kFd)
     scenario.compose.crashes = std::move(crashes);
   else
     scenario.raft.crashes = std::move(crashes);
@@ -312,6 +315,59 @@ Scenario RestartScheduleStrategy::generate(std::size_t index) const {
   scenario.raft.dropProbability =
       std::max(scenario.raft.dropProbability, options_.dropProbability);
   scenario.setSeed(options_.seedBase + seedOffset);
+  return scenario;
+}
+
+// ---------------------------------------------------------------------------
+// OracleQualityStrategy
+
+OracleQualityStrategy::OracleQualityStrategy(Scenario base, Options options)
+    : base_(std::move(base)), options_(std::move(options)) {
+  if (base_.family != Family::kFd && base_.family != Family::kCompose)
+    throw std::invalid_argument(
+        "oracle-quality exploration needs the fd (or compose) family");
+  const auto& registry = compose::registry();
+  if (registry.driver(base_.compose.driver).capability.oracle ==
+      compose::OracleRequirement::kNone)
+    throw std::invalid_argument(
+        "oracle-quality exploration needs an oracle-consuming driver "
+        "(ct-coordinator, p-coordinator)");
+  if (options_.oracles.empty() || options_.stabilizeTicks.empty() ||
+      options_.noises.empty() || options_.completenessLags.empty() ||
+      options_.crashSchedules.empty() || options_.seedsPerCell == 0)
+    throw std::invalid_argument("oracle-quality strategy needs a grid");
+
+  for (const std::string& oracle : options_.oracles) {
+    for (const Tick stabilizeAt : options_.stabilizeTicks) {
+      for (const double noise : options_.noises) {
+        for (const Tick lag : options_.completenessLags) {
+          fd::OracleKnobs knobs;
+          knobs.completenessLag = lag;
+          knobs.stabilizeAt = stabilizeAt;
+          knobs.noise = noise;
+          // Quality points the registry rejects (noisy perfect-p; any
+          // oracle below the driver's requirement) are not algorithms to
+          // sweep — drop them here so every enumerated index runs.
+          if (registry.validateOracle(base_.compose.driver, oracle, knobs))
+            continue;
+          for (std::size_t s = 0; s < options_.crashSchedules.size(); ++s)
+            cells_.push_back({oracle, knobs, s});
+        }
+      }
+    }
+  }
+  if (cells_.empty())
+    throw std::invalid_argument(
+        "oracle-quality grid is empty after registry validation");
+}
+
+Scenario OracleQualityStrategy::generate(std::size_t index) const {
+  const Cell& cell = cells_[index / options_.seedsPerCell];
+  Scenario scenario = base_;
+  scenario.compose.oracle = cell.oracle;
+  scenario.compose.oracleKnobs = cell.knobs;
+  scenario.compose.crashes = options_.crashSchedules[cell.crashSchedule];
+  scenario.setSeed(options_.seedBase + index % options_.seedsPerCell);
   return scenario;
 }
 

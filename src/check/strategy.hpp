@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "check/scenario.hpp"
+#include "fd/oracle.hpp"
 
 namespace ooc::check {
 
@@ -154,6 +155,49 @@ class RestartScheduleStrategy final : public ExplorationStrategy {
   std::vector<std::vector<ProcessId>> subsets_;
   std::vector<std::size_t> subsetStart_;
   std::size_t total_ = 0;
+};
+
+/// Oracle-quality sweep for the fd family: every registered oracle ×
+/// a grid of (stabilization time, false-suspicion noise, completeness
+/// lag) quality points × a set of crash schedules × run seeds, on a fixed
+/// oracle-consuming base composition. Cells the registry rejects (noisy
+/// perfect-p, eventual-accuracy oracles under a P-requiring driver) are
+/// skipped at construction — the sweep enumerates algorithms only; the
+/// rejections themselves are covered by the E22 matrix and compose tests.
+class OracleQualityStrategy final : public ExplorationStrategy {
+ public:
+  struct Options {
+    std::vector<std::string> oracles = {"perfect-p", "diamond-s", "omega"};
+    std::vector<Tick> stabilizeTicks = {0, 60, 200};
+    std::vector<double> noises = {0.0, 0.3};
+    std::vector<Tick> completenessLags = {2, 16};
+    /// Crash schedules the oracle is laid over (empty = fault-free).
+    std::vector<std::vector<std::pair<ProcessId, Tick>>> crashSchedules = {
+        {}, {{1, 5}}, {{1, 40}}, {{1, 120}}, {{1, 40}, {3, 90}}};
+    std::size_t seedsPerCell = 2;
+    std::uint64_t seedBase = 1;
+  };
+
+  /// Throws std::invalid_argument unless the base scenario's driver
+  /// consumes an oracle (the sweep would be vacuous otherwise).
+  OracleQualityStrategy(Scenario base, Options options);
+
+  const char* name() const noexcept override { return "oracle-quality"; }
+  std::size_t size() const noexcept override {
+    return cells_.size() * options_.seedsPerCell;
+  }
+  Scenario generate(std::size_t index) const override;
+
+ private:
+  struct Cell {
+    std::string oracle;
+    fd::OracleKnobs knobs;
+    std::size_t crashSchedule = 0;  // index into options_.crashSchedules
+  };
+
+  Scenario base_;
+  Options options_;
+  std::vector<Cell> cells_;  // registry-valid cells only
 };
 
 /// Concatenation of strategies (indices are assigned in order).

@@ -43,10 +43,18 @@ enum class FaultModel { kCrash, kByzantine };
 /// asynchronous delivery, or either (drivers that never touch the network).
 enum class InvocationMode { kLockstep, kAsync, kAny };
 
+/// Which failure-detector oracle class a driver consumes, if any. Oracle
+/// drivers (the rotating coordinators) are parameterized by an oracle
+/// resolved from the registry's third object family; the requirement
+/// gates which classes are sound — a skip-ahead coordinator trusts the
+/// suspicion list absolutely, so only P's strong accuracy qualifies.
+enum class OracleRequirement { kNone, kEventualLeader, kPerfect };
+
 const char* toString(DetectorClass detectorClass) noexcept;
 const char* toString(DriverClass driverClass) noexcept;
 const char* toString(FaultModel model) noexcept;
 const char* toString(InvocationMode mode) noexcept;
+const char* toString(OracleRequirement requirement) noexcept;
 
 /// What a registered detector is, independent of any run configuration.
 struct DetectorCapability {
@@ -70,6 +78,9 @@ struct DriverCapability {
   /// Whether every process must join the drive wave each round (quorum
   /// drivers such as the lottery); lowered to alwaysRunDriver.
   bool requiresEveryProcess = false;
+  /// Oracle class the driver consumes (kNone for the oracle-free
+  /// majority). resolve() rejects a mismatch in either direction.
+  OracleRequirement oracle = OracleRequirement::kNone;
 };
 
 }  // namespace ooc::compose

@@ -48,9 +48,15 @@ ResolvedComposition resolve(const Composition& composition) {
           reg.validatePairing(composition.detector, composition.driver)) {
     throw std::invalid_argument(*diagnostic);
   }
+  if (const auto diagnostic = reg.validateOracle(
+          composition.driver, composition.oracle, composition.oracleKnobs)) {
+    throw std::invalid_argument(*diagnostic);
+  }
   ResolvedComposition resolved;
   resolved.detector = &reg.detector(composition.detector);
   resolved.driver = &reg.driver(composition.driver);
+  if (!composition.oracle.empty())
+    resolved.oracle = &reg.oracle(composition.oracle);
   const std::size_t divisor = resolved.detector->capability.tDivisor;
   resolved.t = composition.t.value_or(
       composition.n == 0 ? 0 : (composition.n - 1) / divisor);
@@ -73,7 +79,8 @@ ResolvedComposition resolve(const Composition& composition) {
   return resolved;
 }
 
-Composition parseSpec(const std::string& spec) {
+Composition parseSpec(const std::string& spec, const std::string& oracle,
+                      const fd::OracleKnobs& oracleKnobs) {
   const auto trim = [](std::string s) {
     while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
       s.erase(s.begin());
@@ -91,6 +98,8 @@ Composition parseSpec(const std::string& spec) {
   if (composition.detector.empty() || composition.driver.empty())
     throw std::invalid_argument("composition spec '" + spec +
                                 "' must be detector+driver");
+  composition.oracle = oracle;
+  composition.oracleKnobs = oracleKnobs;
   resolve(composition);  // surfaces unknown names / invalid pairings now
   return composition;
 }
@@ -120,6 +129,17 @@ std::string serialize(const Composition& composition) {
   kv.put("max-rounds", static_cast<std::uint64_t>(composition.maxRounds));
   kv.put("max-ticks", composition.maxTicks);
   kv.put("fault", toString(composition.fault));
+  // Zero-cost for oracle-free pairings: not a byte changes unless an
+  // oracle is attached (the pre-oracle goldens stay byte-identical).
+  if (!composition.oracle.empty()) {
+    kv.put("oracle", composition.oracle);
+    kv.put("oracle-completeness-lag", composition.oracleKnobs.completenessLag);
+    kv.put("oracle-stabilize-at", composition.oracleKnobs.stabilizeAt);
+    kv.put("oracle-noise", composition.oracleKnobs.noise);
+    kv.put("oracle-noise-epoch", composition.oracleKnobs.noiseEpoch);
+    kv.put("oracle-lie",
+           static_cast<std::uint64_t>(composition.oracleKnobs.lieAboutBound));
+  }
   return stampRunId(kv.str());
 }
 
@@ -148,6 +168,16 @@ Composition parseComposition(const std::string& text) {
       static_cast<Round>(kv.getU64("max-rounds", composition.maxRounds));
   composition.maxTicks = kv.getU64("max-ticks", composition.maxTicks);
   composition.fault = parsePlantedFault(kv.get("fault", "none"));
+  composition.oracle = kv.get("oracle", composition.oracle);
+  composition.oracleKnobs.completenessLag = kv.getU64(
+      "oracle-completeness-lag", composition.oracleKnobs.completenessLag);
+  composition.oracleKnobs.stabilizeAt =
+      kv.getU64("oracle-stabilize-at", composition.oracleKnobs.stabilizeAt);
+  composition.oracleKnobs.noise =
+      kv.getDouble("oracle-noise", composition.oracleKnobs.noise);
+  composition.oracleKnobs.noiseEpoch =
+      kv.getU64("oracle-noise-epoch", composition.oracleKnobs.noiseEpoch);
+  composition.oracleKnobs.lieAboutBound = kv.getU64("oracle-lie", 0) != 0;
   // Same gate as the CLI: a pairing the registry rejects must not load
   // from a file either, and with the identical diagnostic.
   resolve(composition);
@@ -400,6 +430,15 @@ std::string toJson(const Composition& composition) {
       .value(static_cast<std::uint64_t>(composition.maxRounds));
   json.key("max_ticks").value(composition.maxTicks);
   json.key("fault").value(toString(composition.fault));
+  if (!composition.oracle.empty()) {  // zero-cost when no oracle attached
+    json.key("oracle").value(composition.oracle);
+    json.key("oracle_completeness_lag")
+        .value(composition.oracleKnobs.completenessLag);
+    json.key("oracle_stabilize_at").value(composition.oracleKnobs.stabilizeAt);
+    json.key("oracle_noise").value(composition.oracleKnobs.noise);
+    json.key("oracle_noise_epoch").value(composition.oracleKnobs.noiseEpoch);
+    json.key("oracle_lie").value(composition.oracleKnobs.lieAboutBound);
+  }
   json.endObject();
   return json.str();
 }
@@ -465,6 +504,21 @@ Composition fromJson(const std::string& text) {
       composition.maxTicks = asU64(value, "max_ticks");
     } else if (key == "fault") {
       composition.fault = parsePlantedFault(asString(value, "fault"));
+    } else if (key == "oracle") {
+      composition.oracle = asString(value, "oracle");
+    } else if (key == "oracle_completeness_lag") {
+      composition.oracleKnobs.completenessLag =
+          asU64(value, "oracle_completeness_lag");
+    } else if (key == "oracle_stabilize_at") {
+      composition.oracleKnobs.stabilizeAt =
+          asU64(value, "oracle_stabilize_at");
+    } else if (key == "oracle_noise") {
+      composition.oracleKnobs.noise = asDouble(value, "oracle_noise");
+    } else if (key == "oracle_noise_epoch") {
+      composition.oracleKnobs.noiseEpoch =
+          asU64(value, "oracle_noise_epoch");
+    } else if (key == "oracle_lie") {
+      composition.oracleKnobs.lieAboutBound = asBool(value, "oracle_lie");
     } else {
       throw std::runtime_error("json: unknown composition key '" + key + "'");
     }

@@ -70,6 +70,13 @@ struct Composition {
 
   /// Test-only planted detector bug (model-checker self-test).
   PlantedFault fault = PlantedFault::kNone;
+
+  /// Failure-detector oracle (registry name) for oracle-guided drivers;
+  /// empty for everything else. The role is zero-cost for oracle-free
+  /// pairings: nothing is serialized and nothing runs when empty.
+  std::string oracle;
+  /// Oracle quality knobs (serialized only when an oracle is attached).
+  fd::OracleKnobs oracleKnobs;
 };
 
 /// A Composition with its registry entries and derived run shape resolved.
@@ -77,6 +84,8 @@ struct Composition {
 struct ResolvedComposition {
   const DetectorEntry* detector = nullptr;
   const DriverEntry* driver = nullptr;
+  /// Non-null exactly when the composition attaches an oracle.
+  const OracleEntry* oracle = nullptr;
   std::size_t t = 0;
   bool lockstep = false;
   /// Every process joins the drive wave each round (lockstep algorithms
@@ -90,8 +99,12 @@ struct ResolvedComposition {
 ResolvedComposition resolve(const Composition& composition);
 
 /// "detector+driver" CLI spec, e.g. "benor-vac+timer". Whitespace around
-/// either name is trimmed; a missing '+' or empty side throws.
-Composition parseSpec(const std::string& spec);
+/// either name is trimmed; a missing '+' or empty side throws. The oracle
+/// (with its quality knobs) joins the composition before the validating
+/// resolve, so an oracle-consuming driver paired via --oracle is accepted
+/// and an incoherent attachment throws the registry diagnostic here.
+Composition parseSpec(const std::string& spec, const std::string& oracle = "",
+                      const fd::OracleKnobs& oracleKnobs = {});
 
 /// key=value wire format (stamped with `# run-id=`), the family=compose
 /// payload of serialized scenarios and counterexamples. parseComposition

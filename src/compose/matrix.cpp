@@ -41,6 +41,20 @@ Composition cellBase(const std::string& detectorName,
     composition.n = 5;
     composition.inputs = {0, 1, 0, 1, 1};
   }
+  // Oracle-consuming drivers get a default oracle of the class they
+  // require, with modest-but-honest quality knobs; every other pairing
+  // keeps the oracle role detached (zero-cost).
+  switch (registry().driver(driverName).capability.oracle) {
+    case OracleRequirement::kNone: break;
+    case OracleRequirement::kEventualLeader:
+      composition.oracle = "omega";
+      composition.oracleKnobs.stabilizeAt = 40;
+      composition.oracleKnobs.noise = 0.25;
+      break;
+    case OracleRequirement::kPerfect:
+      composition.oracle = "perfect-p";
+      break;
+  }
   return composition;
 }
 
@@ -72,6 +86,7 @@ MatrixReport runMatrix(const MatrixOptions& options) {
       Summary messages;
       for (int run = 0; run < runsPerCell; ++run) {
         Composition composition = cellBase(detectorName, driverName);
+        cell.oracle = composition.oracle;
         composition.seed = options.seedBase + static_cast<std::uint64_t>(run);
         const CompositionResult result = runComposition(composition);
         ++cell.runs;
@@ -84,10 +99,13 @@ MatrixReport runMatrix(const MatrixOptions& options) {
         if (result.agreementViolated) cell.agreementOk = false;
         if (result.validityViolated) cell.validityOk = false;
         if (!result.allAuditsOk) cell.auditsOk = false;
+        if (result.oracleAudit && !result.oracleAudit->ok())
+          cell.fdAxiomsOk = false;
       }
       if (!rounds.empty()) cell.meanRounds = rounds.mean();
       if (!messages.empty()) cell.meanMessages = messages.mean();
-      if (!cell.agreementOk || !cell.validityOk || !cell.auditsOk)
+      if (!cell.agreementOk || !cell.validityOk || !cell.auditsOk ||
+          !cell.fdAxiomsOk)
         report.safetyOk = false;
       report.cells.push_back(std::move(cell));
     }
@@ -116,6 +134,7 @@ std::string matrixToJson(const MatrixReport& report,
     json.beginObject();
     json.key("detector").value(cell.detector);
     json.key("driver").value(cell.driver);
+    json.key("oracle").value(cell.oracle);
     json.key("valid").value(cell.valid);
     json.key("diagnostic").value(cell.diagnostic);
     json.key("runs").value(static_cast<std::int64_t>(cell.runs));
@@ -123,9 +142,176 @@ std::string matrixToJson(const MatrixReport& report,
     json.key("agreement_ok").value(cell.agreementOk);
     json.key("validity_ok").value(cell.validityOk);
     json.key("audits_ok").value(cell.auditsOk);
+    json.key("fd_axioms_ok").value(cell.fdAxiomsOk);
     json.key("mean_rounds").value(cell.meanRounds);
     json.key("max_round").value(static_cast<std::uint64_t>(cell.maxRound));
     json.key("mean_messages").value(cell.meanMessages);
+    json.endObject();
+  }
+  json.endArray();
+  json.key("valid_cells")
+      .value(static_cast<std::uint64_t>(report.validCells));
+  json.key("rejected_cells")
+      .value(static_cast<std::uint64_t>(report.rejectedCells));
+  json.key("safety_ok").value(report.safetyOk);
+  json.endObject();
+  return json.str();
+}
+
+// ---------------------------------------------------------------------------
+// E22
+
+namespace {
+
+/// The quality grid: an ideal oracle, a modestly-late noisy one, and a
+/// slow noisy one. perfect-p only admits the noise-free points (its
+/// strong accuracy forbids noise — the rejected cells document that).
+struct QualityPoint {
+  Tick stabilizeAt;
+  double noise;
+};
+constexpr QualityPoint kQualityGrid[] = {
+    {0, 0.0}, {60, 0.25}, {250, 0.5}};
+constexpr Tick kOracleLag = 8;
+
+Composition oracleCellBase(const std::string& driverName,
+                           const std::string& oracleName,
+                           const QualityPoint& quality) {
+  Composition composition;
+  composition.detector = "benor-vac";
+  composition.driver = driverName;
+  composition.oracle = oracleName;
+  composition.oracleKnobs.completenessLag = kOracleLag;
+  composition.oracleKnobs.stabilizeAt = quality.stabilizeAt;
+  composition.oracleKnobs.noise = quality.noise;
+  composition.n = 5;
+  composition.inputs = {0, 1, 0, 1, 1};
+  // One crash mid-stabilization: the coordinator rotation must both ride
+  // out false suspicion and eventually suspect the genuinely dead.
+  composition.crashes = {{4, 40}};
+  composition.maxRounds = 300;
+  composition.maxTicks = 300'000;
+  return composition;
+}
+
+}  // namespace
+
+OracleMatrixReport runOracleMatrix(const OracleMatrixOptions& options) {
+  const int runsPerCell = options.quick ? 3 : options.runsPerCell;
+  Registry& reg = registry();
+  OracleMatrixReport report;
+  report.oracles = reg.oracleNames();
+  for (const std::string& name : reg.driverNames())
+    if (reg.driver(name).capability.oracle != OracleRequirement::kNone)
+      report.drivers.push_back(name);
+
+  const auto reject = [&](OracleMatrixCell cell,
+                          const std::string& diagnostic) {
+    cell.diagnostic = diagnostic;
+    ++report.rejectedCells;
+    report.cells.push_back(std::move(cell));
+  };
+
+  for (const std::string& driverName : report.drivers) {
+    // The missing-oracle row: a coordinator with nothing to consult.
+    {
+      OracleMatrixCell cell;
+      cell.driver = driverName;
+      cell.completenessLag = kOracleLag;
+      reject(std::move(cell),
+             *reg.validateOracle(driverName, "", fd::OracleKnobs{}));
+    }
+    for (const std::string& oracleName : report.oracles) {
+      for (const QualityPoint& quality : kQualityGrid) {
+        OracleMatrixCell cell;
+        cell.driver = driverName;
+        cell.oracle = oracleName;
+        cell.stabilizeAt = quality.stabilizeAt;
+        cell.noise = quality.noise;
+        cell.completenessLag = kOracleLag;
+        const Composition base =
+            oracleCellBase(driverName, oracleName, quality);
+        if (const auto diagnostic = reg.validateOracle(
+                driverName, oracleName, base.oracleKnobs)) {
+          reject(std::move(cell), *diagnostic);
+          continue;
+        }
+        cell.valid = true;
+        ++report.validCells;
+        Summary rounds;
+        for (int run = 0; run < runsPerCell; ++run) {
+          Composition composition = base;
+          composition.seed =
+              options.seedBase + static_cast<std::uint64_t>(run);
+          const CompositionResult result = runComposition(composition);
+          ++cell.runs;
+          if (result.allDecided) {
+            ++cell.decided;
+            rounds.add(static_cast<double>(result.maxDecisionRound));
+            cell.maxRound = std::max(cell.maxRound, result.maxDecisionRound);
+          }
+          if (result.agreementViolated) cell.agreementOk = false;
+          if (result.validityViolated) cell.validityOk = false;
+          if (!result.allAuditsOk) cell.auditsOk = false;
+          if (result.oracleAudit && !result.oracleAudit->ok())
+            cell.fdAxiomsOk = false;
+        }
+        if (!rounds.empty()) cell.meanRounds = rounds.mean();
+        if (!cell.agreementOk || !cell.validityOk || !cell.auditsOk ||
+            !cell.fdAxiomsOk)
+          report.safetyOk = false;
+        report.cells.push_back(std::move(cell));
+      }
+    }
+  }
+
+  // The unconsumed-oracle rows: attaching any oracle to an oracle-free
+  // driver is rejected, not silently ignored.
+  for (const std::string& oracleName : report.oracles) {
+    OracleMatrixCell cell;
+    cell.driver = "timer";
+    cell.oracle = oracleName;
+    cell.completenessLag = kOracleLag;
+    reject(std::move(cell),
+           *reg.validateOracle("timer", oracleName, fd::OracleKnobs{}));
+  }
+  return report;
+}
+
+std::string oracleMatrixToJson(const OracleMatrixReport& report,
+                               const OracleMatrixOptions& options) {
+  obs::JsonWriter json;
+  json.beginObject();
+  json.key("schema").value("ooc.fd-matrix.v1");
+  json.key("quick").value(options.quick);
+  json.key("runs_per_cell")
+      .value(static_cast<std::int64_t>(options.quick ? 3
+                                                     : options.runsPerCell));
+  json.key("seed_base").value(options.seedBase);
+  json.key("drivers").beginArray();
+  for (const std::string& name : report.drivers) json.value(name);
+  json.endArray();
+  json.key("oracles").beginArray();
+  for (const std::string& name : report.oracles) json.value(name);
+  json.endArray();
+  json.key("cells").beginArray();
+  for (const OracleMatrixCell& cell : report.cells) {
+    json.beginObject();
+    json.key("driver").value(cell.driver);
+    json.key("oracle").value(cell.oracle);
+    json.key("stabilize_at").value(cell.stabilizeAt);
+    json.key("noise").value(cell.noise);
+    json.key("completeness_lag").value(cell.completenessLag);
+    json.key("valid").value(cell.valid);
+    json.key("diagnostic").value(cell.diagnostic);
+    json.key("runs").value(static_cast<std::int64_t>(cell.runs));
+    json.key("decided").value(static_cast<std::int64_t>(cell.decided));
+    json.key("agreement_ok").value(cell.agreementOk);
+    json.key("validity_ok").value(cell.validityOk);
+    json.key("audits_ok").value(cell.auditsOk);
+    json.key("fd_axioms_ok").value(cell.fdAxiomsOk);
+    json.key("mean_rounds").value(cell.meanRounds);
+    json.key("max_round").value(static_cast<std::uint64_t>(cell.maxRound));
     json.endObject();
   }
   json.endArray();

@@ -24,6 +24,8 @@ struct MatrixOptions {
 struct MatrixCell {
   std::string detector;
   std::string driver;
+  /// Oracle auto-attached when the driver consumes one; empty otherwise.
+  std::string oracle;
   bool valid = false;
   /// Capability diagnostic for rejected pairings; empty when valid.
   std::string diagnostic;
@@ -33,6 +35,9 @@ struct MatrixCell {
   bool agreementOk = true;
   bool validityOk = true;
   bool auditsOk = true;
+  /// FD-axiom audit verdict over the cell's runs (oracle cells only;
+  /// vacuously true elsewhere).
+  bool fdAxiomsOk = true;
   /// Mean/max decision round over decided runs (0 when none decided —
   /// e.g. keep-value on a split start, the paper's termination
   /// counterexample).
@@ -57,5 +62,56 @@ MatrixReport runMatrix(const MatrixOptions& options);
 /// for a fixed registry and options).
 std::string matrixToJson(const MatrixReport& report,
                          const MatrixOptions& options);
+
+// ---------------------------------------------------------------------------
+// Experiment E22: oracle quality vs. rounds-to-decide. For each
+// oracle-consuming driver, every registered oracle is swept across a
+// quality grid (stabilization time × false-suspicion noise, fixed
+// completeness lag) under a crash schedule; incoherent cells — missing
+// oracle, ◇S/Ω under the P-requiring driver, noisy perfect-p, oracle on
+// an oracle-free driver — land in the report as rejected cells with the
+// registry's diagnostic, like E20's.
+
+struct OracleMatrixOptions {
+  int runsPerCell = 10;
+  std::uint64_t seedBase = 11000;
+  bool quick = false;  // drops runsPerCell to 3
+};
+
+struct OracleMatrixCell {
+  std::string driver;
+  std::string oracle;  // "" for the missing-oracle rejection row
+  Tick stabilizeAt = 0;
+  double noise = 0;
+  Tick completenessLag = 0;
+  bool valid = false;
+  std::string diagnostic;
+
+  int runs = 0;
+  int decided = 0;
+  bool agreementOk = true;
+  bool validityOk = true;
+  bool auditsOk = true;
+  bool fdAxiomsOk = true;
+  double meanRounds = 0;
+  Round maxRound = 0;
+};
+
+struct OracleMatrixReport {
+  std::vector<std::string> drivers;  // oracle-consuming drivers swept
+  std::vector<std::string> oracles;
+  std::vector<OracleMatrixCell> cells;
+  std::size_t validCells = 0;
+  std::size_t rejectedCells = 0;
+  /// False if any valid cell violated agreement/validity, failed the
+  /// object audits, or broke an FD axiom.
+  bool safetyOk = true;
+};
+
+OracleMatrixReport runOracleMatrix(const OracleMatrixOptions& options);
+
+/// Renders the report as ooc.fd-matrix.v1 JSON.
+std::string oracleMatrixToJson(const OracleMatrixReport& report,
+                               const OracleMatrixOptions& options);
 
 }  // namespace ooc::compose

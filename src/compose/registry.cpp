@@ -9,6 +9,7 @@
 #include "benor/vac.hpp"
 #include "compose/timer_reconciliator.hpp"
 #include "core/vac_from_ac.hpp"
+#include "fd/coordinator.hpp"
 #include "phaseking/adopt_commit.hpp"
 #include "phaseking/byzantine.hpp"
 #include "phaseking/conciliator.hpp"
@@ -46,6 +47,15 @@ const char* toString(InvocationMode mode) noexcept {
     case InvocationMode::kLockstep: return "lockstep";
     case InvocationMode::kAsync: return "async";
     case InvocationMode::kAny: return "any";
+  }
+  return "?";
+}
+
+const char* toString(OracleRequirement requirement) noexcept {
+  switch (requirement) {
+    case OracleRequirement::kNone: return "none";
+    case OracleRequirement::kEventualLeader: return "eventual-leader";
+    case OracleRequirement::kPerfect: return "perfect";
   }
   return "?";
 }
@@ -250,6 +260,75 @@ void registerBuiltins(Registry& reg) {
     };
     reg.registerDriver(std::move(e));
   }
+  {
+    DriverEntry e;
+    e.name = "ct-coordinator";
+    // Chandra–Toueg rotating coordinator under Ω-style trust: suspected
+    // coordinators are abandoned for the invoker's own value. Claims are
+    // trusted verbatim and the probe races message delay: crash-model,
+    // asynchronous runs only. Every process must join the drive wave —
+    // the round's coordinator has to fanout its claim even when its own
+    // detector outcome was adopt/commit, or the vacillating waiters
+    // deadlock probing a correct (never-suspected) coordinator.
+    e.capability = {DriverClass::kReconciliator, InvocationMode::kAsync,
+                    /*toleratesByzantine=*/false,
+                    /*requiresEveryProcess=*/true,
+                    OracleRequirement::kEventualLeader};
+    e.makeWithOracle = [](const ObjectParams&,
+                          std::shared_ptr<const fd::Oracle> oracle) {
+      return fd::CoordinatorReconciliator::factory(
+          std::move(oracle), fd::CoordinatorReconciliator::Trust::kEventualLeader);
+    };
+    reg.registerDriver(std::move(e));
+  }
+  {
+    DriverEntry e;
+    e.name = "p-coordinator";
+    // Skip-ahead rotation: suspected coordinators are rotated past, which
+    // is sound only under strong accuracy — validateOracle() rejects this
+    // driver under the eventual-accuracy oracles. Every process drives for
+    // the same reason as ct-coordinator: the claim must be fanned out even
+    // on an adopt/commit outcome.
+    e.capability = {DriverClass::kReconciliator, InvocationMode::kAsync,
+                    /*toleratesByzantine=*/false,
+                    /*requiresEveryProcess=*/true,
+                    OracleRequirement::kPerfect};
+    e.makeWithOracle = [](const ObjectParams&,
+                          std::shared_ptr<const fd::Oracle> oracle) {
+      return fd::CoordinatorReconciliator::factory(
+          std::move(oracle), fd::CoordinatorReconciliator::Trust::kPerfect);
+    };
+    reg.registerDriver(std::move(e));
+  }
+
+  // --- oracles -------------------------------------------------------------
+  const auto scheduleOracle = [](fd::OracleClass oracleClass) {
+    return [oracleClass](const ObjectParams& p, const fd::OracleKnobs& knobs,
+                         const fd::FaultSchedule& schedule) {
+      return fd::makeScheduleOracle(oracleClass, knobs, schedule, p.seed);
+    };
+  };
+  {
+    OracleEntry e;
+    e.name = "omega";
+    e.capability = {fd::OracleClass::kOmega};
+    e.make = scheduleOracle(fd::OracleClass::kOmega);
+    reg.registerOracle(std::move(e));
+  }
+  {
+    OracleEntry e;
+    e.name = "diamond-s";
+    e.capability = {fd::OracleClass::kEventuallyStrong};
+    e.make = scheduleOracle(fd::OracleClass::kEventuallyStrong);
+    reg.registerOracle(std::move(e));
+  }
+  {
+    OracleEntry e;
+    e.name = "perfect-p";
+    e.capability = {fd::OracleClass::kPerfect};
+    e.make = scheduleOracle(fd::OracleClass::kPerfect);
+    reg.registerOracle(std::move(e));
+  }
 }
 
 }  // namespace
@@ -268,6 +347,13 @@ void Registry::registerDriver(DriverEntry entry) {
   drivers_.push_back(std::move(entry));
 }
 
+void Registry::registerOracle(OracleEntry entry) {
+  if (hasOracle(entry.name))
+    throw std::invalid_argument("oracle '" + entry.name +
+                                "' is already registered");
+  oracles_.push_back(std::move(entry));
+}
+
 const DetectorEntry& Registry::detector(const std::string& name) const {
   for (const DetectorEntry& entry : detectors_)
     if (entry.name == name) return entry;
@@ -282,6 +368,13 @@ const DriverEntry& Registry::driver(const std::string& name) const {
                               "'; known: " + joinNames(driverNames()));
 }
 
+const OracleEntry& Registry::oracle(const std::string& name) const {
+  for (const OracleEntry& entry : oracles_)
+    if (entry.name == name) return entry;
+  throw std::invalid_argument("unknown oracle '" + name +
+                              "'; known: " + joinNames(oracleNames()));
+}
+
 bool Registry::hasDetector(const std::string& name) const noexcept {
   for (const DetectorEntry& entry : detectors_)
     if (entry.name == name) return true;
@@ -290,6 +383,12 @@ bool Registry::hasDetector(const std::string& name) const noexcept {
 
 bool Registry::hasDriver(const std::string& name) const noexcept {
   for (const DriverEntry& entry : drivers_)
+    if (entry.name == name) return true;
+  return false;
+}
+
+bool Registry::hasOracle(const std::string& name) const noexcept {
+  for (const OracleEntry& entry : oracles_)
     if (entry.name == name) return true;
   return false;
 }
@@ -305,6 +404,13 @@ std::vector<std::string> Registry::driverNames() const {
   std::vector<std::string> names;
   names.reserve(drivers_.size());
   for (const DriverEntry& entry : drivers_) names.push_back(entry.name);
+  return names;
+}
+
+std::vector<std::string> Registry::oracleNames() const {
+  std::vector<std::string> names;
+  names.reserve(oracles_.size());
+  for (const OracleEntry& entry : oracles_) names.push_back(entry.name);
   return names;
 }
 
@@ -350,6 +456,49 @@ std::optional<std::string> Registry::validatePairing(
       !drv.capability.toleratesByzantine) {
     return pair + "detector assumes Byzantine faults but driver '" +
            driverName + "' is crash-only (its waits trust every sender)";
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> Registry::validateOracle(
+    const std::string& driverName, const std::string& oracleName,
+    const fd::OracleKnobs& knobs) const {
+  const DriverEntry& drv = driver(driverName);
+  const OracleRequirement required = drv.capability.oracle;
+  if (oracleName.empty()) {
+    if (required == OracleRequirement::kNone) return std::nullopt;
+    return "invalid oracle pairing '" + driverName + "+(none)': driver '" +
+           driverName +
+           "' is a rotating coordinator and consumes a failure-detector "
+           "oracle (its probe asks which coordinators to trust), but the "
+           "composition names none; add oracle=omega, diamond-s or "
+           "perfect-p";
+  }
+  const OracleEntry& orc = oracle(oracleName);  // unknown names throw here
+  const std::string pair =
+      "invalid oracle pairing '" + driverName + "+" + oracleName + "': ";
+  if (required == OracleRequirement::kNone) {
+    return pair + "driver '" + driverName +
+           "' consumes no oracle, so the attachment would silently change "
+           "nothing — the oracle role is zero-cost for oracle-free "
+           "pairings; drop the oracle or pick an oracle-guided driver "
+           "(ct-coordinator, p-coordinator)";
+  }
+  if (required == OracleRequirement::kPerfect &&
+      orc.capability.oracleClass != fd::OracleClass::kPerfect) {
+    return pair + "driver '" + driverName +
+           "' rotates past suspected coordinators, which is sound only "
+           "under a perfect oracle's strong accuracy; under '" + oracleName +
+           "' (eventual accuracy only) a falsely-suspected live coordinator "
+           "would be skipped and two claimants could race — the "
+           "failure-detector analogue of the paper's §5 insufficiency "
+           "argument; use perfect-p";
+  }
+  if (orc.capability.oracleClass == fd::OracleClass::kPerfect &&
+      knobs.noise > 0) {
+    return pair + "a perfect oracle has strong accuracy (it never falsely "
+           "suspects a live process), so oracle-noise must be 0; drop the "
+           "noise or model a noisy detector with diamond-s";
   }
   return std::nullopt;
 }

@@ -85,7 +85,19 @@ CompositionResult runComposition(const Composition& composition,
   const ObjectParams params{n, resolved.t, composition.seed, composition.bias};
   const DetectorFactory detectorFactory =
       plantFault(resolved.detector->make(params), composition.fault);
-  const DriverFactory driverFactory = resolved.driver->make(params);
+  // Oracle-guided drivers get the run's oracle bound into their factory;
+  // for everyone else the oracle role costs nothing (no schedule build,
+  // no oracle instance, the plain make() path).
+  std::shared_ptr<const fd::Oracle> oracle;
+  fd::FaultSchedule oracleSchedule;
+  if (resolved.oracle != nullptr) {
+    oracleSchedule = fd::FaultSchedule::fromCrashList(n, composition.crashes);
+    oracle = resolved.oracle->make(params, composition.oracleKnobs,
+                                   oracleSchedule);
+  }
+  const DriverFactory driverFactory =
+      oracle ? resolved.driver->makeWithOracle(params, oracle)
+             : resolved.driver->make(params);
 
   std::vector<ConsensusProcess*> templated(n, nullptr);
   std::vector<Value> validInputs;
@@ -195,6 +207,21 @@ CompositionResult runComposition(const Composition& composition,
           ++result.adoptMismatchWitnesses;
       }
     }
+  }
+
+  // FD-axiom audit. The horizon reaches past the decision, the advertised
+  // stabilization and every lag window — but never past the run's tick
+  // budget: an oracle whose "eventually" lands beyond maxTicks is exactly
+  // the liveness failure the convergence check reports.
+  if (oracle) {
+    const fd::OracleKnobs& knobs = composition.oracleKnobs;
+    const Tick settle = oracleSchedule.lastTransition() +
+                        knobs.completenessLag + 4 * knobs.noiseEpoch + 64;
+    const Tick wanted =
+        std::max({result.lastDecisionTick, oracle->stabilizationBound(),
+                  settle});
+    result.oracleAudit = fd::auditOracle(
+        *oracle, oracleSchedule, std::min(composition.maxTicks, wanted));
   }
   return result;
 }

@@ -7,11 +7,13 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "compose/composition.hpp"
 #include "compose/hooks.hpp"
 #include "core/properties.hpp"
+#include "fd/audit.hpp"
 #include "util/types.hpp"
 
 namespace ooc::compose {
@@ -42,6 +44,11 @@ struct CompositionResult {
   /// (decide-on-adopt would have broken agreement).
   std::size_t adoptOutcomesTotal = 0;
   std::size_t adoptMismatchWitnesses = 0;
+
+  /// FD-axiom audit of the run's oracle (oracle-guided pairings only):
+  /// completeness, accuracy and leader convergence checked against the
+  /// fault schedule, independent of whether the run decided.
+  std::optional<fd::OracleAudit> oracleAudit;
 };
 
 /// Runs one composition to the stop condition. Deterministic in

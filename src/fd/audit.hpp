@@ -1,0 +1,53 @@
+// FD-axiom audit: checks an oracle instance against the Chandra–Toueg
+// axioms over its own fault schedule, the way core/properties.hpp audits
+// detector/driver contracts. The audit is a *model* check — it queries
+// the oracle directly at a deterministic sample of ticks rather than
+// replaying the run — so a lying oracle (one whose behaviour contradicts
+// its advertised stabilization bound) is caught even if the consensus run
+// happened to decide.
+//
+//   completeness — at the audit horizon, every correct viewer suspects
+//                  every terminally-crashed target (strong completeness,
+//                  checked after every lag window has elapsed).
+//   accuracy     — P: no viewer ever suspects a target before the
+//                  target's first failure (strong accuracy, all sampled
+//                  ticks). ◇S/Ω: from the advertised stabilization bound
+//                  on, no correct viewer suspects a correct target.
+//   convergence  — from the bound on, all correct viewers trust the same
+//                  correct leader (Ω's axiom; derived for ◇S/P via the
+//                  CHT lowest-unsuspected extraction). An oracle whose
+//                  bound exceeds the horizon fails this check outright:
+//                  "eventually" must land inside the run's tick budget,
+//                  which is exactly the liveness counterexample a
+//                  too-slow oracle produces.
+#pragma once
+
+#include <string>
+
+#include "fd/oracle.hpp"
+
+namespace ooc::fd {
+
+struct OracleAudit {
+  bool completenessOk = true;
+  std::string completenessDetail;
+  bool accuracyOk = true;
+  std::string accuracyDetail;
+  bool convergenceOk = true;
+  std::string convergenceDetail;
+  /// Last tick the audit examined.
+  Tick horizon = 0;
+
+  bool ok() const noexcept {
+    return completenessOk && accuracyOk && convergenceOk;
+  }
+};
+
+/// Audits `oracle` against `schedule` up to `horizon` ticks. Deterministic
+/// in the arguments: the sampled tick set is derived from the schedule's
+/// transitions, the oracle's advertised bound, and an even grid — no
+/// randomness.
+OracleAudit auditOracle(const Oracle& oracle, const FaultSchedule& schedule,
+                        Tick horizon);
+
+}  // namespace ooc::fd

@@ -1,0 +1,103 @@
+#include "fd/coordinator.hpp"
+
+#include <string>
+
+namespace ooc::fd {
+namespace {
+
+/// The acting coordinator's claim, trusted verbatim by every invoker.
+struct CoordClaim final : MessageBase<CoordClaim> {
+  explicit CoordClaim(Value value = kNoValue) : value(value) {}
+  Value value;
+  std::string describe() const override {
+    return "coord-claim(" + std::to_string(value) + ")";
+  }
+};
+
+}  // namespace
+
+CoordinatorReconciliator::CoordinatorReconciliator(
+    std::shared_ptr<const Oracle> oracle, Round round, Trust trust,
+    Tick probePeriod)
+    : oracle_(std::move(oracle)),
+      round_(round),
+      trust_(trust),
+      probePeriod_(probePeriod == 0 ? 1 : probePeriod) {}
+
+ProcessId CoordinatorReconciliator::candidate(ObjectContext& ctx) const {
+  const std::size_t n = ctx.processCount();
+  const ProcessId base = static_cast<ProcessId>((round_ - 1) % n);
+  if (trust_ == Trust::kEventualLeader) return base;
+  // kPerfect: rotate past suspected candidates. Strong accuracy makes the
+  // skip sound — only genuinely-failed coordinators are passed over, so
+  // every process that probes after the lag window lands on the same
+  // first-unsuspected id.
+  for (std::size_t step = 0; step < n; ++step) {
+    const ProcessId id = static_cast<ProcessId>((base + step) % n);
+    if (!oracle_->suspects(ctx.self(), id, ctx.now())) return id;
+  }
+  return base;  // unreachable: self is never suspected
+}
+
+void CoordinatorReconciliator::invoke(ObjectContext& ctx,
+                                      const Outcome& detected) {
+  invoked_ = true;
+  own_ = detected.value;
+  if (claimed_) {  // a claim raced ahead of our invocation
+    value_ = *claimed_;
+    return;
+  }
+  claimOrProbe(ctx);
+}
+
+void CoordinatorReconciliator::claimOrProbe(ObjectContext& ctx) {
+  if (candidate(ctx) == ctx.self()) {
+    ctx.fanout(makeMessage<CoordClaim>(own_));
+    value_ = own_;
+    return;
+  }
+  timer_ = ctx.setTimer(probePeriod_);
+}
+
+void CoordinatorReconciliator::onMessage(ObjectContext& ctx,
+                                         ProcessId /*from*/,
+                                         const Message& inner) {
+  const auto* claim = inner.as<CoordClaim>();
+  if (claim == nullptr || claimed_) return;
+  claimed_ = claim->value;
+  if (invoked_ && !value_) {
+    if (timer_) ctx.cancelTimer(*timer_);
+    timer_.reset();
+    value_ = *claimed_;
+  }
+}
+
+void CoordinatorReconciliator::onTimer(ObjectContext& ctx, TimerId id) {
+  if (!timer_ || *timer_ != id || value_) return;
+  timer_.reset();
+  if (trust_ == Trust::kEventualLeader) {
+    const std::size_t n = ctx.processCount();
+    const ProcessId base = static_cast<ProcessId>((round_ - 1) % n);
+    if (oracle_->suspects(ctx.self(), base, ctx.now())) {
+      // CT fallback: give up on this round's coordinator and move on with
+      // our own estimate. No fanout — agreement is owed only eventually,
+      // by the round whose coordinator everyone trusts.
+      value_ = own_;
+      return;
+    }
+    timer_ = ctx.setTimer(probePeriod_);  // trusted: keep waiting
+    return;
+  }
+  // kPerfect: the suspicion list may have shifted the rotation onto us.
+  claimOrProbe(ctx);
+}
+
+DriverFactory CoordinatorReconciliator::factory(
+    std::shared_ptr<const Oracle> oracle, Trust trust, Tick probePeriod) {
+  return [oracle = std::move(oracle), trust, probePeriod](Round m) {
+    return std::make_unique<CoordinatorReconciliator>(oracle, m, trust,
+                                                      probePeriod);
+  };
+}
+
+}  // namespace ooc::fd

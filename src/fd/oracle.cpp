@@ -1,0 +1,150 @@
+#include "fd/oracle.hpp"
+
+#include <algorithm>
+
+namespace ooc::fd {
+
+const char* toString(OracleClass oracleClass) noexcept {
+  switch (oracleClass) {
+    case OracleClass::kPerfect: return "perfect";
+    case OracleClass::kEventuallyStrong: return "eventually-strong";
+    case OracleClass::kOmega: return "omega";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// FaultSchedule
+
+void FaultSchedule::crash(ProcessId id, Tick at) {
+  downs_.at(id).push_back({at, kForever});
+}
+
+void FaultSchedule::restart(ProcessId id, Tick at, Tick downFor) {
+  downs_.at(id).push_back({at, at + downFor});
+}
+
+FaultSchedule FaultSchedule::fromCrashList(
+    std::size_t n, const std::vector<std::pair<ProcessId, Tick>>& crashes) {
+  FaultSchedule schedule(n);
+  for (const auto& [id, at] : crashes) schedule.crash(id, at);
+  return schedule;
+}
+
+bool FaultSchedule::upAt(ProcessId id, Tick at) const noexcept {
+  if (id >= downs_.size()) return false;
+  for (const DownInterval& down : downs_[id])
+    if (at >= down.from && at < down.to) return false;
+  return true;
+}
+
+bool FaultSchedule::correct(ProcessId id) const noexcept {
+  if (id >= downs_.size()) return false;
+  for (const DownInterval& down : downs_[id])
+    if (down.to == kForever) return false;
+  return true;
+}
+
+std::optional<Tick> FaultSchedule::firstDownAt(ProcessId id) const noexcept {
+  if (id >= downs_.size() || downs_[id].empty()) return std::nullopt;
+  Tick first = kForever;
+  for (const DownInterval& down : downs_[id])
+    first = std::min(first, down.from);
+  return first;
+}
+
+Tick FaultSchedule::lastTransition() const noexcept {
+  Tick last = 0;
+  for (const auto& intervals : downs_) {
+    for (const DownInterval& down : intervals) {
+      last = std::max(last, down.from);
+      if (down.to != kForever) last = std::max(last, down.to);
+    }
+  }
+  return last;
+}
+
+// ---------------------------------------------------------------------------
+// ScheduleOracle
+
+namespace {
+
+/// SplitMix64 finalizer: the pure hash behind the false-suspicion noise.
+/// Never a stateful Rng — a query must return the same answer no matter
+/// how many times (or in what order) the run asks it.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+double hash01(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+              std::uint64_t c) noexcept {
+  const std::uint64_t h = mix64(mix64(mix64(seed ^ a) + b) + c);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+class ScheduleOracle final : public Oracle {
+ public:
+  ScheduleOracle(OracleClass oracleClass, const OracleKnobs& knobs,
+                 FaultSchedule schedule, std::uint64_t seed)
+      : class_(oracleClass),
+        knobs_(knobs),
+        schedule_(std::move(schedule)),
+        seed_(seed ^ 0xFDFDFDFDull) {}
+
+  OracleClass oracleClass() const noexcept override { return class_; }
+
+  bool suspects(ProcessId viewer, ProcessId target, Tick at) const override {
+    if (viewer == target) return false;
+    // Completeness with lag: the viewer's module sees the schedule as it
+    // was completenessLag ticks ago, so crashes are detected late and a
+    // restarted process keeps being suspected for one lag window.
+    const Tick viewAt =
+        at > knobs_.completenessLag ? at - knobs_.completenessLag : 0;
+    if (!schedule_.upAt(target, viewAt)) return true;
+    // Pre-stabilization false suspicion (never for P: strong accuracy).
+    if (class_ != OracleClass::kPerfect && at < knobs_.stabilizeAt &&
+        knobs_.noise > 0) {
+      const Tick epoch = knobs_.noiseEpoch == 0 ? 1 : knobs_.noiseEpoch;
+      if (hash01(seed_, viewer, target, at / epoch) < knobs_.noise)
+        return true;
+    }
+    return false;
+  }
+
+  ProcessId leader(ProcessId viewer, Tick at) const override {
+    const std::size_t n = schedule_.processCount();
+    for (ProcessId id = 0; id < n; ++id)
+      if (!suspects(viewer, id, at)) return id;
+    return viewer;  // unreachable: a viewer never suspects itself
+  }
+
+  Tick stabilizationBound() const noexcept override {
+    if (knobs_.lieAboutBound) return 0;  // the planted bug: advertise early
+    // Honest bound: past the noise window, and past the last schedule
+    // transition plus one completeness-lag (a freshly restarted correct
+    // process is legitimately suspected until its recovery propagates).
+    const Tick lagged = schedule_.lastTransition() + knobs_.completenessLag;
+    return std::max(knobs_.stabilizeAt, lagged);
+  }
+
+ private:
+  OracleClass class_;
+  OracleKnobs knobs_;
+  FaultSchedule schedule_;
+  std::uint64_t seed_;
+};
+
+}  // namespace
+
+std::shared_ptr<const Oracle> makeScheduleOracle(OracleClass oracleClass,
+                                                 const OracleKnobs& knobs,
+                                                 FaultSchedule schedule,
+                                                 std::uint64_t seed) {
+  return std::make_shared<ScheduleOracle>(oracleClass, knobs,
+                                          std::move(schedule), seed);
+}
+
+}  // namespace ooc::fd

@@ -1,0 +1,139 @@
+// Failure-detector oracles (Chandra–Toueg 1996), the third object family
+// of the composition engine.
+//
+// The paper decomposes consensus into detector × driver; the
+// failure-detector tradition supplies a third role orthogonal to both: an
+// *oracle* each process can query about which peers it currently
+// suspects of having crashed. Lynch–Sastry give the object contract
+// (asynchronous failure detectors as I/O automata), Kuznetsov's "Simple
+// CHT" the extraction of Ω (eventual leader) as the weakest oracle for
+// consensus. Three classes are modeled here, ordered by strength:
+//
+//   P  (perfect)            strong accuracy  — no process is suspected
+//                           before it crashes — plus strong completeness.
+//   ◇S (eventually strong)  eventual accuracy — after some unknown
+//                           stabilization time, no correct process is
+//                           suspected — plus strong completeness.
+//   Ω  (eventual leader)    eventually every correct process trusts the
+//                           same correct leader (CHT extraction: the
+//                           leader is the lowest unsuspected id).
+//
+// The oracles are *models*, not protocols: a ScheduleOracle is a pure
+// function of the run's fault/restart schedule, the quality knobs, and
+// the run seed. That keeps every query deterministic and replayable —
+// the checker can re-ask the same question at the same tick and get the
+// same answer, and golden traces stay byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ooc::fd {
+
+enum class OracleClass {
+  kPerfect,           // P: strong accuracy + strong completeness
+  kEventuallyStrong,  // ◇S: eventual accuracy + strong completeness
+  kOmega,             // Ω: eventual agreement on one correct leader
+};
+
+const char* toString(OracleClass oracleClass) noexcept;
+
+/// Quality knobs: how far the modeled oracle sits from the ideal one.
+/// The defaults are a modest-but-honest detector; the checker's
+/// oracle-quality strategy sweeps these against crash schedules.
+struct OracleKnobs {
+  /// Ticks between a crash (or a recovery) and the oracle reflecting it:
+  /// a crashed process is suspected only completenessLag ticks after the
+  /// crash, and a restarted one stays suspected for completenessLag
+  /// ticks after coming back up.
+  Tick completenessLag = 8;
+  /// Accuracy stabilization time: before this tick the oracle may
+  /// falsely suspect live processes (never after). 0 = accurate from the
+  /// start. Ignored by P, whose strong accuracy forbids false suspicion.
+  Tick stabilizeAt = 0;
+  /// Probability of a false suspicion per (viewer, target, noise epoch)
+  /// before stabilizeAt. Derived by pure hashing from the run seed, so
+  /// the noise is deterministic and replayable.
+  double noise = 0.0;
+  /// Width of one noise epoch in ticks (a false suspicion persists for
+  /// the whole epoch — real detectors flap slowly, not per-tick).
+  Tick noiseEpoch = 16;
+  /// Test-only planted bug: advertise stabilizationBound() = 0 while
+  /// still noising until stabilizeAt. The fd-accuracy invariant must
+  /// catch the lie (negative tests).
+  bool lieAboutBound = false;
+};
+
+/// Per-process down intervals derived from the simulator's fault and
+/// restart schedule. `crash` is terminal; `restart` models the PR-3
+/// restart faults (down for a bounded window, then back up).
+class FaultSchedule {
+ public:
+  explicit FaultSchedule(std::size_t n = 0) : downs_(n) {}
+
+  /// Terminal crash at `at`.
+  void crash(ProcessId id, Tick at);
+  /// Down for [at, at + downFor), then recovered.
+  void restart(ProcessId id, Tick at, Tick downFor);
+
+  static FaultSchedule fromCrashList(
+      std::size_t n, const std::vector<std::pair<ProcessId, Tick>>& crashes);
+
+  std::size_t processCount() const noexcept { return downs_.size(); }
+  bool upAt(ProcessId id, Tick at) const noexcept;
+  /// Correct in the failure-detector sense: up from some point onward
+  /// (never terminally crashed).
+  bool correct(ProcessId id) const noexcept;
+  /// First tick at which `id` is down, or nullopt if it never fails.
+  std::optional<Tick> firstDownAt(ProcessId id) const noexcept;
+  /// Latest schedule transition (crash, down, or recovery tick); 0 for a
+  /// fault-free schedule.
+  Tick lastTransition() const noexcept;
+
+ private:
+  struct DownInterval {
+    Tick from = 0;
+    Tick to = 0;  // exclusive; kForever for a terminal crash
+  };
+  static constexpr Tick kForever = ~Tick{0};
+  std::vector<std::vector<DownInterval>> downs_;
+};
+
+/// The oracle role: a queryable suspicion module per process. Queries are
+/// pure (const, deterministic in the arguments), so one shared instance
+/// serves every process of a run.
+class Oracle {
+ public:
+  virtual ~Oracle() = default;
+
+  virtual OracleClass oracleClass() const noexcept = 0;
+
+  /// Whether `viewer`'s detector module suspects `target` at tick `at`.
+  /// A process never suspects itself.
+  virtual bool suspects(ProcessId viewer, ProcessId target,
+                        Tick at) const = 0;
+
+  /// `viewer`'s trusted leader at `at`: the lowest unsuspected id (CHT
+  /// extraction of Ω from the suspicion lists); falls back to `viewer`
+  /// itself, which is never self-suspected.
+  virtual ProcessId leader(ProcessId viewer, Tick at) const = 0;
+
+  /// Advertised tick after which the eventual axioms hold (accuracy,
+  /// leader agreement). The fd invariants audit the advertisement — a
+  /// lying oracle (lieAboutBound) is caught, not trusted.
+  virtual Tick stabilizationBound() const noexcept = 0;
+};
+
+/// Builds the schedule-backed model oracle for one run. `seed` feeds the
+/// false-suspicion hash so different runs see different noise.
+std::shared_ptr<const Oracle> makeScheduleOracle(OracleClass oracleClass,
+                                                 const OracleKnobs& knobs,
+                                                 FaultSchedule schedule,
+                                                 std::uint64_t seed);
+
+}  // namespace ooc::fd

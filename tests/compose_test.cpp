@@ -14,8 +14,10 @@
 #include "check/replay.hpp"
 #include "check/scenario.hpp"
 #include "compose/composition.hpp"
+#include "compose/matrix.hpp"
 #include "compose/registry.hpp"
 #include "compose/run.hpp"
+#include "fd/oracle.hpp"
 #include "harness/scenarios.hpp"
 #include "sim/trace.hpp"
 
@@ -217,6 +219,162 @@ TEST(ComposeSerialize, ParsePathsRejectInvalidPairingsWithTheSameText) {
             expected);
   EXPECT_EQ(throwText([&] { compose::fromJson(compose::toJson(invalid)); }),
             expected);
+}
+
+// ---------------------------------------------------------------------------
+// The oracle role (PR 6): rejection gates, interchange, the E22 matrix
+
+TEST(ComposeOracle, BuiltinOraclesAreRegistered) {
+  auto& reg = registry();
+  for (const char* name : {"perfect-p", "diamond-s", "omega"}) {
+    EXPECT_TRUE(reg.hasOracle(name)) << name;
+    EXPECT_EQ(reg.oracle(name).name, name);
+  }
+  const std::string error =
+      throwText([] { registry().oracle("no-such-oracle"); });
+  EXPECT_NE(error.find("unknown oracle 'no-such-oracle'"), std::string::npos)
+      << error;
+  EXPECT_NE(error.find("omega"), std::string::npos)
+      << "diagnostic should list the known names: " << error;
+}
+
+TEST(ComposeOracle, MissingOracleDiagnosticIsIdenticalAcrossParsePaths) {
+  // ct-coordinator consumes Ω; with no oracle attached, resolve() and every
+  // file-parse path must reject with the same registry text.
+  const auto diagnostic =
+      registry().validateOracle("ct-coordinator", "", fd::OracleKnobs{});
+  ASSERT_TRUE(diagnostic.has_value());
+  EXPECT_NE(diagnostic->find("consumes a failure-detector oracle"),
+            std::string::npos)
+      << *diagnostic;
+  Composition composition;
+  composition.detector = "benor-vac";
+  composition.driver = "ct-coordinator";
+  EXPECT_EQ(throwText([&] { compose::resolve(composition); }), *diagnostic);
+  EXPECT_EQ(
+      throwText([] { compose::parseSpec("benor-vac+ct-coordinator"); }),
+      *diagnostic);
+  EXPECT_EQ(throwText([&] {
+              compose::parseComposition(compose::serialize(composition));
+            }),
+            *diagnostic);
+  EXPECT_EQ(throwText([&] { compose::fromJson(compose::toJson(composition)); }),
+            *diagnostic);
+}
+
+TEST(ComposeOracle, TooWeakAnOracleCitesTheClassGap) {
+  // p-coordinator demands P; ◇S only promises eventual accuracy.
+  const auto diagnostic =
+      registry().validateOracle("p-coordinator", "diamond-s",
+                                fd::OracleKnobs{});
+  ASSERT_TRUE(diagnostic.has_value());
+  EXPECT_NE(diagnostic->find("perfect"), std::string::npos) << *diagnostic;
+  Composition composition;
+  composition.detector = "benor-vac";
+  composition.driver = "p-coordinator";
+  composition.oracle = "diamond-s";
+  EXPECT_EQ(throwText([&] { compose::resolve(composition); }), *diagnostic);
+}
+
+TEST(ComposeOracle, NoisyPerfectOracleIsIncoherent) {
+  // Strong accuracy forbids false suspicion: perfect-p with noise (or an
+  // accuracy stabilization delay) is a contradiction in terms.
+  fd::OracleKnobs noisy;
+  noisy.noise = 0.25;
+  const auto diagnostic =
+      registry().validateOracle("p-coordinator", "perfect-p", noisy);
+  ASSERT_TRUE(diagnostic.has_value());
+  EXPECT_NE(diagnostic->find("strong accuracy"), std::string::npos)
+      << *diagnostic;
+  Composition composition;
+  composition.detector = "benor-vac";
+  composition.driver = "p-coordinator";
+  composition.oracle = "perfect-p";
+  composition.oracleKnobs.noise = 0.25;
+  EXPECT_EQ(throwText([&] { compose::resolve(composition); }), *diagnostic);
+  EXPECT_EQ(throwText([&] { compose::fromJson(compose::toJson(composition)); }),
+            *diagnostic);
+}
+
+TEST(ComposeOracle, OracleOnAnOracleFreeDriverIsRejected) {
+  const auto diagnostic =
+      registry().validateOracle("timer", "omega", fd::OracleKnobs{});
+  ASSERT_TRUE(diagnostic.has_value());
+  Composition composition;
+  composition.detector = "benor-vac";
+  composition.driver = "timer";
+  composition.oracle = "omega";
+  EXPECT_EQ(throwText([&] { compose::resolve(composition); }), *diagnostic);
+}
+
+TEST(ComposeOracle, SerializationRoundTripsTheOracleAndItsKnobs) {
+  Composition original = sampleComposition();
+  original.driver = "ct-coordinator";
+  original.oracle = "omega";
+  original.oracleKnobs.completenessLag = 6;
+  original.oracleKnobs.stabilizeAt = 90;
+  original.oracleKnobs.noise = 0.375;
+  original.oracleKnobs.noiseEpoch = 12;
+
+  const std::string text = compose::serialize(original);
+  const Composition parsed = compose::parseComposition(text);
+  EXPECT_EQ(compose::serialize(parsed), text);
+  EXPECT_EQ(parsed.oracle, "omega");
+  EXPECT_EQ(parsed.oracleKnobs.completenessLag, Tick{6});
+  EXPECT_EQ(parsed.oracleKnobs.stabilizeAt, Tick{90});
+  EXPECT_EQ(parsed.oracleKnobs.noise, 0.375);
+  EXPECT_EQ(parsed.oracleKnobs.noiseEpoch, Tick{12});
+
+  const std::string json = compose::toJson(original);
+  const Composition fromJson = compose::fromJson(json);
+  EXPECT_EQ(compose::toJson(fromJson), json);
+  EXPECT_EQ(compose::serialize(fromJson), text);
+}
+
+TEST(ComposeOracle, OracleFreeCompositionsSerializeWithoutOracleKeys) {
+  // Satellite guarantee: the oracle role is zero-cost for existing
+  // pairings — their wire forms gain no keys, so pre-PR-6 files and
+  // goldens stay byte-identical.
+  const Composition original = sampleComposition();
+  EXPECT_EQ(compose::serialize(original).find("oracle"), std::string::npos);
+  EXPECT_EQ(compose::toJson(original).find("oracle"), std::string::npos);
+}
+
+TEST(ComposeOracle, E22MatrixReportsRejectedCellsWithDiagnostics) {
+  compose::OracleMatrixOptions options;
+  options.runsPerCell = 1;  // quick=false: quick mode would force 3
+  const auto report = compose::runOracleMatrix(options);
+  EXPECT_TRUE(report.safetyOk);
+  EXPECT_GT(report.validCells, 0u);
+  EXPECT_GT(report.rejectedCells, 0u);
+  EXPECT_EQ(report.validCells + report.rejectedCells, report.cells.size());
+
+  bool sawMissingOracle = false, sawWeakOracle = false, sawNoisyPerfect = false;
+  for (const auto& cell : report.cells) {
+    if (cell.valid) {
+      EXPECT_TRUE(cell.diagnostic.empty());
+      EXPECT_EQ(cell.runs, 1);
+      EXPECT_TRUE(cell.fdAxiomsOk) << cell.driver << "+" << cell.oracle;
+      EXPECT_TRUE(cell.agreementOk && cell.validityOk && cell.auditsOk);
+    } else {
+      EXPECT_FALSE(cell.diagnostic.empty()) << cell.driver << "+" << cell.oracle;
+      EXPECT_EQ(cell.runs, 0);
+      if (cell.oracle.empty()) sawMissingOracle = true;
+      if (cell.driver == "p-coordinator" && cell.oracle == "diamond-s")
+        sawWeakOracle = true;
+      if (cell.oracle == "perfect-p" && cell.noise > 0) sawNoisyPerfect = true;
+    }
+  }
+  EXPECT_TRUE(sawMissingOracle);
+  EXPECT_TRUE(sawWeakOracle);
+  EXPECT_TRUE(sawNoisyPerfect);
+
+  // The JSON form carries the rejected cells too, diagnostic included.
+  const std::string json = compose::oracleMatrixToJson(report, options);
+  EXPECT_NE(json.find("\"schema\":\"ooc.fd-matrix.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"valid\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"diagnostic\""), std::string::npos);
+  EXPECT_NE(json.find("\"fd_axioms_ok\""), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

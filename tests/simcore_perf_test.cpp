@@ -1,7 +1,7 @@
 // Guardrails for the simulator hot-path overhaul (zero-clone fan-out, tag
 // dispatch, calendar event queue, lazy trace text):
 //
-//  * golden-trace determinism — four pinned scenarios must serialize
+//  * golden-trace determinism — the pinned scenarios must serialize
 //    byte-identically to the artifacts in tests/golden/ (recorded before
 //    the overhaul), proving the calendar queue and shared payloads did not
 //    move a single event;
@@ -182,6 +182,19 @@ TEST(PayloadSharing, InTreeCompositionsNeverClonePayloads) {
       composition.driver = driver;
       composition.maxRounds = 200;
       composition.maxTicks = 200'000;
+      // Oracle-consuming drivers get the strongest oracle their
+      // requirement admits — the oracle is a pure model consulted by the
+      // driver, so it must not introduce clones either.
+      const auto requirement = reg.driver(driver).capability.oracle;
+      if (requirement != compose::OracleRequirement::kNone) {
+        composition.oracle =
+            requirement == compose::OracleRequirement::kPerfect ? "perfect-p"
+                                                                : "omega";
+        if (composition.oracle == "omega") {
+          composition.oracleKnobs.stabilizeAt = 40;
+          composition.oracleKnobs.noise = 0.25;
+        }
+      }
       const auto& capability = reg.detector(detector).capability;
       if (capability.faultModel == compose::FaultModel::kByzantine) {
         const bool lockstep =

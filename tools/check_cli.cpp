@@ -40,10 +40,16 @@ using namespace ooc;
 using namespace ooc::check;
 
 struct CliOptions {
-  std::string family = "all";  // benor | phaseking | raft | compose | all
-  std::string detector;        // --family compose: registry names
+  std::string family = "all";  // benor | phaseking | raft | compose | fd | all
+  std::string detector;        // --family compose/fd: registry names
   std::string driver;
-  std::string strategy = "all";  // random | delay | crash | restart | all
+  std::string oracle;          // --family fd: registry oracle name
+  double oracleNoise = -1.0;   // <0: family default
+  std::int64_t oracleStabilize = -1;  // <0: family default
+  std::int64_t oracleLag = -1;        // <0: family default
+  bool oracleLie = false;
+  std::string strategy = "all";  // random | delay | crash | restart |
+                                 // oracle | all
   std::size_t seeds = 1000;
   std::uint64_t seedBase = 1;
   std::size_t threads = 0;
@@ -65,12 +71,19 @@ struct CliOptions {
 
 void printUsage(std::ostream& os) {
   os << "usage: check [options]\n"
-        "  --family F        benor | phaseking | raft | compose | all\n"
+        "  --family F        benor | phaseking | raft | compose | fd | all\n"
         "                    (default all = the legacy families)\n"
-        "  --detector D      compose only: registry detector name\n"
-        "  --driver R        compose only: registry driver name\n"
-        "  --strategy S      random | delay | crash | restart | all "
-        "(default all)\n"
+        "  --detector D      compose/fd only: registry detector name\n"
+        "  --driver R        compose/fd only: registry driver name\n"
+        "  --oracle O        fd only: omega | diamond-s | perfect-p "
+        "(default omega)\n"
+        "  --oracle-noise X  fd only: base false-suspicion probability\n"
+        "  --oracle-stabilize T  fd only: base stabilization tick\n"
+        "  --oracle-lag T    fd only: base completeness lag\n"
+        "  --oracle-lie      fd only: oracle advertises a bound it misses\n"
+        "                    (expected to FAIL fd-accuracy)\n"
+        "  --strategy S      random | delay | crash | restart | oracle | "
+        "all (default all)\n"
         "  --seeds N         random-walk runs per family (default 1000)\n"
         "  --seed-base N     first seed of the sweep (default 1)\n"
         "  --threads N       worker threads (default: hardware)\n"
@@ -126,8 +139,28 @@ Scenario baseScenario(Family family, const CliOptions& options) {
       scenario.raft.raft.durable = true;
       scenario.raft.raft.syncBeforeReply = !options.crashBeforeSync;
       break;
-    case Family::kCompose: {
+    case Family::kCompose:
+    case Family::kFd: {
       auto& config = scenario.compose;
+      if (family == Family::kFd) {
+        // The fd family's home base: rotating coordinator consuming Ω
+        // over a mildly imperfect oracle (noisy until tick 40).
+        config.driver = "ct-coordinator";
+        config.oracle = "omega";
+        config.oracleKnobs.completenessLag = 8;
+        config.oracleKnobs.stabilizeAt = 40;
+        config.oracleKnobs.noise = 0.25;
+        if (!options.oracle.empty()) config.oracle = options.oracle;
+        if (options.oracleNoise >= 0.0)
+          config.oracleKnobs.noise = options.oracleNoise;
+        if (options.oracleStabilize >= 0)
+          config.oracleKnobs.stabilizeAt =
+              static_cast<Tick>(options.oracleStabilize);
+        if (options.oracleLag >= 0)
+          config.oracleKnobs.completenessLag =
+              static_cast<Tick>(options.oracleLag);
+        config.oracleKnobs.lieAboutBound = options.oracleLie;
+      }
       if (!options.detector.empty()) config.detector = options.detector;
       if (!options.driver.empty()) config.driver = options.driver;
       if (options.n > 0) config.n = options.n;
@@ -154,6 +187,8 @@ std::unique_ptr<ExplorationStrategy> buildStrategy(
       options.strategy == "all" || options.strategy == "crash";
   const bool wantRestart =
       options.strategy == "all" || options.strategy == "restart";
+  const bool wantOracle =
+      options.strategy == "all" || options.strategy == "oracle";
 
   // Compose scenarios carry their capability descriptor in the registry:
   // delay adversaries need an asynchronous detector, crash enumeration a
@@ -161,7 +196,7 @@ std::unique_ptr<ExplorationStrategy> buildStrategy(
   // reaches the strategy constructor, which throws the diagnostic.
   bool composeAsync = true;
   bool composeCrashModel = true;
-  if (family == Family::kCompose) {
+  if (family == Family::kCompose || family == Family::kFd) {
     const auto& capability =
         compose::registry().detector(base.compose.detector).capability;
     composeAsync =
@@ -194,6 +229,11 @@ std::unique_ptr<ExplorationStrategy> buildStrategy(
     rs.maxRestarts = options.maxRestarts;
     rs.seedBase = options.seedBase;
     parts.push_back(std::make_unique<RestartScheduleStrategy>(base, rs));
+  }
+  if (wantOracle && family == Family::kFd) {
+    OracleQualityStrategy::Options oq;
+    oq.seedBase = options.seedBase;
+    parts.push_back(std::make_unique<OracleQualityStrategy>(base, oq));
   }
   if (parts.empty()) return nullptr;
   if (parts.size() == 1) return std::move(parts.front());
@@ -280,11 +320,32 @@ int main(int argc, char** argv) {
       std::exit(2);
     }
   };
+  const auto nextDouble = [&](int& i) -> double {
+    const char* flag = argv[i];
+    const std::string value = next(i);
+    try {
+      std::size_t consumed = 0;
+      const double parsed = std::stod(value, &consumed);
+      if (consumed != value.size()) throw std::invalid_argument(value);
+      return parsed;
+    } catch (const std::exception&) {
+      std::cerr << "check: " << flag << " needs a number, got '" << value
+                << "'\n";
+      std::exit(2);
+    }
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--family") options.family = next(i);
     else if (arg == "--detector") options.detector = next(i);
     else if (arg == "--driver") options.driver = next(i);
+    else if (arg == "--oracle") options.oracle = next(i);
+    else if (arg == "--oracle-noise") options.oracleNoise = nextDouble(i);
+    else if (arg == "--oracle-stabilize")
+      options.oracleStabilize = static_cast<std::int64_t>(nextNumber(i));
+    else if (arg == "--oracle-lag")
+      options.oracleLag = static_cast<std::int64_t>(nextNumber(i));
+    else if (arg == "--oracle-lie") options.oracleLie = true;
     else if (arg == "--strategy") options.strategy = next(i);
     else if (arg == "--seeds") options.seeds = nextNumber(i);
     else if (arg == "--seed-base") options.seedBase = nextNumber(i);
@@ -333,7 +394,7 @@ int main(int argc, char** argv) {
   }
   if (options.strategy != "all" && options.strategy != "random" &&
       options.strategy != "delay" && options.strategy != "crash" &&
-      options.strategy != "restart") {
+      options.strategy != "restart" && options.strategy != "oracle") {
     std::cerr << "check: unknown strategy '" << options.strategy << "'\n";
     return 2;
   }
@@ -349,16 +410,28 @@ int main(int argc, char** argv) {
     std::cerr << "check: --strategy restart needs --family raft\n";
     return 2;
   }
-  if ((!options.detector.empty() || !options.driver.empty()) &&
-      options.family != "compose") {
-    std::cerr << "check: --detector/--driver need --family compose\n";
+  if (options.strategy == "oracle" && options.family != "fd") {
+    std::cerr << "check: --strategy oracle needs --family fd\n";
     return 2;
   }
-  if (options.family == "compose") {
-    // Reject invalid pairings before the sweep, with the same registry
-    // diagnostic a scenario-file load or compose_cli would print.
+  if ((!options.detector.empty() || !options.driver.empty()) &&
+      options.family != "compose" && options.family != "fd") {
+    std::cerr << "check: --detector/--driver need --family compose or fd\n";
+    return 2;
+  }
+  if ((!options.oracle.empty() || options.oracleNoise >= 0.0 ||
+       options.oracleStabilize >= 0 || options.oracleLag >= 0 ||
+       options.oracleLie) &&
+      options.family != "fd") {
+    std::cerr << "check: --oracle* flags need --family fd\n";
+    return 2;
+  }
+  if (options.family == "compose" || options.family == "fd") {
+    // Reject invalid pairings (and incoherent oracle attachments) before
+    // the sweep, with the same registry diagnostic a scenario-file load or
+    // compose_cli would print.
     try {
-      compose::resolve(baseScenario(Family::kCompose, options).compose);
+      compose::resolve(baseScenario(families.front(), options).compose);
     } catch (const std::exception& error) {
       std::cerr << "check: " << error.what() << "\n";
       return 2;

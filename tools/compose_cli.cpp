@@ -1,14 +1,18 @@
-// `compose` — object-registry composition CLI (experiment E20).
+// `compose` — object-registry composition CLI (experiments E20 and E22).
 //
-// Front door to the composition engine: lists the registered detectors and
-// drivers with their capability descriptors, runs any single pairing from a
-// CLI spec string, or sweeps the full detector × driver cross-product and
-// emits the ooc.matrix.v1 JSON artifact.
+// Front door to the composition engine: lists the registered detectors,
+// drivers and oracles with their capability descriptors, runs any single
+// pairing from a CLI spec string (optionally with an oracle attached),
+// sweeps the full detector × driver cross-product into the ooc.matrix.v1
+// JSON artifact, or sweeps oracle quality × crash schedules for the
+// oracle-consuming drivers into the ooc.fd-matrix.v1 artifact.
 //
 //   compose --list                      # registered objects + capabilities
 //   compose --spec benor-vac+timer     # run one composition
+//   compose --spec benor-vac+ct-coordinator --oracle omega
 //   compose                             # E20: full cross-product matrix
 //   compose --quick --json matrix.json  # CI smoke: 5 runs/cell + artifact
+//   compose --fd-matrix --json fd.json  # E22: oracle-quality matrix
 //
 // Exit status: 0 clean, 1 safety violation (matrix) or undecided/unsafe
 // single run, 2 usage — including rejected pairings, which print the
@@ -38,6 +42,12 @@ struct CliOptions {
   std::size_t n = 0;  // --spec only; 0 keeps the Composition default
   std::uint64_t seed = 0;  // --spec only; 0 keeps the default
   bool quick = false;
+  bool fdMatrix = false;
+  std::string oracle;          // --spec only
+  double oracleNoise = -1.0;   // <0 keeps the OracleKnobs default
+  std::int64_t oracleStabilize = -1;
+  std::int64_t oracleLag = -1;
+  bool oracleLie = false;
   std::string jsonPath;
 };
 
@@ -46,14 +56,25 @@ void printUsage(std::ostream& os) {
         "  (no mode flag)    run experiment E20: every registered\n"
         "                    detector x driver pairing, validated against\n"
         "                    the registry and executed when valid\n"
+        "  --fd-matrix       run experiment E22 instead: oracle quality x\n"
+        "                    crash schedules for the oracle-consuming\n"
+        "                    drivers (ooc.fd-matrix.v1)\n"
         "  --list            list registered objects and capabilities\n"
         "  --spec D+R        run one composition, e.g. benor-vac+timer\n"
+        "  --oracle O        attach an oracle to --spec: omega | diamond-s\n"
+        "                    | perfect-p\n"
+        "  --oracle-noise X      false-suspicion probability before\n"
+        "                        stabilization\n"
+        "  --oracle-stabilize T  tick after which the oracle is accurate\n"
+        "  --oracle-lag T        crash-detection lag\n"
+        "  --oracle-lie          advertise a stabilization bound the oracle\n"
+        "                        misses (expected to FAIL the axiom audit)\n"
         "  --n N             process count for --spec (default 5)\n"
         "  --seed S          seed for --spec (default 1)\n"
         "  --runs N          matrix runs per valid cell (default 20)\n"
         "  --seed-base S     first matrix seed (default 9000)\n"
-        "  --quick           matrix smoke mode: 5 runs per cell\n"
-        "  --json FILE       write the ooc.matrix.v1 report\n"
+        "  --quick           matrix smoke mode: fewer runs per cell\n"
+        "  --json FILE       write the matrix report\n"
         "  --help            this text\n";
 }
 
@@ -78,15 +99,31 @@ void printList() {
                                                       : ", crash-only waits")
               << (entry.capability.requiresEveryProcess
                       ? ", every process drives"
-                      : "")
-              << "\n";
+                      : "");
+    if (entry.capability.oracle != OracleRequirement::kNone)
+      std::cout << ", needs oracle (" << toString(entry.capability.oracle)
+                << ")";
+    std::cout << "\n";
+  }
+  std::cout << "oracles:\n";
+  for (const auto& name : reg.oracleNames()) {
+    const auto& entry = reg.oracle(name);
+    std::cout << "  " << std::left << std::setw(20) << name
+              << toString(entry.capability.oracleClass) << "\n";
   }
 }
 
 int runSpec(const CliOptions& options) {
+  fd::OracleKnobs knobs;
+  if (options.oracleNoise >= 0.0) knobs.noise = options.oracleNoise;
+  if (options.oracleStabilize >= 0)
+    knobs.stabilizeAt = static_cast<Tick>(options.oracleStabilize);
+  if (options.oracleLag >= 0)
+    knobs.completenessLag = static_cast<Tick>(options.oracleLag);
+  knobs.lieAboutBound = options.oracleLie;
   Composition composition;
   try {
-    composition = parseSpec(options.spec);
+    composition = parseSpec(options.spec, options.oracle, knobs);
   } catch (const std::exception& error) {
     // Unknown names and rejected pairings land here with the registry's
     // capability diagnostic — the same text a scenario file load prints.
@@ -120,9 +157,69 @@ int runSpec(const CliOptions& options) {
   if (result.adoptOutcomesTotal > 0)
     std::cout << "  s5-witness: " << result.adoptMismatchWitnesses << " of "
               << result.adoptOutcomesTotal << " adopt outcomes\n";
+  if (result.oracleAudit) {
+    const auto& audit = *result.oracleAudit;
+    std::cout << "  fd-axioms:  " << (audit.ok() ? "ok" : "VIOLATED")
+              << " (horizon " << audit.horizon << ")\n";
+    if (!audit.completenessOk)
+      std::cout << "    completeness: " << audit.completenessDetail << "\n";
+    if (!audit.accuracyOk)
+      std::cout << "    accuracy:     " << audit.accuracyDetail << "\n";
+    if (!audit.convergenceOk)
+      std::cout << "    convergence:  " << audit.convergenceDetail << "\n";
+  }
   const bool ok = result.allDecided && !result.agreementViolated &&
-                  !result.validityViolated && result.allAuditsOk;
+                  !result.validityViolated && result.allAuditsOk &&
+                  (!result.oracleAudit || result.oracleAudit->ok());
   return ok ? 0 : 1;
+}
+
+int runFdMatrixMode(const CliOptions& options) {
+  OracleMatrixOptions matrix;
+  matrix.quick = options.quick;
+  if (options.runs > 0) matrix.runsPerCell = options.runs;
+  if (options.seedBase > 0) matrix.seedBase = options.seedBase;
+
+  const OracleMatrixReport report = runOracleMatrix(matrix);
+
+  std::cout << "E22 oracle-quality matrix: " << report.drivers.size()
+            << " oracle-consuming drivers x " << report.oracles.size()
+            << " oracles\n";
+  for (const OracleMatrixCell& cell : report.cells) {
+    std::cout << "  " << std::left << std::setw(16) << cell.driver << " + "
+              << std::setw(12)
+              << (cell.oracle.empty() ? "(none)" : cell.oracle);
+    if (!cell.valid) {
+      std::cout << " rejected: " << cell.diagnostic << "\n";
+      continue;
+    }
+    std::cout << " stabilize=" << std::setw(4) << cell.stabilizeAt
+              << " noise=" << std::fixed << std::setprecision(2)
+              << cell.noise << std::defaultfloat << std::setprecision(6)
+              << " decided " << cell.decided << "/" << cell.runs;
+    if (cell.decided > 0)
+      std::cout << ", mean rounds " << std::fixed << std::setprecision(2)
+                << cell.meanRounds << std::defaultfloat
+                << std::setprecision(6);
+    if (!cell.agreementOk) std::cout << ", AGREEMENT VIOLATED";
+    if (!cell.validityOk) std::cout << ", VALIDITY VIOLATED";
+    if (!cell.auditsOk) std::cout << ", AUDITS FAILED";
+    if (!cell.fdAxiomsOk) std::cout << ", FD AXIOMS VIOLATED";
+    std::cout << "\n";
+  }
+  std::cout << (report.safetyOk ? "OK" : "FAIL") << ": "
+            << report.validCells << " valid cells, "
+            << report.rejectedCells << " rejected\n";
+
+  if (!options.jsonPath.empty()) {
+    std::ofstream out(options.jsonPath, std::ios::binary);
+    if (!out) {
+      std::cerr << "compose: cannot write '" << options.jsonPath << "'\n";
+      return 2;
+    }
+    out << oracleMatrixToJson(report, matrix) << '\n';
+  }
+  return report.safetyOk ? 0 : 1;
 }
 
 int runMatrixMode(const CliOptions& options) {
@@ -192,10 +289,32 @@ int main(int argc, char** argv) {
       std::exit(2);
     }
   };
+  const auto nextDouble = [&](int& i) -> double {
+    const char* flag = argv[i];
+    const std::string value = next(i);
+    try {
+      std::size_t consumed = 0;
+      const double parsed = std::stod(value, &consumed);
+      if (consumed != value.size()) throw std::invalid_argument(value);
+      return parsed;
+    } catch (const std::exception&) {
+      std::cerr << "compose: " << flag << " needs a number, got '" << value
+                << "'\n";
+      std::exit(2);
+    }
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list") options.list = true;
     else if (arg == "--spec") options.spec = next(i);
+    else if (arg == "--fd-matrix") options.fdMatrix = true;
+    else if (arg == "--oracle") options.oracle = next(i);
+    else if (arg == "--oracle-noise") options.oracleNoise = nextDouble(i);
+    else if (arg == "--oracle-stabilize")
+      options.oracleStabilize = static_cast<std::int64_t>(nextNumber(i));
+    else if (arg == "--oracle-lag")
+      options.oracleLag = static_cast<std::int64_t>(nextNumber(i));
+    else if (arg == "--oracle-lie") options.oracleLie = true;
     else if (arg == "--n") options.n = nextNumber(i);
     else if (arg == "--seed") options.seed = nextNumber(i);
     else if (arg == "--runs")
@@ -216,6 +335,14 @@ int main(int argc, char** argv) {
     printList();
     return 0;
   }
+  if ((!options.oracle.empty() || options.oracleNoise >= 0.0 ||
+       options.oracleStabilize >= 0 || options.oracleLag >= 0 ||
+       options.oracleLie) &&
+      options.spec.empty()) {
+    std::cerr << "compose: --oracle* flags need --spec\n";
+    return 2;
+  }
   if (!options.spec.empty()) return runSpec(options);
+  if (options.fdMatrix) return runFdMatrixMode(options);
   return runMatrixMode(options);
 }
