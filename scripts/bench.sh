@@ -119,51 +119,21 @@ if [ "$status" -ne 0 ]; then
   echo "!! compose fd-matrix exited $status" >&2
 fi
 
-# Simulator-core throughput trajectory: append this run's events/sec gauges
-# (per scenario, from bench_simcore) to the committed BENCH_simcore.json so
-# the hot path's speed is tracked commit over commit, and warn when any
-# scenario regressed >10% against the previous entry of the same mode
-# (quick and full runs are compared separately — trial counts differ).
-if [ "$JSON" = 1 ] && [ -f "$OUT/BENCH_simcore.json" ]; then
+# Committed trajectory files: append this run's headline metric to the
+# repo-root BENCH_<name>.json so the numbers are tracked commit over
+# commit, and warn on a >10% regression against the previous entry of the
+# same mode (see scripts/trajectory.py):
+#   simcore   events/sec per scenario (hot-path throughput)
+#   fd        mean rounds-to-decide per oracle-consuming pairing
+#   recovery  mean ticks-to-decide under the crash/restart mixes
+if [ "$JSON" = 1 ]; then
   COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
-  python3 - "$OUT/BENCH_simcore.json" "BENCH_simcore.json" "$COMMIT" "${QUICK:+quick}" <<'PYEOF'
-import json, sys
-
-run_path, traj_path, commit, quick = sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4] if len(sys.argv) > 4 else ""
-run = json.load(open(run_path))
-entry = {
-    "run_id": run.get("run_id", ""),
-    "commit": commit,
-    "quick": bool(quick),
-    "events_per_sec": {
-        g["labels"]["scenario"]: round(g["value"], 1)
-        for g in run.get("metrics", {}).get("gauges", [])
-        if g.get("name") == "simcore_events_per_sec"
-    },
-}
-try:
-    trajectory = json.load(open(traj_path))
-except (OSError, ValueError):
-    trajectory = {"schema": "ooc.simcore-trajectory.v1", "entries": []}
-
-previous = next((e for e in reversed(trajectory["entries"])
-                 if e.get("quick") == entry["quick"]), None)
-regressed = []
-if previous:
-    for scenario, now in entry["events_per_sec"].items():
-        before = previous.get("events_per_sec", {}).get(scenario)
-        if before and now < 0.9 * before:
-            regressed.append(f"{scenario}: {before:,.0f} -> {now:,.0f} ev/s "
-                             f"({100 * (1 - now / before):.1f}% slower)")
-trajectory["entries"].append(entry)
-with open(traj_path, "w") as out:
-    json.dump(trajectory, out, indent=1)
-    out.write("\n")
-print(f"simcore trajectory: appended run {entry['run_id'][:12]} "
-      f"(commit {commit}) to {traj_path}")
-for line in regressed:
-    print(f"WARNING: simcore throughput regression — {line}", file=sys.stderr)
-PYEOF
+  for mode in simcore fd recovery; do
+    run_json="$OUT/BENCH_${mode}.json"
+    [ -f "$run_json" ] || continue
+    python3 scripts/trajectory.py \
+      "$run_json" "BENCH_${mode}.json" "$COMMIT" "${QUICK:+quick}" "$mode"
+  done
 fi
 
 if [ "$failures" -ne 0 ]; then

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Append one bench run to a committed trajectory file.
+
+The trajectory files at the repo root (BENCH_simcore.json, BENCH_fd.json,
+BENCH_recovery.json) track one headline metric per bench commit over
+commit; bench.sh appends an entry after each run and prints a WARNING when
+the metric regressed >10% against the previous entry of the same mode
+(quick and full runs are compared separately — trial counts differ).
+
+Usage: trajectory.py RUN_JSON TRAJ_JSON COMMIT QUICK MODE
+
+MODE picks the metric and its polarity:
+  simcore   events/sec gauges per scenario        (higher is better)
+  fd        mean rounds_to_decide per pairing     (lower is better)
+  recovery  mean ticks_to_decide per label set    (lower is better)
+"""
+import json
+import sys
+
+
+def label_key(labels):
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+
+def extract(run, mode):
+    metrics = run.get("metrics", {})
+    if mode == "simcore":
+        return "events_per_sec", {
+            g["labels"]["scenario"]: round(g["value"], 1)
+            for g in metrics.get("gauges", [])
+            if g.get("name") == "simcore_events_per_sec"
+        }
+    name = "rounds_to_decide" if mode == "fd" else "ticks_to_decide"
+    return f"mean_{name}", {
+        label_key(h.get("labels", {})): round(h["sum"] / h["count"], 2)
+        for h in metrics.get("histograms", [])
+        if h.get("name") == name and h.get("count")
+    }
+
+
+def main():
+    run_path, traj_path, commit, quick, mode = (sys.argv + [""] * 6)[1:6]
+    if mode not in ("simcore", "fd", "recovery"):
+        sys.exit(f"trajectory.py: unknown mode '{mode}'")
+    higher_is_better = mode == "simcore"
+
+    run = json.load(open(run_path))
+    field, values = extract(run, mode)
+    entry = {
+        "run_id": run.get("run_id", ""),
+        "commit": commit,
+        "quick": bool(quick),
+        field: values,
+    }
+    try:
+        trajectory = json.load(open(traj_path))
+    except (OSError, ValueError):
+        trajectory = {"schema": f"ooc.{mode}-trajectory.v1", "entries": []}
+
+    previous = next((e for e in reversed(trajectory["entries"])
+                     if e.get("quick") == entry["quick"]), None)
+    regressed = []
+    if previous:
+        for key, now in values.items():
+            before = previous.get(field, {}).get(key)
+            if not before:
+                continue
+            if higher_is_better and now < 0.9 * before:
+                regressed.append(
+                    f"{key}: {before:,.0f} -> {now:,.0f} "
+                    f"({100 * (1 - now / before):.1f}% slower)")
+            elif not higher_is_better and now > 1.1 * before:
+                regressed.append(
+                    f"{key}: {before:,.2f} -> {now:,.2f} "
+                    f"({100 * (now / before - 1):.1f}% more)")
+    trajectory["entries"].append(entry)
+    with open(traj_path, "w") as out:
+        json.dump(trajectory, out, indent=1)
+        out.write("\n")
+    print(f"{mode} trajectory: appended run {entry['run_id'][:12]} "
+          f"(commit {commit}) to {traj_path}")
+    for line in regressed:
+        print(f"WARNING: {mode} {field} regression — {line}",
+              file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <deque>
 #include <exception>
 #include <filesystem>
@@ -12,6 +13,7 @@
 #include <utility>
 
 #include "check/replay.hpp"
+#include "obs/metrics.hpp"
 
 namespace ooc::check {
 namespace {
@@ -61,10 +63,12 @@ CheckReport explore(const ExplorationStrategy& strategy,
   const std::size_t chunkSize = std::clamp<std::size_t>(
       total / (threadCount * 16), std::size_t{1}, std::size_t{1024});
   std::vector<WorkerQueue> queues(threadCount);
+  std::vector<WorkerStats> workerStats(threadCount);
   for (std::size_t begin = 0, dealt = 0; begin < total;
        begin += chunkSize, ++dealt) {
     queues[dealt % threadCount].chunks.emplace_back(
         begin, std::min(begin + chunkSize, total));
+    ++workerStats[dealt % threadCount].chunksDealt;
   }
 
   const auto takeChunk =
@@ -75,6 +79,7 @@ CheckReport explore(const ExplorationStrategy& strategy,
       if (!own.empty()) {
         auto chunk = own.front();
         own.pop_front();
+        ++workerStats[self].chunksOwned;
         return chunk;
       }
     }
@@ -84,22 +89,36 @@ CheckReport explore(const ExplorationStrategy& strategy,
       if (!victim.chunks.empty()) {
         auto chunk = victim.chunks.back();
         victim.chunks.pop_back();
+        ++workerStats[self].chunksStolen;
         return chunk;
       }
     }
     return std::nullopt;
   };
 
+  const auto progressTick = [&]() {
+    if (options.progressEvery == 0 || !options.onProgress) return;
+    const std::size_t count = explored.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (count % options.progressEvery != 0) return;
+    std::lock_guard<std::mutex> lock(mutex);
+    options.onProgress(count, total, findings.size());
+  };
+
   const auto worker = [&](std::size_t self) {
+    const auto begin = std::chrono::steady_clock::now();
     while (!stop.load(std::memory_order_relaxed)) {
       const auto chunk = takeChunk(self);
       if (!chunk) break;
       for (std::size_t index = chunk->first; index < chunk->second; ++index) {
-        if (stop.load(std::memory_order_relaxed)) return;
+        if (stop.load(std::memory_order_relaxed)) break;
         try {
           const Scenario scenario = strategy.generate(index);
           const RunReport report = runScenario(scenario);
-          explored.fetch_add(1, std::memory_order_relaxed);
+          ++workerStats[self].configs;
+          if (options.progressEvery > 0 && options.onProgress)
+            progressTick();
+          else
+            explored.fetch_add(1, std::memory_order_relaxed);
           for (const Invariant* invariant : invariants) {
             auto violation = invariant->check(scenario, report);
             if (!violation) continue;
@@ -121,8 +140,16 @@ CheckReport explore(const ExplorationStrategy& strategy,
         }
       }
     }
+    const std::chrono::duration<double> spent =
+        std::chrono::steady_clock::now() - begin;
+    workerStats[self].seconds = spent.count();
+    if (workerStats[self].seconds > 0.0)
+      workerStats[self].configsPerSec =
+          static_cast<double>(workerStats[self].configs) /
+          workerStats[self].seconds;
   };
 
+  const auto sweepBegin = std::chrono::steady_clock::now();
   if (threadCount <= 1) {
     worker(0);
   } else {
@@ -132,7 +159,35 @@ CheckReport explore(const ExplorationStrategy& strategy,
       pool.emplace_back(worker, i);
     for (auto& thread : pool) thread.join();
   }
+  const std::chrono::duration<double> sweepElapsed =
+      std::chrono::steady_clock::now() - sweepBegin;
   if (firstError) std::rethrow_exception(firstError);
+
+  SweepStats sweep;
+  sweep.workers = threadCount;
+  sweep.chunkSize = chunkSize;
+  sweep.elapsedSeconds = sweepElapsed.count();
+  sweep.perWorker = std::move(workerStats);
+  for (const WorkerStats& stats : sweep.perWorker) {
+    sweep.chunksDealt += stats.chunksDealt;
+    sweep.steals += stats.chunksStolen;
+  }
+  if (sweep.elapsedSeconds > 0.0)
+    sweep.configsPerSec =
+        static_cast<double>(explored.load()) / sweep.elapsedSeconds;
+  // Registry feed: the deterministic shape of the sweep (workers, chunking)
+  // as gauges/counters, labeled by strategy. Wall-clock rates stay out of
+  // the registry — its snapshots are byte-diffed for nondeterminism.
+  if (obs::enabled()) {
+    const obs::Labels labels{{"strategy", strategy.name()}};
+    obs::metrics().addCounter("check_sweep_configs", explored.load(), labels);
+    obs::metrics().addCounter("check_sweep_chunks", sweep.chunksDealt,
+                              labels);
+    obs::metrics().setGauge("check_sweep_workers",
+                            static_cast<double>(sweep.workers), labels);
+    obs::metrics().setGauge("check_sweep_chunk_size",
+                            static_cast<double>(sweep.chunkSize), labels);
+  }
 
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
@@ -178,6 +233,7 @@ CheckReport explore(const ExplorationStrategy& strategy,
   CheckReport report;
   report.configsExplored = explored.load();
   report.findings = std::move(findings);
+  report.sweep = std::move(sweep);
   return report;
 }
 

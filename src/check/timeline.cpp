@@ -1,7 +1,9 @@
 #include "check/timeline.hpp"
 
 #include <algorithm>
+#include <map>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "check/scenario.hpp"
@@ -60,7 +62,8 @@ class TimelineCollector final : public ScheduleObserver,
         break;
       case TraceEvent::Kind::kCrash:
         entry.process = event.a;
-        entry.text = "CRASHED (volatile state lost)";
+        entry.text = "CRASHED (incarnation " + std::to_string(event.aux) +
+                     " down, volatile state lost)";
         break;
       case TraceEvent::Kind::kRestart:
         entry.process = event.a;
@@ -97,6 +100,33 @@ class TimelineCollector final : public ScheduleObserver,
     entries_.push_back(std::move(entry));
   }
 
+  void onOracleQuery(ProcessId viewer, ProcessId target, bool suspected,
+                     Tick at) override {
+    // Each coordinator query is scheduler-grade noise (elidable); the
+    // *transitions* of the viewer's suspicion of the target are the
+    // protocol-level story and always render.
+    Entry entry;
+    entry.at = at;
+    entry.seq = nextSeq_++;
+    entry.process = viewer;
+    entry.elidable = true;
+    entry.text = "oracle? p" + std::to_string(target) + " -> " +
+                 (suspected ? "suspected" : "trusted");
+    entries_.push_back(std::move(entry));
+
+    bool& previous = suspicion_[{viewer, target}];  // trusted at start
+    if (previous == suspected) return;
+    previous = suspected;
+    Entry transition;
+    transition.at = at;
+    transition.seq = nextSeq_++;
+    transition.process = viewer;
+    transition.text =
+        suspected ? "ORACLE suspects p" + std::to_string(target)
+                  : "ORACLE trusts p" + std::to_string(target) + " again";
+    entries_.push_back(std::move(transition));
+  }
+
   const std::vector<Entry>& entries() const noexcept { return entries_; }
   const TraceVerifier& verifier() const noexcept { return verifier_; }
 
@@ -104,6 +134,8 @@ class TimelineCollector final : public ScheduleObserver,
   TraceVerifier verifier_;
   std::uint64_t nextSeq_ = 0;
   std::vector<Entry> entries_;
+  /// Last suspected-state per (viewer, target), for transition entries.
+  std::map<std::pair<ProcessId, ProcessId>, bool> suspicion_;
 };
 
 }  // namespace

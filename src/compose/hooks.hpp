@@ -36,6 +36,18 @@ class TelemetrySink {
   /// Round `round`'s driver (reconciliator/conciliator) returned `value`.
   virtual void onDriverValue(ProcessId process, Round round, Value value,
                              Tick at) = 0;
+  /// An oracle-guided driver queried the failure-detector oracle: `viewer`
+  /// asked about `target` at tick `at` and was answered suspected (true)
+  /// or trusted (false). Default no-op so existing sinks opt in lazily;
+  /// fires only when a sink is attached (the tap decorator costs the bare
+  /// run nothing — see runComposition()).
+  virtual void onOracleQuery(ProcessId viewer, ProcessId target,
+                             bool suspected, Tick at) {
+    (void)viewer;
+    (void)target;
+    (void)suspected;
+    (void)at;
+  }
 };
 
 /// Optional instrumentation threaded through a scenario run. Not part of

@@ -28,6 +28,36 @@ void wireTelemetry(ConsensusProcess::Options& options, TelemetrySink* sink,
   };
 }
 
+/// Observation-only oracle decorator: forwards every suspicion query
+/// verbatim and mirrors it to the telemetry sink. Answers are untouched,
+/// so the schedule (and every golden) is identical with or without a sink
+/// attached; the bare-run path never constructs one.
+class TappedOracle final : public fd::Oracle {
+ public:
+  TappedOracle(std::shared_ptr<const fd::Oracle> inner,
+               TelemetrySink* sink) noexcept
+      : inner_(std::move(inner)), sink_(sink) {}
+
+  fd::OracleClass oracleClass() const noexcept override {
+    return inner_->oracleClass();
+  }
+  bool suspects(ProcessId viewer, ProcessId target, Tick at) const override {
+    const bool suspected = inner_->suspects(viewer, target, at);
+    sink_->onOracleQuery(viewer, target, suspected, at);
+    return suspected;
+  }
+  ProcessId leader(ProcessId viewer, Tick at) const override {
+    return inner_->leader(viewer, at);
+  }
+  Tick stabilizationBound() const noexcept override {
+    return inner_->stabilizationBound();
+  }
+
+ private:
+  std::shared_ptr<const fd::Oracle> inner_;
+  TelemetrySink* sink_;
+};
+
 }  // namespace
 
 std::unique_ptr<NetworkModel> wrapAdversary(std::unique_ptr<NetworkModel> net,
@@ -95,8 +125,14 @@ CompositionResult runComposition(const Composition& composition,
     oracle = resolved.oracle->make(params, composition.oracleKnobs,
                                    oracleSchedule);
   }
+  // Drivers query through the tap when a sink wants to see oracle traffic;
+  // the end-of-run FD-axiom audit below keeps the untapped instance so its
+  // own sampling never floods the sink.
+  std::shared_ptr<const fd::Oracle> driverOracle = oracle;
+  if (oracle && hooks.telemetry != nullptr)
+    driverOracle = std::make_shared<TappedOracle>(oracle, hooks.telemetry);
   const DriverFactory driverFactory =
-      oracle ? resolved.driver->makeWithOracle(params, oracle)
+      oracle ? resolved.driver->makeWithOracle(params, driverOracle)
              : resolved.driver->make(params);
 
   std::vector<ConsensusProcess*> templated(n, nullptr);

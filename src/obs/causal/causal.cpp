@@ -1,0 +1,306 @@
+#include "obs/causal/causal.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace ooc::causal {
+namespace {
+
+constexpr std::size_t kMaxProblems = 16;
+
+std::uint32_t laneOf(const TraceEvent& event, std::uint32_t schedulerLane) {
+  switch (event.kind) {
+    case TraceEvent::Kind::kStart:
+    case TraceEvent::Kind::kDeliver:
+    case TraceEvent::Kind::kDecision:
+    case TraceEvent::Kind::kCrash:
+    case TraceEvent::Kind::kRestart:
+      return static_cast<std::uint32_t>(event.a);
+    case TraceEvent::Kind::kTimer:
+      // A cancelled timer's event has no owner anymore; it ran no process
+      // code and belongs to the scheduler lane.
+      return event.a == kNoTraceProcess ? schedulerLane
+                                        : static_cast<std::uint32_t>(event.a);
+    case TraceEvent::Kind::kControl:
+    case TraceEvent::Kind::kBarrier:
+      return schedulerLane;
+  }
+  return schedulerLane;
+}
+
+void problem(CausalAudit& result, std::string text) {
+  if (result.problems.size() < kMaxProblems)
+    result.problems.push_back(std::move(text));
+}
+
+void emitIndexOrNull(obs::JsonWriter& json, std::uint64_t index) {
+  if (index == kNoCausalParent)
+    json.raw("null");
+  else
+    json.value(index);
+}
+
+}  // namespace
+
+const char* toString(Annotation::Kind kind) noexcept {
+  switch (kind) {
+    case Annotation::Kind::kDetector: return "detector";
+    case Annotation::Kind::kDriver: return "driver";
+    case Annotation::Kind::kOracleQuery: return "oracle-query";
+  }
+  return "?";
+}
+
+const char* kindName(TraceEvent::Kind kind) noexcept {
+  switch (kind) {
+    case TraceEvent::Kind::kStart: return "start";
+    case TraceEvent::Kind::kDeliver: return "deliver";
+    case TraceEvent::Kind::kTimer: return "timer";
+    case TraceEvent::Kind::kControl: return "control";
+    case TraceEvent::Kind::kBarrier: return "barrier";
+    case TraceEvent::Kind::kDecision: return "decision";
+    case TraceEvent::Kind::kCrash: return "crash";
+    case TraceEvent::Kind::kRestart: return "restart";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// CausalRecorder
+
+CausalRecorder::CausalRecorder(std::size_t processCount)
+    : lastOnLane_(processCount + 1, kNoCausalParent) {
+  trace_.processCount = processCount;
+}
+
+void CausalRecorder::onEvent(const TraceEvent& event) {
+  if (hasPending_)
+    throw std::logic_error(
+        "CausalRecorder: onEvent without onCausal for the previous event "
+        "(simulator too old for the causality channel?)");
+  pending_ = event;
+  hasPending_ = true;
+}
+
+void CausalRecorder::onCausal(const CausalStamp& stamp) {
+  if (!hasPending_ || stamp.index != trace_.nodes.size())
+    throw std::logic_error("CausalRecorder: causal stamp out of sync with "
+                           "the observed event stream");
+  CausalNode node;
+  node.event = pending_;
+  node.cause = stamp.cause;
+  node.lane = laneOf(pending_, trace_.schedulerLane());
+  node.prev = lastOnLane_[node.lane];
+  // VC(e) = max(VC(prev), VC(cause)) + 1 at e's own lane.
+  if (node.prev != kNoCausalParent)
+    node.clock = trace_.nodes[node.prev].clock;
+  else
+    node.clock.assign(trace_.laneCount(), 0);
+  if (node.cause != kNoCausalParent) {
+    const std::vector<std::uint64_t>& parent = trace_.nodes[node.cause].clock;
+    for (std::size_t i = 0; i < node.clock.size(); ++i)
+      node.clock[i] = std::max(node.clock[i], parent[i]);
+  }
+  ++node.clock[node.lane];
+  lastOnLane_[node.lane] = trace_.nodes.size();
+  trace_.nodes.push_back(std::move(node));
+  hasPending_ = false;
+}
+
+void CausalRecorder::annotate(Annotation annotation) {
+  // Telemetry fires inside a handler, i.e. during the dispatch of the most
+  // recently observed event — that event is the annotated node.
+  if (trace_.nodes.empty()) return;
+  annotation.node = trace_.nodes.size() - 1;
+  trace_.annotations.push_back(annotation);
+}
+
+void CausalRecorder::onDetectorOutcome(ProcessId process, Round round,
+                                       const Outcome& outcome, Tick at) {
+  Annotation a;
+  a.kind = Annotation::Kind::kDetector;
+  a.process = process;
+  a.round = round;
+  a.value = outcome.value;
+  a.confidence = outcome.confidence;
+  a.at = at;
+  annotate(a);
+}
+
+void CausalRecorder::onDriverValue(ProcessId process, Round round, Value value,
+                                   Tick at) {
+  Annotation a;
+  a.kind = Annotation::Kind::kDriver;
+  a.process = process;
+  a.round = round;
+  a.value = value;
+  a.at = at;
+  annotate(a);
+}
+
+void CausalRecorder::onOracleQuery(ProcessId viewer, ProcessId target,
+                                   bool suspected, Tick at) {
+  Annotation a;
+  a.kind = Annotation::Kind::kOracleQuery;
+  a.process = viewer;
+  a.subject = target;
+  a.value = suspected ? 1 : 0;
+  a.at = at;
+  annotate(a);
+}
+
+// ---------------------------------------------------------------------------
+// audit
+
+CausalAudit audit(const CausalTrace& trace) {
+  CausalAudit result;
+  const std::size_t lanes = trace.laneCount();
+  std::vector<std::uint64_t> expected;
+
+  for (std::size_t i = 0; i < trace.nodes.size(); ++i) {
+    const CausalNode& node = trace.nodes[i];
+    const auto where = [&] {
+      return "node " + std::to_string(i) + " (" + kindName(node.event.kind) +
+             " @" + std::to_string(node.event.at) + ")";
+    };
+    if (node.lane >= lanes) {
+      problem(result, where() + ": lane " + std::to_string(node.lane) +
+                          " out of range");
+      continue;
+    }
+    bool edgesOk = true;
+    for (const auto& [edge, name] :
+         {std::pair{node.cause, "cause"}, std::pair{node.prev, "prev"}}) {
+      if (edge != kNoCausalParent && edge >= i) {
+        problem(result, where() + ": " + name + " edge " +
+                            std::to_string(edge) + " does not point backward");
+        edgesOk = false;
+      }
+    }
+    if (!edgesOk) continue;
+    if (node.clock.size() != lanes) {
+      problem(result, where() + ": vector clock has " +
+                          std::to_string(node.clock.size()) +
+                          " components, expected " + std::to_string(lanes));
+      continue;
+    }
+    // Recompute the clock from the parents: equality implies both the
+    // increment rule and strict monotonicity along every edge.
+    if (node.prev != kNoCausalParent)
+      expected = trace.nodes[node.prev].clock;
+    else
+      expected.assign(lanes, 0);
+    if (node.cause != kNoCausalParent) {
+      const std::vector<std::uint64_t>& parent = trace.nodes[node.cause].clock;
+      for (std::size_t c = 0; c < lanes; ++c)
+        expected[c] = std::max(expected[c], parent[c]);
+    }
+    ++expected[node.lane];
+    if (node.clock != expected)
+      problem(result, where() + ": vector clock violates the "
+                          "max-of-parents-plus-one rule");
+  }
+
+  // Every decision must be backward-reachable from a start event: the
+  // chain of causes/predecessors that explains it has to begin somewhere.
+  std::vector<std::uint64_t> stack;
+  std::vector<bool> seen;
+  for (std::size_t i = 0; i < trace.nodes.size(); ++i) {
+    if (trace.nodes[i].event.kind != TraceEvent::Kind::kDecision) continue;
+    ++result.decisions;
+    seen.assign(trace.nodes.size(), false);
+    stack.assign(1, i);
+    seen[i] = true;
+    bool reachesStart = false;
+    while (!stack.empty() && !reachesStart) {
+      const CausalNode& node = trace.nodes[stack.back()];
+      stack.pop_back();
+      if (node.event.kind == TraceEvent::Kind::kStart) {
+        reachesStart = true;
+        break;
+      }
+      for (const std::uint64_t edge : {node.cause, node.prev}) {
+        if (edge == kNoCausalParent || edge >= trace.nodes.size()) continue;
+        if (!seen[edge]) {
+          seen[edge] = true;
+          stack.push_back(edge);
+        }
+      }
+    }
+    if (!reachesStart)
+      problem(result, "decision node " + std::to_string(i) + " (p" +
+                          std::to_string(trace.nodes[i].event.a) +
+                          ") is not reachable from any start event");
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// ooc.ctrace.v1
+
+std::string toCtraceJson(const CausalTrace& trace, const TraceMeta& meta) {
+  obs::JsonWriter json;
+  json.beginObject();
+  json.key("schema").value("ooc.ctrace.v1");
+  json.key("run_id").value(meta.runId);
+  json.key("scenario").value(meta.scenario);
+  json.key("processes").value(static_cast<std::uint64_t>(trace.processCount));
+  json.key("lanes").value(static_cast<std::uint64_t>(trace.laneCount()));
+
+  json.key("events").beginArray();
+  for (std::size_t i = 0; i < trace.nodes.size(); ++i) {
+    const CausalNode& node = trace.nodes[i];
+    json.beginObject();
+    json.key("i").value(static_cast<std::uint64_t>(i));
+    json.key("tick").value(static_cast<std::uint64_t>(node.event.at));
+    json.key("kind").value(kindName(node.event.kind));
+    json.key("lane").value(static_cast<std::uint64_t>(node.lane));
+    json.key("a").value(static_cast<std::uint64_t>(node.event.a));
+    json.key("b").value(static_cast<std::uint64_t>(node.event.b));
+    json.key("aux").value(node.event.aux);
+    json.key("cause");
+    emitIndexOrNull(json, node.cause);
+    json.key("prev");
+    emitIndexOrNull(json, node.prev);
+    json.key("vc").beginArray();
+    for (const std::uint64_t component : node.clock) json.value(component);
+    json.endArray();
+    json.endObject();
+  }
+  json.endArray();
+
+  json.key("annotations").beginArray();
+  for (const Annotation& a : trace.annotations) {
+    json.beginObject();
+    json.key("node").value(a.node);
+    json.key("kind").value(toString(a.kind));
+    json.key("tick").value(static_cast<std::uint64_t>(a.at));
+    switch (a.kind) {
+      case Annotation::Kind::kDetector:
+        json.key("process").value(static_cast<std::uint64_t>(a.process));
+        json.key("round").value(static_cast<std::uint64_t>(a.round));
+        json.key("confidence").value(ooc::toString(a.confidence));
+        json.key("value").value(static_cast<std::int64_t>(a.value));
+        break;
+      case Annotation::Kind::kDriver:
+        json.key("process").value(static_cast<std::uint64_t>(a.process));
+        json.key("round").value(static_cast<std::uint64_t>(a.round));
+        json.key("value").value(static_cast<std::int64_t>(a.value));
+        break;
+      case Annotation::Kind::kOracleQuery:
+        json.key("viewer").value(static_cast<std::uint64_t>(a.process));
+        json.key("target").value(static_cast<std::uint64_t>(a.subject));
+        json.key("suspected").value(a.value != 0);
+        break;
+    }
+    json.endObject();
+  }
+  json.endArray();
+  json.endObject();
+  return json.str();
+}
+
+}  // namespace ooc::causal

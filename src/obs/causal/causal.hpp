@@ -1,0 +1,145 @@
+// Causal event DAG: the happens-before structure of one simulated run.
+//
+// The flat schedule trace (sim/trace.hpp) records *what* executed in *what
+// order*; this layer records *why*. Every observed event becomes a node
+// with two incoming edges — the cause edge (the event whose handler
+// scheduled it: a delivery points at the send, a timer fire at the arming
+// event, a decision at the handler that called decide()) and the
+// program-order edge (the previous event on the same lane) — plus a vector
+// clock over n+1 lanes: one per process and a scheduler pseudo-lane for
+// control actions, tick barriers and cancelled timers, none of which run
+// process code. Protocol-level moments the schedule cannot see (detector
+// outcomes, driver returns, oracle queries) attach as annotations to the
+// node during whose handler they fired.
+//
+// Everything here is observation-only and a pure function of the schedule:
+// recording the DAG perturbs nothing, so goldens stay byte-identical with
+// the recorder attached or absent, and two recordings of one configuration
+// are structurally identical. The `ooc.ctrace.v1` JSON artifact (see
+// EXPERIMENTS.md) is the serialized form; audit() checks the structural
+// invariants every exported DAG must satisfy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compose/hooks.hpp"
+#include "core/confidence.hpp"
+#include "sim/trace.hpp"
+#include "util/types.hpp"
+
+namespace ooc::causal {
+
+/// One node of the DAG: the observed TraceEvent plus its incoming edges
+/// and vector clock. Node indices are observed-stream positions, so every
+/// edge points strictly backward (acyclicity by construction — audited
+/// anyway).
+struct CausalNode {
+  TraceEvent event;
+  /// Cause edge: index of the event whose handler scheduled this one;
+  /// kNoCausalParent for roots (initial starts, pre-run injections).
+  std::uint64_t cause = kNoCausalParent;
+  /// Program-order edge: previous node on the same lane, or none.
+  std::uint64_t prev = kNoCausalParent;
+  /// Process id, or CausalTrace::schedulerLane() for events that run no
+  /// process code (kControl, kBarrier, cancelled timers).
+  std::uint32_t lane = 0;
+  /// Vector clock over laneCount() components: componentwise max of the
+  /// parents' clocks, then +1 at the own lane.
+  std::vector<std::uint64_t> clock;
+};
+
+/// Protocol-level annotation, attached to the node during whose handler
+/// dispatch it fired.
+struct Annotation {
+  enum class Kind : std::uint8_t { kDetector, kDriver, kOracleQuery };
+
+  Kind kind = Kind::kDetector;
+  std::uint64_t node = 0;  ///< index of the annotated CausalNode
+  ProcessId process = 0;   ///< detector/driver owner, or oracle viewer
+  ProcessId subject = 0;   ///< oracle target (kOracleQuery only)
+  Round round = 0;         ///< detector/driver round (0 for oracle queries)
+  Value value = kNoValue;  ///< detector/driver value; 1|0 = suspected flag
+  Confidence confidence = Confidence::kVacillate;  ///< kDetector only
+  Tick at = 0;
+};
+
+const char* toString(Annotation::Kind kind) noexcept;
+
+/// Lane-name of a TraceEvent kind in artifacts ("start", "deliver", ...).
+const char* kindName(TraceEvent::Kind kind) noexcept;
+
+struct CausalTrace {
+  std::size_t processCount = 0;
+  std::vector<CausalNode> nodes;
+  std::vector<Annotation> annotations;
+
+  std::size_t laneCount() const noexcept { return processCount + 1; }
+  std::uint32_t schedulerLane() const noexcept {
+    return static_cast<std::uint32_t>(processCount);
+  }
+};
+
+/// ScheduleObserver + TelemetrySink that assembles the DAG from the
+/// simulator's causal channel. Attach as both hooks of one run (observer
+/// for the event stream, telemetry for the annotations); the recorder
+/// assumes the stamped stream the simulator emits — one onCausal right
+/// after each onEvent — and throws std::logic_error if the streams
+/// desynchronize.
+class CausalRecorder final : public ScheduleObserver,
+                             public compose::TelemetrySink {
+ public:
+  explicit CausalRecorder(std::size_t processCount);
+
+  // ScheduleObserver
+  void onEvent(const TraceEvent& event) override;
+  bool wantsCausality() const noexcept override { return true; }
+  void onCausal(const CausalStamp& stamp) override;
+
+  // compose::TelemetrySink
+  void onDetectorOutcome(ProcessId process, Round round,
+                         const Outcome& outcome, Tick at) override;
+  void onDriverValue(ProcessId process, Round round, Value value,
+                     Tick at) override;
+  void onOracleQuery(ProcessId viewer, ProcessId target, bool suspected,
+                     Tick at) override;
+
+  CausalTrace& trace() noexcept { return trace_; }
+  const CausalTrace& trace() const noexcept { return trace_; }
+
+ private:
+  void annotate(Annotation annotation);
+
+  CausalTrace trace_;
+  std::vector<std::uint64_t> lastOnLane_;
+  TraceEvent pending_;
+  bool hasPending_ = false;
+};
+
+/// Structural invariants every exported DAG must satisfy. `problems` is
+/// capped at 16 entries (the first failures are the informative ones).
+struct CausalAudit {
+  std::vector<std::string> problems;
+  std::size_t decisions = 0;  ///< kDecision nodes checked for reachability
+
+  bool ok() const noexcept { return problems.empty(); }
+};
+
+/// Audits: every edge points strictly backward (acyclic), lanes are in
+/// range, every vector clock equals the recomputed max-of-parents-plus-one
+/// (which implies strict monotonicity along both edge kinds), and every
+/// kDecision node reaches a kStart node backward through the edges.
+CausalAudit audit(const CausalTrace& trace);
+
+/// Identification carried into the JSON artifacts.
+struct TraceMeta {
+  std::string runId;
+  std::string scenario;
+};
+
+/// Serializes the DAG as an `ooc.ctrace.v1` JSON document (byte-
+/// deterministic; see EXPERIMENTS.md for the schema).
+std::string toCtraceJson(const CausalTrace& trace, const TraceMeta& meta);
+
+}  // namespace ooc::causal

@@ -1,0 +1,233 @@
+#include "obs/causal/perfetto.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace ooc::causal {
+namespace {
+
+/// Synthetic microsecond timestamps: tick * 1000 + execution rank within
+/// the tick (capped so a pathological tick cannot bleed into the next).
+std::vector<std::uint64_t> nodeTimestamps(const CausalTrace& trace) {
+  std::vector<std::uint64_t> ts(trace.nodes.size(), 0);
+  Tick currentTick = 0;
+  std::uint64_t rank = 0;
+  for (std::size_t i = 0; i < trace.nodes.size(); ++i) {
+    const Tick at = trace.nodes[i].event.at;
+    if (i == 0 || at != currentTick) {
+      currentTick = at;
+      rank = 0;
+    }
+    ts[i] = static_cast<std::uint64_t>(at) * 1000 + std::min<std::uint64_t>(rank, 999);
+    ++rank;
+  }
+  return ts;
+}
+
+std::string sliceName(const TraceEvent& event) {
+  switch (event.kind) {
+    case TraceEvent::Kind::kStart: return "start";
+    case TraceEvent::Kind::kDeliver:
+      return "recv<-p" + std::to_string(event.b);
+    case TraceEvent::Kind::kTimer:
+      return event.a == kNoTraceProcess
+                 ? "timer " + std::to_string(event.aux) + " (cancelled)"
+                 : "timer " + std::to_string(event.aux);
+    case TraceEvent::Kind::kControl: return "control";
+    case TraceEvent::Kind::kBarrier: return "tick barrier";
+    case TraceEvent::Kind::kDecision:
+      return "DECIDE " + std::to_string(static_cast<Value>(event.aux));
+    case TraceEvent::Kind::kCrash:
+      return "crash (inc " + std::to_string(event.aux) + ")";
+    case TraceEvent::Kind::kRestart:
+      return "restart (inc " + std::to_string(event.aux) + ")";
+  }
+  return "?";
+}
+
+class EventArray {
+ public:
+  explicit EventArray(obs::JsonWriter& json) : json_(json) {}
+
+  obs::JsonWriter& begin(const char* name, const char* ph, std::uint64_t ts,
+                         std::uint64_t tid) {
+    json_.beginObject();
+    json_.key("name").value(name);
+    json_.key("ph").value(ph);
+    json_.key("ts").value(ts);
+    json_.key("pid").value(std::uint64_t{1});
+    json_.key("tid").value(tid);
+    return json_;
+  }
+
+  obs::JsonWriter& begin(const std::string& name, const char* ph,
+                         std::uint64_t ts, std::uint64_t tid) {
+    return begin(name.c_str(), ph, ts, tid);
+  }
+
+ private:
+  obs::JsonWriter& json_;
+};
+
+}  // namespace
+
+std::string toPerfettoJson(const CausalTrace& trace, const TraceMeta& meta) {
+  const std::vector<std::uint64_t> ts = nodeTimestamps(trace);
+  const std::uint64_t endTs =
+      (ts.empty() ? 0 : ts.back()) + 1000;  // one tick of right margin
+
+  obs::JsonWriter json;
+  EventArray events(json);
+  json.beginObject();
+  json.key("displayTimeUnit").value("ms");
+  json.key("otherData").beginObject();
+  json.key("run_id").value(meta.runId);
+  json.key("scenario").value(meta.scenario);
+  json.endObject();
+  json.key("traceEvents").beginArray();
+
+  // Track names: p0..pN-1 and the scheduler pseudo-lane.
+  for (std::size_t lane = 0; lane < trace.laneCount(); ++lane) {
+    const std::string name =
+        lane == trace.schedulerLane() ? "scheduler"
+                                      : "p" + std::to_string(lane);
+    events.begin("thread_name", "M", 0, lane);
+    json.key("args").beginObject().key("name").value(name).endObject();
+    json.endObject();
+  }
+
+  // Every node as a 1us slice, so flow arrows have something to bind to.
+  for (std::size_t i = 0; i < trace.nodes.size(); ++i) {
+    const CausalNode& node = trace.nodes[i];
+    events.begin(sliceName(node.event), "X", ts[i], node.lane);
+    json.key("dur").value(std::uint64_t{1});
+    json.key("cat").value(kindName(node.event.kind));
+    json.key("args").beginObject();
+    json.key("i").value(static_cast<std::uint64_t>(i));
+    json.key("tick").value(static_cast<std::uint64_t>(node.event.at));
+    json.key("cause");
+    if (node.cause == kNoCausalParent)
+      json.raw("null");
+    else
+      json.value(node.cause);
+    json.endObject();
+    json.endObject();
+  }
+
+  // Message arrows: one flow per delivery, from the event whose handler
+  // sent the message to the delivery itself.
+  for (std::size_t i = 0; i < trace.nodes.size(); ++i) {
+    const CausalNode& node = trace.nodes[i];
+    if (node.event.kind != TraceEvent::Kind::kDeliver) continue;
+    if (node.cause == kNoCausalParent) continue;
+    const CausalNode& sender = trace.nodes[node.cause];
+    const std::string name = "msg p" + std::to_string(sender.lane) + "->p" +
+                             std::to_string(node.lane);
+    events.begin(name, "s", ts[node.cause], sender.lane);
+    json.key("cat").value("msg");
+    json.key("id").value(static_cast<std::uint64_t>(i));
+    json.endObject();
+    events.begin(name, "f", ts[i], node.lane);
+    json.key("cat").value("msg");
+    json.key("id").value(static_cast<std::uint64_t>(i));
+    json.key("bp").value("e");
+    json.endObject();
+  }
+
+  // Crash→restart "down" intervals per process lane; a crash that never
+  // restarts extends to the end of the visible range.
+  std::map<std::uint32_t, std::pair<std::uint64_t, std::uint64_t>> down;
+  for (std::size_t i = 0; i < trace.nodes.size(); ++i) {
+    const CausalNode& node = trace.nodes[i];
+    if (node.event.kind == TraceEvent::Kind::kCrash) {
+      down.emplace(node.lane, std::pair{ts[i], node.event.aux});
+    } else if (node.event.kind == TraceEvent::Kind::kRestart) {
+      const auto it = down.find(node.lane);
+      if (it == down.end()) continue;
+      events.begin("down (inc " + std::to_string(it->second.second) + ")",
+                   "X", it->second.first, node.lane);
+      json.key("dur").value(ts[i] - it->second.first);
+      json.key("cat").value("down");
+      json.endObject();
+      down.erase(it);
+    }
+  }
+  for (const auto& [lane, open] : down) {
+    events.begin("down (inc " + std::to_string(open.second) + ", terminal)",
+                 "X", open.first, lane);
+    json.key("dur").value(endTs - open.first);
+    json.key("cat").value("down");
+    json.endObject();
+  }
+
+  // Round spans per process, derived from detector/driver annotations: a
+  // round runs from its first annotation to the next round's first (or the
+  // end of the range). Async spans keep them off the slice nesting.
+  std::map<ProcessId, std::vector<std::pair<Round, std::uint64_t>>> byProcess;
+  for (const Annotation& a : trace.annotations) {
+    if (a.kind == Annotation::Kind::kOracleQuery) continue;
+    byProcess[a.process].emplace_back(a.round, ts[a.node]);
+  }
+  for (const auto& [process, marks] : byProcess) {
+    for (std::size_t i = 0; i < marks.size();) {
+      const Round round = marks[i].first;
+      const std::uint64_t from = marks[i].second;
+      while (i < marks.size() && marks[i].first == round) ++i;
+      const std::uint64_t to = i < marks.size() ? marks[i].second : endTs;
+      const std::string name = "round " + std::to_string(round);
+      const std::uint64_t id =
+          (static_cast<std::uint64_t>(process) << 32) | round;
+      events.begin(name, "b", from, process);
+      json.key("cat").value("round");
+      json.key("id").value(id);
+      json.endObject();
+      events.begin(name, "e", to, process);
+      json.key("cat").value("round");
+      json.key("id").value(id);
+      json.endObject();
+    }
+  }
+
+  // Oracle-suspicion intervals per (viewer, target): opened on the first
+  // suspected answer, closed when the viewer is next told trusted.
+  std::map<std::pair<ProcessId, ProcessId>, std::uint64_t> suspicion;
+  const auto suspicionMark = [&](ProcessId viewer, ProcessId target,
+                                 const char* ph, std::uint64_t atTs) {
+    const std::uint64_t id = 0x5150000000000000ull |
+                             (static_cast<std::uint64_t>(viewer) << 24) |
+                             target;
+    events.begin("suspects p" + std::to_string(target), ph, atTs, viewer);
+    json.key("cat").value("suspicion");
+    json.key("id").value(id);
+    json.endObject();
+  };
+  for (const Annotation& a : trace.annotations) {
+    if (a.kind != Annotation::Kind::kOracleQuery) continue;
+    const std::pair<ProcessId, ProcessId> key{a.process, a.subject};
+    const bool suspected = a.value != 0;
+    const auto it = suspicion.find(key);
+    if (suspected && it == suspicion.end()) {
+      suspicion.emplace(key, ts[a.node]);
+      suspicionMark(key.first, key.second, "b", ts[a.node]);
+    } else if (!suspected && it != suspicion.end()) {
+      suspicionMark(key.first, key.second, "e", ts[a.node]);
+      suspicion.erase(it);
+    }
+  }
+  for (const auto& [key, from] : suspicion) {
+    (void)from;
+    suspicionMark(key.first, key.second, "e", endTs);
+  }
+
+  json.endArray();
+  json.endObject();
+  return json.str();
+}
+
+}  // namespace ooc::causal

@@ -1,0 +1,22 @@
+// Chrome trace_event / Perfetto JSON export of a causal trace.
+//
+// The emitted document loads in ui.perfetto.dev or chrome://tracing: one
+// track per process plus a scheduler track, every event as a small slice,
+// flow arrows from each send to its delivery (the cause edge), round spans
+// derived from the detector/driver annotations, crash→restart "down"
+// intervals, and oracle-suspicion intervals as async spans per
+// (viewer, target) pair. Timestamps are synthetic — tick * 1000 plus the
+// event's rank within its tick — so the axis reads as simulated ticks with
+// same-tick events spread in execution order. Byte-deterministic like
+// every artifact in this repo.
+#pragma once
+
+#include <string>
+
+#include "obs/causal/causal.hpp"
+
+namespace ooc::causal {
+
+std::string toPerfettoJson(const CausalTrace& trace, const TraceMeta& meta);
+
+}  // namespace ooc::causal

@@ -1,0 +1,143 @@
+#include "obs/causal/provenance.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace ooc::causal {
+namespace {
+
+/// Cause chain of `decision`, root first (decision node last).
+std::vector<std::uint64_t> criticalPath(const CausalTrace& trace,
+                                        std::uint64_t decision) {
+  std::vector<std::uint64_t> path;
+  for (std::uint64_t node = decision; node != kNoCausalParent;
+       node = trace.nodes[node].cause)
+    path.push_back(node);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+void emitAnnotationBody(obs::JsonWriter& json, const Annotation& a) {
+  json.key("node").value(a.node);
+  json.key("tick").value(static_cast<std::uint64_t>(a.at));
+  switch (a.kind) {
+    case Annotation::Kind::kDetector:
+      json.key("process").value(static_cast<std::uint64_t>(a.process));
+      json.key("round").value(static_cast<std::uint64_t>(a.round));
+      json.key("confidence").value(ooc::toString(a.confidence));
+      json.key("value").value(static_cast<std::int64_t>(a.value));
+      break;
+    case Annotation::Kind::kDriver:
+      json.key("process").value(static_cast<std::uint64_t>(a.process));
+      json.key("round").value(static_cast<std::uint64_t>(a.round));
+      json.key("value").value(static_cast<std::int64_t>(a.value));
+      break;
+    case Annotation::Kind::kOracleQuery:
+      json.key("viewer").value(static_cast<std::uint64_t>(a.process));
+      json.key("target").value(static_cast<std::uint64_t>(a.subject));
+      json.key("suspected").value(a.value != 0);
+      break;
+  }
+}
+
+}  // namespace
+
+std::string explainJson(const CausalTrace& trace, const TraceMeta& meta) {
+  // Annotations grouped by node, preserving their recording order.
+  std::vector<std::vector<std::uint32_t>> byNode(trace.nodes.size());
+  for (std::uint32_t i = 0; i < trace.annotations.size(); ++i) {
+    const std::uint64_t node = trace.annotations[i].node;
+    if (node < byNode.size()) byNode[node].push_back(i);
+  }
+
+  obs::JsonWriter json;
+  json.beginObject();
+  json.key("schema").value("ooc.explain.v1");
+  json.key("run_id").value(meta.runId);
+  json.key("scenario").value(meta.scenario);
+  json.key("processes").value(static_cast<std::uint64_t>(trace.processCount));
+
+  json.key("decisions").beginArray();
+  for (std::uint64_t i = 0; i < trace.nodes.size(); ++i) {
+    if (trace.nodes[i].event.kind != TraceEvent::Kind::kDecision) continue;
+    const CausalNode& decision = trace.nodes[i];
+    const std::vector<std::uint64_t> path = criticalPath(trace, i);
+
+    std::uint64_t deliveries = 0;
+    std::uint64_t timers = 0;
+    std::vector<Round> rounds;
+    for (const std::uint64_t node : path) {
+      const TraceEvent::Kind kind = trace.nodes[node].event.kind;
+      if (kind == TraceEvent::Kind::kDeliver) ++deliveries;
+      if (kind == TraceEvent::Kind::kTimer) ++timers;
+      for (const std::uint32_t a : byNode[node]) {
+        const Annotation& annotation = trace.annotations[a];
+        if (annotation.kind != Annotation::Kind::kOracleQuery)
+          rounds.push_back(annotation.round);
+      }
+    }
+    std::sort(rounds.begin(), rounds.end());
+    rounds.erase(std::unique(rounds.begin(), rounds.end()), rounds.end());
+
+    json.beginObject();
+    json.key("process").value(static_cast<std::uint64_t>(decision.event.a));
+    json.key("value").value(static_cast<std::int64_t>(
+        static_cast<Value>(decision.event.aux)));
+    json.key("tick").value(static_cast<std::uint64_t>(decision.event.at));
+    json.key("node").value(i);
+    json.key("path_length").value(static_cast<std::uint64_t>(path.size()));
+    json.key("deliveries_on_path").value(deliveries);
+    json.key("timers_on_path").value(timers);
+    json.key("first_tick")
+        .value(static_cast<std::uint64_t>(trace.nodes[path.front()].event.at));
+    json.key("rounds_on_path").beginArray();
+    for (const Round round : rounds)
+      json.value(static_cast<std::uint64_t>(round));
+    json.endArray();
+
+    json.key("path").beginArray();
+    for (const std::uint64_t node : path) {
+      const CausalNode& hop = trace.nodes[node];
+      json.beginObject();
+      json.key("i").value(node);
+      json.key("tick").value(static_cast<std::uint64_t>(hop.event.at));
+      json.key("kind").value(kindName(hop.event.kind));
+      json.key("lane").value(static_cast<std::uint64_t>(hop.lane));
+      json.key("from");
+      if (hop.event.kind == TraceEvent::Kind::kDeliver)
+        json.value(static_cast<std::uint64_t>(hop.event.b));
+      else
+        json.raw("null");
+      json.endObject();
+    }
+    json.endArray();
+
+    // The protocol-level story along the path: how confidence moved, what
+    // the drivers returned, what the oracle was asked en route.
+    const auto emitPathAnnotations = [&](const char* arrayKey,
+                                         Annotation::Kind kind) {
+      json.key(arrayKey).beginArray();
+      for (const std::uint64_t node : path) {
+        for (const std::uint32_t a : byNode[node]) {
+          if (trace.annotations[a].kind != kind) continue;
+          json.beginObject();
+          emitAnnotationBody(json, trace.annotations[a]);
+          json.endObject();
+        }
+      }
+      json.endArray();
+    };
+    emitPathAnnotations("detector_transitions", Annotation::Kind::kDetector);
+    emitPathAnnotations("driver_values", Annotation::Kind::kDriver);
+    emitPathAnnotations("oracle_queries", Annotation::Kind::kOracleQuery);
+    json.endObject();
+  }
+  json.endArray();
+  json.endObject();
+  return json.str();
+}
+
+}  // namespace ooc::causal

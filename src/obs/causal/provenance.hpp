@@ -1,0 +1,25 @@
+// Decision provenance: why did process p decide v at tick t?
+//
+// The answer is the decision node's cause chain — walking the cause edge
+// backward from a kDecision node yields exactly the minimal message/timer
+// chain that produced the decision (each hop is the one event whose
+// handler scheduled the next), ending at a causal root (a start event or
+// pre-run injection). explainJson() renders that critical path for every
+// decision of a run, together with the protocol-level annotations on it
+// (detector confidence transitions, driver returns, oracle queries), as a
+// byte-deterministic `ooc.explain.v1` JSON document — the machine-readable
+// "why that many rounds" companion to the rounds-to-decide benches.
+#pragma once
+
+#include <string>
+
+#include "obs/causal/causal.hpp"
+
+namespace ooc::causal {
+
+/// Serializes every decision's critical path (see EXPERIMENTS.md for the
+/// schema). Deterministic: two recordings of one configuration produce
+/// byte-identical documents.
+std::string explainJson(const CausalTrace& trace, const TraceMeta& meta);
+
+}  // namespace ooc::causal

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "sim/message.hpp"
+#include "sim/trace.hpp"
 #include "util/types.hpp"
 
 namespace ooc {
@@ -49,6 +50,11 @@ struct SimEvent {
   Tick at = 0;
   /// Push order; assigned by EventQueue::push.
   std::uint64_t seq = 0;
+  /// Observed-stream index of the event whose handler scheduled this one
+  /// (kNoCausalParent for roots: initial starts, pre-run injections). Pure
+  /// bookkeeping — never consulted by the scheduler, only surfaced through
+  /// ScheduleObserver::onCausal, so it cannot perturb the schedule.
+  std::uint64_t cause = kNoCausalParent;
   MessagePtr message;
   /// kTimer: the timer id. kControl: index into the simulator's action
   /// table (keeping std::function out of the hot event layout).

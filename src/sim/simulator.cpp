@@ -121,6 +121,7 @@ void Simulator::schedule(Tick tick, std::function<void()> action) {
   SimEvent event;
   event.at = tick;
   event.kind = SimEvent::Kind::kControl;
+  event.cause = currentCause_;
   // The action body lives in controlActions_; the event just carries its
   // index (in the timer field) so SimEvent stays a flat value type.
   event.timer = static_cast<TimerId>(controlActions_.size());
@@ -249,6 +250,7 @@ void Simulator::run() {
         barrier.at = now_ + 1;
         barrier.phase = 1;
         barrier.kind = SimEvent::Kind::kBarrier;
+        barrier.cause = currentCause_;
         queue_.push(std::move(barrier));
         break;
       }
@@ -284,6 +286,7 @@ void Simulator::deliverSend(ProcessId from, ProcessId to, MessagePtr msg) {
     SimEvent event;
     event.at = now_ + std::max<Tick>(1, scratchDelays_[i]);
     event.kind = SimEvent::Kind::kDeliver;
+    event.cause = currentCause_;
     event.target = to;
     event.from = from;
     event.targetIncarnation = processes_[to].incarnation;
@@ -295,6 +298,11 @@ void Simulator::deliverSend(ProcessId from, ProcessId to, MessagePtr msg) {
 }
 
 void Simulator::observe(const SimEvent& event) {
+  // The observed-stream index doubles as the causal parent for everything
+  // this event's handler schedules (the handler runs right after this
+  // observation, see run()).
+  const std::uint64_t index = observedSeq_++;
+  currentCause_ = index;
   TraceEvent out;
   out.at = event.at;
   switch (event.kind) {
@@ -320,6 +328,9 @@ void Simulator::observe(const SimEvent& event) {
     case SimEvent::Kind::kCrash:
       out.kind = TraceEvent::Kind::kCrash;
       out.a = event.target;
+      // The incarnation that is dying. Every committed golden crashes at
+      // incarnation 0, so stamping this stays byte-compatible with them.
+      out.aux = processes_[event.target].incarnation;
       break;
     case SimEvent::Kind::kRestart:
       out.kind = TraceEvent::Kind::kRestart;
@@ -338,6 +349,8 @@ void Simulator::observe(const SimEvent& event) {
   // in (trace recording and the checker do not).
   if (event.kind == SimEvent::Kind::kDeliver && observer_->wantsMessageText())
     observer_->onMessageText(event.message->describe());
+  if (observer_->wantsCausality())
+    observer_->onCausal(CausalStamp{index, event.cause});
 }
 
 TimerId Simulator::armTimer(ProcessId id, Tick delay) {
@@ -350,6 +363,7 @@ TimerId Simulator::armTimer(ProcessId id, Tick delay) {
   SimEvent event;
   event.at = now_ + std::max<Tick>(1, delay);
   event.kind = SimEvent::Kind::kTimer;
+  event.cause = currentCause_;
   event.timer = timer;
   queue_.push(std::move(event));
   return timer;
@@ -435,6 +449,14 @@ void Simulator::recordDecision(ProcessId id, Value v) {
     out.a = id;
     out.aux = static_cast<std::uint64_t>(v);
     observer_->onEvent(out);
+    // The decision occupies its own slot in the observed stream, caused by
+    // the event whose handler called decide(). currentCause_ is left
+    // pointing at that handler event: anything else the handler schedules
+    // is caused by the event, not by the decision announcement.
+    if (observer_->wantsCausality())
+      observer_->onCausal(CausalStamp{observedSeq_++, currentCause_});
+    else
+      ++observedSeq_;
   }
 
   if (processes_[id].faulty) return;  // Byzantine claims are not checked

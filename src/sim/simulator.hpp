@@ -226,6 +226,14 @@ class Simulator final {
   bool started_ = false;
   bool hitCap_ = false;
 
+  /// Causal bookkeeping: index the next observed event will get in the
+  /// observed stream, and the index of the event currently dispatching
+  /// (the causal parent stamped onto every push its handler makes).
+  /// Outside any dispatch — i.e. during pre-run setup — currentCause_ is
+  /// kNoCausalParent, making pre-run injections causal roots.
+  std::uint64_t observedSeq_ = 0;
+  std::uint64_t currentCause_ = kNoCausalParent;
+
   std::vector<Decision> decisions_;
   std::vector<Value> validValues_;
   bool agreementViolated_ = false;

@@ -31,7 +31,8 @@ namespace ooc {
 ///   kControl  — (none)
 ///   kBarrier  — lockstep tick barrier
 ///   kDecision — a: decider, aux: decided value (bit-copied)
-///   kCrash    — a: process crashing with a scheduled restart
+///   kCrash    — a: process crashing with a scheduled restart,
+///               aux: the incarnation that dies with it
 ///   kRestart  — a: restarting process, aux: its new incarnation number
 struct TraceEvent {
   enum class Kind : std::uint8_t {
@@ -56,6 +57,25 @@ struct TraceEvent {
 
 /// Sentinel owner for timer events whose timer had been cancelled.
 inline constexpr ProcessId kNoTraceProcess = static_cast<ProcessId>(-1);
+
+/// Sentinel causal parent for root events (initial starts, pre-run fault
+/// and control injections): nothing the scheduler executed caused them.
+inline constexpr std::uint64_t kNoCausalParent = ~std::uint64_t{0};
+
+/// Causal annotation for one observed event. `index` is the event's
+/// position in the observed stream (identical to its index in a recorded
+/// Trace's events vector, decisions included); `cause` is the index of the
+/// event whose handler scheduled it: a delivery points at the event whose
+/// handler sent the message, a timer fire at the event whose handler armed
+/// the timer, a decision at the event whose handler called decide(), a
+/// barrier at the previous barrier. Stamps are a pure function of the
+/// schedule, so they are as deterministic as the trace itself.
+struct CausalStamp {
+  std::uint64_t index = 0;
+  std::uint64_t cause = kNoCausalParent;
+
+  friend bool operator==(const CausalStamp&, const CausalStamp&) = default;
+};
 
 /// A full run trace: the executed event sequence plus the run's end-of-run
 /// counters (filled in by whoever drove the run; see sim/simulator.hpp).
@@ -85,6 +105,17 @@ class ScheduleObserver {
   /// Delivered right after the kDeliver onEvent() it annotates, only when
   /// wantsMessageText() — carries Message::describe() of the payload.
   virtual void onMessageText(const std::string& /*text*/) {}
+
+  /// Opt-in to causal stamps. When true, every onEvent() is followed by an
+  /// onCausal() carrying the event's stream index and scheduling parent.
+  /// The stamping bookkeeping runs whether or not any observer opts in (a
+  /// single integer copy per push), so the schedule — and therefore every
+  /// recorded trace — is byte-identical with the channel on or off.
+  virtual bool wantsCausality() const noexcept { return false; }
+
+  /// Delivered right after the onEvent() it annotates, only when
+  /// wantsCausality().
+  virtual void onCausal(const CausalStamp& /*stamp*/) {}
 };
 
 /// Observer that appends every event to a Trace.

@@ -130,6 +130,49 @@ TEST(MetricsRegistry, ResetDropsSeriesKeepsEnabled) {
   EXPECT_EQ(reg.seriesCount(), 0u);
 }
 
+TEST(MetricsRegistry, ResetAllowsReRegistrationUnderANewType) {
+  // The first registration pins a name's type (later mismatched writes are
+  // dropped); reset() forgets the pin along with the data.
+  Registry reg;
+  reg.enable(true);
+  reg.addCounter("x", 1);
+  reg.setGauge("x", 9.0);  // mismatched: dropped
+  EXPECT_EQ(reg.seriesCount(), 1u);
+  reg.reset();
+  reg.setGauge("x", 9.0);  // now the first registration: a gauge
+  EXPECT_EQ(reg.seriesCount(), 1u);
+  EXPECT_NE(reg.toJson().find("\"gauges\":[{\"name\":\"x\""),
+            std::string::npos)
+      << reg.toJson();
+}
+
+TEST(MetricsRegistry, ResetClearsTheCardinalityCapAndDropCount) {
+  Registry reg;
+  reg.enable(true);
+  for (std::size_t i = 0; i < Registry::kMaxSeries + 1; ++i)
+    reg.addCounter("c", 1, {{"i", std::to_string(i)}});
+  ASSERT_EQ(reg.droppedSeries(), 1u);
+  reg.reset();
+  EXPECT_EQ(reg.droppedSeries(), 0u);
+  // Capacity is free again: a new series interns instead of dropping.
+  reg.addCounter("fresh", 1);
+  EXPECT_EQ(reg.seriesCount(), 1u);
+  EXPECT_EQ(reg.droppedSeries(), 0u);
+}
+
+TEST(MetricsRegistry, DefaultBucketTopBoundaryIsInclusive) {
+  // defaultBuckets() tops out at 65536; a sample exactly on the top bound
+  // must land in that bucket, one past it in the overflow bucket.
+  Registry reg;
+  reg.enable(true);
+  reg.observe("h", 65536.0);
+  reg.observe("h", 65537.0);
+  const std::string json = reg.toJson();
+  EXPECT_NE(json.find("{\"le\":65536,\"count\":1}"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"overflow\":1"), std::string::npos) << json;
+}
+
 TEST(JsonWriter, EscapesAndNestsDeterministically) {
   obs::JsonWriter w;
   w.beginObject();

@@ -343,7 +343,7 @@ TEST(RecoveryReplay, TimelineRendersRestartPoints) {
   file.trace = recorded.trace;
 
   const std::string timeline = check::renderTimeline(file, {});
-  EXPECT_NE(timeline.find("CRASHED"), std::string::npos);
+  EXPECT_NE(timeline.find("CRASHED (incarnation 0 down"), std::string::npos);
   EXPECT_NE(timeline.find("RESTARTED (incarnation 1)"), std::string::npos);
   EXPECT_NE(timeline.find("bit-identical"), std::string::npos);
 }

@@ -101,6 +101,82 @@ TEST(Timeline, EventCapElidesSchedulerNoiseOnly) {
   EXPECT_NE(text.find("DECIDED 1"), std::string::npos);
 }
 
+check::CounterexampleFile oracleFixture() {
+  check::Scenario scenario;
+  scenario.family = check::Family::kFd;
+  auto& config = scenario.compose;
+  config.detector = "benor-vac";
+  config.driver = "ct-coordinator";
+  config.oracle = "omega";
+  config.oracleKnobs.completenessLag = 8;
+  config.oracleKnobs.stabilizeAt = 40;
+  // Noisy enough (at this seed) for the oracle to falsely suspect the
+  // coordinator once — the fixture must exercise a suspicion transition.
+  config.oracleKnobs.noise = 0.6;
+  config.n = 3;
+  config.seed = 1;
+  config.inputs = {0, 1, 0};
+  const check::RecordedRun run = check::recordRun(scenario);
+  check::CounterexampleFile file;
+  file.scenario = scenario;
+  file.invariant = "agreement";
+  file.detail = "oracle rendering fixture";
+  file.trace = run.trace;
+  return file;
+}
+
+// Exact rendering of an oracle-driven run: coordinator queries appear as
+// elidable `oracle?` entries, suspicion *transitions* as non-elidable
+// ORACLE lines.
+constexpr const char* kOracleGolden =
+    "counterexample timeline  run-id=a785a1db33d596e3\n"
+    "scenario:  fd n=3 seed=1 detector=benor-vac driver=ct-coordinator "
+    "oracle=omega stabilize-at=40 noise=0.6 byzantine=0 crashes=0\n"
+    "invariant: agreement\n"
+    "detail:    oracle rendering fixture\n"
+    "replay:    bit-identical to recorded trace\n"
+    "\n"
+    "p0:\n"
+    "  t=0\tstart\n"
+    "  t=5\tdetect[1] -> adopt(0)\n"
+    "  t=5\tdrive[1] -> 0\n"
+    "  t=21\tdetect[2] -> commit(0)\n"
+    "  t=21\tDECIDED 0\n"
+    "\n"
+    "p1:\n"
+    "  t=0\tstart\n"
+    "  t=8\tdetect[1] -> adopt(0)\n"
+    "  t=12\tdrive[1] -> 0\n"
+    "  t=23\tdetect[2] -> commit(0)\n"
+    "  t=23\tDECIDED 0\n"
+    "  t=23\tdrive[2] -> 0\n"
+    "\n"
+    "p2:\n"
+    "  t=0\tstart\n"
+    "  t=4\tdetect[1] -> adopt(0)\n"
+    "  t=12\toracle? p0 -> suspected\n"
+    "  t=12\tORACLE suspects p0\n"
+    "  t=12\tdrive[1] -> 0\n"
+    "  t=20\tdetect[2] -> commit(0)\n"
+    "  t=20\tDECIDED 0\n";
+
+TEST(Timeline, OracleGoldenRendering) {
+  const check::CounterexampleFile file = oracleFixture();
+  check::TimelineOptions options;
+  options.showDeliveries = false;
+  options.showTimers = false;
+  EXPECT_EQ(check::renderTimeline(file, options), kOracleGolden);
+}
+
+TEST(Timeline, SuspicionTransitionsSurviveTheEventCap) {
+  check::TimelineOptions options;
+  options.maxEventsPerProcess = 1;
+  const std::string text =
+      check::renderTimeline(oracleFixture(), options);
+  // Per-query oracle entries are elidable; the transition is not.
+  EXPECT_NE(text.find("ORACLE suspects p0"), std::string::npos);
+}
+
 TEST(Timeline, RoundTripThroughFileFormatRendersIdentically) {
   const check::CounterexampleFile file = goldenFixture();
   const check::CounterexampleFile reparsed =

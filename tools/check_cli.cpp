@@ -27,6 +27,7 @@
 #include "check/replay.hpp"
 #include "check/scenario.hpp"
 #include "check/strategy.hpp"
+#include "cli_args.hpp"
 #include "compose/composition.hpp"
 #include "compose/registry.hpp"
 #include "harness/scenarios.hpp"
@@ -59,6 +60,7 @@ struct CliOptions {
   bool huntAdoptWitness = false;
   std::string traceDir = "counterexamples";
   std::size_t maxFindings = 5;
+  std::size_t progressEvery = 0;
   std::string replayPath;
   std::string jsonPath;
   Tick budget = 0;        // 0: default budget grid
@@ -98,8 +100,12 @@ void printUsage(std::ostream& os) {
         "                    so restarts recover stale journals (expected "
         "to FAIL)\n"
         "  --max-findings N  stop after N findings (default 5)\n"
-        "  --trace-dir DIR   counterexample output dir (default "
-        "counterexamples)\n"
+        "  --trace-out DIR   counterexample output dir (default "
+        "counterexamples);\n"
+        "                    --trace-dir is accepted as an alias\n"
+        "  --progress N      print a progress line to stderr every N "
+        "explored\n"
+        "                    configurations (default: off)\n"
         "  --no-shrink       report findings without minimizing them\n"
         "  --no-termination  drop the termination invariant\n"
         "  --plant-vac-bug   Ben-Or only: plant the vac-adopt-flip fault\n"
@@ -299,41 +305,10 @@ int runReplay(const CliOptions& options) {
 
 int main(int argc, char** argv) {
   CliOptions options;
-  const auto next = [&](int& i) -> const char* {
-    if (i + 1 >= argc) {
-      std::cerr << "check: " << argv[i] << " needs a value\n";
-      std::exit(2);
-    }
-    return argv[++i];
-  };
-  const auto nextNumber = [&](int& i) -> std::uint64_t {
-    const char* flag = argv[i];
-    const std::string value = next(i);
-    try {
-      std::size_t consumed = 0;
-      const std::uint64_t parsed = std::stoull(value, &consumed);
-      if (consumed != value.size()) throw std::invalid_argument(value);
-      return parsed;
-    } catch (const std::exception&) {
-      std::cerr << "check: " << flag << " needs a number, got '" << value
-                << "'\n";
-      std::exit(2);
-    }
-  };
-  const auto nextDouble = [&](int& i) -> double {
-    const char* flag = argv[i];
-    const std::string value = next(i);
-    try {
-      std::size_t consumed = 0;
-      const double parsed = std::stod(value, &consumed);
-      if (consumed != value.size()) throw std::invalid_argument(value);
-      return parsed;
-    } catch (const std::exception&) {
-      std::cerr << "check: " << flag << " needs a number, got '" << value
-                << "'\n";
-      std::exit(2);
-    }
-  };
+  const ooc::cli::ArgParser args("check", argc, argv);
+  const auto next = [&](int& i) { return args.next(i); };
+  const auto nextNumber = [&](int& i) { return args.nextNumber(i); };
+  const auto nextDouble = [&](int& i) { return args.nextDouble(i); };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--family") options.family = next(i);
@@ -361,7 +336,9 @@ int main(int argc, char** argv) {
       options.crashBeforeSync = true;
     else if (arg == "--max-findings")
       options.maxFindings = nextNumber(i);
-    else if (arg == "--trace-dir") options.traceDir = next(i);
+    else if (arg == "--trace-out" || arg == "--trace-dir")
+      options.traceDir = next(i);
+    else if (arg == "--progress") options.progressEvery = nextNumber(i);
     else if (arg == "--no-shrink") options.shrink = false;
     else if (arg == "--no-termination") options.requireTermination = false;
     else if (arg == "--plant-vac-bug") options.plantVacBug = true;
@@ -454,6 +431,7 @@ int main(int argc, char** argv) {
   checker.shrink = options.shrink;
   checker.maxFindings = options.maxFindings;
   checker.traceDir = options.traceDir;
+  checker.progressEvery = options.progressEvery;
 
   // The registry stays disabled on plain sweeps (the 10k-seed check.sh path
   // must not pay telemetry costs); --json opts in. Counter/histogram updates
@@ -469,6 +447,7 @@ int main(int argc, char** argv) {
     std::string strategy;
     std::size_t configsExplored = 0;
     std::vector<Finding> findings;
+    SweepStats sweep;
   };
   std::vector<FamilyOutcome> outcomes;
 
@@ -484,16 +463,30 @@ int main(int argc, char** argv) {
     std::cout << "== " << toString(family) << ": exploring "
               << strategy->size() << " configurations (" << strategy->name()
               << ")\n";
+    const std::string familyName = toString(family);
+    checker.onProgress = [&familyName](std::size_t explored,
+                                       std::size_t total,
+                                       std::size_t findings) {
+      std::cerr << "   [" << familyName << "] " << explored << "/" << total
+                << " configurations, " << findings << " finding(s)\n";
+    };
     CheckReport report = explore(*strategy, invariants, checker);
     for (const Finding& finding : report.findings) printFinding(finding);
     std::cout << "   explored " << report.configsExplored
               << " configurations, " << report.findings.size()
-              << " violation(s)\n";
+              << " violation(s)";
+    if (report.sweep.elapsedSeconds > 0.0) {
+      std::cout << " [" << report.sweep.workers << " workers, "
+                << static_cast<std::uint64_t>(report.sweep.configsPerSec)
+                << " configs/s, " << report.sweep.steals << " steals]";
+    }
+    std::cout << "\n";
     totalFindings += report.findings.size();
     totalExplored += report.configsExplored;
-    outcomes.push_back(FamilyOutcome{toString(family), strategy->name(),
+    outcomes.push_back(FamilyOutcome{familyName, strategy->name(),
                                      report.configsExplored,
-                                     std::move(report.findings)});
+                                     std::move(report.findings),
+                                     std::move(report.sweep)});
   }
   std::cout << (totalFindings == 0 ? "OK" : "FAIL") << ": "
             << totalExplored << " configurations, " << totalFindings
@@ -523,6 +516,31 @@ int main(int argc, char** argv) {
         w.endObject();
       }
       w.endArray();
+      // Work-stealing driver telemetry. The only wall-clock (and thus
+      // non-reproducible) section of ooc.check.v1 — byte-diff consumers
+      // must strip the `sweep` objects first (everything else is
+      // deterministic for a fixed configuration).
+      const SweepStats& sweep = outcome.sweep;
+      w.key("sweep").beginObject();
+      w.key("workers").value(static_cast<std::uint64_t>(sweep.workers));
+      w.key("chunk_size").value(static_cast<std::uint64_t>(sweep.chunkSize));
+      w.key("chunks").value(sweep.chunksDealt);
+      w.key("steals").value(sweep.steals);
+      w.key("elapsed_seconds").value(sweep.elapsedSeconds);
+      w.key("configs_per_sec").value(sweep.configsPerSec);
+      w.key("per_worker").beginArray();
+      for (const WorkerStats& worker : sweep.perWorker) {
+        w.beginObject();
+        w.key("configs").value(worker.configs);
+        w.key("chunks_dealt").value(worker.chunksDealt);
+        w.key("chunks_owned").value(worker.chunksOwned);
+        w.key("chunks_stolen").value(worker.chunksStolen);
+        w.key("seconds").value(worker.seconds);
+        w.key("configs_per_sec").value(worker.configsPerSec);
+        w.endObject();
+      }
+      w.endArray();
+      w.endObject();
       w.endObject();
     }
     w.endArray();

@@ -1,0 +1,72 @@
+// Shared flag parsing for the tools/ CLIs.
+//
+// Every binary used to carry its own copy of the next/nextNumber/nextDouble
+// lambdas; this header is the single spelling. Error behaviour is part of
+// the CLI contract (scripts grep for it): a missing or malformed value
+// prints `<tool>: <flag> needs a ...` to stderr and exits with status 2.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+
+namespace ooc::cli {
+
+/// Cursor-style access to flag values in argv. The methods advance `i`
+/// past the consumed value, mirroring the loop variable of the usual
+/// `for (int i = 1; i < argc; ++i)` dispatch.
+class ArgParser {
+ public:
+  ArgParser(std::string tool, int argc, char** argv)
+      : tool_(std::move(tool)), argc_(argc), argv_(argv) {}
+
+  /// The value following flag argv[i], or exit(2) if argv ends first.
+  const char* next(int& i) const {
+    if (i + 1 >= argc_) {
+      std::cerr << tool_ << ": " << argv_[i] << " needs a value\n";
+      std::exit(2);
+    }
+    return argv_[++i];
+  }
+
+  /// next(), parsed as an unsigned integer (the whole token must parse).
+  std::uint64_t nextNumber(int& i) const {
+    const char* flag = argv_[i];
+    const std::string value = next(i);
+    try {
+      std::size_t consumed = 0;
+      const std::uint64_t parsed = std::stoull(value, &consumed);
+      if (consumed != value.size()) throw std::invalid_argument(value);
+      return parsed;
+    } catch (const std::exception&) {
+      std::cerr << tool_ << ": " << flag << " needs a number, got '" << value
+                << "'\n";
+      std::exit(2);
+    }
+  }
+
+  /// next(), parsed as a double (the whole token must parse).
+  double nextDouble(int& i) const {
+    const char* flag = argv_[i];
+    const std::string value = next(i);
+    try {
+      std::size_t consumed = 0;
+      const double parsed = std::stod(value, &consumed);
+      if (consumed != value.size()) throw std::invalid_argument(value);
+      return parsed;
+    } catch (const std::exception&) {
+      std::cerr << tool_ << ": " << flag << " needs a number, got '" << value
+                << "'\n";
+      std::exit(2);
+    }
+  }
+
+ private:
+  std::string tool_;
+  int argc_;
+  char** argv_;
+};
+
+}  // namespace ooc::cli

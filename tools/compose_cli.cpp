@@ -24,6 +24,9 @@
 #include <iostream>
 #include <string>
 
+#include "check/replay.hpp"
+#include "check/scenario.hpp"
+#include "cli_args.hpp"
 #include "compose/composition.hpp"
 #include "compose/matrix.hpp"
 #include "compose/registry.hpp"
@@ -49,6 +52,7 @@ struct CliOptions {
   std::int64_t oracleLag = -1;
   bool oracleLie = false;
   std::string jsonPath;
+  std::string traceOut;  // --spec only: recorded-run trace file
 };
 
 void printUsage(std::ostream& os) {
@@ -75,6 +79,9 @@ void printUsage(std::ostream& os) {
         "  --seed-base S     first matrix seed (default 9000)\n"
         "  --quick           matrix smoke mode: fewer runs per cell\n"
         "  --json FILE       write the matrix report\n"
+        "  --trace-out FILE  --spec only: record the run as a counterexample\n"
+        "                    file (readable by check --replay, trace_view\n"
+        "                    and ooc explain/ctrace)\n"
         "  --help            this text\n";
 }
 
@@ -167,6 +174,27 @@ int runSpec(const CliOptions& options) {
       std::cout << "    accuracy:     " << audit.accuracyDetail << "\n";
     if (!audit.convergenceOk)
       std::cout << "    convergence:  " << audit.convergenceDetail << "\n";
+  }
+  if (!options.traceOut.empty()) {
+    // Re-run the composition under the trace recorder (runs are pure
+    // functions of the configuration, so the recording matches the run
+    // reported above) and save it in the checker's counterexample format —
+    // the one trace spelling every tool reads.
+    check::Scenario scenario;
+    scenario.family = check::Family::kCompose;
+    scenario.compose = composition;
+    check::CounterexampleFile file;
+    file.scenario = scenario;
+    file.invariant = "none";
+    file.detail = "recorded by compose --trace-out (no violation)";
+    try {
+      file.trace = check::recordRun(scenario).trace;
+      check::writeCounterexampleFile(file, options.traceOut);
+    } catch (const std::exception& error) {
+      std::cerr << "compose: " << error.what() << "\n";
+      return 2;
+    }
+    std::cout << "  trace:      " << options.traceOut << "\n";
   }
   const bool ok = result.allDecided && !result.agreementViolated &&
                   !result.validityViolated && result.allAuditsOk &&
@@ -268,41 +296,10 @@ int runMatrixMode(const CliOptions& options) {
 
 int main(int argc, char** argv) {
   CliOptions options;
-  const auto next = [&](int& i) -> const char* {
-    if (i + 1 >= argc) {
-      std::cerr << "compose: " << argv[i] << " needs a value\n";
-      std::exit(2);
-    }
-    return argv[++i];
-  };
-  const auto nextNumber = [&](int& i) -> std::uint64_t {
-    const char* flag = argv[i];
-    const std::string value = next(i);
-    try {
-      std::size_t consumed = 0;
-      const std::uint64_t parsed = std::stoull(value, &consumed);
-      if (consumed != value.size()) throw std::invalid_argument(value);
-      return parsed;
-    } catch (const std::exception&) {
-      std::cerr << "compose: " << flag << " needs a number, got '" << value
-                << "'\n";
-      std::exit(2);
-    }
-  };
-  const auto nextDouble = [&](int& i) -> double {
-    const char* flag = argv[i];
-    const std::string value = next(i);
-    try {
-      std::size_t consumed = 0;
-      const double parsed = std::stod(value, &consumed);
-      if (consumed != value.size()) throw std::invalid_argument(value);
-      return parsed;
-    } catch (const std::exception&) {
-      std::cerr << "compose: " << flag << " needs a number, got '" << value
-                << "'\n";
-      std::exit(2);
-    }
-  };
+  const ooc::cli::ArgParser args("compose", argc, argv);
+  const auto next = [&](int& i) { return args.next(i); };
+  const auto nextNumber = [&](int& i) { return args.nextNumber(i); };
+  const auto nextDouble = [&](int& i) { return args.nextDouble(i); };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list") options.list = true;
@@ -322,6 +319,7 @@ int main(int argc, char** argv) {
     else if (arg == "--seed-base") options.seedBase = nextNumber(i);
     else if (arg == "--quick") options.quick = true;
     else if (arg == "--json") options.jsonPath = next(i);
+    else if (arg == "--trace-out") options.traceOut = next(i);
     else if (arg == "--help" || arg == "-h") {
       printUsage(std::cout);
       return 0;
@@ -340,6 +338,10 @@ int main(int argc, char** argv) {
        options.oracleLie) &&
       options.spec.empty()) {
     std::cerr << "compose: --oracle* flags need --spec\n";
+    return 2;
+  }
+  if (!options.traceOut.empty() && options.spec.empty()) {
+    std::cerr << "compose: --trace-out needs --spec\n";
     return 2;
   }
   if (!options.spec.empty()) return runSpec(options);

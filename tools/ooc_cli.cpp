@@ -1,0 +1,159 @@
+// `ooc` — causal-trace toolbox over recorded runs.
+//
+// Every subcommand starts from a counterexample/golden file (written by
+// `check`, `compose --trace-out` or `golden_gen`), re-executes the scenario
+// with the causal recorder attached — verifying the re-execution
+// bit-identical to the recorded trace — and works on the resulting event
+// DAG (vector clocks, cause edges, protocol annotations):
+//
+//   ooc explain FILE [--out PATH]   # decision provenance (ooc.explain.v1):
+//                                   # the minimal message chain behind each
+//                                   # decision, with annotations on it
+//   ooc ctrace FILE [--out PATH]    # the full DAG as ooc.ctrace.v1
+//   ooc audit FILE...               # check causal invariants: edges point
+//                                   # backward, vector clocks follow the
+//                                   # max-of-parents-plus-one rule, every
+//                                   # decision is reachable from a start
+//
+// Exit status: 0 ok, 1 audit violation or replay divergence, 2 usage.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "check/causal_run.hpp"
+#include "check/replay.hpp"
+#include "obs/causal/causal.hpp"
+#include "obs/causal/provenance.hpp"
+
+namespace {
+
+using namespace ooc;
+using namespace ooc::check;
+
+void printUsage(std::ostream& os) {
+  os << "usage: ooc COMMAND ...\n"
+        "  ooc explain FILE [--out PATH]   decision provenance "
+        "(ooc.explain.v1)\n"
+        "  ooc ctrace FILE [--out PATH]    causal event DAG (ooc.ctrace.v1)\n"
+        "  ooc audit FILE...               verify causal invariants\n"
+        "  FILE is a counterexample/golden trace written by check,\n"
+        "  compose --trace-out or golden_gen.\n";
+}
+
+int writeOrPrint(const std::string& document, const std::string& outPath) {
+  if (outPath.empty()) {
+    std::cout << document << '\n';
+    return 0;
+  }
+  std::ofstream out(outPath, std::ios::binary);
+  if (!out) {
+    std::cerr << "ooc: cannot write '" << outPath << "'\n";
+    return 2;
+  }
+  out << document << '\n';
+  return 0;
+}
+
+/// explain/ctrace share everything but the serializer.
+int runExport(const std::string& command, const std::vector<std::string>& args) {
+  std::string path;
+  std::string outPath;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--out") {
+      if (i + 1 >= args.size()) {
+        std::cerr << "ooc: --out needs a value\n";
+        return 2;
+      }
+      outPath = args[++i];
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      std::cerr << "ooc: unknown option '" << args[i] << "'\n";
+      return 2;
+    } else if (path.empty()) {
+      path = args[i];
+    } else {
+      std::cerr << "ooc: only one FILE\n";
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::cerr << "ooc: " << command << " needs a FILE\n";
+    return 2;
+  }
+
+  CounterexampleFile file;
+  try {
+    file = loadCounterexampleFile(path);
+  } catch (const std::exception& error) {
+    std::cerr << "ooc: " << error.what() << "\n";
+    return 2;
+  }
+  const CausalRun run = collectCausalRun(file.scenario, &file.trace);
+  if (!run.replayIdentical) {
+    std::cerr << "ooc: re-execution DIVERGED from the recorded trace\n";
+    if (run.divergence) std::cerr << "  " << *run.divergence << "\n";
+    return 1;
+  }
+  const causal::TraceMeta meta = causalMeta(file);
+  const std::string document = command == "explain"
+                                   ? causal::explainJson(run.trace, meta)
+                                   : causal::toCtraceJson(run.trace, meta);
+  return writeOrPrint(document, outPath);
+}
+
+int runAudit(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::cerr << "ooc: audit needs at least one FILE\n";
+    return 2;
+  }
+  bool allOk = true;
+  for (const std::string& path : args) {
+    CounterexampleFile file;
+    try {
+      file = loadCounterexampleFile(path);
+    } catch (const std::exception& error) {
+      std::cerr << "ooc: " << error.what() << "\n";
+      return 2;
+    }
+    const CausalRun run = collectCausalRun(file.scenario, &file.trace);
+    if (!run.replayIdentical) {
+      allOk = false;
+      std::cout << path << ": REPLAY DIVERGED\n";
+      if (run.divergence) std::cout << "  " << *run.divergence << "\n";
+      continue;
+    }
+    const causal::CausalAudit audit = causal::audit(run.trace);
+    if (audit.ok()) {
+      std::cout << path << ": ok (" << run.trace.nodes.size() << " events, "
+                << run.trace.annotations.size() << " annotations, "
+                << audit.decisions << " decisions)\n";
+    } else {
+      allOk = false;
+      std::cout << path << ": AUDIT FAILED\n";
+      for (const std::string& problem : audit.problems)
+        std::cout << "  " << problem << "\n";
+    }
+  }
+  return allOk ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    printUsage(std::cerr);
+    return 2;
+  }
+  const std::string command = argv[1];
+  if (command == "--help" || command == "-h" || command == "help") {
+    printUsage(std::cout);
+    return 0;
+  }
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "explain" || command == "ctrace")
+    return runExport(command, args);
+  if (command == "audit") return runAudit(args);
+  std::cerr << "ooc: unknown command '" << command << "'\n";
+  printUsage(std::cerr);
+  return 2;
+}

@@ -11,14 +11,19 @@
 //   trace_view counterexamples/agreement-0.trace
 //   trace_view --no-deliveries FILE        # protocol structure only
 //   trace_view --max-events 40 FILE        # cap scheduler noise per lane
+//   trace_view --perfetto FILE > t.json    # Chrome trace_event JSON for
+//                                          # ui.perfetto.dev
 //
-// Exit status: 0 rendered, 2 usage/parse failure.
+// Exit status: 0 rendered, 1 replay divergence (--perfetto), 2 usage/parse
+// failure.
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
+#include "check/causal_run.hpp"
 #include "check/replay.hpp"
 #include "check/timeline.hpp"
+#include "obs/causal/perfetto.hpp"
 
 namespace {
 
@@ -29,13 +34,34 @@ void printUsage(std::ostream& os) {
         "  --no-timers         hide timer-fire events\n"
         "  --max-events N      per-process cap on scheduler events "
         "(0 = unlimited)\n"
+        "  --perfetto          emit Chrome trace_event / Perfetto JSON "
+        "instead of\n"
+        "                      the text timeline (load in ui.perfetto.dev)\n"
         "  --help              this text\n";
+}
+
+int renderPerfetto(const std::string& path) {
+  const ooc::check::CounterexampleFile file =
+      ooc::check::loadCounterexampleFile(path);
+  const ooc::check::CausalRun run =
+      ooc::check::collectCausalRun(file.scenario, &file.trace);
+  if (!run.replayIdentical) {
+    std::cerr << "trace_view: re-execution DIVERGED from the recorded "
+                 "trace\n";
+    if (run.divergence) std::cerr << "  " << *run.divergence << "\n";
+    return 1;
+  }
+  std::cout << ooc::causal::toPerfettoJson(run.trace,
+                                           ooc::check::causalMeta(file))
+            << '\n';
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   ooc::check::TimelineOptions options;
+  bool perfetto = false;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -43,6 +69,8 @@ int main(int argc, char** argv) {
       options.showDeliveries = false;
     } else if (arg == "--no-timers") {
       options.showTimers = false;
+    } else if (arg == "--perfetto") {
+      perfetto = true;
     } else if (arg == "--max-events") {
       if (i + 1 >= argc) {
         std::cerr << "trace_view: --max-events needs a value\n";
@@ -70,6 +98,7 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (perfetto) return renderPerfetto(path);
     const ooc::check::CounterexampleFile file =
         ooc::check::loadCounterexampleFile(path);
     std::cout << ooc::check::renderTimeline(file, options);
