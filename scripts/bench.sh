@@ -47,6 +47,7 @@ bench_royal_family
 bench_replicated_log
 bench_paxos
 bench_recovery
+bench_svc
 bench_template_overhead
 bench_simcore
 "
@@ -126,9 +127,10 @@ fi
 #   simcore   events/sec per scenario (hot-path throughput)
 #   fd        mean rounds-to-decide per oracle-consuming pairing
 #   recovery  mean ticks-to-decide under the crash/restart mixes
+#   svc       committed commands per kilotick per service engine (E21)
 if [ "$JSON" = 1 ]; then
   COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
-  for mode in simcore fd recovery; do
+  for mode in simcore fd recovery svc; do
     run_json="$OUT/BENCH_${mode}.json"
     [ -f "$run_json" ] || continue
     python3 scripts/trajectory.py \

@@ -10,6 +10,9 @@
 #      bench/ scripts/). This keeps the schema reference honest: renaming
 #      a field in the writer without updating the docs fails CI, and so
 #      does documenting a field nothing emits.
+#   3. The reverse direction for schema TAGS: every "ooc.<name>.vN" schema
+#      identifier emitted anywhere in the source is documented in
+#      EXPERIMENTS.md, so a new writer cannot ship an undocumented schema.
 #
 #   scripts/docs_check.sh            # exits nonzero on any failure
 set -euo pipefail
@@ -59,8 +62,25 @@ for field in $fields; do
   fi
 done
 
+# --- 3. schema tags emitted vs documented ---------------------------------
+# Collect every literal ooc.<name>.vN schema tag the code emits and require
+# EXPERIMENTS.md to mention it. Tags assembled from variables (e.g.
+# trajectory.py's f-string "ooc.{mode}-trajectory.v1") are expanded by the
+# emitting script's own mode whitelist, so only fully literal tags are
+# collected here; the documented tag list must still cover the expansions,
+# which appear literally in EXPERIMENTS.md.
+tags=$(grep -rhoE '"ooc\.[a-z0-9_.-]+\.v[0-9]+"' src tools bench scripts \
+       | tr -d '"' | sort -u)
+for tag in $tags; do
+  if ! grep -qF "$tag" "$schema_doc"; then
+    echo "docs_check: source emits schema '$tag' but $schema_doc does not document it" >&2
+    failures=$((failures + 1))
+  fi
+done
+
 if [ "$failures" -ne 0 ]; then
   echo "FAIL: $failures docs problem(s)" >&2
   exit 1
 fi
-echo "OK: links resolve; all documented schema fields exist in source"
+echo "OK: links resolve; documented schema fields exist in source;" \
+     "emitted schema tags are documented"

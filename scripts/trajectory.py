@@ -13,6 +13,7 @@ MODE picks the metric and its polarity:
   simcore   events/sec gauges per scenario        (higher is better)
   fd        mean rounds_to_decide per pairing     (lower is better)
   recovery  mean ticks_to_decide per label set    (lower is better)
+  svc       committed cmds/ktick per engine (E21) (higher is better)
 """
 import json
 import sys
@@ -30,6 +31,12 @@ def extract(run, mode):
             for g in metrics.get("gauges", [])
             if g.get("name") == "simcore_events_per_sec"
         }
+    if mode == "svc":
+        return "committed_cmds_per_ktick", {
+            g["labels"]["engine"]: round(g["value"], 1)
+            for g in metrics.get("gauges", [])
+            if g.get("name") == "svc_mean_commands_per_ktick"
+        }
     name = "rounds_to_decide" if mode == "fd" else "ticks_to_decide"
     return f"mean_{name}", {
         label_key(h.get("labels", {})): round(h["sum"] / h["count"], 2)
@@ -40,9 +47,9 @@ def extract(run, mode):
 
 def main():
     run_path, traj_path, commit, quick, mode = (sys.argv + [""] * 6)[1:6]
-    if mode not in ("simcore", "fd", "recovery"):
+    if mode not in ("simcore", "fd", "recovery", "svc"):
         sys.exit(f"trajectory.py: unknown mode '{mode}'")
-    higher_is_better = mode == "simcore"
+    higher_is_better = mode in ("simcore", "svc")
 
     run = json.load(open(run_path))
     field, values = extract(run, mode)

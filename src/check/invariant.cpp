@@ -82,6 +82,22 @@ std::optional<Violation> FdConvergenceInvariant::check(
   return Violation{name(), report.fdConvergenceDetail};
 }
 
+std::optional<Violation> SvcPrefixInvariant::check(
+    const Scenario& scenario, const RunReport& report) const {
+  if (scenario.family != Family::kSvc) return std::nullopt;
+  if (report.svcPrefixOk) return std::nullopt;
+  return Violation{name(),
+                   "two nodes' applied logs disagree on their common prefix"};
+}
+
+std::optional<Violation> SvcExactlyOnceInvariant::check(
+    const Scenario& scenario, const RunReport& report) const {
+  if (scenario.family != Family::kSvc) return std::nullopt;
+  if (report.svcExactlyOnce) return std::nullopt;
+  return Violation{name(),
+                   "a command was applied twice or a batch won two decrees"};
+}
+
 std::optional<Violation> AdoptWitnessInvariant::check(
     const Scenario&, const RunReport& report) const {
   if (report.adoptMismatchWitnesses == 0) return std::nullopt;
@@ -102,6 +118,8 @@ std::vector<std::unique_ptr<Invariant>> safetySuite(bool requireTermination) {
   suite.push_back(std::make_unique<CommitRegressionInvariant>());
   suite.push_back(std::make_unique<FdCompletenessInvariant>());
   suite.push_back(std::make_unique<FdAccuracyInvariant>());
+  suite.push_back(std::make_unique<SvcPrefixInvariant>());
+  suite.push_back(std::make_unique<SvcExactlyOnceInvariant>());
   if (requireTermination) {
     // Convergence is the oracle's liveness promise — like termination, it
     // is only demanded of sweeps that expect runs to finish.

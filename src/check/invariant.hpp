@@ -127,6 +127,28 @@ class FdConvergenceInvariant final : public Invariant {
                                  const RunReport& report) const override;
 };
 
+/// Service prefix agreement: any two nodes' applied logs (and decree
+/// logs, for decree-based engines) agree on their common prefix — the
+/// multi-decree generalization of per-instance agreement. Svc family only.
+class SvcPrefixInvariant final : public Invariant {
+ public:
+  const char* name() const noexcept override {
+    return "svc-prefix-agreement";
+  }
+  std::optional<Violation> check(const Scenario&,
+                                 const RunReport& report) const override;
+};
+
+/// Service exactly-once commit: no client command is applied twice at any
+/// node and no batch wins two decrees (a batch is re-proposed only after
+/// it provably lost). Svc family only.
+class SvcExactlyOnceInvariant final : public Invariant {
+ public:
+  const char* name() const noexcept override { return "svc-exactly-once"; }
+  std::optional<Violation> check(const Scenario&,
+                                 const RunReport& report) const override;
+};
+
 /// §5 witness hunter: fires when a run contains a completed adopt-level
 /// outcome whose value differs from the run's decision — a schedule proving
 /// that "decide on adopt" would have broken agreement. This is not a bug in
@@ -143,7 +165,8 @@ class AdoptWitnessInvariant final : public Invariant {
 /// confidence, the crash-recovery durability monitors (vote amnesia,
 /// committed-entry regression), the FD-axiom monitors (completeness,
 /// accuracy always; convergence only with requireTermination, since it is
-/// the oracle's liveness promise), and (optionally) termination.
+/// the oracle's liveness promise), the service-log monitors (prefix
+/// agreement, exactly-once commit), and (optionally) termination.
 std::vector<std::unique_ptr<Invariant>> safetySuite(
     bool requireTermination = true);
 

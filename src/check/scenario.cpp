@@ -15,6 +15,7 @@ const char* toString(Family family) noexcept {
     case Family::kRaft: return "raft";
     case Family::kCompose: return "compose";
     case Family::kFd: return "fd";
+    case Family::kSvc: return "svc";
   }
   return "?";
 }
@@ -25,6 +26,7 @@ Family parseFamily(const std::string& name) {
   if (name == "raft") return Family::kRaft;
   if (name == "compose") return Family::kCompose;
   if (name == "fd") return Family::kFd;
+  if (name == "svc") return Family::kSvc;
   throw std::runtime_error("unknown scenario family '" + name + "'");
 }
 
@@ -35,6 +37,7 @@ std::uint64_t Scenario::seed() const noexcept {
     case Family::kRaft: return raft.seed;
     case Family::kCompose:
     case Family::kFd: return compose.seed;
+    case Family::kSvc: return svc.seed;
   }
   return 0;
 }
@@ -46,6 +49,7 @@ void Scenario::setSeed(std::uint64_t seed) noexcept {
     case Family::kRaft: raft.seed = seed; break;
     case Family::kCompose:
     case Family::kFd: compose.seed = seed; break;
+    case Family::kSvc: svc.seed = seed; break;
   }
 }
 
@@ -56,6 +60,7 @@ std::size_t Scenario::processCount() const noexcept {
     case Family::kRaft: return raft.n;
     case Family::kCompose:
     case Family::kFd: return compose.n;
+    case Family::kSvc: return svc.n;
   }
   return 0;
 }
@@ -130,6 +135,20 @@ RunReport runScenario(const Scenario& scenario,
       }
       break;
     }
+    case Family::kSvc: {
+      const auto result = svc::runSvc(scenario.svc, hooks);
+      report.messages = result.messagesByCorrect;
+      report.svcPrefixOk = result.prefixOk;
+      report.svcExactlyOnce = result.exactlyOnce;
+      report.svcCommandsCommitted = result.commandsCommitted;
+      // Termination for a service run: it quiesced inside the tick budget
+      // and — when no fault schedule removes proposers — every emitted
+      // command reached every node's applied log.
+      const bool faults =
+          !scenario.svc.crashes.empty() || !scenario.svc.restarts.empty();
+      report.allDecided = !result.hitCap && (faults || result.allApplied);
+      break;
+    }
   }
   return report;
 }
@@ -144,6 +163,8 @@ std::string serialize(const Scenario& scenario) {
     case Family::kCompose:
     case Family::kFd:
       return out + compose::serialize(scenario.compose);
+    case Family::kSvc:
+      return out + svc::serializeSvcConfig(scenario.svc);
   }
   return out;
 }
@@ -174,6 +195,12 @@ Scenario parseScenario(const std::string& text) {
       // rejected pairing (or incoherent oracle attachment) fails here
       // with the same diagnostic as the CLI.
       scenario.compose = compose::parseComposition(rest);
+      break;
+    case Family::kSvc:
+      // parseSvcConfig re-runs the engine capability gate, so a scenario
+      // file naming an inadmissible pairing fails here with the same
+      // diagnostic runSvc would throw.
+      scenario.svc = svc::parseSvcConfig(rest);
       break;
   }
   return scenario;
@@ -232,6 +259,26 @@ std::string describe(const Scenario& scenario) {
       if (scenario.compose.adversary.enabled())
         os << " adversary-budget="
            << scenario.compose.adversary.extraDelayMax;
+      break;
+    case Family::kSvc:
+      os << " engine=" << scenario.svc.engine;
+      if (scenario.svc.engine == "compose")
+        os << " detector=" << scenario.svc.detector
+           << " driver=" << scenario.svc.driver;
+      os << " window=" << scenario.svc.service.window
+         << " batch-max=" << scenario.svc.service.batchMax
+         << " crashes=" << scenario.svc.crashes.size();
+      if (!scenario.svc.restarts.empty()) {
+        os << " restarts=";
+        for (std::size_t i = 0; i < scenario.svc.restarts.size(); ++i) {
+          const auto& event = scenario.svc.restarts[i];
+          if (i > 0) os << ',';
+          os << 'p' << event.id << '@' << event.at << '+' << event.downtime;
+        }
+        os << (scenario.svc.service.durable ? " durable" : " volatile");
+      }
+      if (scenario.svc.adversary.enabled())
+        os << " adversary-budget=" << scenario.svc.adversary.extraDelayMax;
       break;
   }
   return os.str();

@@ -8,10 +8,11 @@
 #include <string>
 
 #include "harness/scenarios.hpp"
+#include "svc/run.hpp"
 
 namespace ooc::check {
 
-enum class Family { kBenOr, kPhaseKing, kRaft, kCompose, kFd };
+enum class Family { kBenOr, kPhaseKing, kRaft, kCompose, kFd, kSvc };
 
 const char* toString(Family family) noexcept;
 Family parseFamily(const std::string& name);
@@ -30,6 +31,7 @@ struct Scenario {
   harness::PhaseKingConfig phaseKing;
   harness::RaftScenarioConfig raft;
   compose::Composition compose;
+  svc::SvcConfig svc;
 
   std::uint64_t seed() const noexcept;
   void setSeed(std::uint64_t seed) noexcept;
@@ -77,6 +79,13 @@ struct RunReport {
   std::string fdAccuracyDetail;
   bool fdConvergenceOk = true;
   std::string fdConvergenceDetail;
+
+  /// Replicated-log service audits (svc family; trivially true elsewhere).
+  /// Prefix agreement is the multi-decree generalization of agreement;
+  /// exactly-once covers duplicate applies and batches winning two decrees.
+  bool svcPrefixOk = true;
+  bool svcExactlyOnce = true;
+  std::uint64_t svcCommandsCommitted = 0;
 };
 
 /// Runs the scenario to completion (one deterministic Simulator per call;

@@ -44,6 +44,7 @@ void eachAdversaryReduction(const Scenario& base,
   const auto set = [&](Tick budget) {
     Scenario candidate = base;
     auto& target = family == Family::kRaft ? candidate.raft.adversary
+                   : family == Family::kSvc ? candidate.svc.adversary
                    : family == Family::kCompose || family == Family::kFd
                        ? candidate.compose.adversary
                        : candidate.benOr.adversary;
@@ -67,6 +68,7 @@ void eachInputSimplification(const Scenario& base,
       case Family::kRaft: target = &candidate.raft.inputs; break;
       case Family::kCompose:
       case Family::kFd: target = &candidate.compose.inputs; break;
+      case Family::kSvc: return;  // the service has no input vector
     }
     std::fill(target->begin(), target->end(), v);
     out.push_back(std::move(candidate));
@@ -241,6 +243,67 @@ std::vector<Scenario> reductions(const Scenario& base) {
       }
       eachAdversaryReduction(base, config.adversary, out, Family::kCompose);
       eachInputSimplification(base, config.inputs, out, Family::kCompose);
+      break;
+    }
+    case Family::kSvc: {
+      const auto& config = base.svc;
+      eachCrashReduction(base, config, &Scenario::svc, out);
+      // Restart reductions mirror the Raft family's: drop each event, pull
+      // it earlier, shorten its downtime.
+      for (std::size_t i = 0; i < config.restarts.size(); ++i) {
+        Scenario candidate = base;
+        auto& restarts = candidate.svc.restarts;
+        restarts.erase(restarts.begin() + static_cast<std::ptrdiff_t>(i));
+        out.push_back(std::move(candidate));
+      }
+      for (std::size_t i = 0; i < config.restarts.size(); ++i) {
+        if (config.restarts[i].at > 1) {
+          Scenario candidate = base;
+          auto& event = candidate.svc.restarts[i];
+          event.at = std::max<Tick>(1, event.at / 2);
+          out.push_back(std::move(candidate));
+        }
+        if (config.restarts[i].downtime > 1) {
+          Scenario candidate = base;
+          auto& event = candidate.svc.restarts[i];
+          event.downtime = std::max<Tick>(1, event.downtime / 2);
+          out.push_back(std::move(candidate));
+        }
+      }
+      // Shallower pipeline, smaller batches, less traffic: a finding that
+      // survives with window=1 batch=1 is nearly the sequential log.
+      if (config.service.window > 1) {
+        Scenario candidate = base;
+        candidate.svc.service.window = config.service.window / 2;
+        out.push_back(std::move(candidate));
+      }
+      if (config.service.batchMax > 1) {
+        Scenario candidate = base;
+        candidate.svc.service.batchMax = config.service.batchMax / 2;
+        out.push_back(std::move(candidate));
+      }
+      if (config.workload.commandsPerNode > 2) {
+        Scenario candidate = base;
+        candidate.svc.workload.commandsPerNode =
+            config.workload.commandsPerNode / 2;
+        out.push_back(std::move(candidate));
+      }
+      if (config.n > 3) {
+        Scenario candidate = base;
+        auto& c = candidate.svc;
+        --c.n;
+        c.t.reset();
+        dropCrashesAbove(c.crashes, c.n);
+        std::erase_if(c.restarts,
+                      [&c](const auto& event) { return event.id >= c.n; });
+        out.push_back(std::move(candidate));
+      }
+      if (config.maxDelay > config.minDelay) {
+        Scenario candidate = base;
+        candidate.svc.maxDelay = config.minDelay;
+        out.push_back(std::move(candidate));
+      }
+      eachAdversaryReduction(base, config.adversary, out, Family::kSvc);
       break;
     }
   }

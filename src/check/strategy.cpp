@@ -135,6 +135,22 @@ Scenario RandomWalkStrategy::generate(std::size_t index) const {
         config.maxDelay = config.minDelay + meta.below(30);
       break;
     }
+    case Family::kSvc: {
+      auto& config = scenario.svc;
+      if (options_.randomizeCrashes) {
+        config.crashes = randomCrashes(config.n, (config.n - 1) / 2,
+                                       options_.crashTickMax, meta);
+      }
+      if (options_.randomizeInputs) {
+        // The service has no input vector; the configuration freedom the
+        // walk explores instead is the pipeline shape.
+        config.service.window = 1 + meta.below(4);
+        config.service.batchMax = 1 + meta.below(6);
+      }
+      if (options_.randomizeDelays)
+        config.maxDelay = config.minDelay + meta.below(12);
+      break;
+    }
   }
   return scenario;
 }
@@ -167,6 +183,8 @@ Scenario DelayBoundStrategy::generate(std::size_t index) const {
   else if (scenario.family == Family::kCompose ||
            scenario.family == Family::kFd)
     scenario.compose.adversary = adversary;
+  else if (scenario.family == Family::kSvc)
+    scenario.svc.adversary = adversary;
   else
     scenario.raft.adversary = adversary;
   return scenario;
@@ -241,6 +259,8 @@ Scenario CrashScheduleStrategy::generate(std::size_t index) const {
   else if (scenario.family == Family::kCompose ||
            scenario.family == Family::kFd)
     scenario.compose.crashes = std::move(crashes);
+  else if (scenario.family == Family::kSvc)
+    scenario.svc.crashes = std::move(crashes);
   else
     scenario.raft.crashes = std::move(crashes);
   return scenario;
@@ -367,6 +387,64 @@ Scenario OracleQualityStrategy::generate(std::size_t index) const {
   scenario.compose.oracle = cell.oracle;
   scenario.compose.oracleKnobs = cell.knobs;
   scenario.compose.crashes = options_.crashSchedules[cell.crashSchedule];
+  scenario.setSeed(options_.seedBase + index % options_.seedsPerCell);
+  return scenario;
+}
+
+// ---------------------------------------------------------------------------
+// SvcPipelineStrategy
+
+SvcPipelineStrategy::SvcPipelineStrategy(Scenario base, Options options)
+    : base_(std::move(base)), options_(std::move(options)) {
+  if (base_.family != Family::kSvc)
+    throw std::invalid_argument(
+        "svc-pipeline enumeration needs the svc family");
+  if (options_.windows.empty() || options_.batchCaps.empty() ||
+      options_.crashTicks.empty() || options_.downtimes.empty() ||
+      options_.seedsPerCell == 0)
+    throw std::invalid_argument("svc-pipeline strategy needs a grid");
+
+  for (const std::uint64_t window : options_.windows) {
+    for (const std::size_t batchMax : options_.batchCaps) {
+      Cell cell;
+      cell.window = window;
+      cell.batchMax = batchMax;
+      cells_.push_back(cell);  // the fault-free run
+      for (const Tick at : options_.crashTicks) {
+        cell.fault = Cell::Fault::kCrash;
+        cell.at = at;
+        cells_.push_back(cell);
+        cell.fault = Cell::Fault::kRestart;
+        for (const Tick downtime : options_.downtimes) {
+          cell.downtime = downtime;
+          cells_.push_back(cell);
+        }
+      }
+    }
+  }
+}
+
+Scenario SvcPipelineStrategy::generate(std::size_t index) const {
+  const Cell& cell = cells_[index / options_.seedsPerCell];
+  Scenario scenario = base_;
+  auto& config = scenario.svc;
+  config.service.window = cell.window;
+  config.service.batchMax = cell.batchMax;
+  config.crashes.clear();
+  config.restarts.clear();
+  // Fault the second node: node 0 stays the reference commit timeline.
+  const ProcessId victim = config.n > 1 ? 1 : 0;
+  switch (cell.fault) {
+    case Cell::Fault::kNone: break;
+    case Cell::Fault::kCrash:
+      config.crashes.emplace_back(victim, cell.at);
+      break;
+    case Cell::Fault::kRestart:
+      config.restarts.push_back({victim, cell.at, cell.downtime});
+      // Restart cells exercise the journal + quarantine recovery path.
+      config.service.durable = true;
+      break;
+  }
   scenario.setSeed(options_.seedBase + index % options_.seedsPerCell);
   return scenario;
 }

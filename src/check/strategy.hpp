@@ -200,6 +200,49 @@ class OracleQualityStrategy final : public ExplorationStrategy {
   std::vector<Cell> cells_;  // registry-valid cells only
 };
 
+/// Service-pipeline enumeration for the svc family: a grid of pipeline
+/// windows × batch caps × fault schedules — the crash-free run, one
+/// permanent crash per crash tick, and one crash-restart per (crash tick,
+/// downtime) cell — swept over `seedsPerCell` run seeds. Restart cells
+/// force the durable journal on: a volatile restart under the quarantine
+/// discipline is a separate, deliberately weaker configuration that the
+/// random walk covers. Svc only.
+class SvcPipelineStrategy final : public ExplorationStrategy {
+ public:
+  struct Options {
+    std::vector<std::uint64_t> windows = {1, 2, 4};
+    std::vector<std::size_t> batchCaps = {1, 4};
+    /// Early ticks race the fault against the first decrees; later ones
+    /// hit a pipeline in flight.
+    std::vector<Tick> crashTicks = {30, 120, 400};
+    std::vector<Tick> downtimes = {40, 200};
+    std::size_t seedsPerCell = 3;
+    std::uint64_t seedBase = 1;
+  };
+
+  /// Throws std::invalid_argument for non-svc families or empty grids.
+  SvcPipelineStrategy(Scenario base, Options options);
+
+  const char* name() const noexcept override { return "svc-pipeline"; }
+  std::size_t size() const noexcept override {
+    return cells_.size() * options_.seedsPerCell;
+  }
+  Scenario generate(std::size_t index) const override;
+
+ private:
+  struct Cell {
+    std::uint64_t window = 1;
+    std::size_t batchMax = 1;
+    enum class Fault { kNone, kCrash, kRestart } fault = Fault::kNone;
+    Tick at = 0;
+    Tick downtime = 0;
+  };
+
+  Scenario base_;
+  Options options_;
+  std::vector<Cell> cells_;
+};
+
 /// Concatenation of strategies (indices are assigned in order).
 class CompositeStrategy final : public ExplorationStrategy {
  public:

@@ -81,6 +81,14 @@ struct DriverCapability {
   /// Oracle class the driver consumes (kNone for the oracle-free
   /// majority). resolve() rejects a mismatch in either direction.
   OracleRequirement oracle = OracleRequirement::kNone;
+  /// Whether the driver's returned value ranges over the invokers'
+  /// proposals (any 64-bit command) rather than a fixed binary coin
+  /// domain. The multi-decree replicated-log service (src/svc/) gates on
+  /// this: a binary coin can never return a client command, so a
+  /// coin-driven log would decide values nobody proposed. The lottery
+  /// (uniform choice among invoker values) and keep-value qualify; the
+  /// coins do not.
+  bool multivalued = false;
 };
 
 }  // namespace ooc::compose

@@ -210,6 +210,10 @@ void registerBuiltins(Registry& reg) {
     e.name = "keep-value";
     e.capability = {DriverClass::kReconciliator, InvocationMode::kAny,
                     /*toleratesByzantine=*/true, /*requiresEveryProcess=*/false};
+    // Returns whatever value the invoker holds — domain-agnostic, so it is
+    // multivalued-capable (though it breaks no symmetry: a contended
+    // multivalued instance may exhaust its round cap).
+    e.capability.multivalued = true;
     e.make = [](const ObjectParams&) {
       return benor::KeepValueReconciliator::factory();
     };
@@ -222,6 +226,10 @@ void registerBuiltins(Registry& reg) {
     // invoker could stuff the draw; crash model only.
     e.capability = {DriverClass::kReconciliator, InvocationMode::kAny,
                     /*toleratesByzantine=*/false, /*requiresEveryProcess=*/true};
+    // Uniform choice among the invokers' tickets: the returned value is one
+    // of the proposals, whatever their domain — the fair multivalued
+    // driver the replicated-log layers build on (E16, src/svc/).
+    e.capability.multivalued = true;
     e.make = [](const ObjectParams& p) {
       return benor::LotteryReconciliator::factory(p.t, p.seed ^ 0x107734ull);
     };
@@ -274,6 +282,7 @@ void registerBuiltins(Registry& reg) {
                     /*toleratesByzantine=*/false,
                     /*requiresEveryProcess=*/true,
                     OracleRequirement::kEventualLeader};
+    e.capability.multivalued = true;  // adopts the coordinator's value
     e.makeWithOracle = [](const ObjectParams&,
                           std::shared_ptr<const fd::Oracle> oracle) {
       return fd::CoordinatorReconciliator::factory(
@@ -293,6 +302,7 @@ void registerBuiltins(Registry& reg) {
                     /*toleratesByzantine=*/false,
                     /*requiresEveryProcess=*/true,
                     OracleRequirement::kPerfect};
+    e.capability.multivalued = true;  // adopts the coordinator's value
     e.makeWithOracle = [](const ObjectParams&,
                           std::shared_ptr<const fd::Oracle> oracle) {
       return fd::CoordinatorReconciliator::factory(

@@ -56,8 +56,9 @@ ReplicatedLogNode::ReplicatedLogNode(std::vector<Value> commands,
     : detectorFactory_(std::move(detectorFactory)),
       driverFactory_(std::move(driverFactory)),
       options_(options),
-      pending_(commands.begin(), commands.end()) {
-  for (Value command : commands) {
+      initialCommands_(std::move(commands)),
+      pending_(initialCommands_.begin(), initialCommands_.end()) {
+  for (Value command : initialCommands_) {
     if (command <= kNoopCommand)
       throw std::invalid_argument("client commands must be positive");
   }
@@ -75,8 +76,32 @@ ReplicatedLogNode::~ReplicatedLogNode() = default;
 
 void ReplicatedLogNode::onStart() { openCurrentSlot(); }
 
+void ReplicatedLogNode::onRestart() {
+  // Non-durable fresh boot. Every volatile structure is rebuilt from
+  // scratch and the constructor workload re-queued; the simulator already
+  // purged this node's timers and will drop in-flight messages addressed
+  // to the previous incarnation. Peers may be many slots ahead by now —
+  // with no catch-up protocol this node may never re-decide pruned slots,
+  // so only the prefix property is promised after a restart (the svc layer
+  // adds durable recovery plus catch-up; see DESIGN.md §12). The default
+  // onRestart -> onStart path would instead have re-opened slot_ on top of
+  // a surviving engine; this override replaces it.
+  active_.clear();
+  timerSlot_.clear();
+  buffered_.clear();
+  log_.clear();
+  pending_.assign(initialCommands_.begin(), initialCommands_.end());
+  slot_ = 0;
+  openCurrentSlot();
+}
+
 void ReplicatedLogNode::openCurrentSlot() {
   if (slot_ >= options_.maxSlots) return;
+  if (active_.contains(slot_)) return;
+  // Idle detection: open only when this node has work to propose or a peer
+  // already opened the slot (buffered traffic). A drained, quiet cluster
+  // opens nothing and the run quiesces.
+  if (pending_.empty() && !buffered_.contains(slot_)) return;
   const Value proposal = pending_.empty() ? kNoopCommand : pending_.front();
   ActiveSlot active;
   active.context = std::make_unique<SlotContextImpl>(*this, slot_);
@@ -131,8 +156,13 @@ void ReplicatedLogNode::onMessage(ProcessId from, const Message& message) {
     engine->second.engine->onMessage(from, slotted->inner());
     return;
   }
-  if (slot > slot_) {
+  if (slot >= slot_) {
+    // Not reached (slot > slot_) or not yet opened (slot == slot_, idle
+    // node): buffer, and join the current slot reactively — a no-op
+    // proposal keeps the quorum whole without inventing work.
     buffered_[slot].emplace_back(from, slotted->innerPtr());
+    if (slot == slot_) openCurrentSlot();
+    return;
   }
   // slot < slot_ with no engine: pruned, drop.
 }

@@ -15,6 +15,14 @@
 // lottery) gives liveness: every pending command is eventually committed
 // exactly once, with probability 1.
 //
+// Idle detection. A slot is opened only when there is work: the node has a
+// pending command, or a peer's traffic for the slot has arrived (the node
+// then joins reactively, proposing a no-op). A fully drained cluster
+// therefore stops opening slots, its retired engines quiesce, and the
+// simulator's event queue drains — no stop predicate needed. Without this,
+// drained nodes would propose no-op decrees forever (capped only by
+// Options::maxSlots).
+//
 // Implementation note: each slot hosts an unmodified ConsensusProcess; the
 // node hands it a per-slot Context adapter that wraps sends in a
 // SlotMessage envelope and captures decide() locally instead of reporting
@@ -93,6 +101,7 @@ class ReplicatedLogNode final : public Process {
   ~ReplicatedLogNode() override;
 
   void onStart() override;
+  void onRestart() override;
   void onMessage(ProcessId from, const Message& message) override;
   void onTimer(TimerId id) override;
   void onTick(Tick tick) override;
@@ -119,6 +128,9 @@ class ReplicatedLogNode final : public Process {
   SlotDriverFactory driverFactory_;
   Options options_;
 
+  /// The constructor-supplied workload, kept verbatim so a (non-durable)
+  /// crash-restart can re-queue it: a restart is a fresh boot.
+  std::vector<Value> initialCommands_;
   std::deque<Value> pending_;
   std::vector<Value> log_;
   /// Lowest undecided slot at this node.

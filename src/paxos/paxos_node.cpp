@@ -89,7 +89,7 @@ void PaxosNode::onRestart() {
   attempt_ = promised_ / ctx().processCount() + 1;
   record(Confidence::kVacillate,
          acceptedBallot_ != 0 ? acceptedValue_ : input_);
-  if (!decided_) armRetryTimer();
+  if (!decided_ && config_.propose) armRetryTimer();
 }
 
 void PaxosNode::record(Confidence confidence, Value value) {
@@ -104,7 +104,7 @@ void PaxosNode::record(Confidence confidence, Value value) {
 void PaxosNode::onStart() {
   promiseFrom_.assign(ctx().processCount(), false);
   record(Confidence::kVacillate, input_);
-  armRetryTimer();
+  if (config_.propose) armRetryTimer();
 }
 
 void PaxosNode::armRetryTimer() {

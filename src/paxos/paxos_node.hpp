@@ -37,6 +37,12 @@ struct PaxosConfig {
   /// Multiplier applied per consecutive failed ballot (capped).
   double backoffFactor = 1.5;
   Tick backoffCap = 2000;
+  /// Whether this node drives ballots for its input. A passive node is
+  /// acceptor + learner only: it answers Prepare/Accept and learns the
+  /// decision from Accepted broadcasts, but never arms the retry timer.
+  /// The multi-decree service (src/svc/) runs one proposer per decree this
+  /// way, giving Multi-Paxos-style contention-free decrees.
+  bool propose = true;
   /// Crash-recovery durability: journal the acceptor state
   /// (promised/accepted) and the learned decision to a simulated
   /// write-ahead log, recovered on restart. Paxos' safety argument REQUIRES

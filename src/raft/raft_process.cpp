@@ -248,6 +248,16 @@ void RaftProcess::becomeLeader() {
   std::fill(nextIndex_.begin(), nextIndex_.end(), lastLogIndex() + 1);
   std::fill(matchIndex_.begin(), matchIndex_.end(), LogIndex{0});
   matchIndex_[ctx().self()] = lastLogIndex();
+  if (lastLogIndex() > commitIndex_) {
+    // Uncommitted (prior-term) tail: append the subclass's no-op barrier so
+    // the commit rule has a current-term entry to fire on (see
+    // leaderBarrier()).
+    if (const std::optional<Value> barrier = leaderBarrier()) {
+      log_.push_back(LogEntry{currentTerm_, *barrier});
+      persistEntry(log_.back());
+      matchIndex_[ctx().self()] = lastLogIndex();
+    }
+  }
   OOC_DEBUG("raft p", ctx().self(), " -> LEADER (t=", currentTerm_, ")");
   onRoleChanged(old);
   onBecameLeader();

@@ -108,6 +108,20 @@ class RaftProcess : public Process {
   /// re-restore snapshots under the new incarnation).
   virtual void onVolatileReset() {}
 
+  /// Raft §8 liveness hook: a command the subclass's state machine treats
+  /// as a no-op. The commit rule (advanceCommitIndex counts only
+  /// current-term entries) means a fresh leader whose log ends in
+  /// prior-term entries cannot advance the commit index until something is
+  /// appended in its own term. If every client command it is offered is
+  /// already sitting in that uncommitted tail — submit-side dedup — nothing
+  /// ever is, and the cluster stalls under a perfectly stable leader.
+  /// Returning a value makes becomeLeader() append it as a current-term
+  /// barrier entry whenever an uncommitted tail exists, which flushes the
+  /// tail on the next quorum of replies. The default (nullopt) keeps the
+  /// single-decree consensus usage no-op-free: there, the new leader always
+  /// has a fresh proposal of its own to append.
+  virtual std::optional<Value> leaderBarrier() const { return std::nullopt; }
+
   /// Snapshot support: serialize the state machine as applied through
   /// lastApplied() (opaque payload shipped in InstallSnapshot), and restore
   /// from such a payload. Subclasses with state must override both;

@@ -1,0 +1,198 @@
+// Sequential replicated-log tests (src/log): the idle-quiescence
+// regression, the prefix property under crashes, exactly-once commit, and
+// the documented (weaker) contract of a non-durable crash-restart. The
+// pipelined service generalization is covered by svc_test.cpp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "benor/reconciliators.hpp"
+#include "benor/vac.hpp"
+#include "log/replicated_log.hpp"
+#include "sim/simulator.hpp"
+
+namespace ooc {
+namespace {
+
+struct LogRun {
+  std::vector<log::ReplicatedLogNode*> nodes;
+  Simulator sim;
+};
+
+struct LogRunResult {
+  bool hitCap = false;
+  Tick lastTick = 0;
+  std::vector<std::vector<Value>> logs;       // full, no-ops included
+  std::vector<std::vector<Value>> committed;  // no-ops excluded
+};
+
+/// Builds an n-node Ben-Or-VAC + lottery log cluster with the given
+/// per-node workloads and runs it. No stop predicate: since idle
+/// detection, a drained cluster quiesces by itself and run() returns when
+/// the event queue empties.
+LogRunResult runLog(const std::vector<std::vector<Value>>& workloads,
+                    std::uint64_t seed,
+                    std::vector<std::pair<ProcessId, Tick>> crashes = {},
+                    std::vector<std::pair<ProcessId, Tick>> restarts = {},
+                    Tick maxTicks = 2'000'000) {
+  const std::size_t n = workloads.size();
+  SimConfig simConfig;
+  simConfig.seed = seed;
+  simConfig.maxTicks = maxTicks;
+  UniformDelayNetwork::Options net;
+  net.minDelay = 1;
+  net.maxDelay = 8;
+  Simulator sim(simConfig, std::make_unique<UniformDelayNetwork>(net));
+
+  const std::size_t t = (n - 1) / 2;
+  std::vector<log::ReplicatedLogNode*> nodes;
+  for (ProcessId id = 0; id < n; ++id) {
+    auto node = std::make_unique<log::ReplicatedLogNode>(
+        workloads[id],
+        [t](std::uint64_t) { return benor::BenOrVac::factory(t); },
+        [t, seed](std::uint64_t slot) {
+          return benor::LotteryReconciliator::factory(
+              t, seed ^ (slot * 0x9E3779B97F4A7C15ull));
+        },
+        log::ReplicatedLogNode::Options{});
+    nodes.push_back(node.get());
+    sim.addProcess(std::move(node));
+  }
+  for (const auto& [id, tick] : crashes) sim.crashAt(id, tick);
+  for (const auto& [id, tick] : restarts) sim.restartAt(id, tick, 60);
+  sim.run();
+
+  LogRunResult result;
+  result.hitCap = sim.hitCap();
+  result.lastTick = sim.now();
+  for (const auto* node : nodes) {
+    result.logs.push_back(node->log());
+    result.committed.push_back(node->committedCommands());
+  }
+  return result;
+}
+
+std::vector<std::vector<Value>> evenWorkloads(std::size_t n,
+                                              std::uint32_t perNode) {
+  std::vector<std::vector<Value>> workloads(n);
+  for (ProcessId id = 0; id < n; ++id)
+    for (std::uint32_t k = 0; k < perNode; ++k)
+      workloads[id].push_back(log::makeCommand(id, k + 1));
+  return workloads;
+}
+
+bool isPrefix(const std::vector<Value>& shorter,
+              const std::vector<Value>& longer) {
+  return shorter.size() <= longer.size() &&
+         std::equal(shorter.begin(), shorter.end(), longer.begin());
+}
+
+// The no-op-forever regression: before idle detection, drained nodes kept
+// opening slots (proposing no-ops) until Options::maxSlots, so a finite
+// workload produced an unbounded no-op tail and the run never quiesced.
+// With idle detection the cluster must stop on its own, promptly, with a
+// bounded log.
+TEST(ReplicatedLog, DrainedClusterQuiesces) {
+  const auto workloads = evenWorkloads(3, 4);
+  const LogRunResult result = runLog(workloads, /*seed=*/7);
+  ASSERT_FALSE(result.hitCap);
+  // Every command committed at every node...
+  for (const auto& committed : result.committed)
+    EXPECT_EQ(committed.size(), 12u);
+  // ...and the log did not grow a no-op tail after draining: slots are
+  // bounded by total commands plus the no-ops lost to races while work
+  // was still pending.
+  EXPECT_LE(result.logs[0].size(), 3 * 12u);
+  // Quiescence happened promptly, not at the tick cap.
+  EXPECT_LT(result.lastTick, 100'000u);
+}
+
+TEST(ReplicatedLog, LogsIdenticalAndExactlyOnceFaultFree) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto workloads = evenWorkloads(5, 3);
+    const LogRunResult result = runLog(workloads, seed);
+    ASSERT_FALSE(result.hitCap) << "seed " << seed;
+    for (std::size_t id = 1; id < result.logs.size(); ++id)
+      EXPECT_EQ(result.logs[id], result.logs[0]) << "seed " << seed;
+    // Exactly once: each of the 15 commands appears exactly once.
+    std::map<Value, int> count;
+    for (Value cmd : result.committed[0]) ++count[cmd];
+    EXPECT_EQ(count.size(), 15u) << "seed " << seed;
+    for (const auto& [cmd, c] : count)
+      EXPECT_EQ(c, 1) << "command " << cmd << " seed " << seed;
+  }
+}
+
+// A node with no client commands of its own must not invent slots; it
+// joins peers' slots reactively (proposing no-ops) and still learns the
+// full log.
+TEST(ReplicatedLog, IdleNodeJoinsReactively) {
+  auto workloads = evenWorkloads(3, 4);
+  workloads[2].clear();
+  const LogRunResult result = runLog(workloads, /*seed=*/11);
+  ASSERT_FALSE(result.hitCap);
+  EXPECT_EQ(result.logs[2], result.logs[0]);
+  EXPECT_EQ(result.committed[0].size(), 8u);
+}
+
+// Prefix property under a permanent crash: the crashed node's log is
+// frozen at crash time but must remain a prefix of the survivors' logs
+// (decided slots are final); survivors still commit all THEIR commands.
+TEST(ReplicatedLog, CrashedNodeLogIsPrefixOfSurvivors) {
+  for (std::uint64_t seed = 20; seed <= 24; ++seed) {
+    const auto workloads = evenWorkloads(5, 3);
+    const LogRunResult result =
+        runLog(workloads, seed, /*crashes=*/{{1, 120}});
+    ASSERT_FALSE(result.hitCap) << "seed " << seed;
+    const auto& reference = result.logs[0];
+    for (ProcessId id = 0; id < 5; ++id) {
+      if (id == 1) {
+        EXPECT_TRUE(isPrefix(result.logs[1], reference)) << "seed " << seed;
+      } else {
+        EXPECT_EQ(result.logs[id], reference) << "seed " << seed;
+      }
+    }
+    // Survivors' commands all committed exactly once.
+    std::map<Value, int> count;
+    for (Value cmd : result.committed[0]) ++count[cmd];
+    for (ProcessId id = 0; id < 5; ++id) {
+      if (id == 1) continue;
+      for (Value cmd : workloads[id])
+        EXPECT_EQ(count[cmd], 1) << "seed " << seed;
+    }
+  }
+}
+
+// Crash-restart schedule: the sequential log is non-durable, so a restart
+// is a fresh boot (re-queued workload, slot 0). The documented contract is
+// prefix agreement only — the restarted node may re-commit a command into
+// a later slot (no journal, no dedup) and may never re-learn pruned slots.
+// The svc layer is where durability and exactly-once-across-restarts live;
+// here we pin down exactly what the base layer does promise: surviving
+// nodes' logs stay identical, and every node's log is a prefix of the
+// longest.
+TEST(ReplicatedLog, RestartPreservesPrefixAgreement) {
+  for (std::uint64_t seed = 40; seed <= 43; ++seed) {
+    const auto workloads = evenWorkloads(5, 3);
+    const LogRunResult result =
+        runLog(workloads, seed, /*crashes=*/{}, /*restarts=*/{{2, 100}});
+    ASSERT_FALSE(result.hitCap) << "seed " << seed;
+    const auto* longest = &result.logs[0];
+    for (const auto& log : result.logs)
+      if (log.size() > longest->size()) longest = &log;
+    for (ProcessId id = 0; id < 5; ++id)
+      EXPECT_TRUE(isPrefix(result.logs[id], *longest))
+          << "node " << id << " seed " << seed;
+    // Never-faulted nodes agree exactly.
+    for (ProcessId id = 1; id < 5; ++id) {
+      if (id == 2) continue;
+      EXPECT_EQ(result.logs[id], result.logs[0]) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ooc

@@ -1,0 +1,179 @@
+// Multi-decree replicated-log service tests (src/svc): the three engines
+// under the deterministic client workload, pipelining and batching,
+// byte-identical determinism, durable restart + catch-up, the serialized
+// config round-trip, and the registry capability gate.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "svc/run.hpp"
+
+namespace ooc::svc {
+namespace {
+
+SvcConfig smokeConfig(const std::string& engine) {
+  SvcConfig config;
+  config.engine = engine;
+  config.detector = "benor-vac";
+  config.driver = "lottery";
+  config.n = 5;
+  config.seed = 4242;
+  config.minDelay = 1;
+  config.maxDelay = 6;
+  config.service.window = 2;
+  config.service.batchMax = 4;
+  config.workload.clients = 1000;
+  config.workload.commandsPerNode = 8;
+  config.workload.closedLoop = true;
+  config.workload.thinkMin = 5;
+  config.workload.thinkMax = 40;
+  config.workload.startSpread = 16;
+  return config;
+}
+
+TEST(Svc, ThreeEngineSmoke) {
+  for (const std::string engine : {"compose", "paxos", "raft"}) {
+    const SvcResult result = runSvc(smokeConfig(engine));
+    EXPECT_TRUE(result.prefixOk) << engine;
+    EXPECT_TRUE(result.exactlyOnce) << engine;
+    EXPECT_TRUE(result.allApplied) << engine;
+    EXPECT_FALSE(result.hitCap) << engine;
+    EXPECT_EQ(result.commandsCommitted, 40u) << engine;
+    EXPECT_EQ(result.commandsEmitted, 40u) << engine;
+  }
+}
+
+// Pipelining: a window-4 run must stay correct and commit the same command
+// set as the sequential window-1 discipline on the same workload.
+TEST(Svc, PipelineWindowCorrectness) {
+  SvcConfig sequential = smokeConfig("compose");
+  sequential.service.window = 1;
+  SvcConfig pipelined = smokeConfig("compose");
+  pipelined.service.window = 4;
+  const SvcResult a = runSvc(sequential);
+  const SvcResult b = runSvc(pipelined);
+  for (const SvcResult* r : {&a, &b}) {
+    EXPECT_TRUE(r->prefixOk);
+    EXPECT_TRUE(r->exactlyOnce);
+    EXPECT_TRUE(r->allApplied);
+    EXPECT_EQ(r->commandsCommitted, 40u);
+  }
+}
+
+// Batching: under an open-loop burst the proposer packs more than one
+// command per decree, and decrees committed < commands committed shows it.
+TEST(Svc, BatchingPacksBursts) {
+  SvcConfig config = smokeConfig("compose");
+  config.workload.closedLoop = false;
+  config.workload.arrivalsPerTick = 0.5;
+  config.workload.burstEvery = 100;
+  config.workload.burstLen = 20;
+  config.workload.burstFactor = 4.0;
+  config.service.batchMax = 8;
+  const SvcResult result = runSvc(config);
+  EXPECT_TRUE(result.prefixOk);
+  EXPECT_TRUE(result.exactlyOnce);
+  EXPECT_TRUE(result.allApplied);
+  EXPECT_LT(result.decreesCommitted, result.commandsCommitted);
+  bool sawRealBatch = false;
+  for (std::uint32_t b : result.batchSizes) sawRealBatch |= b > 1;
+  EXPECT_TRUE(sawRealBatch);
+}
+
+// Determinism: the pipelined service is a pure function of (config, seed)
+// — repeated runs match field for field, including the pooled latency
+// stream and the applied-command counts.
+TEST(Svc, DeterministicAcrossRuns) {
+  for (const std::string engine : {"compose", "paxos", "raft"}) {
+    SvcConfig config = smokeConfig(engine);
+    config.service.window = 4;
+    const SvcResult a = runSvc(config);
+    const SvcResult b = runSvc(config);
+    EXPECT_EQ(a.commandsCommitted, b.commandsCommitted) << engine;
+    EXPECT_EQ(a.decreesCommitted, b.decreesCommitted) << engine;
+    EXPECT_EQ(a.lastCommitTick, b.lastCommitTick) << engine;
+    EXPECT_EQ(a.latencies, b.latencies) << engine;
+    EXPECT_EQ(a.batchSizes, b.batchSizes) << engine;
+    EXPECT_EQ(a.messagesByCorrect, b.messagesByCorrect) << engine;
+    EXPECT_EQ(a.eventsProcessed, b.eventsProcessed) << engine;
+  }
+}
+
+// Durable restart: with journalling on, a crash-restarted node recovers
+// its prefix from the journal, catches up the rest from peers, and the
+// service-level invariants hold end to end.
+TEST(Svc, DurableRestartCatchesUp) {
+  for (const std::string engine : {"compose", "paxos", "raft"}) {
+    SvcConfig config = smokeConfig(engine);
+    config.service.durable = true;
+    RestartEvent restart;
+    restart.id = 1;
+    restart.at = 80;
+    restart.downtime = 60;
+    config.restarts.push_back(restart);
+    const SvcResult result = runSvc(config);
+    EXPECT_TRUE(result.prefixOk) << engine;
+    EXPECT_TRUE(result.exactlyOnce) << engine;
+    EXPECT_FALSE(result.hitCap) << engine;
+    EXPECT_GT(result.commandsCommitted, 0u) << engine;
+  }
+}
+
+TEST(Svc, SerializeRoundTrip) {
+  SvcConfig config = smokeConfig("compose");
+  config.service.durable = true;
+  config.crashes.push_back({2, 150});
+  RestartEvent restart;
+  restart.id = 3;
+  restart.at = 90;
+  restart.downtime = 75;
+  config.restarts.push_back(restart);
+  const std::string wire = serializeSvcConfig(config);
+  const SvcConfig parsed = parseSvcConfig(wire);
+  EXPECT_EQ(serializeSvcConfig(parsed), wire);
+}
+
+// The capability gate: admission is decided by the registry descriptor,
+// not a name list, and each rejection names the failed capability.
+TEST(Svc, EngineGateRejectsByCapability) {
+  SvcConfig config = smokeConfig("compose");
+
+  // Binary coin: not multivalued — it would decide values nobody proposed.
+  config.driver = "local-coin";
+  auto rejected = validateEngine(config);
+  ASSERT_TRUE(rejected.has_value());
+  EXPECT_NE(rejected->find("not multivalued"), std::string::npos);
+
+  // Adopt-commit detector: the log decides on commit under the VAC rule.
+  config.driver = "lottery";
+  config.detector = "phaseking-ac";
+  rejected = validateEngine(config);
+  ASSERT_TRUE(rejected.has_value());
+
+  // Oracle-consuming driver: the service harness attaches no oracle.
+  config.detector = "benor-vac";
+  config.driver = "ct-coordinator";
+  rejected = validateEngine(config);
+  ASSERT_TRUE(rejected.has_value());
+  EXPECT_NE(rejected->find("oracle"), std::string::npos);
+
+  // Admissible pairing and the native engines pass.
+  config.driver = "lottery";
+  EXPECT_FALSE(validateEngine(config).has_value());
+  config.engine = "raft";
+  EXPECT_FALSE(validateEngine(config).has_value());
+
+  // Unknown registry names throw, listing the known ones.
+  config.engine = "compose";
+  config.driver = "no-such-driver";
+  EXPECT_THROW((void)validateEngine(config), std::invalid_argument);
+
+  // runSvc re-validates: an inadmissible config cannot be executed.
+  SvcConfig bad = smokeConfig("compose");
+  bad.driver = "local-coin";
+  EXPECT_THROW((void)runSvc(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ooc::svc

@@ -34,6 +34,7 @@
 #include "harness/serialize.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "svc/run.hpp"
 
 namespace {
 
@@ -41,16 +42,18 @@ using namespace ooc;
 using namespace ooc::check;
 
 struct CliOptions {
-  std::string family = "all";  // benor | phaseking | raft | compose | fd | all
-  std::string detector;        // --family compose/fd: registry names
+  std::string family = "all";  // benor | phaseking | raft | compose | fd |
+                               // svc | all
+  std::string detector;        // --family compose/fd/svc: registry names
   std::string driver;
+  std::string engine;          // --family svc: compose | paxos | raft
   std::string oracle;          // --family fd: registry oracle name
   double oracleNoise = -1.0;   // <0: family default
   std::int64_t oracleStabilize = -1;  // <0: family default
   std::int64_t oracleLag = -1;        // <0: family default
   bool oracleLie = false;
   std::string strategy = "all";  // random | delay | crash | restart |
-                                 // oracle | all
+                                 // oracle | pipeline | all
   std::size_t seeds = 1000;
   std::uint64_t seedBase = 1;
   std::size_t threads = 0;
@@ -73,10 +76,13 @@ struct CliOptions {
 
 void printUsage(std::ostream& os) {
   os << "usage: check [options]\n"
-        "  --family F        benor | phaseking | raft | compose | fd | all\n"
+        "  --family F        benor | phaseking | raft | compose | fd | svc "
+        "| all\n"
         "                    (default all = the legacy families)\n"
-        "  --detector D      compose/fd only: registry detector name\n"
-        "  --driver R        compose/fd only: registry driver name\n"
+        "  --detector D      compose/fd/svc only: registry detector name\n"
+        "  --driver R        compose/fd/svc only: registry driver name\n"
+        "  --engine E        svc only: compose | paxos | raft (default "
+        "compose)\n"
         "  --oracle O        fd only: omega | diamond-s | perfect-p "
         "(default omega)\n"
         "  --oracle-noise X  fd only: base false-suspicion probability\n"
@@ -85,7 +91,7 @@ void printUsage(std::ostream& os) {
         "  --oracle-lie      fd only: oracle advertises a bound it misses\n"
         "                    (expected to FAIL fd-accuracy)\n"
         "  --strategy S      random | delay | crash | restart | oracle | "
-        "all (default all)\n"
+        "pipeline | all (default all)\n"
         "  --seeds N         random-walk runs per family (default 1000)\n"
         "  --seed-base N     first seed of the sweep (default 1)\n"
         "  --threads N       worker threads (default: hardware)\n"
@@ -176,6 +182,23 @@ Scenario baseScenario(Family family, const CliOptions& options) {
         config.inputs[i] = static_cast<Value>(i % 2);
       break;
     }
+    case Family::kSvc: {
+      auto& config = scenario.svc;
+      if (!options.engine.empty()) config.engine = options.engine;
+      if (!options.detector.empty()) config.detector = options.detector;
+      if (!options.driver.empty()) config.driver = options.driver;
+      if (options.n > 0) config.n = options.n;
+      if (options.maxDelay > 0) config.maxDelay = options.maxDelay;
+      // Checker-scale traffic: enough commands to fill the pipeline and
+      // survive a mid-run fault, small enough for thousands of cells.
+      config.workload.clients = 64;
+      config.workload.commandsPerNode = 8;
+      config.workload.thinkMin = 5;
+      config.workload.thinkMax = 40;
+      config.workload.startSpread = 16;
+      config.service.maxDecrees = 400;
+      break;
+    }
   }
   return scenario;
 }
@@ -195,6 +218,8 @@ std::unique_ptr<ExplorationStrategy> buildStrategy(
       options.strategy == "all" || options.strategy == "restart";
   const bool wantOracle =
       options.strategy == "all" || options.strategy == "oracle";
+  const bool wantPipeline =
+      options.strategy == "all" || options.strategy == "pipeline";
 
   // Compose scenarios carry their capability descriptor in the registry:
   // delay adversaries need an asynchronous detector, crash enumeration a
@@ -240,6 +265,11 @@ std::unique_ptr<ExplorationStrategy> buildStrategy(
     OracleQualityStrategy::Options oq;
     oq.seedBase = options.seedBase;
     parts.push_back(std::make_unique<OracleQualityStrategy>(base, oq));
+  }
+  if (wantPipeline && family == Family::kSvc) {
+    SvcPipelineStrategy::Options sp;
+    sp.seedBase = options.seedBase;
+    parts.push_back(std::make_unique<SvcPipelineStrategy>(base, sp));
   }
   if (parts.empty()) return nullptr;
   if (parts.size() == 1) return std::move(parts.front());
@@ -314,6 +344,7 @@ int main(int argc, char** argv) {
     if (arg == "--family") options.family = next(i);
     else if (arg == "--detector") options.detector = next(i);
     else if (arg == "--driver") options.driver = next(i);
+    else if (arg == "--engine") options.engine = next(i);
     else if (arg == "--oracle") options.oracle = next(i);
     else if (arg == "--oracle-noise") options.oracleNoise = nextDouble(i);
     else if (arg == "--oracle-stabilize")
@@ -371,7 +402,8 @@ int main(int argc, char** argv) {
   }
   if (options.strategy != "all" && options.strategy != "random" &&
       options.strategy != "delay" && options.strategy != "crash" &&
-      options.strategy != "restart" && options.strategy != "oracle") {
+      options.strategy != "restart" && options.strategy != "oracle" &&
+      options.strategy != "pipeline") {
     std::cerr << "check: unknown strategy '" << options.strategy << "'\n";
     return 2;
   }
@@ -391,9 +423,19 @@ int main(int argc, char** argv) {
     std::cerr << "check: --strategy oracle needs --family fd\n";
     return 2;
   }
+  if (options.strategy == "pipeline" && options.family != "svc") {
+    std::cerr << "check: --strategy pipeline needs --family svc\n";
+    return 2;
+  }
   if ((!options.detector.empty() || !options.driver.empty()) &&
-      options.family != "compose" && options.family != "fd") {
-    std::cerr << "check: --detector/--driver need --family compose or fd\n";
+      options.family != "compose" && options.family != "fd" &&
+      options.family != "svc") {
+    std::cerr << "check: --detector/--driver need --family compose, fd or "
+                 "svc\n";
+    return 2;
+  }
+  if (!options.engine.empty() && options.family != "svc") {
+    std::cerr << "check: --engine needs --family svc\n";
     return 2;
   }
   if ((!options.oracle.empty() || options.oracleNoise >= 0.0 ||
@@ -409,6 +451,19 @@ int main(int argc, char** argv) {
     // compose_cli would print.
     try {
       compose::resolve(baseScenario(families.front(), options).compose);
+    } catch (const std::exception& error) {
+      std::cerr << "check: " << error.what() << "\n";
+      return 2;
+    }
+  }
+  if (options.family == "svc") {
+    // Same early rejection for the service's engine capability gate.
+    try {
+      const Scenario base = baseScenario(families.front(), options);
+      if (const auto rejected = svc::validateEngine(base.svc)) {
+        std::cerr << "check: " << *rejected << "\n";
+        return 2;
+      }
     } catch (const std::exception& error) {
       std::cerr << "check: " << error.what() << "\n";
       return 2;
