@@ -16,6 +16,7 @@
 //
 // Flags (uniform across all benches):
 //   --quick        scale trial counts down (CI smoke mode); see trials()
+//   --threads N    worker threads for trial sweeps (default: hardware)
 //   --json PATH    additionally write the whole bench result as JSON
 //   --help         print usage
 //
@@ -24,24 +25,75 @@
 // telemetry registry (the constructor enables ooc::obs metrics, so the
 // instrumented scenario runners publish per-family counters and
 // distributions). Everything in the file is a pure function of
-// (bench, flags): byte-identical across repeated runs.
+// (bench, flags) — byte-identical across repeated runs and across
+// --threads values — except the quarantined `sweep` scheduler-telemetry
+// block, which carries wall-clock fields (like ooc.check.v1's).
 #pragma once
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "compose/run.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_id.hpp"
+#include "sweep/scheduler.hpp"
 #include "util/stats.hpp"
 
 namespace ooc::bench {
+
+namespace detail {
+/// Worker threads for trial sweeps; 0 = hardware (set by Bench's --threads).
+inline std::size_t& trialThreadsRef() noexcept {
+  static std::size_t threads = 0;
+  return threads;
+}
+/// Scheduler telemetry accumulated across every trial sweep of the
+/// process, emitted as the bench JSON's quarantined `sweep` block.
+inline sweep::SweepAccumulator& sweepTelemetryRef() noexcept {
+  static sweep::SweepAccumulator acc;
+  return acc;
+}
+}  // namespace detail
+
+/// Worker threads trial sweeps use (0 = hardware). Test hook + Bench flag.
+inline void setTrialThreads(std::size_t threads) noexcept {
+  detail::trialThreadsRef() = threads;
+}
+inline std::size_t trialThreads() noexcept {
+  return detail::trialThreadsRef();
+}
+
+/// Runs `fn(0) ... fn(runs-1)` across the experiment scheduler and returns
+/// the results **in index order** — the determinism backbone of every
+/// parallel bench: each trial writes a pre-sized slot, and the caller's
+/// fold over the returned vector sees one canonical order regardless of
+/// thread count. `fn` must be safe to call concurrently for distinct runs
+/// (trials are independent seeded simulations; registry updates are
+/// commutative).
+template <typename Fn>
+auto runTrialsParallel(int runs, Fn&& fn)
+    -> std::vector<std::decay_t<decltype(fn(0))>> {
+  std::vector<std::decay_t<decltype(fn(0))>> results(
+      static_cast<std::size_t>(runs > 0 ? runs : 0));
+  sweep::Options options;
+  options.threads = trialThreads();
+  const sweep::SweepStats stats = sweep::parallelFor(
+      results.size(),
+      [&](std::size_t index, sweep::Control&) {
+        results[index] = fn(static_cast<int>(index));
+      },
+      options);
+  detail::sweepTelemetryRef().add(stats);
+  return results;
+}
 
 /// The balanced-split input pattern every sweep uses: 0,1,0,1,...
 inline std::vector<Value> alternatingInputs(std::size_t n) {
@@ -68,14 +120,21 @@ struct CellStats {
 /// Runs `composition` under seeds seedBase, seedBase+1, ... — the
 /// scenario-setup loop every experiment binary used to hand-roll. The
 /// composition names the detector × driver pairing; everything else
-/// (inputs, t, crash schedule) rides along on the spec.
+/// (inputs, t, crash schedule) rides along on the spec. Trials fan out
+/// across the scheduler; the fold below runs sequentially in seed order,
+/// so CellStats (and the JSON downstream) is byte-identical at any
+/// --threads value.
 inline CellStats runCompositionTrials(compose::Composition composition,
                                       int runs, std::uint64_t seedBase) {
+  const auto results =
+      runTrialsParallel(runs, [&composition, seedBase](int run) {
+        compose::Composition trial = composition;
+        trial.seed = seedBase + static_cast<std::uint64_t>(run);
+        return compose::runComposition(trial);
+      });
   CellStats stats;
   stats.runs = runs;
-  for (int run = 0; run < runs; ++run) {
-    composition.seed = seedBase + static_cast<std::uint64_t>(run);
-    const auto result = compose::runComposition(composition);
+  for (const compose::CompositionResult& result : results) {
     stats.agreementOk = stats.agreementOk && !result.agreementViolated;
     stats.validityOk = stats.validityOk && !result.validityViolated;
     stats.auditsOk = stats.auditsOk && result.allAuditsOk;
@@ -99,9 +158,15 @@ class Bench {
         quick_ = true;
       } else if (arg == "--json" && i + 1 < argc) {
         jsonPath_ = argv[++i];
+      } else if (arg == "--threads" && i + 1 < argc) {
+        setTrialThreads(static_cast<std::size_t>(
+            std::strtoull(argv[++i], nullptr, 10)));
       } else if (arg == "--help" || arg == "-h") {
-        std::printf("usage: bench_%s [--quick] [--json PATH]\n"
+        std::printf("usage: bench_%s [--quick] [--threads N] [--json PATH]\n"
                     "  --quick      reduced trial counts (CI smoke mode)\n"
+                    "  --threads N  worker threads for trial sweeps\n"
+                    "               (default 0 = hardware; results are\n"
+                    "               byte-identical at any value)\n"
                     "  --json PATH  write machine-readable results "
                     "(schema ooc.bench.v1)\n",
                     name_.c_str());
@@ -234,6 +299,11 @@ class Bench {
     w.endArray();
 
     w.key("metrics").raw(obs::metrics().toJson());
+    // Scheduler telemetry accumulated over every trial sweep. Like
+    // ooc.check.v1's, this is the ONLY non-reproducible (wall-clock)
+    // block of the file — byte-diff consumers strip `sweep` first.
+    if (!detail::sweepTelemetryRef().empty())
+      w.key("sweep").raw(sweep::toJson(detail::sweepTelemetryRef()));
     w.endObject();
 
     std::ofstream out(jsonPath_, std::ios::binary);

@@ -26,13 +26,20 @@ struct FdCellStats {
   bool fdAxiomsOk = true;
 };
 
-FdCellStats runOracleTrials(compose::Composition composition, int runs,
+// Trials fan across the experiment scheduler; the fold runs sequentially
+// in seed order, so the stats (and the JSON) are byte-identical at any
+// --threads value.
+FdCellStats runOracleTrials(const compose::Composition& composition, int runs,
                             std::uint64_t seedBase) {
+  const auto results =
+      runTrialsParallel(runs, [&composition, seedBase](int run) {
+        compose::Composition trial = composition;
+        trial.seed = seedBase + static_cast<std::uint64_t>(run);
+        return compose::runComposition(trial);
+      });
   FdCellStats stats;
   stats.base.runs = runs;
-  for (int run = 0; run < runs; ++run) {
-    composition.seed = seedBase + static_cast<std::uint64_t>(run);
-    const auto result = compose::runComposition(composition);
+  for (const compose::CompositionResult& result : results) {
     stats.base.agreementOk &= !result.agreementViolated;
     stats.base.validityOk &= !result.validityViolated;
     stats.base.auditsOk &= result.allAuditsOk;

@@ -14,7 +14,9 @@
 // events/sec and ns/event numbers are machine-dependent by design. The
 // trajectory entry appended by scripts/bench.sh tracks them across commits;
 // its compare mode flags >10% regressions.
+#include <algorithm>
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -167,6 +169,103 @@ int main(int argc, char** argv) {
     bench.note("scenario keys (trajectory/gauge labels): benor_n5_async, "
                "benor_n25_lockstep, benor_n25_async, phaseking_n25, raft_n5, "
                "raft_n9_faultmix");
+  }
+
+  // E23 — whole-machine aggregate throughput and scaling efficiency. The
+  // full E19 workload (every scenario x its seeds) is fanned across the
+  // experiment scheduler at 1, 2, half, and all hardware threads; each
+  // pass measures machine-wide events/sec over the whole sweep. Event
+  // totals must be identical across thread counts (the scheduler only
+  // re-shards indices, never changes what an index computes) — asserted
+  // as a correctness property. Efficiency = speedup / threads.
+  bench.banner(
+      "E23: whole-machine aggregate throughput + scaling efficiency",
+      "The E19 workload through sweep::parallelFor at increasing thread "
+      "counts. aggregate_events_per_sec and scaling_efficiency gauges feed "
+      "the BENCH_simcore.json trajectory; the >=0.6-at-half-the-cores bar "
+      "is the scheduler's scaling acceptance line.");
+  {
+    struct WorkItem {
+      const RunFn* run;
+      std::uint64_t seed;
+    };
+    const std::vector<Scenario> all = scenarios();
+    std::vector<WorkItem> items;
+    for (const Scenario& scenario : all) {
+      const int cellRuns = kRuns * scenario.runsScale;
+      for (int run = 0; run < cellRuns; ++run)
+        items.push_back(
+            {&scenario.run, 19'000 + static_cast<std::uint64_t>(run)});
+    }
+
+    const std::size_t hw = sweep::hardwareThreads();
+    std::vector<std::size_t> threadCounts{1, 2, hw / 2, hw};
+    std::sort(threadCounts.begin(), threadCounts.end());
+    threadCounts.erase(
+        std::remove(threadCounts.begin(), threadCounts.end(), std::size_t{0}),
+        threadCounts.end());
+    threadCounts.erase(
+        std::unique(threadCounts.begin(), threadCounts.end()),
+        threadCounts.end());
+
+    Table table({"threads", "runs", "events", "ms total", "agg events/sec",
+                 "speedup", "efficiency"});
+    std::uint64_t baseEvents = 0;
+    double basePerSec = 0.0;
+    for (const std::size_t threads : threadCounts) {
+      std::vector<std::uint64_t> events(items.size());
+      std::vector<std::uint64_t> decided(items.size());
+      sweep::Options pool;
+      pool.threads = threads;
+      const auto start = std::chrono::steady_clock::now();
+      const sweep::SweepStats stats = sweep::parallelFor(
+          items.size(),
+          [&](std::size_t index, sweep::Control&) {
+            const CellResult cell = (*items[index].run)(items[index].seed);
+            events[index] = cell.events;
+            decided[index] = cell.decided;
+          },
+          pool);
+      const std::chrono::nanoseconds elapsed =
+          std::chrono::steady_clock::now() - start;
+      bench::detail::sweepTelemetryRef().add(stats);
+
+      std::uint64_t totalEvents = 0;
+      std::uint64_t totalDecided = 0;
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        totalEvents += events[i];
+        totalDecided += decided[i];
+      }
+      const std::string label = std::to_string(threads) + " threads";
+      bench.require(totalDecided == items.size(), label + ": all runs decide");
+      if (baseEvents == 0)
+        baseEvents = totalEvents;
+      else
+        bench.require(totalEvents == baseEvents,
+                      label + ": aggregate events identical across thread "
+                              "counts");
+
+      const double ns = static_cast<double>(elapsed.count());
+      const double perSec =
+          ns > 0 ? static_cast<double>(totalEvents) * 1e9 / ns : 0.0;
+      if (basePerSec == 0.0) basePerSec = perSec;
+      const double speedup = basePerSec > 0 ? perSec / basePerSec : 0.0;
+      const double efficiency = speedup / static_cast<double>(threads);
+      const obs::Labels labels{{"threads", std::to_string(threads)}};
+      obs::metrics().setGauge("simcore_aggregate_events_per_sec", perSec,
+                              labels);
+      obs::metrics().setGauge("simcore_scaling_efficiency", efficiency,
+                              labels);
+      table.addRow({Table::cell(std::uint64_t(threads)),
+                    Table::cell(std::uint64_t(items.size())),
+                    Table::cell(totalEvents), Table::cell(ns / 1e6, 1),
+                    Table::cell(perSec, 0), Table::cell(speedup, 2),
+                    Table::cell(efficiency, 2)});
+    }
+    bench.emit(table);
+    bench.note("hardware threads: " + std::to_string(hw) +
+               "; gauges simcore_aggregate_events_per_sec and "
+               "simcore_scaling_efficiency are labeled by threads");
   }
   return bench.finish();
 }

@@ -32,6 +32,7 @@
 #include "obs/metrics.hpp"
 #include "obs/run_id.hpp"
 #include "svc/run.hpp"
+#include "sweep/scheduler.hpp"
 #include "util/stats.hpp"
 
 namespace {
@@ -94,15 +95,22 @@ double percentileTicks(std::vector<Tick>& pooled, double q) {
 int main(int argc, char** argv) {
   bool quick = false;
   std::string jsonPath;
+  std::size_t threads = 0;  // sweep workers for the trial fan-out; 0 = hw
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
       quick = true;
     } else if (arg == "--json" && i + 1 < argc) {
       jsonPath = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: bench_svc [--quick] [--json PATH]\n"
+      std::printf("usage: bench_svc [--quick] [--threads N] [--json PATH]\n"
                   "  --quick      reduced trial counts (CI smoke mode)\n"
+                  "  --threads N  worker threads for the trial sweep "
+                  "(0 = hardware);\n"
+                  "               results are byte-identical at any value\n"
                   "  --json PATH  write machine-readable results "
                   "(schema ooc.svc.v1)\n");
       return 0;
@@ -113,6 +121,27 @@ int main(int argc, char** argv) {
   }
   ooc::obs::metrics().reset();
   ooc::obs::metrics().enable(true);
+
+  // Trial fan-out: each pass builds its configs up front, runs them through
+  // the experiment scheduler into a trial-indexed vector, and folds the
+  // results sequentially in trial order — so every number below (and the
+  // ooc.svc.v1 JSON, quarantined `sweep` block aside) is byte-identical at
+  // any --threads value.
+  ooc::sweep::SweepAccumulator sweepTelemetry;
+  const auto runTrials = [&](int trials, const auto& makeConfig) {
+    std::vector<ooc::svc::SvcResult> results(
+        static_cast<std::size_t>(trials));
+    ooc::sweep::Options pool;
+    pool.threads = threads;
+    sweepTelemetry.add(ooc::sweep::parallelFor(
+        results.size(),
+        [&](std::size_t index, ooc::sweep::Control&) {
+          results[index] =
+              ooc::svc::runSvc(makeConfig(static_cast<int>(index)));
+        },
+        pool));
+    return results;
+  };
 
   int failures = 0;
   std::map<std::string, int> violations;
@@ -149,10 +178,15 @@ int main(int argc, char** argv) {
     // The first trial's election record seeds the blackout pass victim.
     ooc::ProcessId raftLeader = 0;
     Tick leaderAt = 0;
+    const std::vector<ooc::svc::SvcResult> throughputResults =
+        runTrials(throughputTrials, [&](int trial) {
+          ooc::svc::SvcConfig config = baseConfig(spec, quick);
+          config.seed = 350000 + static_cast<std::uint64_t>(trial);
+          return config;
+        });
     for (int trial = 0; trial < throughputTrials; ++trial) {
-      ooc::svc::SvcConfig config = baseConfig(spec, quick);
-      config.seed = 350000 + static_cast<std::uint64_t>(trial);
-      const ooc::svc::SvcResult result = ooc::svc::runSvc(config);
+      const ooc::svc::SvcResult& result =
+          throughputResults[static_cast<std::size_t>(trial)];
       require(result.prefixOk, spec.label + ": prefix agreement");
       require(result.exactlyOnce, spec.label + ": exactly-once commit");
       require(result.allApplied, spec.label + ": full delivery (no faults)");
@@ -177,15 +211,20 @@ int main(int argc, char** argv) {
     // --- blackout pass (coordinator crash-restart mid-run) ---
     // Raft loses its elected leader; the leaderless engines lose node 0
     // (every node coordinates its own batches, so any victim works).
+    const std::vector<ooc::svc::SvcResult> blackoutResults =
+        runTrials(blackoutTrials, [&](int trial) {
+          ooc::svc::SvcConfig config = baseConfig(spec, quick);
+          config.seed = 360000 + static_cast<std::uint64_t>(trial);
+          ooc::svc::RestartEvent restart;
+          restart.id = spec.engine == "raft" ? raftLeader : 0;
+          restart.at = spec.engine == "raft" ? leaderAt + 120 : 120;
+          restart.downtime = 150;
+          config.restarts.push_back(restart);
+          return config;
+        });
     for (int trial = 0; trial < blackoutTrials; ++trial) {
-      ooc::svc::SvcConfig config = baseConfig(spec, quick);
-      config.seed = 360000 + static_cast<std::uint64_t>(trial);
-      ooc::svc::RestartEvent restart;
-      restart.id = spec.engine == "raft" ? raftLeader : 0;
-      restart.at = spec.engine == "raft" ? leaderAt + 120 : 120;
-      restart.downtime = 150;
-      config.restarts.push_back(restart);
-      const ooc::svc::SvcResult result = ooc::svc::runSvc(config);
+      const ooc::svc::SvcResult& result =
+          blackoutResults[static_cast<std::size_t>(trial)];
       require(result.prefixOk, spec.label + ": prefix agreement (blackout)");
       require(result.exactlyOnce,
               spec.label + ": exactly-once commit (blackout)");
@@ -298,6 +337,11 @@ int main(int argc, char** argv) {
     w.endArray();
 
     w.key("metrics").raw(ooc::obs::metrics().toJson());
+    // Scheduler telemetry (wall-clock + thread-dependent shape): the one
+    // non-reproducible block of ooc.svc.v1 — byte-diff consumers strip
+    // `sweep` first.
+    if (!sweepTelemetry.empty())
+      w.key("sweep").raw(ooc::sweep::toJson(sweepTelemetry));
     w.endObject();
 
     std::ofstream out(jsonPath, std::ios::binary);

@@ -9,26 +9,38 @@
 #   scripts/bench.sh                    # full trial counts, out/ directory
 #   scripts/bench.sh --quick            # reduced trials (CI smoke mode)
 #   scripts/bench.sh --out results/     # choose the output directory
-#   scripts/bench.sh --no-json         # console tables only
+#   scripts/bench.sh --no-json          # console tables only
+#   scripts/bench.sh --jobs 4           # run up to 4 bench binaries at once
+#   scripts/bench.sh --threads 8        # per-bench trial-sweep workers
+#
+# --jobs runs whole binaries concurrently (each to its own log, replayed in
+# canonical order afterwards); --threads fans each binary's trials across
+# the in-process experiment scheduler. Results are byte-identical either
+# way — only the quarantined `sweep` telemetry block moves.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 QUICK=""
 OUT="bench-results"
 JSON=1
+JOBS=1
+THREADS=""
 while [ $# -gt 0 ]; do
   case "$1" in
     --quick) QUICK="--quick" ;;
     --out) OUT="$2"; shift ;;
     --no-json) JSON=0 ;;
+    --jobs) JOBS="$2"; shift ;;
+    --threads) THREADS="$2"; shift ;;
     -h|--help)
-      sed -n '2,13p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,19p' "$0" | sed 's/^# \{0,1\}//'
       exit 0
       ;;
     *) echo "bench.sh: unknown argument '$1'" >&2; exit 2 ;;
   esac
   shift
 done
+case "$JOBS" in (''|*[!0-9]*|0) echo "bench.sh: --jobs wants a positive integer" >&2; exit 2 ;; esac
 
 BENCHES="
 bench_benor_rounds
@@ -57,20 +69,48 @@ cmake -B build -S . >/dev/null
 cmake --build build -j --target $BENCHES >/dev/null
 
 mkdir -p "$OUT"
+
+# Phase 1: run the binaries, up to $JOBS at a time. Each bench writes its
+# console output to a log and its exit code to a status file so phase 2 can
+# replay everything in canonical order regardless of completion order.
+inflight=0
+for bench in $BENCHES; do
+  name="${bench#bench_}"
+  json_flag=""
+  json_path="$OUT/BENCH_${name}.json"
+  [ "$JSON" = 1 ] && json_flag="--json $json_path"
+  threads_flag=""
+  # bench_template_overhead is the google-benchmark harness; it has no
+  # trial sweep and no --threads flag.
+  [ -n "$THREADS" ] && [ "$bench" != "bench_template_overhead" ] && \
+    threads_flag="--threads $THREADS"
+  # shellcheck disable=SC2086  # flags are intentionally word-split
+  (
+    set +e
+    "build/bench/$bench" $QUICK $threads_flag $json_flag \
+      > "$OUT/.${bench}.log" 2>&1
+    echo $? > "$OUT/.${bench}.status"
+  ) &
+  inflight=$((inflight + 1))
+  if [ "$inflight" -ge "$JOBS" ]; then
+    wait -n 2>/dev/null || wait
+    inflight=$((inflight - 1))
+  fi
+done
+wait
+
+# Phase 2: replay logs in canonical order, collect verdicts, and build the
+# aggregate trajectory. Identical output to a sequential run.
 failures=0
 trajectory="$OUT/BENCH_trajectory.json"
 [ "$JSON" = 1 ] && printf '{"schema":"ooc.bench-trajectory.v1","benches":[' > "$trajectory"
 first=1
-
 for bench in $BENCHES; do
   name="${bench#bench_}"
   echo "## $bench $QUICK"
-  json_flag=""
-  json_path="$OUT/BENCH_${name}.json"
-  [ "$JSON" = 1 ] && json_flag="--json $json_path"
-  status=0
-  # shellcheck disable=SC2086  # flags are intentionally word-split
-  "build/bench/$bench" $QUICK $json_flag || status=$?
+  cat "$OUT/.${bench}.log"
+  status=$(cat "$OUT/.${bench}.status")
+  rm -f "$OUT/.${bench}.log" "$OUT/.${bench}.status"
   if [ "$status" -ne 0 ]; then
     failures=$((failures + 1))
     echo "!! $bench exited $status" >&2
@@ -78,6 +118,7 @@ for bench in $BENCHES; do
   if [ "$JSON" = 1 ]; then
     [ "$first" = 1 ] || printf ',' >> "$trajectory"
     first=0
+    json_path="$OUT/BENCH_${name}.json"
     run_id=$(sed -n 's/.*"run_id":"\([0-9a-f]*\)".*/\1/p' "$json_path" | head -1)
     printf '{"bench":"%s","file":"BENCH_%s.json","run_id":"%s","exit":%d}' \
       "$name" "$name" "${run_id:-}" "$status" >> "$trajectory"
@@ -97,9 +138,11 @@ cmake --build build -j --target compose >/dev/null
 echo "## compose (E20 matrix) $QUICK"
 matrix_flag=""
 [ "$JSON" = 1 ] && matrix_flag="--json $OUT/BENCH_matrix.json"
+threads_flag=""
+[ -n "$THREADS" ] && threads_flag="--threads $THREADS"
 status=0
 # shellcheck disable=SC2086  # flags are intentionally word-split
-build/tools/compose $QUICK $matrix_flag || status=$?
+build/tools/compose $QUICK $threads_flag $matrix_flag || status=$?
 if [ "$status" -ne 0 ]; then
   failures=$((failures + 1))
   echo "!! compose matrix exited $status" >&2
@@ -114,7 +157,7 @@ fd_matrix_flag=""
 [ "$JSON" = 1 ] && fd_matrix_flag="--json $OUT/BENCH_fd_matrix.json"
 status=0
 # shellcheck disable=SC2086  # flags are intentionally word-split
-build/tools/compose --fd-matrix $QUICK $fd_matrix_flag || status=$?
+build/tools/compose --fd-matrix $QUICK $threads_flag $fd_matrix_flag || status=$?
 if [ "$status" -ne 0 ]; then
   failures=$((failures + 1))
   echo "!! compose fd-matrix exited $status" >&2
@@ -124,7 +167,8 @@ fi
 # repo-root BENCH_<name>.json so the numbers are tracked commit over
 # commit, and warn on a >10% regression against the previous entry of the
 # same mode (see scripts/trajectory.py):
-#   simcore   events/sec per scenario (hot-path throughput)
+#   simcore   events/sec per scenario (hot-path throughput), plus the E23
+#             aggregate events/sec and scaling efficiency per thread count
 #   fd        mean rounds-to-decide per oracle-consuming pairing
 #   recovery  mean ticks-to-decide under the crash/restart mixes
 #   svc       committed commands per kilotick per service engine (E21)

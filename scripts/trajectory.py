@@ -9,8 +9,12 @@ the metric regressed >10% against the previous entry of the same mode
 
 Usage: trajectory.py RUN_JSON TRAJ_JSON COMMIT QUICK MODE
 
-MODE picks the metric and its polarity:
+MODE picks the metric(s) and their polarity:
   simcore   events/sec gauges per scenario        (higher is better)
+            plus E23 aggregate_events_per_sec per thread count (higher is
+            better) and scaling_efficiency per thread count (recorded,
+            not regression-checked: it is a ratio of two wall-clock
+            passes, so its noise floor is the product of both)
   fd        mean rounds_to_decide per pairing     (lower is better)
   recovery  mean ticks_to_decide per label set    (lower is better)
   svc       committed cmds/ktick per engine (E21) (higher is better)
@@ -23,26 +27,42 @@ def label_key(labels):
     return ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
 
 
+def gauge_series(metrics, name, label):
+    return {
+        g["labels"][label]: round(g["value"], 3 if name.endswith("efficiency")
+                                  else 1)
+        for g in metrics.get("gauges", [])
+        if g.get("name") == name
+    }
+
+
 def extract(run, mode):
+    """Return [(field, values, regression_checked), ...] for MODE."""
     metrics = run.get("metrics", {})
     if mode == "simcore":
-        return "events_per_sec", {
-            g["labels"]["scenario"]: round(g["value"], 1)
-            for g in metrics.get("gauges", [])
-            if g.get("name") == "simcore_events_per_sec"
-        }
+        return [
+            ("events_per_sec",
+             gauge_series(metrics, "simcore_events_per_sec", "scenario"),
+             True),
+            ("aggregate_events_per_sec",
+             gauge_series(metrics, "simcore_aggregate_events_per_sec",
+                          "threads"),
+             True),
+            ("scaling_efficiency",
+             gauge_series(metrics, "simcore_scaling_efficiency", "threads"),
+             False),
+        ]
     if mode == "svc":
-        return "committed_cmds_per_ktick", {
-            g["labels"]["engine"]: round(g["value"], 1)
-            for g in metrics.get("gauges", [])
-            if g.get("name") == "svc_mean_commands_per_ktick"
-        }
+        return [("committed_cmds_per_ktick",
+                 gauge_series(metrics, "svc_mean_commands_per_ktick",
+                              "engine"),
+                 True)]
     name = "rounds_to_decide" if mode == "fd" else "ticks_to_decide"
-    return f"mean_{name}", {
+    return [(f"mean_{name}", {
         label_key(h.get("labels", {})): round(h["sum"] / h["count"], 2)
         for h in metrics.get("histograms", [])
         if h.get("name") == name and h.get("count")
-    }
+    }, True)]
 
 
 def main():
@@ -52,13 +72,15 @@ def main():
     higher_is_better = mode in ("simcore", "svc")
 
     run = json.load(open(run_path))
-    field, values = extract(run, mode)
+    fields = extract(run, mode)
     entry = {
         "run_id": run.get("run_id", ""),
         "commit": commit,
         "quick": bool(quick),
-        field: values,
     }
+    for field, values, _ in fields:
+        if values:
+            entry[field] = values
     try:
         trajectory = json.load(open(traj_path))
     except (OSError, ValueError):
@@ -68,18 +90,21 @@ def main():
                      if e.get("quick") == entry["quick"]), None)
     regressed = []
     if previous:
-        for key, now in values.items():
-            before = previous.get(field, {}).get(key)
-            if not before:
+        for field, values, checked in fields:
+            if not checked:
                 continue
-            if higher_is_better and now < 0.9 * before:
-                regressed.append(
-                    f"{key}: {before:,.0f} -> {now:,.0f} "
-                    f"({100 * (1 - now / before):.1f}% slower)")
-            elif not higher_is_better and now > 1.1 * before:
-                regressed.append(
-                    f"{key}: {before:,.2f} -> {now:,.2f} "
-                    f"({100 * (now / before - 1):.1f}% more)")
+            for key, now in values.items():
+                before = previous.get(field, {}).get(key)
+                if not before:
+                    continue
+                if higher_is_better and now < 0.9 * before:
+                    regressed.append(
+                        f"{field} {key}: {before:,.0f} -> {now:,.0f} "
+                        f"({100 * (1 - now / before):.1f}% slower)")
+                elif not higher_is_better and now > 1.1 * before:
+                    regressed.append(
+                        f"{field} {key}: {before:,.2f} -> {now:,.2f} "
+                        f"({100 * (now / before - 1):.1f}% more)")
     trajectory["entries"].append(entry)
     with open(traj_path, "w") as out:
         json.dump(trajectory, out, indent=1)
@@ -87,8 +112,7 @@ def main():
     print(f"{mode} trajectory: appended run {entry['run_id'][:12]} "
           f"(commit {commit}) to {traj_path}")
     for line in regressed:
-        print(f"WARNING: {mode} {field} regression — {line}",
-              file=sys.stderr)
+        print(f"WARNING: {mode} regression — {line}", file=sys.stderr)
 
 
 if __name__ == "__main__":

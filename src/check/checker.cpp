@@ -2,18 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
-#include <deque>
-#include <exception>
 #include <filesystem>
 #include <mutex>
-#include <optional>
 #include <stdexcept>
-#include <thread>
 #include <utility>
 
 #include "check/replay.hpp"
 #include "obs/metrics.hpp"
+#include "sweep/scheduler.hpp"
 
 namespace ooc::check {
 namespace {
@@ -25,168 +21,70 @@ const Invariant* findByName(const std::vector<const Invariant*>& invariants,
   return nullptr;
 }
 
-/// One worker's share of the configuration space, as [begin, end) index
-/// chunks. The owner pops from the front; thieves steal from the back, so
-/// an owner and a thief only contend when one chunk is left.
-struct WorkerQueue {
-  std::mutex mutex;
-  std::deque<std::pair<std::size_t, std::size_t>> chunks;
-};
-
 }  // namespace
 
 CheckReport explore(const ExplorationStrategy& strategy,
                     const std::vector<const Invariant*>& invariants,
                     const CheckerOptions& options) {
   const std::size_t total = strategy.size();
-  std::size_t threadCount = options.threads;
-  if (threadCount == 0)
-    threadCount = std::max(1u, std::thread::hardware_concurrency());
-  threadCount = std::max<std::size_t>(1, std::min(threadCount, total));
 
-  std::atomic<std::size_t> explored{0};
-  std::atomic<bool> stop{false};
+  // The sweep itself runs on the shared experiment scheduler (the
+  // work-stealing driver extracted from here in PR 9): chunked index-space
+  // sharding over the persistent worker pool keeps a worker on consecutive
+  // configurations (similar scenario shape, so its thread-local simulation
+  // arenas — EventQueue bucket rings, timer tables, trace buffers — stay
+  // sized right across runs), while stealing keeps the sweep balanced when
+  // some configurations run much longer than others (restart grids mix
+  // 2-tick and 200-tick downtimes). Findings are sorted by configIndex
+  // afterwards, so the report does not depend on the interleaving.
+  std::atomic<std::size_t> findingCount{0};
   std::mutex mutex;
   std::vector<Finding> findings;
-  std::exception_ptr firstError;
 
-  // Work-stealing sweep driver. The index space is cut into chunks and
-  // dealt round-robin to per-worker deques; a worker drains its own deque
-  // from the front and, when empty, steals a chunk from a victim's back.
-  // Chunks keep a worker on consecutive configurations (similar scenario
-  // shape, so its thread-local EventQueue arena — one warm bucket ring per
-  // thread, see sim/event_queue.cpp — stays sized right), while stealing
-  // keeps the sweep balanced when some configurations run much longer than
-  // others (restart grids mix 2-tick and 200-tick downtimes). Findings are
-  // sorted by configIndex afterwards, so the report does not depend on the
-  // interleaving.
-  const std::size_t chunkSize = std::clamp<std::size_t>(
-      total / (threadCount * 16), std::size_t{1}, std::size_t{1024});
-  std::vector<WorkerQueue> queues(threadCount);
-  std::vector<WorkerStats> workerStats(threadCount);
-  for (std::size_t begin = 0, dealt = 0; begin < total;
-       begin += chunkSize, ++dealt) {
-    queues[dealt % threadCount].chunks.emplace_back(
-        begin, std::min(begin + chunkSize, total));
-    ++workerStats[dealt % threadCount].chunksDealt;
+  sweep::Options pool;
+  pool.threads = options.threads;
+  pool.progressEvery = options.progressEvery;
+  if (options.progressEvery > 0 && options.onProgress) {
+    // The scheduler's contention-free heartbeat carries (done, total); the
+    // finding count rides along from a relaxed atomic mirror.
+    pool.onProgress = [&](std::size_t done, std::size_t totalConfigs) {
+      options.onProgress(done, totalConfigs,
+                         findingCount.load(std::memory_order_relaxed));
+    };
   }
 
-  const auto takeChunk =
-      [&](std::size_t self) -> std::optional<std::pair<std::size_t, std::size_t>> {
-    {
-      std::lock_guard<std::mutex> lock(queues[self].mutex);
-      auto& own = queues[self].chunks;
-      if (!own.empty()) {
-        auto chunk = own.front();
-        own.pop_front();
-        ++workerStats[self].chunksOwned;
-        return chunk;
-      }
-    }
-    for (std::size_t offset = 1; offset < threadCount; ++offset) {
-      WorkerQueue& victim = queues[(self + offset) % threadCount];
-      std::lock_guard<std::mutex> lock(victim.mutex);
-      if (!victim.chunks.empty()) {
-        auto chunk = victim.chunks.back();
-        victim.chunks.pop_back();
-        ++workerStats[self].chunksStolen;
-        return chunk;
-      }
-    }
-    return std::nullopt;
-  };
-
-  const auto progressTick = [&]() {
-    if (options.progressEvery == 0 || !options.onProgress) return;
-    const std::size_t count = explored.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (count % options.progressEvery != 0) return;
-    std::lock_guard<std::mutex> lock(mutex);
-    options.onProgress(count, total, findings.size());
-  };
-
-  const auto worker = [&](std::size_t self) {
-    const auto begin = std::chrono::steady_clock::now();
-    while (!stop.load(std::memory_order_relaxed)) {
-      const auto chunk = takeChunk(self);
-      if (!chunk) break;
-      for (std::size_t index = chunk->first; index < chunk->second; ++index) {
-        if (stop.load(std::memory_order_relaxed)) break;
-        try {
-          const Scenario scenario = strategy.generate(index);
-          const RunReport report = runScenario(scenario);
-          ++workerStats[self].configs;
-          if (options.progressEvery > 0 && options.onProgress)
-            progressTick();
-          else
-            explored.fetch_add(1, std::memory_order_relaxed);
-          for (const Invariant* invariant : invariants) {
-            auto violation = invariant->check(scenario, report);
-            if (!violation) continue;
-            std::lock_guard<std::mutex> lock(mutex);
-            Finding finding;
-            finding.configIndex = index;
-            finding.violation = std::move(*violation);
-            finding.scenario = scenario;
-            findings.push_back(std::move(finding));
-            if (options.maxFindings > 0 &&
-                findings.size() >= options.maxFindings)
-              stop.store(true, std::memory_order_relaxed);
-            break;
-          }
-        } catch (...) {
+  SweepStats sweepStats = sweep::parallelFor(
+      total,
+      [&](std::size_t index, sweep::Control& control) {
+        const Scenario scenario = strategy.generate(index);
+        const RunReport report = runScenario(scenario);
+        for (const Invariant* invariant : invariants) {
+          auto violation = invariant->check(scenario, report);
+          if (!violation) continue;
           std::lock_guard<std::mutex> lock(mutex);
-          if (!firstError) firstError = std::current_exception();
-          stop.store(true, std::memory_order_relaxed);
+          Finding finding;
+          finding.configIndex = index;
+          finding.violation = std::move(*violation);
+          finding.scenario = scenario;
+          findings.push_back(std::move(finding));
+          findingCount.store(findings.size(), std::memory_order_relaxed);
+          if (options.maxFindings > 0 &&
+              findings.size() >= options.maxFindings)
+            control.requestStop();
+          break;
         }
-      }
-    }
-    const std::chrono::duration<double> spent =
-        std::chrono::steady_clock::now() - begin;
-    workerStats[self].seconds = spent.count();
-    if (workerStats[self].seconds > 0.0)
-      workerStats[self].configsPerSec =
-          static_cast<double>(workerStats[self].configs) /
-          workerStats[self].seconds;
-  };
+      },
+      pool);
+  const std::size_t explored = sweepStats.configs;
 
-  const auto sweepBegin = std::chrono::steady_clock::now();
-  if (threadCount <= 1) {
-    worker(0);
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threadCount);
-    for (std::size_t i = 0; i < threadCount; ++i)
-      pool.emplace_back(worker, i);
-    for (auto& thread : pool) thread.join();
-  }
-  const std::chrono::duration<double> sweepElapsed =
-      std::chrono::steady_clock::now() - sweepBegin;
-  if (firstError) std::rethrow_exception(firstError);
-
-  SweepStats sweep;
-  sweep.workers = threadCount;
-  sweep.chunkSize = chunkSize;
-  sweep.elapsedSeconds = sweepElapsed.count();
-  sweep.perWorker = std::move(workerStats);
-  for (const WorkerStats& stats : sweep.perWorker) {
-    sweep.chunksDealt += stats.chunksDealt;
-    sweep.steals += stats.chunksStolen;
-  }
-  if (sweep.elapsedSeconds > 0.0)
-    sweep.configsPerSec =
-        static_cast<double>(explored.load()) / sweep.elapsedSeconds;
-  // Registry feed: the deterministic shape of the sweep (workers, chunking)
-  // as gauges/counters, labeled by strategy. Wall-clock rates stay out of
-  // the registry — its snapshots are byte-diffed for nondeterminism.
+  // Registry feed: only the thread-invariant sweep total, labeled by
+  // strategy. The sweep's *shape* (workers, chunk size, chunk/steal
+  // counts) depends on the thread count, so it lives exclusively in the
+  // quarantined `sweep` telemetry block (sweep::toJson) — the registry
+  // snapshot stays byte-identical across --threads values, which CI diffs.
   if (obs::enabled()) {
     const obs::Labels labels{{"strategy", strategy.name()}};
-    obs::metrics().addCounter("check_sweep_configs", explored.load(), labels);
-    obs::metrics().addCounter("check_sweep_chunks", sweep.chunksDealt,
-                              labels);
-    obs::metrics().setGauge("check_sweep_workers",
-                            static_cast<double>(sweep.workers), labels);
-    obs::metrics().setGauge("check_sweep_chunk_size",
-                            static_cast<double>(sweep.chunkSize), labels);
+    obs::metrics().addCounter("check_sweep_configs", explored, labels);
   }
 
   std::sort(findings.begin(), findings.end(),
@@ -231,9 +129,9 @@ CheckReport explore(const ExplorationStrategy& strategy,
   }
 
   CheckReport report;
-  report.configsExplored = explored.load();
+  report.configsExplored = explored;
   report.findings = std::move(findings);
-  report.sweep = std::move(sweep);
+  report.sweep = std::move(sweepStats);
   return report;
 }
 

@@ -1,9 +1,12 @@
 #include "compose/matrix.hpp"
 
 #include <algorithm>
+#include <functional>
+#include <utility>
 
 #include "compose/run.hpp"
 #include "obs/json.hpp"
+#include "sweep/scheduler.hpp"
 #include "util/stats.hpp"
 
 namespace ooc::compose {
@@ -67,48 +70,75 @@ MatrixReport runMatrix(const MatrixOptions& options) {
   report.detectors = reg.detectorNames();
   report.drivers = reg.driverNames();
 
-  for (const std::string& detectorName : report.detectors) {
-    for (const std::string& driverName : report.drivers) {
-      MatrixCell cell;
-      cell.detector = detectorName;
-      cell.driver = driverName;
-      if (const auto diagnostic =
-              reg.validatePairing(detectorName, driverName)) {
-        cell.diagnostic = *diagnostic;
-        ++report.rejectedCells;
-        report.cells.push_back(std::move(cell));
-        continue;
-      }
-      cell.valid = true;
-      ++report.validCells;
+  // Cells are enumerated row-major up front and fanned across the
+  // experiment scheduler (each cell is runsPerCell independent seeded
+  // simulations); the report fold below walks the pre-sized cell vector in
+  // enumeration order, so counts, safety verdicts, and the JSON downstream
+  // are byte-identical at any thread count.
+  struct CellKey {
+    std::string detector;
+    std::string driver;
+  };
+  std::vector<CellKey> keys;
+  keys.reserve(report.detectors.size() * report.drivers.size());
+  for (const std::string& detectorName : report.detectors)
+    for (const std::string& driverName : report.drivers)
+      keys.push_back(CellKey{detectorName, driverName});
 
-      Summary rounds;
-      Summary messages;
-      for (int run = 0; run < runsPerCell; ++run) {
-        Composition composition = cellBase(detectorName, driverName);
-        cell.oracle = composition.oracle;
-        composition.seed = options.seedBase + static_cast<std::uint64_t>(run);
-        const CompositionResult result = runComposition(composition);
-        ++cell.runs;
-        if (result.allDecided) {
-          ++cell.decided;
-          rounds.add(static_cast<double>(result.maxDecisionRound));
-          cell.maxRound = std::max(cell.maxRound, result.maxDecisionRound);
+  std::vector<MatrixCell> cells(keys.size());
+  sweep::Options pool;
+  pool.threads = options.threads;
+  sweep::parallelFor(
+      keys.size(),
+      [&](std::size_t index, sweep::Control&) {
+        const CellKey& key = keys[index];
+        MatrixCell cell;
+        cell.detector = key.detector;
+        cell.driver = key.driver;
+        if (const auto diagnostic =
+                reg.validatePairing(key.detector, key.driver)) {
+          cell.diagnostic = *diagnostic;
+          cells[index] = std::move(cell);
+          return;
         }
-        messages.add(static_cast<double>(result.messagesByCorrect));
-        if (result.agreementViolated) cell.agreementOk = false;
-        if (result.validityViolated) cell.validityOk = false;
-        if (!result.allAuditsOk) cell.auditsOk = false;
-        if (result.oracleAudit && !result.oracleAudit->ok())
-          cell.fdAxiomsOk = false;
-      }
-      if (!rounds.empty()) cell.meanRounds = rounds.mean();
-      if (!messages.empty()) cell.meanMessages = messages.mean();
+        cell.valid = true;
+        Summary rounds;
+        Summary messages;
+        for (int run = 0; run < runsPerCell; ++run) {
+          Composition composition = cellBase(key.detector, key.driver);
+          cell.oracle = composition.oracle;
+          composition.seed =
+              options.seedBase + static_cast<std::uint64_t>(run);
+          const CompositionResult result = runComposition(composition);
+          ++cell.runs;
+          if (result.allDecided) {
+            ++cell.decided;
+            rounds.add(static_cast<double>(result.maxDecisionRound));
+            cell.maxRound = std::max(cell.maxRound, result.maxDecisionRound);
+          }
+          messages.add(static_cast<double>(result.messagesByCorrect));
+          if (result.agreementViolated) cell.agreementOk = false;
+          if (result.validityViolated) cell.validityOk = false;
+          if (!result.allAuditsOk) cell.auditsOk = false;
+          if (result.oracleAudit && !result.oracleAudit->ok())
+            cell.fdAxiomsOk = false;
+        }
+        if (!rounds.empty()) cell.meanRounds = rounds.mean();
+        if (!messages.empty()) cell.meanMessages = messages.mean();
+        cells[index] = std::move(cell);
+      },
+      pool);
+
+  for (MatrixCell& cell : cells) {
+    if (cell.valid) {
+      ++report.validCells;
       if (!cell.agreementOk || !cell.validityOk || !cell.auditsOk ||
           !cell.fdAxiomsOk)
         report.safetyOk = false;
-      report.cells.push_back(std::move(cell));
+    } else {
+      ++report.rejectedCells;
     }
+    report.cells.push_back(std::move(cell));
   }
   return report;
 }
@@ -205,11 +235,21 @@ OracleMatrixReport runOracleMatrix(const OracleMatrixOptions& options) {
     if (reg.driver(name).capability.oracle != OracleRequirement::kNone)
       report.drivers.push_back(name);
 
-  const auto reject = [&](OracleMatrixCell cell,
-                          const std::string& diagnostic) {
-    cell.diagnostic = diagnostic;
-    ++report.rejectedCells;
-    report.cells.push_back(std::move(cell));
+  // Every cell — rejection rows included — becomes one task enumerated in
+  // the report's canonical order, fanned across the experiment scheduler,
+  // and folded back sequentially: ooc.fd-matrix.v1 stays byte-identical at
+  // any thread count.
+  std::vector<std::function<OracleMatrixCell()>> tasks;
+
+  const auto rejectTask = [&reg](OracleMatrixCell cell,
+                                 const std::string& driverName,
+                                 const std::string& oracleName) {
+    return [&reg, cell = std::move(cell), driverName, oracleName]() {
+      OracleMatrixCell out = cell;
+      out.diagnostic =
+          *reg.validateOracle(driverName, oracleName, fd::OracleKnobs{});
+      return out;
+    };
   };
 
   for (const std::string& driverName : report.drivers) {
@@ -218,8 +258,7 @@ OracleMatrixReport runOracleMatrix(const OracleMatrixOptions& options) {
       OracleMatrixCell cell;
       cell.driver = driverName;
       cell.completenessLag = kOracleLag;
-      reject(std::move(cell),
-             *reg.validateOracle(driverName, "", fd::OracleKnobs{}));
+      tasks.push_back(rejectTask(std::move(cell), driverName, ""));
     }
     for (const std::string& oracleName : report.oracles) {
       for (const QualityPoint& quality : kQualityGrid) {
@@ -229,38 +268,38 @@ OracleMatrixReport runOracleMatrix(const OracleMatrixOptions& options) {
         cell.stabilizeAt = quality.stabilizeAt;
         cell.noise = quality.noise;
         cell.completenessLag = kOracleLag;
-        const Composition base =
-            oracleCellBase(driverName, oracleName, quality);
-        if (const auto diagnostic = reg.validateOracle(
-                driverName, oracleName, base.oracleKnobs)) {
-          reject(std::move(cell), *diagnostic);
-          continue;
-        }
-        cell.valid = true;
-        ++report.validCells;
-        Summary rounds;
-        for (int run = 0; run < runsPerCell; ++run) {
-          Composition composition = base;
-          composition.seed =
-              options.seedBase + static_cast<std::uint64_t>(run);
-          const CompositionResult result = runComposition(composition);
-          ++cell.runs;
-          if (result.allDecided) {
-            ++cell.decided;
-            rounds.add(static_cast<double>(result.maxDecisionRound));
-            cell.maxRound = std::max(cell.maxRound, result.maxDecisionRound);
+        tasks.push_back([&reg, &options, runsPerCell, cell = std::move(cell),
+                         driverName, oracleName, quality]() {
+          OracleMatrixCell out = cell;
+          const Composition base =
+              oracleCellBase(driverName, oracleName, quality);
+          if (const auto diagnostic = reg.validateOracle(
+                  driverName, oracleName, base.oracleKnobs)) {
+            out.diagnostic = *diagnostic;
+            return out;
           }
-          if (result.agreementViolated) cell.agreementOk = false;
-          if (result.validityViolated) cell.validityOk = false;
-          if (!result.allAuditsOk) cell.auditsOk = false;
-          if (result.oracleAudit && !result.oracleAudit->ok())
-            cell.fdAxiomsOk = false;
-        }
-        if (!rounds.empty()) cell.meanRounds = rounds.mean();
-        if (!cell.agreementOk || !cell.validityOk || !cell.auditsOk ||
-            !cell.fdAxiomsOk)
-          report.safetyOk = false;
-        report.cells.push_back(std::move(cell));
+          out.valid = true;
+          Summary rounds;
+          for (int run = 0; run < runsPerCell; ++run) {
+            Composition composition = base;
+            composition.seed =
+                options.seedBase + static_cast<std::uint64_t>(run);
+            const CompositionResult result = runComposition(composition);
+            ++out.runs;
+            if (result.allDecided) {
+              ++out.decided;
+              rounds.add(static_cast<double>(result.maxDecisionRound));
+              out.maxRound = std::max(out.maxRound, result.maxDecisionRound);
+            }
+            if (result.agreementViolated) out.agreementOk = false;
+            if (result.validityViolated) out.validityOk = false;
+            if (!result.allAuditsOk) out.auditsOk = false;
+            if (result.oracleAudit && !result.oracleAudit->ok())
+              out.fdAxiomsOk = false;
+          }
+          if (!rounds.empty()) out.meanRounds = rounds.mean();
+          return out;
+        });
       }
     }
   }
@@ -272,8 +311,27 @@ OracleMatrixReport runOracleMatrix(const OracleMatrixOptions& options) {
     cell.driver = "timer";
     cell.oracle = oracleName;
     cell.completenessLag = kOracleLag;
-    reject(std::move(cell),
-           *reg.validateOracle("timer", oracleName, fd::OracleKnobs{}));
+    tasks.push_back(rejectTask(std::move(cell), "timer", oracleName));
+  }
+
+  std::vector<OracleMatrixCell> cells(tasks.size());
+  sweep::Options pool;
+  pool.threads = options.threads;
+  sweep::parallelFor(
+      tasks.size(),
+      [&](std::size_t index, sweep::Control&) { cells[index] = tasks[index](); },
+      pool);
+
+  for (OracleMatrixCell& cell : cells) {
+    if (cell.valid) {
+      ++report.validCells;
+      if (!cell.agreementOk || !cell.validityOk || !cell.auditsOk ||
+          !cell.fdAxiomsOk)
+        report.safetyOk = false;
+    } else {
+      ++report.rejectedCells;
+    }
+    report.cells.push_back(std::move(cell));
   }
   return report;
 }

@@ -6,6 +6,7 @@
 // algorithms (and why the rest are not).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -19,6 +20,10 @@ struct MatrixOptions {
   int runsPerCell = 20;
   std::uint64_t seedBase = 9000;
   bool quick = false;  // drops runsPerCell to 5
+  /// Worker threads for the cell sweep (0 = hardware). Cells land in the
+  /// report in enumeration order regardless, so the JSON is byte-identical
+  /// at any thread count.
+  std::size_t threads = 0;
 };
 
 struct MatrixCell {
@@ -76,6 +81,8 @@ struct OracleMatrixOptions {
   int runsPerCell = 10;
   std::uint64_t seedBase = 11000;
   bool quick = false;  // drops runsPerCell to 3
+  /// Worker threads for the cell sweep (0 = hardware); see MatrixOptions.
+  std::size_t threads = 0;
 };
 
 struct OracleMatrixCell {

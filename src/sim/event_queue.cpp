@@ -51,6 +51,10 @@ EventQueue::~EventQueue() {
 
 void EventQueue::drainThreadArena() noexcept { arena().rings.clear(); }
 
+std::size_t EventQueue::threadArenaSize() noexcept {
+  return arena().rings.size();
+}
+
 void EventQueue::push(SimEvent event) {
   event.seq = nextSeq_++;
   if (event.at < cursor_) event.at = cursor_;

@@ -97,6 +97,10 @@ class EventQueue {
   /// cold (test hook for memory accounting; never needed in normal use).
   static void drainThreadArena() noexcept;
 
+  /// Bucket rings currently pooled in this thread's arena (test hook: the
+  /// arena-reuse stress asserts the pool stays bounded by its cap).
+  static std::size_t threadArenaSize() noexcept;
+
   /// Internal bucket layout; public only so the thread-local arena can
   /// store rings of them.
   struct Bucket {

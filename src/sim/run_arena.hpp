@@ -1,0 +1,73 @@
+// Thread-local scratch-vector arenas for per-run simulation state.
+//
+// A Simulator is confined to one thread for its lifetime, and a sweep
+// worker thread creates and destroys thousands of short-lived simulators
+// back to back. The EventQueue already recycles its bucket ring through a
+// thread-local pool (sim/event_queue.cpp); this header generalizes the
+// pattern to the other per-run vectors — timer-owner tables, network
+// scratch delays, control-action tables, trace event buffers — so a tiny
+// run stops paying vector regrowth on every construction.
+//
+// checkout() hands back a cleared vector with warm capacity (or a fresh
+// empty one); recycle() returns it, cleared but with capacity retained.
+// No locking: the pools are thread_local, matching the one-thread-per-
+// simulator confinement. Pools are capped at a handful of entries so
+// pathological use cannot hoard memory, and vectors whose capacity is 0
+// (e.g. moved-from trace buffers) are dropped instead of pooled.
+//
+// Pool occupancy is a pure function of construction/destruction order on
+// one thread, so arena reuse cannot perturb schedules or recorded traces.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace ooc::run_arena {
+
+/// Max pooled vectors per (thread, element type): a handful of live
+/// simulators per thread is the realistic maximum.
+inline constexpr std::size_t kPoolCap = 4;
+
+namespace detail {
+template <typename T>
+std::vector<std::vector<T>>& pool() noexcept {
+  thread_local std::vector<std::vector<T>> instance;
+  return instance;
+}
+}  // namespace detail
+
+/// A cleared vector with warm capacity when the pool has one, else empty.
+template <typename T>
+std::vector<T> checkout() {
+  auto& pool = detail::pool<T>();
+  if (pool.empty()) return {};
+  std::vector<T> out = std::move(pool.back());
+  pool.pop_back();
+  return out;
+}
+
+/// Returns `scratch` to this thread's pool (cleared, capacity retained).
+/// Capacity-0 vectors are dropped: pooling them would evict warm ones.
+template <typename T>
+void recycle(std::vector<T>&& scratch) {
+  if (scratch.capacity() == 0) return;
+  auto& pool = detail::pool<T>();
+  if (pool.size() >= kPoolCap) return;
+  scratch.clear();
+  pool.push_back(std::move(scratch));
+}
+
+/// Pooled vectors for element type T on this thread (test hook).
+template <typename T>
+std::size_t poolSize() noexcept {
+  return detail::pool<T>().size();
+}
+
+/// Drops this thread's pool for T (test hook for memory accounting).
+template <typename T>
+void drain() noexcept {
+  detail::pool<T>().clear();
+}
+
+}  // namespace ooc::run_arena

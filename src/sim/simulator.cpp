@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sim/run_arena.hpp"
 #include "util/logging.hpp"
 
 namespace ooc {
@@ -68,9 +69,19 @@ Simulator::Simulator(SimConfig config, std::unique_ptr<NetworkModel> network)
       networkRng_(Rng(config.seed).split(0xBEEF)),
       harnessRng_(Rng(config.seed).split(0xCAFE)) {
   if (!network_) throw std::invalid_argument("network model is required");
+  // Per-run scratch vectors come from the thread-local run arena (see
+  // sim/run_arena.hpp): a sweep worker hands the same warm buffers from
+  // simulator to simulator, like the EventQueue's bucket ring.
+  controlActions_ = run_arena::checkout<std::function<void()>>();
+  timerOwner_ = run_arena::checkout<ProcessId>();
+  scratchDelays_ = run_arena::checkout<Tick>();
 }
 
-Simulator::~Simulator() = default;
+Simulator::~Simulator() {
+  run_arena::recycle(std::move(controlActions_));
+  run_arena::recycle(std::move(timerOwner_));
+  run_arena::recycle(std::move(scratchDelays_));
+}
 
 ProcessId Simulator::addProcess(std::unique_ptr<Process> process,
                                 bool faulty) {

@@ -16,8 +16,10 @@
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "sim/run_arena.hpp"
 #include "util/types.hpp"
 
 namespace ooc {
@@ -118,9 +120,16 @@ class ScheduleObserver {
   virtual void onCausal(const CausalStamp& /*stamp*/) {}
 };
 
-/// Observer that appends every event to a Trace.
+/// Observer that appends every event to a Trace. The event buffer is
+/// checked out of the thread-local run arena (sim/run_arena.hpp) and
+/// recycled on destruction, so back-to-back recorded runs on one sweep
+/// worker reuse a warm buffer; a trace moved out of the recorder leaves a
+/// capacity-0 vector behind, which recycle() drops.
 class TraceRecorder final : public ScheduleObserver {
  public:
+  TraceRecorder() { trace_.events = run_arena::checkout<TraceEvent>(); }
+  ~TraceRecorder() override { run_arena::recycle(std::move(trace_.events)); }
+
   void onEvent(const TraceEvent& event) override {
     trace_.events.push_back(event);
   }

@@ -344,10 +344,10 @@ SvcResult runSvc(const SvcConfig& config, const compose::RunHooks& hooks) {
     }
     for (const std::uint32_t size : result.batchSizes)
       obs::metrics().observe("svc_batch_size", size, base);
-    obs::metrics().setGauge("svc_commands_per_ktick",
-                            result.commandsPerKtick, base);
-    obs::metrics().setGauge("svc_max_commit_gap",
-                            static_cast<double>(result.maxCommitGap), base);
+    // No per-run gauges here: a last-writer-wins gauge from inside a run is
+    // order-dependent once trials fan across the experiment scheduler.
+    // Aggregate gauges (svc_mean_commands_per_ktick, svc_blackout_ticks)
+    // are set by the callers' sequential trial-order folds instead.
   }
   return result;
 }

@@ -1,0 +1,347 @@
+#include "sweep/scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "obs/json.hpp"
+
+namespace ooc::sweep {
+namespace {
+
+/// Set while the current thread is a pool worker executing a sweep body;
+/// a nested parallelFor must not block on the (busy) pool, so it degrades
+/// to inline execution instead.
+thread_local bool insidePoolWorker = false;
+
+struct Chunk {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// One worker's share of the index space, as [begin, end) chunks. The
+/// owner pops from the front; thieves steal from the back, so an owner
+/// and a thief only contend when one chunk is left.
+struct WorkerQueue {
+  std::mutex mutex;
+  std::deque<Chunk> chunks;
+};
+
+/// Everything one parallelFor call shares with the pool workers. Lives on
+/// the calling thread's stack for the duration of the (blocking) call.
+struct Job {
+  std::size_t total = 0;
+  const Body* body = nullptr;
+  Control* control = nullptr;
+  std::size_t workers = 0;
+
+  std::size_t progressEvery = 0;
+  const std::function<void(std::size_t, std::size_t)>* onProgress = nullptr;
+
+  std::vector<WorkerQueue> queues;
+  std::vector<WorkerStats> stats;
+  /// Per-slot claim flags (set under the pool mutex) so a worker runs each
+  /// job exactly once even though the job outlives its wakeup.
+  std::vector<char> claimed;
+
+  std::atomic<std::size_t> done{0};
+  std::atomic<std::size_t> nextEmit{0};
+  std::atomic<bool> emitting{false};
+
+  std::mutex errorMutex;
+  std::exception_ptr firstError;
+
+  std::optional<Chunk> take(std::size_t self);
+  void runWorker(std::size_t self);
+  void progressTick();
+};
+
+std::optional<Chunk> Job::take(std::size_t self) {
+  {
+    std::lock_guard<std::mutex> lock(queues[self].mutex);
+    auto& own = queues[self].chunks;
+    if (!own.empty()) {
+      Chunk chunk = own.front();
+      own.pop_front();
+      ++stats[self].chunksOwned;
+      return chunk;
+    }
+  }
+  for (std::size_t offset = 1; offset < workers; ++offset) {
+    WorkerQueue& victim = queues[(self + offset) % workers];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.chunks.empty()) {
+      Chunk chunk = victim.chunks.back();
+      victim.chunks.pop_back();
+      ++stats[self].chunksStolen;
+      return chunk;
+    }
+  }
+  return std::nullopt;
+}
+
+// Contention-free progress: completion is one relaxed atomic increment;
+// emission is gated by an atomic threshold plus a single-emitter flag. A
+// worker that loses the flag race simply skips the tick — no worker ever
+// blocks on another for the sake of a heartbeat line.
+void Job::progressTick() {
+  const std::size_t count = done.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (progressEvery == 0 || onProgress == nullptr) return;
+  if (count < nextEmit.load(std::memory_order_relaxed)) return;
+  if (emitting.exchange(true, std::memory_order_acquire)) return;
+  if (count >= nextEmit.load(std::memory_order_relaxed)) {
+    nextEmit.store(count - count % progressEvery + progressEvery,
+                   std::memory_order_relaxed);
+    (*onProgress)(count, total);
+  }
+  emitting.store(false, std::memory_order_release);
+}
+
+void Job::runWorker(std::size_t self) {
+  const bool wasInside = insidePoolWorker;
+  insidePoolWorker = true;
+  const auto begin = std::chrono::steady_clock::now();
+  WorkerStats& mine = stats[self];
+  while (!control->stopRequested()) {
+    const auto chunk = take(self);
+    if (!chunk) break;
+    for (std::size_t index = chunk->begin; index < chunk->end; ++index) {
+      if (control->stopRequested()) break;
+      try {
+        (*body)(index, *control);
+        ++mine.configs;
+        progressTick();
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(errorMutex);
+          if (!firstError) firstError = std::current_exception();
+        }
+        control->requestStop();
+        break;
+      }
+    }
+  }
+  const std::chrono::duration<double> spent =
+      std::chrono::steady_clock::now() - begin;
+  mine.seconds = spent.count();
+  if (mine.seconds > 0.0)
+    mine.configsPerSec = static_cast<double>(mine.configs) / mine.seconds;
+  insidePoolWorker = wasInside;
+}
+
+/// The persistent pool: process-lifetime threads grown lazily to the
+/// largest worker count any sweep has requested. Keeping the threads (and
+/// therefore their thread-local simulation arenas) alive across sweeps is
+/// the point — short runs stop paying per-run setup. One job runs at a
+/// time; concurrent parallelFor calls serialize on jobMutex_.
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  void run(Job& job) {
+    std::lock_guard<std::mutex> serial(jobMutex_);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      while (threads_.size() < job.workers)
+        threads_.emplace_back(&Pool::workerMain, this, threads_.size());
+      active_ = job.workers;
+      job_ = &job;
+    }
+    cv_.notify_all();
+    std::unique_lock<std::mutex> lock(mutex_);
+    doneCv_.wait(lock, [&] { return active_ == 0; });
+    job_ = nullptr;
+  }
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+ private:
+  Pool() = default;
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& thread : threads_) thread.join();
+  }
+
+  void workerMain(std::size_t slot) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      cv_.wait(lock, [&] {
+        return shutdown_ || (job_ != nullptr && slot < job_->workers &&
+                             !job_->claimed[slot]);
+      });
+      if (shutdown_) return;
+      Job* job = job_;
+      job->claimed[slot] = 1;
+      lock.unlock();
+      job->runWorker(slot);
+      lock.lock();
+      if (--active_ == 0) doneCv_.notify_all();
+    }
+  }
+
+  std::mutex jobMutex_;  ///< serializes whole jobs
+  std::mutex mutex_;     ///< guards everything below
+  std::condition_variable cv_;
+  std::condition_variable doneCv_;
+  std::vector<std::thread> threads_;
+  Job* job_ = nullptr;
+  std::size_t active_ = 0;
+  bool shutdown_ = false;
+};
+
+void writeWorkerRows(obs::JsonWriter& w,
+                     const std::vector<WorkerStats>& perWorker) {
+  w.key("per_worker").beginArray();
+  for (const WorkerStats& worker : perWorker) {
+    w.beginObject();
+    w.key("configs").value(worker.configs);
+    w.key("chunks_dealt").value(worker.chunksDealt);
+    w.key("chunks_owned").value(worker.chunksOwned);
+    w.key("chunks_stolen").value(worker.chunksStolen);
+    w.key("seconds").value(worker.seconds);
+    w.key("configs_per_sec").value(worker.configsPerSec);
+    w.endObject();
+  }
+  w.endArray();
+}
+
+}  // namespace
+
+std::size_t hardwareThreads() noexcept {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+SweepStats parallelFor(std::size_t total, const Body& body,
+                       const Options& options) {
+  std::size_t threadCount =
+      options.threads == 0 ? hardwareThreads() : options.threads;
+  threadCount = std::max<std::size_t>(1, std::min(threadCount, total));
+  if (insidePoolWorker) threadCount = 1;  // nested sweeps run inline
+
+  SweepStats result;
+  result.workers = threadCount;
+  if (total == 0) return result;
+
+  const std::size_t chunkSize =
+      options.chunkSize != 0
+          ? options.chunkSize
+          : std::clamp<std::size_t>(total / (threadCount * 16),
+                                    std::size_t{1}, std::size_t{1024});
+  result.chunkSize = chunkSize;
+
+  Control control;
+  Job job;
+  job.total = total;
+  job.body = &body;
+  job.control = &control;
+  job.workers = threadCount;
+  job.progressEvery = options.progressEvery;
+  job.onProgress = options.onProgress ? &options.onProgress : nullptr;
+  job.nextEmit.store(options.progressEvery, std::memory_order_relaxed);
+  job.queues = std::vector<WorkerQueue>(threadCount);
+  job.stats.resize(threadCount);
+  job.claimed.assign(threadCount, 0);
+  // Chunks are dealt round-robin so every worker starts on a contiguous,
+  // roughly equal share; stealing rebalances skewed per-index runtimes.
+  for (std::size_t begin = 0, dealt = 0; begin < total;
+       begin += chunkSize, ++dealt) {
+    job.queues[dealt % threadCount].chunks.push_back(
+        Chunk{begin, std::min(begin + chunkSize, total)});
+    ++job.stats[dealt % threadCount].chunksDealt;
+  }
+
+  const auto sweepBegin = std::chrono::steady_clock::now();
+  if (threadCount <= 1) {
+    job.claimed[0] = 1;
+    job.runWorker(0);
+  } else {
+    Pool::instance().run(job);
+  }
+  const std::chrono::duration<double> sweepElapsed =
+      std::chrono::steady_clock::now() - sweepBegin;
+  if (job.firstError) std::rethrow_exception(job.firstError);
+
+  result.elapsedSeconds = sweepElapsed.count();
+  result.perWorker = std::move(job.stats);
+  for (const WorkerStats& stats : result.perWorker) {
+    result.configs += stats.configs;
+    result.chunksDealt += stats.chunksDealt;
+    result.steals += stats.chunksStolen;
+  }
+  if (result.elapsedSeconds > 0.0)
+    result.configsPerSec =
+        static_cast<double>(result.configs) / result.elapsedSeconds;
+  return result;
+}
+
+std::string toJson(const SweepStats& stats) {
+  obs::JsonWriter w;
+  w.beginObject();
+  w.key("workers").value(static_cast<std::uint64_t>(stats.workers));
+  w.key("chunk_size").value(static_cast<std::uint64_t>(stats.chunkSize));
+  w.key("configs").value(stats.configs);
+  w.key("chunks").value(stats.chunksDealt);
+  w.key("steals").value(stats.steals);
+  w.key("elapsed_seconds").value(stats.elapsedSeconds);
+  w.key("configs_per_sec").value(stats.configsPerSec);
+  writeWorkerRows(w, stats.perWorker);
+  w.endObject();
+  return w.str();
+}
+
+void SweepAccumulator::add(const SweepStats& stats) {
+  ++sweeps;
+  workers = std::max(workers, stats.workers);
+  configs += stats.configs;
+  chunksDealt += stats.chunksDealt;
+  steals += stats.steals;
+  elapsedSeconds += stats.elapsedSeconds;
+  if (perWorker.size() < stats.perWorker.size())
+    perWorker.resize(stats.perWorker.size());
+  for (std::size_t i = 0; i < stats.perWorker.size(); ++i) {
+    const WorkerStats& from = stats.perWorker[i];
+    WorkerStats& into = perWorker[i];
+    into.configs += from.configs;
+    into.chunksDealt += from.chunksDealt;
+    into.chunksOwned += from.chunksOwned;
+    into.chunksStolen += from.chunksStolen;
+    into.seconds += from.seconds;
+    if (into.seconds > 0.0)
+      into.configsPerSec = static_cast<double>(into.configs) / into.seconds;
+  }
+}
+
+std::string toJson(const SweepAccumulator& acc) {
+  obs::JsonWriter w;
+  w.beginObject();
+  w.key("sweeps").value(acc.sweeps);
+  w.key("workers").value(static_cast<std::uint64_t>(acc.workers));
+  w.key("configs").value(acc.configs);
+  w.key("chunks").value(acc.chunksDealt);
+  w.key("steals").value(acc.steals);
+  w.key("elapsed_seconds").value(acc.elapsedSeconds);
+  w.key("configs_per_sec")
+      .value(acc.elapsedSeconds > 0.0
+                 ? static_cast<double>(acc.configs) / acc.elapsedSeconds
+                 : 0.0);
+  writeWorkerRows(w, acc.perWorker);
+  w.endObject();
+  return w.str();
+}
+
+}  // namespace ooc::sweep

@@ -30,6 +30,7 @@
 #include "sim/process.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
+#include "sweep/scheduler.hpp"
 
 namespace ooc {
 namespace {
@@ -56,6 +57,31 @@ TEST(GoldenTrace, RecordedRunsAreByteIdentical) {
     // EQ on the whole string (not a line diff): the guarantee is bytes.
     EXPECT_EQ(actual, expected)
         << "schedule or serialization drift in fixture " << fixture.name;
+  }
+}
+
+TEST(GoldenTrace, ParallelWorkersRenderByteIdenticalGoldens) {
+  // Same artifacts, rendered through the experiment scheduler's worker
+  // pool: per-worker arena reuse (bucket rings, timer tables, trace
+  // buffers recycled across runs) must not move a single byte relative to
+  // the sequential renders above.
+  const auto fixtures = check::goldenFixtures();
+  ASSERT_GE(fixtures.size(), 4u);
+  std::vector<std::string> rendered(fixtures.size());
+  sweep::Options options;
+  options.threads = fixtures.size();
+  sweep::parallelFor(
+      fixtures.size(),
+      [&](std::size_t index, sweep::Control&) {
+        rendered[index] = check::renderGolden(fixtures[index]);
+      },
+      options);
+  for (std::size_t i = 0; i < fixtures.size(); ++i) {
+    const std::string expected =
+        readFile(std::string(OOC_GOLDEN_DIR "/") + fixtures[i].name +
+                 ".golden");
+    EXPECT_EQ(rendered[i], expected)
+        << "parallel render drift in fixture " << fixtures[i].name;
   }
 }
 

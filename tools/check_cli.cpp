@@ -35,6 +35,7 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "svc/run.hpp"
+#include "sweep/scheduler.hpp"
 
 namespace {
 
@@ -571,31 +572,11 @@ int main(int argc, char** argv) {
         w.endObject();
       }
       w.endArray();
-      // Work-stealing driver telemetry. The only wall-clock (and thus
-      // non-reproducible) section of ooc.check.v1 — byte-diff consumers
-      // must strip the `sweep` objects first (everything else is
-      // deterministic for a fixed configuration).
-      const SweepStats& sweep = outcome.sweep;
-      w.key("sweep").beginObject();
-      w.key("workers").value(static_cast<std::uint64_t>(sweep.workers));
-      w.key("chunk_size").value(static_cast<std::uint64_t>(sweep.chunkSize));
-      w.key("chunks").value(sweep.chunksDealt);
-      w.key("steals").value(sweep.steals);
-      w.key("elapsed_seconds").value(sweep.elapsedSeconds);
-      w.key("configs_per_sec").value(sweep.configsPerSec);
-      w.key("per_worker").beginArray();
-      for (const WorkerStats& worker : sweep.perWorker) {
-        w.beginObject();
-        w.key("configs").value(worker.configs);
-        w.key("chunks_dealt").value(worker.chunksDealt);
-        w.key("chunks_owned").value(worker.chunksOwned);
-        w.key("chunks_stolen").value(worker.chunksStolen);
-        w.key("seconds").value(worker.seconds);
-        w.key("configs_per_sec").value(worker.configsPerSec);
-        w.endObject();
-      }
-      w.endArray();
-      w.endObject();
+      // Scheduler telemetry (shared schema, sweep::toJson). The only
+      // wall-clock (and thus non-reproducible) section of ooc.check.v1 —
+      // byte-diff consumers must strip the `sweep` objects first
+      // (everything else is deterministic for a fixed configuration).
+      w.key("sweep").raw(ooc::sweep::toJson(outcome.sweep));
       w.endObject();
     }
     w.endArray();

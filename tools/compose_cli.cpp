@@ -46,6 +46,7 @@ struct CliOptions {
   std::uint64_t seed = 0;  // --spec only; 0 keeps the default
   bool quick = false;
   bool fdMatrix = false;
+  std::size_t threads = 0;  // matrix worker threads; 0 = hardware
   std::string oracle;          // --spec only
   double oracleNoise = -1.0;   // <0 keeps the OracleKnobs default
   std::int64_t oracleStabilize = -1;
@@ -78,6 +79,8 @@ void printUsage(std::ostream& os) {
         "  --runs N          matrix runs per valid cell (default 20)\n"
         "  --seed-base S     first matrix seed (default 9000)\n"
         "  --quick           matrix smoke mode: fewer runs per cell\n"
+        "  --threads N       matrix worker threads (default: hardware;\n"
+        "                    output is byte-identical at any value)\n"
         "  --json FILE       write the matrix report\n"
         "  --trace-out FILE  --spec only: record the run as a counterexample\n"
         "                    file (readable by check --replay, trace_view\n"
@@ -205,6 +208,7 @@ int runSpec(const CliOptions& options) {
 int runFdMatrixMode(const CliOptions& options) {
   OracleMatrixOptions matrix;
   matrix.quick = options.quick;
+  matrix.threads = options.threads;
   if (options.runs > 0) matrix.runsPerCell = options.runs;
   if (options.seedBase > 0) matrix.seedBase = options.seedBase;
 
@@ -253,6 +257,7 @@ int runFdMatrixMode(const CliOptions& options) {
 int runMatrixMode(const CliOptions& options) {
   MatrixOptions matrix;
   matrix.quick = options.quick;
+  matrix.threads = options.threads;
   if (options.runs > 0) matrix.runsPerCell = options.runs;
   if (options.seedBase > 0) matrix.seedBase = options.seedBase;
 
@@ -318,6 +323,7 @@ int main(int argc, char** argv) {
       options.runs = static_cast<int>(nextNumber(i));
     else if (arg == "--seed-base") options.seedBase = nextNumber(i);
     else if (arg == "--quick") options.quick = true;
+    else if (arg == "--threads") options.threads = nextNumber(i);
     else if (arg == "--json") options.jsonPath = next(i);
     else if (arg == "--trace-out") options.traceOut = next(i);
     else if (arg == "--help" || arg == "-h") {
