@@ -163,6 +163,23 @@ if [ "$status" -ne 0 ]; then
   echo "!! compose fd-matrix exited $status" >&2
 fi
 
+# E24: the roundless scheduling-policy matrix. Every skew-relevant engine
+# pairing runs under every round scheduling policy (lockstep, event-driven,
+# ooo-driver — DESIGN.md §14); registry-rejected (engine, policy) cells
+# carry the capability diagnostic, valid cells must decide with agreement,
+# validity, the contract audits, and the scheduler-coherence counters
+# intact. Writes ooc.roundless.v1 next to the bench JSON.
+echo "## compose --roundless-matrix (E24 scheduling matrix) $QUICK"
+roundless_flag=""
+[ "$JSON" = 1 ] && roundless_flag="--json $OUT/BENCH_roundless.json"
+status=0
+# shellcheck disable=SC2086  # flags are intentionally word-split
+build/tools/compose --roundless-matrix $QUICK $threads_flag $roundless_flag || status=$?
+if [ "$status" -ne 0 ]; then
+  failures=$((failures + 1))
+  echo "!! compose roundless-matrix exited $status" >&2
+fi
+
 # Committed trajectory files: append this run's headline metric to the
 # repo-root BENCH_<name>.json so the numbers are tracked commit over
 # commit, and warn on a >10% regression against the previous entry of the
@@ -172,9 +189,10 @@ fi
 #   fd        mean rounds-to-decide per oracle-consuming pairing
 #   recovery  mean ticks-to-decide under the crash/restart mixes
 #   svc       committed commands per kilotick per service engine (E21)
+#   roundless mean rounds-to-decide per valid E24 (engine, policy) cell
 if [ "$JSON" = 1 ]; then
   COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
-  for mode in simcore fd recovery svc; do
+  for mode in simcore fd recovery svc roundless; do
     run_json="$OUT/BENCH_${mode}.json"
     [ -f "$run_json" ] || continue
     python3 scripts/trajectory.py \

@@ -18,6 +18,7 @@ MODE picks the metric(s) and their polarity:
   fd        mean rounds_to_decide per pairing     (lower is better)
   recovery  mean ticks_to_decide per label set    (lower is better)
   svc       committed cmds/ktick per engine (E21) (higher is better)
+  roundless mean rounds per valid E24 cell        (lower is better)
 """
 import json
 import sys
@@ -57,6 +58,16 @@ def extract(run, mode):
                  gauge_series(metrics, "svc_mean_commands_per_ktick",
                               "engine"),
                  True)]
+    if mode == "roundless":
+        # ooc.roundless.v1 is a matrix document, not an ooc.bench.v1 run:
+        # the headline series is mean rounds-to-decide per valid decided
+        # (engine, policy) cell. Rejected cells have no number to track.
+        return [("mean_rounds", {
+            f"{c['detector']}+{c['driver']}@{c['policy']}":
+                round(c["mean_rounds"], 2)
+            for c in run.get("cells", [])
+            if c.get("valid") and c.get("decided")
+        }, True)]
     name = "rounds_to_decide" if mode == "fd" else "ticks_to_decide"
     return [(f"mean_{name}", {
         label_key(h.get("labels", {})): round(h["sum"] / h["count"], 2)
@@ -67,7 +78,7 @@ def extract(run, mode):
 
 def main():
     run_path, traj_path, commit, quick, mode = (sys.argv + [""] * 6)[1:6]
-    if mode not in ("simcore", "fd", "recovery", "svc"):
+    if mode not in ("simcore", "fd", "recovery", "svc", "roundless"):
         sys.exit(f"trajectory.py: unknown mode '{mode}'")
     higher_is_better = mode in ("simcore", "svc")
 

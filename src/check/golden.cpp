@@ -80,6 +80,29 @@ std::vector<GoldenFixture> goldenFixtures() {
     f.scenario.compose.seed = 23;
     fixtures.push_back(std::move(f));
   }
+  {
+    // A schedule expressible only under a non-lockstep policy: the
+    // ooo-driver scheduler detaches each round's courtesy drive, so
+    // driver exchanges for round m interleave with the round-(m+1)
+    // detector — the overlap the lockstep barrier forbids. The lottery
+    // driver matters here: its drive wave needs a message from every
+    // process, so a detached drive genuinely outlives the successor
+    // round's detector (a local coin would resolve at launch and the
+    // overlap would never reach the trace). This golden is the committed
+    // witness for the roundless refactor (DESIGN.md §14); the six
+    // fixtures above must stay byte-identical under lockstep.
+    GoldenFixture f;
+    f.name = "compose-ooo-skew-n5";
+    f.scenario.family = Family::kCompose;
+    f.scenario.compose.detector = "benor-vac";
+    f.scenario.compose.driver = "lottery";
+    f.scenario.compose.scheduler = SchedulingPolicy::kOooDriver;
+    f.scenario.compose.n = 5;
+    f.scenario.compose.inputs = {0, 1, 0, 1, 1};
+    f.scenario.compose.maxDelay = 15;
+    f.scenario.compose.seed = 14;
+    fixtures.push_back(std::move(f));
+  }
   return fixtures;
 }
 

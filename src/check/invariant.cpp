@@ -98,6 +98,26 @@ std::optional<Violation> SvcExactlyOnceInvariant::check(
                    "a command was applied twice or a batch won two decrees"};
 }
 
+std::optional<Violation> SchedulerCoherenceInvariant::check(
+    const Scenario& scenario, const RunReport& report) const {
+  if (scenario.family != Family::kCompose && scenario.family != Family::kFd)
+    return std::nullopt;
+  const SchedulingPolicy policy = scenario.compose.scheduler;
+  const auto fire = [this](const char* what, std::uint64_t count,
+                           SchedulingPolicy policy) {
+    std::ostringstream os;
+    os << count << " " << what << " under the " << ooc::toString(policy)
+       << " policy (structurally impossible; RoundScheduler regression)";
+    return Violation{name(), os.str()};
+  };
+  if (policy != SchedulingPolicy::kOooDriver && report.overlapWitnesses > 0)
+    return fire("overlap witnesses", report.overlapWitnesses, policy);
+  if (policy != SchedulingPolicy::kEventDriven &&
+      report.deferredActivations > 0)
+    return fire("deferred activations", report.deferredActivations, policy);
+  return std::nullopt;
+}
+
 std::optional<Violation> AdoptWitnessInvariant::check(
     const Scenario&, const RunReport& report) const {
   if (report.adoptMismatchWitnesses == 0) return std::nullopt;
@@ -120,6 +140,7 @@ std::vector<std::unique_ptr<Invariant>> safetySuite(bool requireTermination) {
   suite.push_back(std::make_unique<FdAccuracyInvariant>());
   suite.push_back(std::make_unique<SvcPrefixInvariant>());
   suite.push_back(std::make_unique<SvcExactlyOnceInvariant>());
+  suite.push_back(std::make_unique<SchedulerCoherenceInvariant>());
   if (requireTermination) {
     // Convergence is the oracle's liveness promise — like termination, it
     // is only demanded of sweeps that expect runs to finish.

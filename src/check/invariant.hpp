@@ -149,6 +149,20 @@ class SvcExactlyOnceInvariant final : public Invariant {
                                  const RunReport& report) const override;
 };
 
+/// Scheduler coherence: each round-scheduling policy's structural
+/// signature holds (DESIGN.md §14). Lockstep runs produce no overlap
+/// witnesses and no deferred activations (the frontier advances inline
+/// behind the tick barrier); event-driven runs never overlap rounds (they
+/// defer, but the frontier is still sequential); ooo-driver runs never
+/// defer (activation is inline — overlap comes from detached drives).
+/// A count on the wrong side is a RoundScheduler regression.
+class SchedulerCoherenceInvariant final : public Invariant {
+ public:
+  const char* name() const noexcept override { return "scheduler-coherence"; }
+  std::optional<Violation> check(const Scenario& scenario,
+                                 const RunReport& report) const override;
+};
+
 /// §5 witness hunter: fires when a run contains a completed adopt-level
 /// outcome whose value differs from the run's decision — a schedule proving
 /// that "decide on adopt" would have broken agreement. This is not a bug in
@@ -166,7 +180,8 @@ class AdoptWitnessInvariant final : public Invariant {
 /// committed-entry regression), the FD-axiom monitors (completeness,
 /// accuracy always; convergence only with requireTermination, since it is
 /// the oracle's liveness promise), the service-log monitors (prefix
-/// agreement, exactly-once commit), and (optionally) termination.
+/// agreement, exactly-once commit), the scheduler-coherence monitor, and
+/// (optionally) termination.
 std::vector<std::unique_ptr<Invariant>> safetySuite(
     bool requireTermination = true);
 

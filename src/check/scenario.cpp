@@ -123,6 +123,9 @@ RunReport runScenario(const Scenario& scenario,
       report.allAuditsOk = result.allAuditsOk;
       report.adoptOutcomesTotal = result.adoptOutcomesTotal;
       report.adoptMismatchWitnesses = result.adoptMismatchWitnesses;
+      report.overlapWitnesses = result.overlapWitnesses;
+      report.deferredActivations = result.deferredActivations;
+      report.maxRoundSkew = result.maxRoundSkew;
       if (result.oracleAudit) {
         const fd::OracleAudit& audit = *result.oracleAudit;
         report.hasOracle = true;
@@ -250,6 +253,8 @@ std::string describe(const Scenario& scenario) {
     case Family::kFd:
       os << " detector=" << scenario.compose.detector
          << " driver=" << scenario.compose.driver;
+      if (scenario.compose.scheduler != SchedulingPolicy::kLockstep)
+        os << " scheduler=" << ooc::toString(scenario.compose.scheduler);
       if (!scenario.compose.oracle.empty())
         os << " oracle=" << scenario.compose.oracle
            << " stabilize-at=" << scenario.compose.oracleKnobs.stabilizeAt

@@ -55,6 +55,15 @@ struct RunReport {
   std::size_t adoptOutcomesTotal = 0;
   std::size_t adoptMismatchWitnesses = 0;
 
+  /// Scheduling-policy observations (compose/fd families; zero elsewhere).
+  /// Overlap witnesses and deferred activations are structural to their
+  /// policy — lockstep pins both to zero, event-driven produces no
+  /// overlaps, the ooo-driver policy no deferrals — which is what the
+  /// scheduler-coherence invariant checks.
+  std::uint64_t overlapWitnesses = 0;
+  std::uint64_t deferredActivations = 0;
+  Round maxRoundSkew = 0;
+
   /// Raft VAC-instrumentation checks (trivially true for other families).
   bool confidenceOrderOk = true;
   bool commitValuesAgree = true;

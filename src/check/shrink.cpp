@@ -194,6 +194,16 @@ std::vector<Scenario> reductions(const Scenario& base) {
     case Family::kFd: {
       const auto& config = base.compose;
       eachCrashReduction(base, config, &Scenario::compose, out);
+      // Scheduler reduction: a counterexample that survives under the
+      // lockstep policy doesn't need round skew to manifest — try the
+      // synchronized schedule before blaming the scheduling policy. (The
+      // ooo-driver → event-driven step is not a reduction: the policies
+      // are siblings, not a ladder.)
+      if (config.scheduler != SchedulingPolicy::kLockstep) {
+        Scenario candidate = base;
+        candidate.compose.scheduler = SchedulingPolicy::kLockstep;
+        out.push_back(std::move(candidate));
+      }
       // Oracle-quality reductions: a counterexample that survives with a
       // quieter/faster oracle is a stronger counterexample.
       if (!config.oracle.empty()) {

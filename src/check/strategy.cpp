@@ -392,6 +392,55 @@ Scenario OracleQualityStrategy::generate(std::size_t index) const {
 }
 
 // ---------------------------------------------------------------------------
+// RoundSkewStrategy
+
+RoundSkewStrategy::RoundSkewStrategy(Scenario base, Options options)
+    : base_(std::move(base)), options_(std::move(options)) {
+  if (base_.family != Family::kCompose && base_.family != Family::kFd)
+    throw std::invalid_argument(
+        "round-skew exploration needs the compose (or fd) family");
+  if (options_.policies.empty() || options_.maxDelays.empty() ||
+      options_.adversaryBudgets.empty() || options_.seedsPerCell == 0)
+    throw std::invalid_argument("round-skew strategy needs a grid");
+
+  const auto& registry = compose::registry();
+  for (const std::string& name : options_.policies) {
+    const auto policy = parseSchedulingPolicy(name);
+    if (!policy)
+      throw std::invalid_argument("round-skew: unknown scheduling policy '" +
+                                  name + "'");
+    // Policies the registry rejects for this pairing are not algorithms to
+    // sweep — drop them here so every enumerated index runs.
+    if (registry.validateScheduling(base_.compose.detector,
+                                    base_.compose.driver, *policy))
+      continue;
+    for (const Tick maxDelay : options_.maxDelays)
+      for (const Tick budget : options_.adversaryBudgets)
+        cells_.push_back({*policy, maxDelay, budget});
+  }
+  if (cells_.empty())
+    throw std::invalid_argument(
+        "round-skew grid is empty after registry validation (the base "
+        "pairing admits no swept scheduling policy)");
+}
+
+Scenario RoundSkewStrategy::generate(std::size_t index) const {
+  const Cell& cell = cells_[index / options_.seedsPerCell];
+  Scenario scenario = base_;
+  scenario.compose.scheduler = cell.policy;
+  scenario.compose.maxDelay =
+      std::max(scenario.compose.minDelay, cell.maxDelay);
+  if (cell.adversaryBudget > 0) {
+    harness::AdversaryOptions adversary;
+    adversary.extraDelayMax = cell.adversaryBudget;
+    adversary.seed = options_.seedBase + index;
+    scenario.compose.adversary = adversary;
+  }
+  scenario.setSeed(options_.seedBase + index % options_.seedsPerCell);
+  return scenario;
+}
+
+// ---------------------------------------------------------------------------
 // SvcPipelineStrategy
 
 SvcPipelineStrategy::SvcPipelineStrategy(Scenario base, Options options)

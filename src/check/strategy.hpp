@@ -200,6 +200,51 @@ class OracleQualityStrategy final : public ExplorationStrategy {
   std::vector<Cell> cells_;  // registry-valid cells only
 };
 
+/// Round-skew sweep for the compose/fd families: every round-scheduling
+/// policy the registry admits for the base pairing × a grid of network
+/// delay bounds × delay-adversary budgets × run seeds. The point is to
+/// drive the per-process round frontiers apart — skewed schedules are
+/// where lockstep-era assumptions (frontier-owned timers, barrier-paced
+/// buffering) break — while the scheduler-coherence invariant pins each
+/// policy's structural signature. Policies the registry rejects for the
+/// pairing (lockstep-mode or skew-intolerant objects) are dropped at
+/// construction, like OracleQualityStrategy's rejected quality points;
+/// the rejections themselves are the E24 matrix's business.
+class RoundSkewStrategy final : public ExplorationStrategy {
+ public:
+  struct Options {
+    /// Wire names; unknown names throw, registry-rejected ones are skipped.
+    std::vector<std::string> policies = {"lockstep", "event-driven",
+                                         "ooo-driver"};
+    std::vector<Tick> maxDelays = {4, 10, 25};
+    /// Adversary budgets laid over each delay bound (0 = no adversary).
+    std::vector<Tick> adversaryBudgets = {0, 8};
+    std::size_t seedsPerCell = 4;
+    std::uint64_t seedBase = 1;
+  };
+
+  /// Throws std::invalid_argument for non-compose families, async-hostile
+  /// base pairings (every policy rejected) or an empty grid.
+  RoundSkewStrategy(Scenario base, Options options);
+
+  const char* name() const noexcept override { return "round-skew"; }
+  std::size_t size() const noexcept override {
+    return cells_.size() * options_.seedsPerCell;
+  }
+  Scenario generate(std::size_t index) const override;
+
+ private:
+  struct Cell {
+    SchedulingPolicy policy = SchedulingPolicy::kLockstep;
+    Tick maxDelay = 0;
+    Tick adversaryBudget = 0;
+  };
+
+  Scenario base_;
+  Options options_;
+  std::vector<Cell> cells_;  // registry-valid cells only
+};
+
 /// Service-pipeline enumeration for the svc family: a grid of pipeline
 /// windows × batch caps × fault schedules — the crash-free run, one
 /// permanent crash per crash tick, and one crash-restart per (crash tick,

@@ -21,6 +21,14 @@
 // arithmetic assumes. A Byzantine-model detector paired with a driver
 // whose waits trust every sender would silently lose its tolerance, so
 // those pairings are rejected too.
+// A third orthogonal constraint is the *round-scheduling policy*
+// (core/scheduling.hpp): objects declare whether their exchanges survive
+// per-process round skew. Lockstep-mode objects never do (the tick barrier
+// IS their calendar), and some async objects also bake round alignment
+// into their waits — the timer reconciliator's timeout race assumes the
+// claim wave of a round is in flight while its timers run. The registry's
+// validateScheduling() gate rejects a non-lockstep policy over any
+// skew-intolerant object, with a diagnostic citing DESIGN.md §14.
 #pragma once
 
 #include <cstddef>
@@ -65,6 +73,10 @@ struct DetectorCapability {
   /// composition leaves t unset (2 for crash quorums, 3 for Phase-King,
   /// 4 for Phase-Queen, 5 for Byzantine Ben-Or).
   std::size_t tDivisor = 2;
+  /// Whether the detector's exchanges stay correct when processes run
+  /// skewed rounds (non-lockstep scheduling policies). Quorum-counting
+  /// async detectors qualify; lockstep detectors never do.
+  bool toleratesSkew = true;
 };
 
 /// What a registered driver is.
@@ -89,6 +101,12 @@ struct DriverCapability {
   /// (uniform choice among invoker values) and keep-value qualify; the
   /// coins do not.
   bool multivalued = false;
+  /// Whether the driver's waits stay correct under per-process round skew
+  /// (non-lockstep scheduling). Purely local and quorum-counting drivers
+  /// qualify; the timer reconciliator does not (its timeout race presumes
+  /// the round's claim wave is in flight while its timers run), and
+  /// lockstep drivers never do.
+  bool toleratesSkew = true;
 };
 
 }  // namespace ooc::compose

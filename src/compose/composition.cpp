@@ -52,6 +52,10 @@ ResolvedComposition resolve(const Composition& composition) {
           composition.driver, composition.oracle, composition.oracleKnobs)) {
     throw std::invalid_argument(*diagnostic);
   }
+  if (const auto diagnostic = reg.validateScheduling(
+          composition.detector, composition.driver, composition.scheduler)) {
+    throw std::invalid_argument(*diagnostic);
+  }
   ResolvedComposition resolved;
   resolved.detector = &reg.detector(composition.detector);
   resolved.driver = &reg.driver(composition.driver);
@@ -62,8 +66,12 @@ ResolvedComposition resolve(const Composition& composition) {
       composition.n == 0 ? 0 : (composition.n - 1) / divisor);
   resolved.lockstep =
       resolved.detector->capability.mode == InvocationMode::kLockstep;
+  resolved.scheduling = composition.scheduler;
+  // ooo-driver detaches the courtesy drive of every round — which only
+  // exists when every process drives every round.
   resolved.alwaysRunDriver =
-      resolved.lockstep || resolved.driver->capability.requiresEveryProcess;
+      resolved.lockstep || resolved.driver->capability.requiresEveryProcess ||
+      composition.scheduler == SchedulingPolicy::kOooDriver;
 
   if (composition.byzantineCount > composition.n)
     throw std::invalid_argument("more Byzantine than processes");
@@ -129,6 +137,11 @@ std::string serialize(const Composition& composition) {
   kv.put("max-rounds", static_cast<std::uint64_t>(composition.maxRounds));
   kv.put("max-ticks", composition.maxTicks);
   kv.put("fault", toString(composition.fault));
+  // Same wire-purity rule as the oracle role below: the scheduler key
+  // appears only for non-default policies, so every pre-policy golden and
+  // counterexample stays byte-identical.
+  if (composition.scheduler != SchedulingPolicy::kLockstep)
+    kv.put("scheduler", toString(composition.scheduler));
   // Zero-cost for oracle-free pairings: not a byte changes unless an
   // oracle is attached (the pre-oracle goldens stay byte-identical).
   if (!composition.oracle.empty()) {
@@ -168,6 +181,15 @@ Composition parseComposition(const std::string& text) {
       static_cast<Round>(kv.getU64("max-rounds", composition.maxRounds));
   composition.maxTicks = kv.getU64("max-ticks", composition.maxTicks);
   composition.fault = parsePlantedFault(kv.get("fault", "none"));
+  {
+    const std::string name = kv.get("scheduler", "lockstep");
+    const auto policy = parseSchedulingPolicy(name);
+    if (!policy)
+      throw std::runtime_error("unknown scheduler '" + name +
+                               "'; known: lockstep, event-driven, "
+                               "ooo-driver");
+    composition.scheduler = *policy;
+  }
   composition.oracle = kv.get("oracle", composition.oracle);
   composition.oracleKnobs.completenessLag = kv.getU64(
       "oracle-completeness-lag", composition.oracleKnobs.completenessLag);
@@ -430,6 +452,8 @@ std::string toJson(const Composition& composition) {
       .value(static_cast<std::uint64_t>(composition.maxRounds));
   json.key("max_ticks").value(composition.maxTicks);
   json.key("fault").value(toString(composition.fault));
+  if (composition.scheduler != SchedulingPolicy::kLockstep)  // wire purity
+    json.key("scheduler").value(toString(composition.scheduler));
   if (!composition.oracle.empty()) {  // zero-cost when no oracle attached
     json.key("oracle").value(composition.oracle);
     json.key("oracle_completeness_lag")
@@ -504,6 +528,14 @@ Composition fromJson(const std::string& text) {
       composition.maxTicks = asU64(value, "max_ticks");
     } else if (key == "fault") {
       composition.fault = parsePlantedFault(asString(value, "fault"));
+    } else if (key == "scheduler") {
+      const std::string& name = asString(value, "scheduler");
+      const auto policy = parseSchedulingPolicy(name);
+      if (!policy)
+        throw std::runtime_error("json: unknown scheduler '" + name +
+                                 "'; known: lockstep, event-driven, "
+                                 "ooo-driver");
+      composition.scheduler = *policy;
     } else if (key == "oracle") {
       composition.oracle = asString(value, "oracle");
     } else if (key == "oracle_completeness_lag") {

@@ -71,6 +71,13 @@ struct Composition {
   /// Test-only planted detector bug (model-checker self-test).
   PlantedFault fault = PlantedFault::kNone;
 
+  /// Round-scheduling policy (core/scheduling.hpp). The role is zero-cost
+  /// on the wire for the default: nothing is serialized when lockstep, so
+  /// every pre-policy golden and counterexample stays byte-identical.
+  /// Non-lockstep policies are capability-gated by the registry's
+  /// validateScheduling() (async-mode, skew-tolerant objects only).
+  SchedulingPolicy scheduler = SchedulingPolicy::kLockstep;
+
   /// Failure-detector oracle (registry name) for oracle-guided drivers;
   /// empty for everything else. The role is zero-cost for oracle-free
   /// pairings: nothing is serialized and nothing runs when empty.
@@ -88,9 +95,11 @@ struct ResolvedComposition {
   const OracleEntry* oracle = nullptr;
   std::size_t t = 0;
   bool lockstep = false;
-  /// Every process joins the drive wave each round (lockstep algorithms
-  /// and quorum-waiting drivers such as the lottery).
+  /// Every process joins the drive wave each round (lockstep algorithms,
+  /// quorum-waiting drivers such as the lottery, and the ooo-driver
+  /// policy, whose whole point is a detached drive wave every round).
   bool alwaysRunDriver = false;
+  SchedulingPolicy scheduling = SchedulingPolicy::kLockstep;
 };
 
 /// Resolves the names against the registry and validates the pairing plus

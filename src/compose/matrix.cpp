@@ -382,4 +382,201 @@ std::string oracleMatrixToJson(const OracleMatrixReport& report,
   return json.str();
 }
 
+// ---------------------------------------------------------------------------
+// E24
+
+namespace {
+
+/// The engine roster: one pairing per engine family. The first three are
+/// async and skew-tolerant (valid under every policy); the timer
+/// reconciliator and the phase protocol exist to pin the rejection
+/// diagnostics — their non-lockstep cells must fail validateScheduling
+/// deterministically, not crash or silently fall back.
+struct EngineRow {
+  const char* detector;
+  const char* driver;
+  const char* oracle;  // "" = detached oracle role
+};
+constexpr EngineRow kEngineRoster[] = {
+    {"benor-vac", "local-coin", ""},
+    {"benor-vac", "ct-coordinator", "omega"},
+    {"vac-from-two-ac", "local-coin", ""},
+    {"benor-vac", "timer", ""},
+    {"phaseking-ac", "king-conciliator", ""},
+};
+constexpr SchedulingPolicy kPolicyRoster[] = {
+    SchedulingPolicy::kLockstep,
+    SchedulingPolicy::kEventDriven,
+    SchedulingPolicy::kOooDriver,
+};
+
+Composition roundlessCellBase(const EngineRow& row, SchedulingPolicy policy) {
+  Composition composition;
+  composition.detector = row.detector;
+  composition.driver = row.driver;
+  composition.scheduler = policy;
+  composition.n = 5;
+  composition.inputs = {0, 1, 0, 1, 1};
+  composition.maxRounds = 200;
+  composition.maxTicks = 200'000;
+  if (row.oracle[0] != '\0') {
+    composition.oracle = row.oracle;
+    composition.oracleKnobs.stabilizeAt = 40;
+    composition.oracleKnobs.noise = 0.25;
+  }
+  return composition;
+}
+
+}  // namespace
+
+RoundlessMatrixReport runRoundlessMatrix(
+    const RoundlessMatrixOptions& options) {
+  const int runsPerCell = options.quick ? 3 : options.runsPerCell;
+  Registry& reg = registry();
+  RoundlessMatrixReport report;
+  for (const SchedulingPolicy policy : kPolicyRoster)
+    report.policies.push_back(toString(policy));
+  for (const EngineRow& row : kEngineRoster)
+    report.engines.push_back(std::string(row.detector) + "+" + row.driver);
+
+  // Row-major enumeration (engines × policies) fanned across the
+  // experiment scheduler; the fold walks the pre-sized vector in order, so
+  // ooc.roundless.v1 is byte-identical at any thread count.
+  struct CellKey {
+    EngineRow row;
+    SchedulingPolicy policy;
+  };
+  std::vector<CellKey> keys;
+  for (const EngineRow& row : kEngineRoster)
+    for (const SchedulingPolicy policy : kPolicyRoster)
+      keys.push_back(CellKey{row, policy});
+
+  std::vector<RoundlessMatrixCell> cells(keys.size());
+  sweep::Options pool;
+  pool.threads = options.threads;
+  sweep::parallelFor(
+      keys.size(),
+      [&](std::size_t index, sweep::Control&) {
+        const CellKey& key = keys[index];
+        RoundlessMatrixCell cell;
+        cell.detector = key.row.detector;
+        cell.driver = key.row.driver;
+        cell.oracle = key.row.oracle;
+        cell.policy = toString(key.policy);
+        if (const auto diagnostic =
+                reg.validatePairing(key.row.detector, key.row.driver)) {
+          cell.diagnostic = *diagnostic;
+          cells[index] = std::move(cell);
+          return;
+        }
+        if (const auto diagnostic = reg.validateScheduling(
+                key.row.detector, key.row.driver, key.policy)) {
+          cell.diagnostic = *diagnostic;
+          cells[index] = std::move(cell);
+          return;
+        }
+        cell.valid = true;
+        Summary rounds;
+        Summary messages;
+        for (int run = 0; run < runsPerCell; ++run) {
+          Composition composition = roundlessCellBase(key.row, key.policy);
+          composition.seed =
+              options.seedBase + static_cast<std::uint64_t>(run);
+          const CompositionResult result = runComposition(composition);
+          ++cell.runs;
+          if (result.allDecided) {
+            ++cell.decided;
+            rounds.add(static_cast<double>(result.maxDecisionRound));
+            cell.maxRound = std::max(cell.maxRound, result.maxDecisionRound);
+          }
+          messages.add(static_cast<double>(result.messagesByCorrect));
+          if (result.agreementViolated) cell.agreementOk = false;
+          if (result.validityViolated) cell.validityOk = false;
+          if (!result.allAuditsOk) cell.auditsOk = false;
+          if (result.oracleAudit && !result.oracleAudit->ok())
+            cell.fdAxiomsOk = false;
+          cell.overlapWitnesses += result.overlapWitnesses;
+          cell.deferredActivations += result.deferredActivations;
+          cell.maxRoundSkew =
+              std::max(cell.maxRoundSkew, result.maxRoundSkew);
+        }
+        if (!rounds.empty()) cell.meanRounds = rounds.mean();
+        if (!messages.empty()) cell.meanMessages = messages.mean();
+        cells[index] = std::move(cell);
+      },
+      pool);
+
+  for (RoundlessMatrixCell& cell : cells) {
+    if (cell.valid) {
+      ++report.validCells;
+      if (!cell.agreementOk || !cell.validityOk || !cell.auditsOk ||
+          !cell.fdAxiomsOk)
+        report.safetyOk = false;
+      // The lockstep column must be structurally skew-free: no overlap
+      // witnesses, no deferred activations. (maxRoundSkew is NOT pinned —
+      // the probe samples per-process completions sequentially within a
+      // tick, so a transient spread of 1 is inherent to observation
+      // granularity, not a schedule property.) A nonzero counter here is
+      // a scheduler regression, flagged so CI trips on it.
+      if (cell.policy == std::string("lockstep") &&
+          (cell.overlapWitnesses != 0 || cell.deferredActivations != 0))
+        report.safetyOk = false;
+    } else {
+      ++report.rejectedCells;
+    }
+    report.cells.push_back(std::move(cell));
+  }
+  return report;
+}
+
+std::string roundlessMatrixToJson(const RoundlessMatrixReport& report,
+                                  const RoundlessMatrixOptions& options) {
+  obs::JsonWriter json;
+  json.beginObject();
+  json.key("schema").value("ooc.roundless.v1");
+  json.key("quick").value(options.quick);
+  json.key("runs_per_cell")
+      .value(static_cast<std::int64_t>(options.quick ? 3
+                                                     : options.runsPerCell));
+  json.key("seed_base").value(options.seedBase);
+  json.key("policies").beginArray();
+  for (const std::string& name : report.policies) json.value(name);
+  json.endArray();
+  json.key("engines").beginArray();
+  for (const std::string& name : report.engines) json.value(name);
+  json.endArray();
+  json.key("cells").beginArray();
+  for (const RoundlessMatrixCell& cell : report.cells) {
+    json.beginObject();
+    json.key("detector").value(cell.detector);
+    json.key("driver").value(cell.driver);
+    json.key("oracle").value(cell.oracle);
+    json.key("policy").value(cell.policy);
+    json.key("valid").value(cell.valid);
+    json.key("diagnostic").value(cell.diagnostic);
+    json.key("runs").value(static_cast<std::int64_t>(cell.runs));
+    json.key("decided").value(static_cast<std::int64_t>(cell.decided));
+    json.key("agreement_ok").value(cell.agreementOk);
+    json.key("validity_ok").value(cell.validityOk);
+    json.key("audits_ok").value(cell.auditsOk);
+    json.key("fd_axioms_ok").value(cell.fdAxiomsOk);
+    json.key("mean_rounds").value(cell.meanRounds);
+    json.key("max_round").value(static_cast<std::uint64_t>(cell.maxRound));
+    json.key("mean_messages").value(cell.meanMessages);
+    json.key("overlap_witnesses").value(cell.overlapWitnesses);
+    json.key("deferred_activations").value(cell.deferredActivations);
+    json.key("max_round_skew")
+        .value(static_cast<std::uint64_t>(cell.maxRoundSkew));
+    json.endObject();
+  }
+  json.endArray();
+  json.key("valid_cells")
+      .value(static_cast<std::uint64_t>(report.validCells));
+  json.key("rejected_cells")
+      .value(static_cast<std::uint64_t>(report.rejectedCells));
+  json.key("safety_ok").value(report.safetyOk);
+  json.endObject();
+  return json.str();
+}
+
 }  // namespace ooc::compose

@@ -121,4 +121,68 @@ OracleMatrixReport runOracleMatrix(const OracleMatrixOptions& options);
 std::string oracleMatrixToJson(const OracleMatrixReport& report,
                                const OracleMatrixOptions& options);
 
+// ---------------------------------------------------------------------------
+// Experiment E24: scheduling policy × engine family. A fixed roster of
+// engine pairings — the async coin engine, the Ω-backed coordinator, the
+// layered VAC-from-AC stack, the timer reconciliator and a lockstep
+// phase protocol — is swept under every RoundScheduler policy. Cells the
+// registry's validateScheduling() rejects (lockstep-mode objects and
+// skew-intolerant reconciliators under non-lockstep policies) land in the
+// report with their capability diagnostic; valid cells record the skew
+// observations (overlap witnesses, deferred activations, max round skew)
+// that separate the three policies behaviourally (DESIGN.md §14).
+
+struct RoundlessMatrixOptions {
+  int runsPerCell = 10;
+  std::uint64_t seedBase = 13000;
+  bool quick = false;  // drops runsPerCell to 3
+  /// Worker threads for the cell sweep (0 = hardware); see MatrixOptions.
+  std::size_t threads = 0;
+};
+
+struct RoundlessMatrixCell {
+  std::string detector;
+  std::string driver;
+  /// Oracle auto-attached when the driver consumes one; empty otherwise.
+  std::string oracle;
+  /// Wire name of the scheduling policy this cell ran under.
+  std::string policy;
+  bool valid = false;
+  std::string diagnostic;
+
+  int runs = 0;
+  int decided = 0;
+  bool agreementOk = true;
+  bool validityOk = true;
+  bool auditsOk = true;
+  bool fdAxiomsOk = true;
+  double meanRounds = 0;
+  Round maxRound = 0;
+  double meanMessages = 0;
+
+  /// Skew observations summed (witness/activation counts) or maxed (skew)
+  /// over the cell's runs. Lockstep cells are structurally pinned to
+  /// zero on all three; event-driven shows deferred activations, the
+  /// ooo-driver policy shows overlap witnesses.
+  std::uint64_t overlapWitnesses = 0;
+  std::uint64_t deferredActivations = 0;
+  Round maxRoundSkew = 0;
+};
+
+struct RoundlessMatrixReport {
+  std::vector<std::string> policies;
+  /// "detector+driver" spec strings of the engine roster, in sweep order.
+  std::vector<std::string> engines;
+  std::vector<RoundlessMatrixCell> cells;  // row-major: engines × policies
+  std::size_t validCells = 0;
+  std::size_t rejectedCells = 0;
+  bool safetyOk = true;
+};
+
+RoundlessMatrixReport runRoundlessMatrix(const RoundlessMatrixOptions& options);
+
+/// Renders the report as ooc.roundless.v1 JSON.
+std::string roundlessMatrixToJson(const RoundlessMatrixReport& report,
+                                  const RoundlessMatrixOptions& options);
+
 }  // namespace ooc::compose

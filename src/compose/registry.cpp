@@ -147,6 +147,7 @@ void registerBuiltins(Registry& reg) {
     e.name = "phaseking-ac";
     e.capability = {DetectorClass::kAdoptCommit, FaultModel::kByzantine,
                     InvocationMode::kLockstep, /*tDivisor=*/3};
+    e.capability.toleratesSkew = false;  // the tick barrier IS its calendar
     e.make = [](const ObjectParams& p) {
       return phaseking::PhaseKingAc::factory(p.t);
     };
@@ -162,6 +163,7 @@ void registerBuiltins(Registry& reg) {
     e.name = "phasequeen-ac";
     e.capability = {DetectorClass::kAdoptCommit, FaultModel::kByzantine,
                     InvocationMode::kLockstep, /*tDivisor=*/4};
+    e.capability.toleratesSkew = false;
     e.make = [](const ObjectParams& p) {
       return phaseking::PhaseQueenAc::factory(p.t);
     };
@@ -242,6 +244,10 @@ void registerBuiltins(Registry& reg) {
     // spread: crash-model, asynchronous runs only.
     e.capability = {DriverClass::kReconciliator, InvocationMode::kAsync,
                     /*toleratesByzantine=*/false, /*requiresEveryProcess=*/false};
+    // The timeout race measures the round's claim wave against armed
+    // timers; under round skew a slow process's wave arrives after the
+    // timeout already fired, so the driver requires lockstep scheduling.
+    e.capability.toleratesSkew = false;
     e.make = [](const ObjectParams&) {
       return TimerReconciliator::factory(/*timeoutMin=*/5,
                                          /*timeoutSpread=*/40);
@@ -253,6 +259,7 @@ void registerBuiltins(Registry& reg) {
     e.name = "king-conciliator";
     e.capability = {DriverClass::kConciliator, InvocationMode::kLockstep,
                     /*toleratesByzantine=*/true, /*requiresEveryProcess=*/false};
+    e.capability.toleratesSkew = false;
     e.make = [](const ObjectParams&) {
       return phaseking::KingConciliator::factory();
     };
@@ -263,6 +270,7 @@ void registerBuiltins(Registry& reg) {
     e.name = "queen-conciliator";
     e.capability = {DriverClass::kConciliator, InvocationMode::kLockstep,
                     /*toleratesByzantine=*/true, /*requiresEveryProcess=*/false};
+    e.capability.toleratesSkew = false;
     e.make = [](const ObjectParams&) {
       return phaseking::QueenConciliator::factory();
     };
@@ -509,6 +517,49 @@ std::optional<std::string> Registry::validateOracle(
     return pair + "a perfect oracle has strong accuracy (it never falsely "
            "suspects a live process), so oracle-noise must be 0; drop the "
            "noise or model a noisy detector with diamond-s";
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> Registry::validateScheduling(
+    const std::string& detectorName, const std::string& driverName,
+    SchedulingPolicy policy) const {
+  const DetectorEntry& det = detector(detectorName);
+  const DriverEntry& drv = driver(driverName);
+  // Lockstep is the engine every registered object was written against:
+  // always coherent.
+  if (policy == SchedulingPolicy::kLockstep) return std::nullopt;
+
+  const std::string pair = std::string("invalid scheduling '") +
+                           toString(policy) + "' for pairing '" +
+                           detectorName + "+" + driverName + "': ";
+  // Lockstep-mode objects have no calendar without the tick barrier; the
+  // skew question does not even arise for them.
+  if (det.capability.mode == InvocationMode::kLockstep) {
+    return pair + "detector '" + detectorName +
+           "' is a lockstep object — its exchange calendar is the tick "
+           "barrier that non-lockstep policies remove; the paper's §5 "
+           "insufficiency argument for its class is itself stated over "
+           "synchronized rounds (DESIGN.md §14)";
+  }
+  if (drv.capability.mode == InvocationMode::kLockstep) {
+    return pair + "driver '" + driverName +
+           "' is a lockstep object — its exchange calendar is the tick "
+           "barrier that non-lockstep policies remove (DESIGN.md §14)";
+  }
+  // Async objects may still bake round alignment into their waits.
+  if (!det.capability.toleratesSkew) {
+    return pair + "detector '" + detectorName +
+           "' does not tolerate per-process round skew (DESIGN.md §14)";
+  }
+  if (!drv.capability.toleratesSkew) {
+    return pair + "driver '" + driverName +
+           "' does not tolerate per-process round skew: its waits presume "
+           "the round's exchange wave is in flight on every process at "
+           "once (the timer reconciliator's timeout race is the canonical "
+           "case); keep the lockstep policy, or pick a quorum-counting "
+           "driver — the Ω-backed coordinators tolerate skew (DESIGN.md "
+           "§14)";
   }
   return std::nullopt;
 }

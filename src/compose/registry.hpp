@@ -23,6 +23,7 @@
 
 #include "compose/capability.hpp"
 #include "core/objects.hpp"
+#include "core/scheduling.hpp"
 #include "fd/oracle.hpp"
 #include "sim/process.hpp"
 
@@ -117,6 +118,16 @@ class Registry {
   std::optional<std::string> validateOracle(
       const std::string& driverName, const std::string& oracleName,
       const fd::OracleKnobs& knobs) const;
+
+  /// Scheduling-policy coherence gate: nullopt when both objects of the
+  /// pairing run correctly under `policy`, otherwise the diagnostic.
+  /// Lockstep is always coherent (it is the engine every object was built
+  /// against); non-lockstep policies require async-mode, skew-tolerant
+  /// objects on both sides (see DESIGN.md §14). Unknown names throw, as in
+  /// detector()/driver().
+  std::optional<std::string> validateScheduling(
+      const std::string& detectorName, const std::string& driverName,
+      SchedulingPolicy policy) const;
 
  private:
   std::vector<DetectorEntry> detectors_;

@@ -14,15 +14,45 @@
 namespace ooc::compose {
 namespace {
 
-/// Wires a TelemetrySink (when present) into a template process's options,
-/// binding the process id the simulator will assign next.
+/// Live round-skew tracker, fed from the detector-outcome tap: records the
+/// widest spread of completed detector rounds across correct processes at
+/// any single point of the run. Observation only — it never touches the
+/// schedule, so wiring it costs no golden a byte.
+struct SkewProbe {
+  explicit SkewProbe(std::size_t n) : completed(n, 0) {}
+  std::vector<Round> completed;
+  Round maxSkew = 0;
+
+  void note(ProcessId id, Round m) {
+    completed[id] = m;
+    Round lo = 0, hi = 0;
+    bool first = true;
+    for (const Round r : completed) {
+      if (r == 0) continue;  // not started (or a Byzantine slot)
+      if (first) {
+        lo = hi = r;
+        first = false;
+        continue;
+      }
+      lo = std::min(lo, r);
+      hi = std::max(hi, r);
+    }
+    if (!first) maxSkew = std::max(maxSkew, static_cast<Round>(hi - lo));
+  }
+};
+
+/// Wires the skew probe and a TelemetrySink (when present) into a template
+/// process's options, binding the process id the simulator will assign
+/// next.
 void wireTelemetry(ConsensusProcess::Options& options, TelemetrySink* sink,
-                   ProcessId id) {
-  if (sink == nullptr) return;
-  options.onDetectorOutcome = [sink, id](Round m, const Outcome& outcome,
-                                         Tick at) {
-    sink->onDetectorOutcome(id, m, outcome, at);
+                   SkewProbe* probe, ProcessId id) {
+  options.onDetectorOutcome = [sink, probe, id](Round m,
+                                                const Outcome& outcome,
+                                                Tick at) {
+    probe->note(id, m);
+    if (sink != nullptr) sink->onDetectorOutcome(id, m, outcome, at);
   };
+  if (sink == nullptr) return;
   options.onDriverValue = [sink, id](Round m, Value value, Tick at) {
     sink->onDriverValue(id, m, value, at);
   };
@@ -137,6 +167,7 @@ CompositionResult runComposition(const Composition& composition,
 
   std::vector<ConsensusProcess*> templated(n, nullptr);
   std::vector<Value> validInputs;
+  auto skewProbe = std::make_unique<SkewProbe>(n);
   std::size_t correctSeen = 0;
   for (ProcessId id = 0; id < n; ++id) {
     if (isByz[id]) {
@@ -155,6 +186,7 @@ CompositionResult runComposition(const Composition& composition,
     ConsensusProcess::Options options;
     options.kind = vacDetector ? TemplateKind::kVacReconciliator
                                : TemplateKind::kAcConciliator;
+    options.scheduling = resolved.scheduling;
     options.alwaysRunDriver = resolved.alwaysRunDriver;
     options.maxRounds = composition.maxRounds;
     if (!vacDetector) {
@@ -165,7 +197,7 @@ CompositionResult runComposition(const Composition& composition,
         options.decideAfterRound = static_cast<Round>(resolved.t + 1);
       }
     }
-    wireTelemetry(options, hooks.telemetry, id);
+    wireTelemetry(options, hooks.telemetry, skewProbe.get(), id);
     auto process = std::make_unique<ConsensusProcess>(
         input, detectorFactory, driverFactory, options);
     templated[id] = process.get();
@@ -184,6 +216,12 @@ CompositionResult runComposition(const Composition& composition,
   result.messagesByCorrect = sim.messagesSentByCorrect();
   result.eventsProcessed = sim.eventsProcessed();
   result.messagesCloned = sim.messagesCloned();
+  result.maxRoundSkew = skewProbe->maxSkew;
+  for (const ConsensusProcess* process : templated) {
+    if (process == nullptr) continue;
+    result.overlapWitnesses += process->overlapWitnesses();
+    result.deferredActivations += process->deferredActivations();
+  }
 
   Summary decisionRounds;
   for (ProcessId id = 0; id < n; ++id) {

@@ -45,6 +45,17 @@ struct CompositionResult {
   std::size_t adoptOutcomesTotal = 0;
   std::size_t adoptMismatchWitnesses = 0;
 
+  /// Scheduling-policy observations (DESIGN.md §14). Overlap witnesses
+  /// count rounds whose detector went live while an earlier round's loose
+  /// driver was still exchanging — structurally impossible under lockstep
+  /// (always 0 there). Deferred activations count successor invocations
+  /// handed to a fresh wakeup event (event-driven only). maxRoundSkew is
+  /// the widest spread of completed detector rounds observed across
+  /// correct processes at any single point of the run.
+  std::uint64_t overlapWitnesses = 0;
+  std::uint64_t deferredActivations = 0;
+  Round maxRoundSkew = 0;
+
   /// FD-axiom audit of the run's oracle (oracle-guided pairings only):
   /// completeness, accuracy and leader convergence checked against the
   /// fault schedule, independent of whether the run decided.

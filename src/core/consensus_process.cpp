@@ -1,5 +1,6 @@
 #include "core/consensus_process.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <utility>
@@ -9,8 +10,10 @@
 namespace ooc {
 
 // Object-facing context: wraps the host process context, tagging every
-// outbound message with the host's current (round, stage) so it reaches the
-// peer instance of the same object.
+// outbound message with the coordinates of the object being called into
+// (the host's activeRound_/activeStage_) so it reaches the peer instance
+// of the same object. Under lockstep the active object is always the
+// frontier; a loose driver keeps tagging with its own, older round.
 class ConsensusProcess::ObjectContextImpl final : public ObjectContext {
  public:
   explicit ObjectContextImpl(ConsensusProcess& host) noexcept : host_(host) {}
@@ -31,19 +34,26 @@ class ConsensusProcess::ObjectContextImpl final : public ObjectContext {
   }
 
   void post(ProcessId to, MessagePtr inner) override {
-    host_.ctx().post(to, makeMessage<TaggedMessage>(host_.round_, host_.stage_,
+    host_.ctx().post(to, makeMessage<TaggedMessage>(host_.activeRound_,
+                                                    host_.activeStage_,
                                                     std::move(inner)));
   }
 
   void fanout(MessagePtr inner) override {
     // One envelope, one shared inner payload, n recipients — the whole
     // broadcast allocates exactly one TaggedMessage and zero clones.
-    host_.ctx().fanout(makeMessage<TaggedMessage>(host_.round_, host_.stage_,
+    host_.ctx().fanout(makeMessage<TaggedMessage>(host_.activeRound_,
+                                                  host_.activeStage_,
                                                   std::move(inner)));
   }
 
-  TimerId setTimer(Tick delay) override { return host_.ctx().setTimer(delay); }
+  TimerId setTimer(Tick delay) override {
+    const TimerId id = host_.ctx().setTimer(delay);
+    host_.noteTimerOwner(id);
+    return id;
+  }
   void cancelTimer(TimerId id) noexcept override {
+    host_.dropTimerOwner(id);
     host_.ctx().cancelTimer(id);
   }
 
@@ -58,7 +68,8 @@ ConsensusProcess::ConsensusProcess(Value input,
     : value_(input),
       detectorFactory_(std::move(detectorFactory)),
       driverFactory_(std::move(driverFactory)),
-      options_(options) {
+      options_(options),
+      scheduler_(makeRoundScheduler(options.scheduling)) {
   if (!detectorFactory_)
     throw std::invalid_argument("detector factory is required");
   if (!driverFactory_)
@@ -82,6 +93,7 @@ void ConsensusProcess::beginRound() {
     decisionValue_ = value_;
     decisionRound_ = round_;
     ctx().decide(value_);
+    pruneBufferedAfterDecide();
   }
   const bool retired =
       decided_ && options_.participateRoundsAfterDecide > 0 &&
@@ -90,22 +102,96 @@ void ConsensusProcess::beginRound() {
     exhausted_ = true;
     detector_.reset();
     driver_.reset();
+    // loose_ is intentionally kept: detached courtesy drives of earlier
+    // rounds finish their exchanges so peers still waiting on the drive
+    // wave are not starved by this process's retirement.
     return;
   }
   ++round_;
   stage_ = Stage::kDetect;
   driver_.reset();
   useDriverValue_ = false;
+  if (!loose_.empty()) ++overlapWitnesses_;
   rounds_.emplace_back();
   rounds_.back().detectorInput = value_;
   detector_ = detectorFactory_(round_);
   detectorInvokedAt_ = ctx().now();
   OOC_TRACE("p", ctx().self(), " round ", round_, " detect(", value_, ")");
+  activeRound_ = round_;
+  activeStage_ = Stage::kDetect;
   detector_->invoke(*objectContext_, value_);
   replayBuffered();
 }
 
+void ConsensusProcess::invokeFrontierDriver(const Outcome& outcome) {
+  stage_ = Stage::kDrive;
+  driver_ = driverFactory_(round_);
+  driverInvokedAt_ = ctx().now();
+  activeRound_ = round_;
+  activeStage_ = Stage::kDrive;
+  driver_->invoke(*objectContext_, outcome);
+  replayBuffered();
+}
+
+void ConsensusProcess::launchLooseDriver(const Outcome& outcome) {
+  loose_.push_back(LooseDriver{round_, ctx().now(), driverFactory_(round_)});
+  OOC_TRACE("p", ctx().self(), " round ", round_, " loose drive");
+  activeRound_ = round_;
+  activeStage_ = Stage::kDrive;
+  loose_.back().driver->invoke(*objectContext_, outcome);
+  replayBuffered();
+}
+
+void ConsensusProcess::pollLooseDrivers() {
+  if (loose_.empty()) return;
+  std::size_t kept = 0;
+  for (auto& entry : loose_) {
+    const auto driven = entry.driver->result();
+    if (!driven) {
+      loose_[kept++] = std::move(entry);
+      continue;
+    }
+    rounds_[entry.round - 1].driverValue = *driven;
+    OOC_TRACE("p", ctx().self(), " round ", entry.round, " loose driver -> ",
+              *driven);
+    if (options_.onDriverValue)
+      options_.onDriverValue(entry.round, *driven, ctx().now());
+    // The value is discarded: only courtesy drives detach.
+  }
+  loose_.resize(kept);
+}
+
+void ConsensusProcess::scheduleWakeup(PendingWake pending) {
+  pending_ = pending;
+  ++deferredActivations_;
+  // Armed on the raw process context, not the object context: wakeups
+  // belong to the host, never to an object's timer-ownership table.
+  wakeTimer_ = ctx().setTimer(1);
+}
+
+void ConsensusProcess::onWakeup() {
+  const PendingWake pending = pending_;
+  pending_ = PendingWake::kNone;
+  switch (pending) {
+    case PendingWake::kNone:
+      break;
+    case PendingWake::kBeginRound:
+      beginRound();
+      break;
+    case PendingWake::kInvokeDriver: {
+      assert(pendingOutcome_.has_value());
+      const Outcome outcome = *pendingOutcome_;
+      pendingOutcome_.reset();
+      invokeFrontierDriver(outcome);
+      break;
+    }
+  }
+  pump();
+}
+
 void ConsensusProcess::pump() {
+  pollLooseDrivers();
+  if (pending_ != PendingWake::kNone) return;  // successor already scheduled
   while (!exhausted_) {
     if (stage_ == Stage::kDetect) {
       if (!detector_) return;
@@ -127,6 +213,7 @@ void ConsensusProcess::pump() {
             decisionValue_ = outcome->value;
             decisionRound_ = round_;
             ctx().decide(outcome->value);
+            pruneBufferedAfterDecide();
           }
           break;
         case Confidence::kAdopt:
@@ -147,12 +234,24 @@ void ConsensusProcess::pump() {
 
       detector_.reset();
       if (runDriver) {
-        stage_ = Stage::kDrive;
-        driver_ = driverFactory_(round_);
-        driverInvokedAt_ = ctx().now();
-        driver_->invoke(*objectContext_, *outcome);
-        replayBuffered();
+        if (!useDriverValue_ && scheduler_->detachesCourtesyDrives()) {
+          // ooo-driver: the drive wave of this round proceeds loose while
+          // the next round's detector goes live immediately.
+          launchLooseDriver(*outcome);
+          beginRound();
+          continue;
+        }
+        if (!scheduler_->advancesInline()) {
+          pendingOutcome_ = *outcome;
+          scheduleWakeup(PendingWake::kInvokeDriver);
+          return;
+        }
+        invokeFrontierDriver(*outcome);
         continue;
+      }
+      if (!scheduler_->advancesInline()) {
+        scheduleWakeup(PendingWake::kBeginRound);
+        return;
       }
       beginRound();
       continue;
@@ -167,6 +266,11 @@ void ConsensusProcess::pump() {
     if (options_.onDriverValue)
       options_.onDriverValue(round_, *driven, ctx().now());
     if (useDriverValue_) value_ = *driven;
+    if (!scheduler_->advancesInline()) {
+      driver_.reset();  // completed: late drive messages are stale
+      scheduleWakeup(PendingWake::kBeginRound);
+      return;
+    }
     beginRound();
   }
 }
@@ -179,14 +283,30 @@ void ConsensusProcess::onMessage(ProcessId from, const Message& message) {
 }
 
 void ConsensusProcess::dispatch(ProcessId from, const TaggedMessage& tagged) {
+  // A live loose driver owns its round's drive traffic even after the
+  // frontier moved past it (and even after the frontier retired).
+  if (tagged.stage() == Stage::kDrive) {
+    for (auto& entry : loose_) {
+      if (entry.round == tagged.round()) {
+        activeRound_ = entry.round;
+        activeStage_ = Stage::kDrive;
+        entry.driver->onMessage(*objectContext_, from, tagged.inner());
+        return;
+      }
+    }
+  }
   if (exhausted_) return;
   if (tagged.round() < round_) return;  // stale: round already finished
   const bool current =
       tagged.round() == round_ && tagged.stage() == stage_;
   if (current) {
     if (stage_ == Stage::kDetect && detector_) {
+      activeRound_ = round_;
+      activeStage_ = Stage::kDetect;
       detector_->onMessage(*objectContext_, from, tagged.inner());
     } else if (stage_ == Stage::kDrive && driver_) {
+      activeRound_ = round_;
+      activeStage_ = Stage::kDrive;
       driver_->onMessage(*objectContext_, from, tagged.inner());
     }
     return;
@@ -196,24 +316,52 @@ void ConsensusProcess::dispatch(ProcessId from, const TaggedMessage& tagged) {
       stage_ == Stage::kDrive) {
     return;
   }
+  // Bounded buffering after decide: with a retirement horizon configured,
+  // rounds beyond decisionRound_ + participateRoundsAfterDecide can never
+  // be reached (beginRound retires first), so buffering their messages
+  // would only grow the queue until teardown. Drop them instead.
+  if (decided_ && options_.participateRoundsAfterDecide > 0 &&
+      tagged.round() >
+          decisionRound_ + options_.participateRoundsAfterDecide) {
+    ++bufferedDropped_;
+    return;
+  }
   // Future round/stage: buffer until this process gets there. The payload
   // is shared with the envelope (and with every other recipient buffering
   // the same broadcast) — no copy.
   buffered_.push_back(BufferedMessage{tagged.round(), tagged.stage(), from,
                                       tagged.innerPtr()});
+  bufferedPeak_ = std::max(bufferedPeak_, buffered_.size());
 }
 
 void ConsensusProcess::replayBuffered() {
-  // Deliver buffered messages now addressed to the current object, in
-  // arrival order. New messages are never added during replay (objects only
+  // Deliver buffered messages now addressed to a live object, in arrival
+  // order. New messages are never added during replay (objects only
   // consume here), so a single compaction pass suffices.
   std::vector<BufferedMessage> keep;
   keep.reserve(buffered_.size());
   for (auto& entry : buffered_) {
-    if (entry.round == round_ && entry.stage == stage_) {
+    Driver* looseTarget = nullptr;
+    if (entry.stage == Stage::kDrive) {
+      for (auto& loose : loose_) {
+        if (loose.round == entry.round) {
+          looseTarget = loose.driver.get();
+          break;
+        }
+      }
+    }
+    if (looseTarget != nullptr) {
+      activeRound_ = entry.round;
+      activeStage_ = Stage::kDrive;
+      looseTarget->onMessage(*objectContext_, entry.from, *entry.inner);
+    } else if (entry.round == round_ && entry.stage == stage_) {
       if (stage_ == Stage::kDetect && detector_) {
+        activeRound_ = round_;
+        activeStage_ = Stage::kDetect;
         detector_->onMessage(*objectContext_, entry.from, *entry.inner);
       } else if (stage_ == Stage::kDrive && driver_) {
+        activeRound_ = round_;
+        activeStage_ = Stage::kDrive;
         driver_->onMessage(*objectContext_, entry.from, *entry.inner);
       }
     } else if (entry.round > round_ ||
@@ -226,11 +374,98 @@ void ConsensusProcess::replayBuffered() {
   buffered_ = std::move(keep);
 }
 
+void ConsensusProcess::pruneBufferedAfterDecide() {
+  if (options_.participateRoundsAfterDecide == 0) return;
+  const Round horizon = decisionRound_ + options_.participateRoundsAfterDecide;
+  const auto unreachable = [horizon](const BufferedMessage& entry) {
+    return entry.round > horizon;
+  };
+  const auto removed =
+      std::count_if(buffered_.begin(), buffered_.end(), unreachable);
+  if (removed == 0) return;
+  bufferedDropped_ += static_cast<std::uint64_t>(removed);
+  buffered_.erase(
+      std::remove_if(buffered_.begin(), buffered_.end(), unreachable),
+      buffered_.end());
+}
+
+void ConsensusProcess::noteTimerOwner(TimerId id) {
+  // Lockstep keeps the legacy routing (all timers go to the frontier
+  // object), so no ownership table is needed there.
+  if (scheduler_->policy() == SchedulingPolicy::kLockstep) return;
+  timerOwners_.emplace_back(id, activeRound_, activeStage_);
+}
+
+void ConsensusProcess::dropTimerOwner(TimerId id) noexcept {
+  for (std::size_t i = 0; i < timerOwners_.size(); ++i) {
+    if (std::get<0>(timerOwners_[i]) == id) {
+      timerOwners_.erase(timerOwners_.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+bool ConsensusProcess::takeTimerOwner(TimerId id, Round& round,
+                                      Stage& stage) noexcept {
+  for (std::size_t i = 0; i < timerOwners_.size(); ++i) {
+    if (std::get<0>(timerOwners_[i]) == id) {
+      round = std::get<1>(timerOwners_[i]);
+      stage = std::get<2>(timerOwners_[i]);
+      timerOwners_.erase(timerOwners_.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
 void ConsensusProcess::onTimer(TimerId id) {
-  if (stage_ == Stage::kDetect && detector_) {
-    detector_->onTimer(*objectContext_, id);
-  } else if (stage_ == Stage::kDrive && driver_) {
-    driver_->onTimer(*objectContext_, id);
+  if (scheduler_->policy() == SchedulingPolicy::kLockstep) {
+    // Legacy routing: the frontier object owns every timer.
+    if (stage_ == Stage::kDetect && detector_) {
+      activeRound_ = round_;
+      activeStage_ = Stage::kDetect;
+      detector_->onTimer(*objectContext_, id);
+    } else if (stage_ == Stage::kDrive && driver_) {
+      activeRound_ = round_;
+      activeStage_ = Stage::kDrive;
+      driver_->onTimer(*objectContext_, id);
+    }
+    pump();
+    return;
+  }
+  if (wakeTimer_ && *wakeTimer_ == id) {
+    wakeTimer_.reset();
+    onWakeup();
+    return;
+  }
+  Round ownerRound = 0;
+  Stage ownerStage = Stage::kDetect;
+  if (takeTimerOwner(id, ownerRound, ownerStage)) {
+    if (ownerStage == Stage::kDrive) {
+      for (auto& entry : loose_) {
+        if (entry.round == ownerRound) {
+          activeRound_ = entry.round;
+          activeStage_ = Stage::kDrive;
+          entry.driver->onTimer(*objectContext_, id);
+          pump();
+          return;
+        }
+      }
+    }
+    if (!exhausted_ && ownerRound == round_ && ownerStage == stage_) {
+      if (stage_ == Stage::kDetect && detector_) {
+        activeRound_ = round_;
+        activeStage_ = Stage::kDetect;
+        detector_->onTimer(*objectContext_, id);
+      } else if (stage_ == Stage::kDrive && driver_) {
+        activeRound_ = round_;
+        activeStage_ = Stage::kDrive;
+        driver_->onTimer(*objectContext_, id);
+      }
+    }
+    // Owner object already completed/retired: the timer is stale.
   }
   pump();
 }
@@ -240,11 +475,27 @@ void ConsensusProcess::onTick(Tick tick) {
   // processing this tick's messages) must not see this barrier: its first
   // exchange closes at the NEXT barrier, keeping all lockstep processes on
   // the same calendar regardless of whether they advanced via a message or
-  // via the barrier itself.
-  if (stage_ == Stage::kDetect && detector_ && tick > detectorInvokedAt_) {
-    detector_->onTick(*objectContext_, tick);
-  } else if (stage_ == Stage::kDrive && driver_ && tick > driverInvokedAt_) {
-    driver_->onTick(*objectContext_, tick);
+  // via the barrier itself. Policies without a tick barrier (event-driven)
+  // drop the forwarding entirely — their objects are async-mode and advance
+  // on arrivals alone (registry-gated).
+  if (scheduler_->forwardsTickBarrier()) {
+    if (stage_ == Stage::kDetect && detector_ && tick > detectorInvokedAt_) {
+      activeRound_ = round_;
+      activeStage_ = Stage::kDetect;
+      detector_->onTick(*objectContext_, tick);
+    } else if (stage_ == Stage::kDrive && driver_ &&
+               tick > driverInvokedAt_) {
+      activeRound_ = round_;
+      activeStage_ = Stage::kDrive;
+      driver_->onTick(*objectContext_, tick);
+    }
+    for (auto& entry : loose_) {
+      if (tick > entry.invokedAt) {
+        activeRound_ = entry.round;
+        activeStage_ = Stage::kDrive;
+        entry.driver->onTick(*objectContext_, tick);
+      }
+    }
   }
   pump();
 }

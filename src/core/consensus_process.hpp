@@ -22,14 +22,26 @@
 //    round, and all processes must stay tick-aligned), and matches the
 //    original Phase-King where a committing processor observes the king but
 //    keeps its own value.
+//
+// *When* the next object of the loop is invoked is not fixed by the
+// template: it is delegated to a RoundScheduler policy (core/scheduling.hpp).
+// Under the default lockstep policy the loop above runs inline and
+// tick-aligned, exactly as before the policy split; event-driven defers
+// each activation to a fresh wakeup event (per-process round skew);
+// ooo-driver detaches courtesy drives into "loose" drivers that keep
+// exchanging while the next round's detector is already live (DESIGN.md
+// §14).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <tuple>
 #include <vector>
 
 #include "core/objects.hpp"
+#include "core/scheduling.hpp"
 #include "core/tagged_message.hpp"
 #include "sim/process.hpp"
 
@@ -57,6 +69,9 @@ class ConsensusProcess final : public Process {
  public:
   struct Options {
     TemplateKind kind = TemplateKind::kVacReconciliator;
+    /// Round-advancement policy (core/scheduling.hpp). The default
+    /// reproduces the classic inline lockstep loop byte-for-byte.
+    SchedulingPolicy scheduling = SchedulingPolicy::kLockstep;
     /// Run the drive step every round regardless of the detector outcome
     /// (lockstep algorithms); the template still only *uses* the driver's
     /// value when the outcome calls for it.
@@ -111,6 +126,28 @@ class ConsensusProcess final : public Process {
   /// One record per completed or in-progress round, index m-1.
   const std::vector<RoundRecord>& rounds() const noexcept { return rounds_; }
 
+  SchedulingPolicy schedulingPolicy() const noexcept {
+    return options_.scheduling;
+  }
+  /// Rounds whose detector was invoked while a loose driver of an earlier
+  /// round was still live — the structural witness of out-of-order
+  /// scheduling. Always 0 under lockstep and event-driven (they never
+  /// detach drives).
+  std::uint64_t overlapWitnesses() const noexcept { return overlapWitnesses_; }
+  /// Activations handed to a fresh wakeup event instead of running inline.
+  /// Always 0 under lockstep and ooo-driver.
+  std::uint64_t deferredActivations() const noexcept {
+    return deferredActivations_;
+  }
+  /// Loose (detached courtesy) drivers still exchanging.
+  std::size_t looseDriversLive() const noexcept { return loose_.size(); }
+  /// Future-round messages currently buffered / high-water mark / dropped
+  /// because they could never be consumed before post-decide retirement
+  /// (the bounded-buffer rule; see dispatch()).
+  std::size_t bufferedCount() const noexcept { return buffered_.size(); }
+  std::size_t bufferedPeak() const noexcept { return bufferedPeak_; }
+  std::uint64_t bufferedDropped() const noexcept { return bufferedDropped_; }
+
  private:
   class ObjectContextImpl;
   struct BufferedMessage {
@@ -120,24 +157,51 @@ class ConsensusProcess final : public Process {
     /// Shared with the in-flight envelope — buffering never copies.
     MessagePtr inner;
   };
+  /// A detached courtesy drive (ooo-driver policy): keeps exchanging for
+  /// its own round while the frontier has already moved on. Its value is
+  /// never used — the template only detaches drives whose value it would
+  /// discard anyway.
+  struct LooseDriver {
+    Round round;
+    Tick invokedAt;
+    std::unique_ptr<Driver> driver;
+  };
+  /// What a scheduled wakeup event will do (event-driven policy).
+  enum class PendingWake { kNone, kBeginRound, kInvokeDriver };
 
   void beginRound();
   /// Advances through completed objects until blocked on communication.
   void pump();
   void dispatch(ProcessId from, const TaggedMessage& tagged);
   void replayBuffered();
+  void invokeFrontierDriver(const Outcome& outcome);
+  void launchLooseDriver(const Outcome& outcome);
+  void pollLooseDrivers();
+  void scheduleWakeup(PendingWake pending);
+  void onWakeup();
+  void pruneBufferedAfterDecide();
+  void noteTimerOwner(TimerId id);
+  void dropTimerOwner(TimerId id) noexcept;
+  bool takeTimerOwner(TimerId id, Round& round, Stage& stage) noexcept;
 
   Value value_;
   DetectorFactory detectorFactory_;
   DriverFactory driverFactory_;
   Options options_;
+  std::unique_ptr<RoundScheduler> scheduler_;
 
   std::unique_ptr<ObjectContextImpl> objectContext_;
   std::unique_ptr<AgreementDetector> detector_;
   std::unique_ptr<Driver> driver_;
+  std::vector<LooseDriver> loose_;
 
   Round round_ = 0;
   Stage stage_ = Stage::kDetect;
+  /// Coordinates of the object currently being called into: outbound
+  /// messages and armed timers are attributed to it. Under lockstep this
+  /// always equals (round_, stage_); with loose drivers it may lag.
+  Round activeRound_ = 0;
+  Stage activeStage_ = Stage::kDetect;
   /// Ticks at which the current objects were invoked: a lockstep barrier for
   /// tick T must not reach an object invoked at T (its exchange calendar
   /// starts at the next barrier).
@@ -149,6 +213,18 @@ class ConsensusProcess final : public Process {
   Value decisionValue_ = kNoValue;
   Round decisionRound_ = 0;
   bool exhausted_ = false;
+
+  PendingWake pending_ = PendingWake::kNone;
+  std::optional<Outcome> pendingOutcome_;
+  std::optional<TimerId> wakeTimer_;
+  /// Timer ownership by (round, stage), kept only under non-lockstep
+  /// policies where several objects may hold timers at once.
+  std::vector<std::tuple<TimerId, Round, Stage>> timerOwners_;
+
+  std::uint64_t overlapWitnesses_ = 0;
+  std::uint64_t deferredActivations_ = 0;
+  std::size_t bufferedPeak_ = 0;
+  std::uint64_t bufferedDropped_ = 0;
 
   std::vector<RoundRecord> rounds_;
   std::vector<BufferedMessage> buffered_;

@@ -166,32 +166,52 @@ std::string toPerfettoJson(const CausalTrace& trace, const TraceMeta& meta) {
     json.endObject();
   }
 
-  // Round spans per process, derived from detector/driver annotations: a
-  // round runs from its first annotation to the next round's first (or the
-  // end of the range). Async spans keep them off the slice nesting.
-  std::map<ProcessId, std::vector<std::pair<Round, std::uint64_t>>> byProcess;
+  // Round spans per process, derived from detector/driver annotations
+  // grouped by (process, round) — NOT by contiguous runs: under
+  // non-lockstep scheduling policies a round's detached driver keeps
+  // annotating after the successor round is live, so a lane's spans may
+  // overlap (named "round m (overlaps)"). Under lockstep the grouping
+  // degenerates to the old contiguous rendering byte-for-byte. Async
+  // spans with distinct ids keep overlapping rounds off slice nesting.
+  std::map<std::pair<ProcessId, Round>,
+           std::pair<std::uint64_t, std::uint64_t>>
+      spans;  // (process, round) -> (first ts, last ts)
   for (const Annotation& a : trace.annotations) {
     if (a.kind == Annotation::Kind::kOracleQuery) continue;
-    byProcess[a.process].emplace_back(a.round, ts[a.node]);
-  }
-  for (const auto& [process, marks] : byProcess) {
-    for (std::size_t i = 0; i < marks.size();) {
-      const Round round = marks[i].first;
-      const std::uint64_t from = marks[i].second;
-      while (i < marks.size() && marks[i].first == round) ++i;
-      const std::uint64_t to = i < marks.size() ? marks[i].second : endTs;
-      const std::string name = "round " + std::to_string(round);
-      const std::uint64_t id =
-          (static_cast<std::uint64_t>(process) << 32) | round;
-      events.begin(name, "b", from, process);
-      json.key("cat").value("round");
-      json.key("id").value(id);
-      json.endObject();
-      events.begin(name, "e", to, process);
-      json.key("cat").value("round");
-      json.key("id").value(id);
-      json.endObject();
+    const std::pair<ProcessId, Round> key{a.process, a.round};
+    const auto [it, inserted] =
+        spans.emplace(key, std::pair{ts[a.node], ts[a.node]});
+    if (!inserted) {
+      it->second.first = std::min(it->second.first, ts[a.node]);
+      it->second.second = std::max(it->second.second, ts[a.node]);
     }
+  }
+  for (auto it = spans.begin(); it != spans.end(); ++it) {
+    const auto& [process, round] = it->first;
+    const std::uint64_t from = it->second.first;
+    // Successor round on the same lane (map order is (process, round)).
+    const auto next = std::next(it);
+    const bool hasNext =
+        next != spans.end() && next->first.first == process;
+    // The span reaches at least the successor's start (solid lockstep
+    // bars, where a round's own annotations never outlive the next
+    // round's first) and at most the round's own last annotation (a
+    // skewed round's detached-driver tail).
+    const std::uint64_t barrier = hasNext ? next->second.first : endTs;
+    const std::uint64_t to = std::max(it->second.second, barrier);
+    const bool overlaps = hasNext && it->second.second > barrier;
+    const std::string name =
+        "round " + std::to_string(round) + (overlaps ? " (overlaps)" : "");
+    const std::uint64_t id =
+        (static_cast<std::uint64_t>(process) << 32) | round;
+    events.begin(name, "b", from, process);
+    json.key("cat").value("round");
+    json.key("id").value(id);
+    json.endObject();
+    events.begin(name, "e", to, process);
+    json.key("cat").value("round");
+    json.key("id").value(id);
+    json.endObject();
   }
 
   // Oracle-suspicion intervals per (viewer, target): opened on the first

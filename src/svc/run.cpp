@@ -42,7 +42,14 @@ bool uniqueValues(const std::vector<Value>& values, bool skipNoop) {
 }  // namespace
 
 std::optional<std::string> validateEngine(const SvcConfig& config) {
-  if (config.engine == "raft" || config.engine == "paxos") return std::nullopt;
+  if (config.engine == "raft" || config.engine == "paxos") {
+    if (config.scheduler != SchedulingPolicy::kLockstep) {
+      return "service engine '" + config.engine +
+             "' has no round scheduler to swap: the scheduling policy "
+             "applies to composed per-decree engines only";
+    }
+    return std::nullopt;
+  }
   if (config.engine != "compose") {
     return "unknown service engine '" + config.engine +
            "' (known: compose, paxos, raft)";
@@ -91,6 +98,12 @@ std::optional<std::string> validateEngine(const SvcConfig& config) {
     return "service driver '" + config.driver +
            "' consumes a failure-detector oracle; the service harness "
            "attaches none";
+  }
+  // Non-lockstep round scheduling rides the same capability gate as the
+  // compose layer: async-mode, skew-tolerant objects only.
+  if (const auto rejected = compose::registry().validateScheduling(
+          config.detector, config.driver, config.scheduler)) {
+    return rejected;
   }
   return std::nullopt;
 }
@@ -169,13 +182,15 @@ SvcResult runSvc(const SvcConfig& config, const compose::RunHooks& hooks) {
       params.seed = config.seed;
       params.bias = config.bias;
       const Round maxRounds = config.maxRoundsPerDecree;
-      factory = [detector, driver, params, maxRounds](
+      const SchedulingPolicy scheduling = config.scheduler;
+      factory = [detector, driver, params, maxRounds, scheduling](
                     std::uint64_t decree, Value proposal,
                     bool /*proposer*/) -> std::unique_ptr<Process> {
         compose::ObjectParams p = params;
         p.seed = decreeSeed(params.seed, decree);
         ConsensusProcess::Options options;
         options.kind = TemplateKind::kVacReconciliator;
+        options.scheduling = scheduling;
         options.alwaysRunDriver = true;
         options.participateRoundsAfterDecide = 1;
         options.maxRounds = maxRounds;
@@ -360,6 +375,10 @@ std::string serializeSvcConfig(const SvcConfig& config) {
   if (config.engine == "compose") {
     kv.put("detector", config.detector);
     kv.put("driver", config.driver);
+    // Wire purity: the scheduler key exists only when non-lockstep, so
+    // every pre-policy scenario file and run-id stays byte-identical.
+    if (config.scheduler != SchedulingPolicy::kLockstep)
+      kv.put("scheduler", toString(config.scheduler));
   }
   kv.put("n", static_cast<std::uint64_t>(config.n));
   if (config.t) kv.put("t", static_cast<std::uint64_t>(*config.t));
@@ -414,6 +433,14 @@ SvcConfig parseSvcConfig(const std::string& text) {
   config.engine = kv.get("engine", config.engine);
   config.detector = kv.get("detector", config.detector);
   config.driver = kv.get("driver", config.driver);
+  if (kv.has("scheduler")) {
+    const std::string name = kv.get("scheduler", "lockstep");
+    const auto policy = parseSchedulingPolicy(name);
+    if (!policy)
+      throw std::runtime_error("unknown scheduler '" + name +
+                               "'; known: lockstep, event-driven, ooo-driver");
+    config.scheduler = *policy;
+  }
   config.n = kv.getU64("n", config.n);
   if (kv.has("t")) config.t = kv.getU64("t", 0);
   config.seed = kv.getU64("seed", config.seed);

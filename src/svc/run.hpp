@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "compose/hooks.hpp"
+#include "core/scheduling.hpp"
 #include "raft/types.hpp"
 #include "svc/service.hpp"
 #include "svc/workload.hpp"
@@ -55,6 +56,14 @@ struct SvcConfig {
   /// Registry names for engine="compose".
   std::string detector = "benor-vac";
   std::string driver = "lottery";
+  /// Round-scheduling policy for the composed per-decree engines
+  /// (core/scheduling.hpp). Non-lockstep policies let a decree's rounds
+  /// skew within the pipeline window; they are gated by the registry's
+  /// validateScheduling() and rejected outright for the raft/paxos
+  /// engines, which have no round scheduler to swap. Zero-cost on the
+  /// wire: nothing is serialized when lockstep, so every pre-policy
+  /// scenario file and run-id is unchanged.
+  SchedulingPolicy scheduler = SchedulingPolicy::kLockstep;
 
   std::size_t n = 5;
   /// Protocol parameter t; defaults to the detector's tDivisor rule

@@ -183,5 +183,34 @@ TEST(CausalExport, PerfettoJsonIsDeterministicAndCarriesLanes) {
   EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
 }
 
+TEST(CausalExport, PerfettoFlagsOverlappingRoundSpansUnderOooScheduling) {
+  // The compose-ooo-skew-n5 golden's schedule: detached lottery drives
+  // outlive the successor round's detector, so per-lane round spans
+  // overlap and carry the "(overlaps)" marker. The lockstep run of the
+  // same composition must not show any — under the barrier a round's
+  // annotations never outlive the next round's first.
+  check::Scenario skewed;
+  skewed.family = check::Family::kCompose;
+  skewed.compose.detector = "benor-vac";
+  skewed.compose.driver = "lottery";
+  skewed.compose.scheduler = SchedulingPolicy::kOooDriver;
+  skewed.compose.n = 5;
+  skewed.compose.inputs = {0, 1, 0, 1, 1};
+  skewed.compose.maxDelay = 15;
+  skewed.compose.seed = 14;
+
+  const check::CausalRun a = check::collectCausalRun(skewed);
+  const check::CausalRun b = check::collectCausalRun(skewed);
+  const std::string json = causal::toPerfettoJson(a.trace, meta());
+  EXPECT_EQ(json, causal::toPerfettoJson(b.trace, meta()));
+  EXPECT_NE(json.find("(overlaps)"), std::string::npos);
+
+  check::Scenario lockstep = skewed;
+  lockstep.compose.scheduler = SchedulingPolicy::kLockstep;
+  const check::CausalRun c = check::collectCausalRun(lockstep);
+  EXPECT_EQ(causal::toPerfettoJson(c.trace, meta()).find("(overlaps)"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace ooc

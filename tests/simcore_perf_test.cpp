@@ -49,7 +49,9 @@ std::string readFile(const std::string& path) {
 
 TEST(GoldenTrace, RecordedRunsAreByteIdentical) {
   const auto fixtures = check::goldenFixtures();
-  ASSERT_GE(fixtures.size(), 4u);
+  // Six pre-policy fixtures (pinned under the lockstep scheduler) plus the
+  // non-lockstep skew witness compose-ooo-skew-n5.
+  ASSERT_GE(fixtures.size(), 7u);
   for (const auto& fixture : fixtures) {
     const std::string expected =
         readFile(std::string(OOC_GOLDEN_DIR "/") + fixture.name + ".golden");
@@ -66,7 +68,7 @@ TEST(GoldenTrace, ParallelWorkersRenderByteIdenticalGoldens) {
   // buffers recycled across runs) must not move a single byte relative to
   // the sequential renders above.
   const auto fixtures = check::goldenFixtures();
-  ASSERT_GE(fixtures.size(), 4u);
+  ASSERT_GE(fixtures.size(), 7u);
   std::vector<std::string> rendered(fixtures.size());
   sweep::Options options;
   options.threads = fixtures.size();
@@ -235,6 +237,30 @@ TEST(PayloadSharing, InTreeCompositionsNeverClonePayloads) {
       EXPECT_EQ(result.messagesCloned, 0u)
           << "payload copy regression in " << detector << "+" << driver;
     }
+  }
+}
+
+TEST(PayloadSharing, NonLockstepSchedulersNeverClonePayloads) {
+  // The roundless policies change WHO consumes a payload (buffered
+  // replays, loose drivers, wakeup-deferred successors) but never copy it:
+  // buffering shares the envelope's payload and a detached drive keeps the
+  // original object. Zero clones must survive both skewed schedulers.
+  for (const SchedulingPolicy policy :
+       {SchedulingPolicy::kEventDriven, SchedulingPolicy::kOooDriver}) {
+    compose::Composition composition;
+    composition.detector = "benor-vac";
+    composition.driver = "lottery";
+    composition.scheduler = policy;
+    composition.n = 5;
+    composition.inputs = {0, 1, 0, 1, 1};
+    composition.maxDelay = 15;
+    composition.maxRounds = 200;
+    composition.maxTicks = 200'000;
+    const auto result = compose::runComposition(composition);
+    EXPECT_TRUE(result.allDecided) << toString(policy);
+    EXPECT_EQ(result.messagesCloned, 0u)
+        << "payload copy regression under the " << toString(policy)
+        << " scheduler";
   }
 }
 

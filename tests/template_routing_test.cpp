@@ -235,6 +235,56 @@ TEST(TemplateRouting, RetiresAfterConfiguredExtraRounds) {
   EXPECT_EQ(ctx.outbound.size(), sends) << "retired process must stay quiet";
 }
 
+TEST(TemplateRouting, PostDecideBufferingIsBoundedByTheRetirementHorizon) {
+  // With a retirement horizon configured, rounds beyond decisionRound +
+  // participateRoundsAfterDecide can never be reached, so their messages
+  // must not accumulate: already-buffered ones are pruned at decide time
+  // and later arrivals are dropped on arrival. Without the bound a
+  // decided-but-participating process (the svc per-decree engines) would
+  // buffer every straggler until teardown.
+  ConsensusProcess::Options options;
+  options.kind = TemplateKind::kVacReconciliator;
+  options.participateRoundsAfterDecide = 2;
+  ManualHostContext ctx;
+  ConsensusProcess process(
+      7,
+      [](Round) {
+        return std::make_unique<CountingDetector>(1, Confidence::kCommit,
+                                                  nullptr);
+      },
+      [](Round) { return std::make_unique<WaitingDriver>(nullptr); },
+      options);
+  process.bind(ctx);
+  process.onStart();
+
+  // Far-future message buffered while undecided (nothing is bounded yet).
+  process.onMessage(1, TaggedMessage(9, Stage::kDetect,
+                                     std::make_unique<ProbeMsg>(90)));
+  EXPECT_EQ(process.bufferedCount(), 1u);
+  EXPECT_EQ(process.bufferedDropped(), 0u);
+
+  // Decide in round 1: horizon = 1 + 2 = 3, so the round-9 entry is
+  // unreachable and pruned.
+  process.onMessage(1, TaggedMessage(1, Stage::kDetect,
+                                     std::make_unique<ProbeMsg>(1)));
+  ASSERT_TRUE(process.decided());
+  EXPECT_EQ(process.currentRound(), 2u);
+  EXPECT_EQ(process.bufferedCount(), 0u);
+  EXPECT_EQ(process.bufferedDropped(), 1u);
+
+  // Beyond-horizon arrivals drop instead of buffering...
+  process.onMessage(1, TaggedMessage(4, Stage::kDetect,
+                                     std::make_unique<ProbeMsg>(40)));
+  EXPECT_EQ(process.bufferedCount(), 0u);
+  EXPECT_EQ(process.bufferedDropped(), 2u);
+
+  // ...while rounds the process will still visit buffer as before.
+  process.onMessage(1, TaggedMessage(3, Stage::kDetect,
+                                     std::make_unique<ProbeMsg>(30)));
+  EXPECT_EQ(process.bufferedCount(), 1u);
+  EXPECT_EQ(process.bufferedPeak(), 1u);
+}
+
 TEST(TemplateRouting, AcTemplateRejectsNothingButRoutesAdoptToDriver) {
   ConsensusProcess::Options options;
   options.kind = TemplateKind::kAcConciliator;

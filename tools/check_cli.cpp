@@ -54,7 +54,7 @@ struct CliOptions {
   std::int64_t oracleLag = -1;        // <0: family default
   bool oracleLie = false;
   std::string strategy = "all";  // random | delay | crash | restart |
-                                 // oracle | pipeline | all
+                                 // oracle | pipeline | skew | all
   std::size_t seeds = 1000;
   std::uint64_t seedBase = 1;
   std::size_t threads = 0;
@@ -92,7 +92,7 @@ void printUsage(std::ostream& os) {
         "  --oracle-lie      fd only: oracle advertises a bound it misses\n"
         "                    (expected to FAIL fd-accuracy)\n"
         "  --strategy S      random | delay | crash | restart | oracle | "
-        "pipeline | all (default all)\n"
+        "pipeline | skew | all (default all)\n"
         "  --seeds N         random-walk runs per family (default 1000)\n"
         "  --seed-base N     first seed of the sweep (default 1)\n"
         "  --threads N       worker threads (default: hardware)\n"
@@ -221,6 +221,8 @@ std::unique_ptr<ExplorationStrategy> buildStrategy(
       options.strategy == "all" || options.strategy == "oracle";
   const bool wantPipeline =
       options.strategy == "all" || options.strategy == "pipeline";
+  const bool wantSkew =
+      options.strategy == "all" || options.strategy == "skew";
 
   // Compose scenarios carry their capability descriptor in the registry:
   // delay adversaries need an asynchronous detector, crash enumeration a
@@ -271,6 +273,20 @@ std::unique_ptr<ExplorationStrategy> buildStrategy(
     SvcPipelineStrategy::Options sp;
     sp.seedBase = options.seedBase;
     parts.push_back(std::make_unique<SvcPipelineStrategy>(base, sp));
+  }
+  // The round-skew sweep only earns its cells when the pairing admits a
+  // non-lockstep policy; on "all" a lockstep-only pairing skips it (the
+  // lockstep column is the random walk's territory). An explicit
+  // --strategy skew still constructs, sweeping whatever the registry
+  // admits.
+  if (wantSkew && (family == Family::kCompose || family == Family::kFd) &&
+      (options.strategy == "skew" ||
+       !compose::registry().validateScheduling(
+           base.compose.detector, base.compose.driver,
+           SchedulingPolicy::kEventDriven))) {
+    RoundSkewStrategy::Options rs;
+    rs.seedBase = options.seedBase;
+    parts.push_back(std::make_unique<RoundSkewStrategy>(base, rs));
   }
   if (parts.empty()) return nullptr;
   if (parts.size() == 1) return std::move(parts.front());
@@ -404,7 +420,7 @@ int main(int argc, char** argv) {
   if (options.strategy != "all" && options.strategy != "random" &&
       options.strategy != "delay" && options.strategy != "crash" &&
       options.strategy != "restart" && options.strategy != "oracle" &&
-      options.strategy != "pipeline") {
+      options.strategy != "pipeline" && options.strategy != "skew") {
     std::cerr << "check: unknown strategy '" << options.strategy << "'\n";
     return 2;
   }
@@ -426,6 +442,11 @@ int main(int argc, char** argv) {
   }
   if (options.strategy == "pipeline" && options.family != "svc") {
     std::cerr << "check: --strategy pipeline needs --family svc\n";
+    return 2;
+  }
+  if (options.strategy == "skew" && options.family != "compose" &&
+      options.family != "fd") {
+    std::cerr << "check: --strategy skew needs --family compose or fd\n";
     return 2;
   }
   if ((!options.detector.empty() || !options.driver.empty()) &&

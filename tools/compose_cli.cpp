@@ -46,7 +46,9 @@ struct CliOptions {
   std::uint64_t seed = 0;  // --spec only; 0 keeps the default
   bool quick = false;
   bool fdMatrix = false;
+  bool roundlessMatrix = false;
   std::size_t threads = 0;  // matrix worker threads; 0 = hardware
+  std::string scheduler;       // --spec only; "" keeps lockstep
   std::string oracle;          // --spec only
   double oracleNoise = -1.0;   // <0 keeps the OracleKnobs default
   std::int64_t oracleStabilize = -1;
@@ -64,8 +66,14 @@ void printUsage(std::ostream& os) {
         "  --fd-matrix       run experiment E22 instead: oracle quality x\n"
         "                    crash schedules for the oracle-consuming\n"
         "                    drivers (ooc.fd-matrix.v1)\n"
+        "  --roundless-matrix  run experiment E24 instead: scheduling\n"
+        "                    policy x engine family, with skew\n"
+        "                    observations (ooc.roundless.v1)\n"
         "  --list            list registered objects and capabilities\n"
         "  --spec D+R        run one composition, e.g. benor-vac+timer\n"
+        "  --scheduler P     round-scheduling policy for --spec: lockstep\n"
+        "                    (default) | event-driven | ooo-driver;\n"
+        "                    non-lockstep policies are capability-gated\n"
         "  --oracle O        attach an oracle to --spec: omega | diamond-s\n"
         "                    | perfect-p\n"
         "  --oracle-noise X      false-suspicion probability before\n"
@@ -140,6 +148,15 @@ int runSpec(const CliOptions& options) {
     std::cerr << "compose: " << error.what() << "\n";
     return 2;
   }
+  if (!options.scheduler.empty()) {
+    const auto policy = parseSchedulingPolicy(options.scheduler);
+    if (!policy) {
+      std::cerr << "compose: unknown scheduler '" << options.scheduler
+                << "'; known: lockstep, event-driven, ooo-driver\n";
+      return 2;
+    }
+    composition.scheduler = *policy;
+  }
   if (options.n > 0) composition.n = options.n;
   if (options.seed > 0) composition.seed = options.seed;
   CompositionResult result;
@@ -164,6 +181,11 @@ int runSpec(const CliOptions& options) {
             << "  audits:     " << (result.allAuditsOk ? "ok" : "FAILED")
             << "\n"
             << "  messages:   " << result.messagesByCorrect << "\n";
+  if (composition.scheduler != SchedulingPolicy::kLockstep)
+    std::cout << "  scheduler:  " << toString(composition.scheduler)
+              << " (overlap " << result.overlapWitnesses << ", deferred "
+              << result.deferredActivations << ", max skew "
+              << result.maxRoundSkew << ")\n";
   if (result.adoptOutcomesTotal > 0)
     std::cout << "  s5-witness: " << result.adoptMismatchWitnesses << " of "
               << result.adoptOutcomesTotal << " adopt outcomes\n";
@@ -254,6 +276,54 @@ int runFdMatrixMode(const CliOptions& options) {
   return report.safetyOk ? 0 : 1;
 }
 
+int runRoundlessMatrixMode(const CliOptions& options) {
+  RoundlessMatrixOptions matrix;
+  matrix.quick = options.quick;
+  matrix.threads = options.threads;
+  if (options.runs > 0) matrix.runsPerCell = options.runs;
+  if (options.seedBase > 0) matrix.seedBase = options.seedBase;
+
+  const RoundlessMatrixReport report = runRoundlessMatrix(matrix);
+
+  std::cout << "E24 roundless matrix: " << report.engines.size()
+            << " engine pairings x " << report.policies.size()
+            << " scheduling policies\n";
+  for (const RoundlessMatrixCell& cell : report.cells) {
+    std::cout << "  " << std::left << std::setw(32)
+              << (cell.detector + "+" + cell.driver) << " @ " << std::setw(12)
+              << cell.policy;
+    if (!cell.valid) {
+      std::cout << " rejected: " << cell.diagnostic << "\n";
+      continue;
+    }
+    std::cout << " decided " << cell.decided << "/" << cell.runs;
+    if (cell.decided > 0)
+      std::cout << ", mean rounds " << std::fixed << std::setprecision(2)
+                << cell.meanRounds << std::defaultfloat
+                << std::setprecision(6);
+    std::cout << ", overlap " << cell.overlapWitnesses << ", deferred "
+              << cell.deferredActivations << ", skew " << cell.maxRoundSkew;
+    if (!cell.agreementOk) std::cout << ", AGREEMENT VIOLATED";
+    if (!cell.validityOk) std::cout << ", VALIDITY VIOLATED";
+    if (!cell.auditsOk) std::cout << ", AUDITS FAILED";
+    if (!cell.fdAxiomsOk) std::cout << ", FD AXIOMS VIOLATED";
+    std::cout << "\n";
+  }
+  std::cout << (report.safetyOk ? "OK" : "FAIL") << ": "
+            << report.validCells << " valid cells, "
+            << report.rejectedCells << " rejected\n";
+
+  if (!options.jsonPath.empty()) {
+    std::ofstream out(options.jsonPath, std::ios::binary);
+    if (!out) {
+      std::cerr << "compose: cannot write '" << options.jsonPath << "'\n";
+      return 2;
+    }
+    out << roundlessMatrixToJson(report, matrix) << '\n';
+  }
+  return report.safetyOk ? 0 : 1;
+}
+
 int runMatrixMode(const CliOptions& options) {
   MatrixOptions matrix;
   matrix.quick = options.quick;
@@ -309,7 +379,9 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--list") options.list = true;
     else if (arg == "--spec") options.spec = next(i);
+    else if (arg == "--scheduler") options.scheduler = next(i);
     else if (arg == "--fd-matrix") options.fdMatrix = true;
+    else if (arg == "--roundless-matrix") options.roundlessMatrix = true;
     else if (arg == "--oracle") options.oracle = next(i);
     else if (arg == "--oracle-noise") options.oracleNoise = nextDouble(i);
     else if (arg == "--oracle-stabilize")
@@ -350,7 +422,12 @@ int main(int argc, char** argv) {
     std::cerr << "compose: --trace-out needs --spec\n";
     return 2;
   }
+  if (!options.scheduler.empty() && options.spec.empty()) {
+    std::cerr << "compose: --scheduler needs --spec\n";
+    return 2;
+  }
   if (!options.spec.empty()) return runSpec(options);
   if (options.fdMatrix) return runFdMatrixMode(options);
+  if (options.roundlessMatrix) return runRoundlessMatrixMode(options);
   return runMatrixMode(options);
 }
